@@ -1,0 +1,99 @@
+// Figure 4 — "Overall performance in real experiments" (§4.2.1).
+//
+// Reproduces all eight panels on the paper's testbed configuration
+// (20 servers × 4 GPUs = 80 GPUs; job counts 155/310/620/1240/1860 over a
+// one-week synthetic Philly-style trace) for the ten schedulers of the
+// paper's legend. Panel (a) is the JCT CDF at the 620-job point; panels
+// (b)-(h) sweep the job count. The §4.2.1 makespan numbers are printed as
+// an extra table.
+//
+// Usage: bench_fig4_overall [--quick] [--csv-dir DIR] [--seed N]
+//   --quick  runs only the {155, 620, 1860} points (shape check)
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+double avg_jct(const RunMetrics& m) { return m.average_jct_minutes(); }
+double deadline_ratio(const RunMetrics& m) { return m.deadline_ratio; }
+double avg_wait(const RunMetrics& m) { return m.average_waiting_seconds(); }
+double avg_accuracy(const RunMetrics& m) { return m.average_accuracy; }
+double accuracy_ratio(const RunMetrics& m) { return m.accuracy_ratio; }
+double bandwidth(const RunMetrics& m) { return m.bandwidth_tb; }
+double overhead(const RunMetrics& m) { return m.sched_overhead_ms; }
+double makespan(const RunMetrics& m) { return m.makespan_hours; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  bool quick = false;
+  std::string csv_dir;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) seed = std::stoull(argv[++i]);
+  }
+
+  exp::Scenario scenario = exp::testbed_scenario(seed);
+  if (quick) scenario.sweep_multipliers = {0.25, 1.0, 3.0};
+
+  std::cout << "=== Figure 4: overall performance, " << scenario.name << " ===\n"
+            << "cluster: " << scenario.cluster.server_count << " servers x "
+            << scenario.cluster.gpus_per_server << " GPUs; trace week with base "
+            << scenario.trace.num_jobs << " jobs\n\n";
+
+  const auto schedulers = exp::paper_scheduler_names();
+  const auto results = exp::run_sweep(scenario, schedulers);
+  std::cout << '\n';
+
+  // Panel (a): JCT CDF at the base (620-job) point.
+  const auto counts = exp::sweep_job_counts(scenario);
+  std::size_t base_index = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == scenario.trace.num_jobs) base_index = i;
+  }
+  const std::vector<double> breakpoints = {1, 10, 50, 100, 200, 500, 1000, 5000, 20000};
+  Table cdf = exp::cdf_table("Fig 4(a): CDF of jobs vs JCT (minutes), " +
+                                 std::to_string(counts[base_index]) + " jobs",
+                             schedulers, results, base_index, breakpoints);
+  cdf.render(std::cout);
+  std::cout << '\n';
+
+  struct Panel {
+    const char* title;
+    double (*extract)(const RunMetrics&);
+    int precision;
+    const char* csv;
+  };
+  const Panel panels[] = {
+      {"Fig 4(b): average JCT (minutes)", avg_jct, 1, "fig4b_avg_jct.csv"},
+      {"Fig 4(c): job deadline guarantee ratio", deadline_ratio, 3, "fig4c_deadline.csv"},
+      {"Fig 4(d): average job waiting time (seconds)", avg_wait, 0, "fig4d_waiting.csv"},
+      {"Fig 4(e): average accuracy (by deadline)", avg_accuracy, 3, "fig4e_accuracy.csv"},
+      {"Fig 4(f): accuracy guarantee ratio", accuracy_ratio, 3, "fig4f_accuracy_ratio.csv"},
+      {"Fig 4(g): bandwidth cost (TB)", bandwidth, 2, "fig4g_bandwidth.csv"},
+      {"Fig 4(h): scheduler time overhead (ms)", overhead, 3, "fig4h_overhead.csv"},
+      {"§4.2.1: makespan (hours)", makespan, 1, "fig4_makespan.csv"},
+  };
+  for (const Panel& panel : panels) {
+    Table table = exp::panel_table(panel.title, scenario, schedulers, results, panel.extract,
+                                   panel.precision);
+    table.render(std::cout);
+    std::cout << '\n';
+    if (!csv_dir.empty()) exp::write_csv(table, csv_dir + "/" + panel.csv);
+  }
+
+  std::cout << "expected shape (paper): JCT/wait/makespan: MLFS < MLF-RL < MLF-H < "
+               "Graphene < Tiresias~HyperSched~RL~Gandiva < TensorFlow <~ SLAQ;\n"
+               "deadline & accuracy: MLFS family on top, HyperSched best baseline;\n"
+               "bandwidth: MLFS lowest, Gandiva highest among baselines;\n"
+               "overhead: simple heuristics < RL-based < MLFS.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 8 — "Effectiveness of task migration" (§4.2.2).
+//
+// (a) number of server overload occurrences and bandwidth cost,
+// (b) average accuracy (by deadline) and average JCT,
+// each with and without MLF-H's task-migration component (§3.3.3), on the
+// Fig. 4 testbed sweep.
+//
+// Usage: bench_fig8_migration [--quick] [--csv-dir DIR]
+#include <cstring>
+#include <iostream>
+
+#include "exp/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  bool quick = false;
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+  }
+
+  exp::Scenario scenario = exp::testbed_scenario();
+  if (quick) scenario.sweep_multipliers = {0.25, 1.0, 3.0};
+  const auto counts = exp::sweep_job_counts(scenario);
+
+  std::cout << "=== Figure 8: effectiveness of task migration (MLF-H) ===\n\n";
+
+  core::MlfsConfig with_mig;
+  with_mig.heuristic_only = true;
+  core::MlfsConfig without_mig = with_mig;
+  without_mig.migration.enabled = false;
+
+  Table panel_a("Fig 8(a): server overload occurrences and bandwidth cost (TB)");
+  Table panel_b("Fig 8(b): average accuracy (by deadline) and average JCT (min)");
+  std::vector<std::string> header = {"series"};
+  for (const std::size_t n : counts) header.push_back(std::to_string(n) + " jobs");
+  panel_a.set_header(header);
+  panel_b.set_header(header);
+
+  std::vector<double> ovl_w, ovl_wo, bw_w, bw_wo, acc_w, acc_wo, jct_w, jct_wo;
+  for (const std::size_t jobs : counts) {
+    const RunMetrics w = exp::run_experiment(scenario, "MLF-H", jobs, with_mig);
+    const RunMetrics wo = exp::run_experiment(scenario, "MLF-H", jobs, without_mig);
+    std::cout << "  [n=" << jobs << "] w/ migration: " << w.summary()
+              << " overload=" << w.overload_occurrences << " migrations=" << w.migrations
+              << '\n';
+    ovl_w.push_back(static_cast<double>(w.overload_occurrences));
+    ovl_wo.push_back(static_cast<double>(wo.overload_occurrences));
+    bw_w.push_back(w.bandwidth_tb);
+    bw_wo.push_back(wo.bandwidth_tb);
+    acc_w.push_back(w.average_accuracy);
+    acc_wo.push_back(wo.average_accuracy);
+    jct_w.push_back(w.average_jct_minutes());
+    jct_wo.push_back(wo.average_jct_minutes());
+  }
+  std::cout << '\n';
+  panel_a.add_row("overload w/ migration", ovl_w, 0);
+  panel_a.add_row("overload w/o migration", ovl_wo, 0);
+  panel_a.add_row("bandwidth w/ migration", bw_w, 2);
+  panel_a.add_row("bandwidth w/o migration", bw_wo, 2);
+  panel_b.add_row("accuracy w/ migration", acc_w, 3);
+  panel_b.add_row("accuracy w/o migration", acc_wo, 3);
+  panel_b.add_row("JCT w/ migration", jct_w, 1);
+  panel_b.add_row("JCT w/o migration", jct_wo, 1);
+  panel_a.render(std::cout);
+  std::cout << '\n';
+  panel_b.render(std::cout);
+
+  if (!csv_dir.empty()) {
+    exp::write_csv(panel_a, csv_dir + "/fig8a_migration.csv");
+    exp::write_csv(panel_b, csv_dir + "/fig8b_migration.csv");
+  }
+  std::cout << "\nexpected shape (paper): migration reduces overload occurrences by\n"
+               "36-60% and JCT by 15-24%, raises accuracy by 8-10%, and costs 10-14%\n"
+               "more bandwidth.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) of MLFS's hot decision paths: the
+// Eq. 2-6 priority computation, RIAL host selection, migration-victim
+// selection, and the cluster utilization queries they lean on. These are
+// the per-round costs behind the Fig. 4(h)/5(h) scheduler-overhead curves.
+#include <benchmark/benchmark.h>
+
+#include "core/migration.hpp"
+#include "core/mlf_h.hpp"
+#include "core/placement.hpp"
+#include "core/priority.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+struct NoopOps : SchedulerOps {
+  bool place(TaskId, ServerId, int) override { return false; }
+  void preempt_to_queue(TaskId) override {}
+  bool migrate(TaskId, ServerId, int) override { return false; }
+  void release(TaskId) override {}
+};
+
+/// A populated cluster: `servers` x 4 GPUs, ~2 tasks placed per GPU.
+struct World {
+  Cluster cluster;
+  NoopOps ops;
+  std::vector<TaskId> queue;
+
+  explicit World(std::size_t servers)
+      : cluster(ClusterConfig{servers, 4, 1000.0}) {
+    TraceConfig config;
+    config.num_jobs = servers * 6;
+    config.duration_hours = 1.0;
+    config.seed = 7;
+    config.max_gpu_request = 8;
+    Rng rng(13);
+    auto specs = PhillyTraceGenerator(config).generate();
+    for (auto& spec : specs) {
+      auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+      cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    }
+    // Greedy-place roughly half the tasks; queue the rest.
+    for (std::size_t t = 0; t < cluster.task_count(); ++t) {
+      const TaskId tid = static_cast<TaskId>(t);
+      bool placed = false;
+      if (rng.bernoulli(0.6)) {
+        for (std::size_t s = 0; s < cluster.server_count() && !placed; ++s) {
+          const Server& server = cluster.server(static_cast<ServerId>(s));
+          const int gpu = server.least_loaded_gpu();
+          if (server.fits_without_overload(cluster.task(tid), gpu, 0.9)) {
+            cluster.place_task(tid, static_cast<ServerId>(s), gpu);
+            placed = true;
+          }
+        }
+      }
+      if (!placed) queue.push_back(tid);
+    }
+  }
+
+  SchedulerContext ctx() {
+    return SchedulerContext{cluster, queue, ops, 3600.0, 0.9, nullptr, kInvalidJob};
+  }
+};
+
+void BM_PriorityJobVector(benchmark::State& state) {
+  World world(20);
+  const core::PriorityCalculator calc{core::PriorityParams{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Job& job = world.cluster.job(static_cast<JobId>(i++ % world.cluster.job_count()));
+    benchmark::DoNotOptimize(calc.job_priorities(world.cluster, job, 3600.0));
+  }
+}
+BENCHMARK(BM_PriorityJobVector);
+
+void BM_RialChooseHost(benchmark::State& state) {
+  World world(static_cast<std::size_t>(state.range(0)));
+  const core::MlfPlacement placement{core::PlacementParams{}};
+  auto ctx = world.ctx();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Task& task = world.cluster.task(world.queue[i++ % world.queue.size()]);
+    benchmark::DoNotOptimize(placement.choose_host(ctx, task, false));
+  }
+}
+BENCHMARK(BM_RialChooseHost)->Arg(20)->Arg(100)->Arg(550);
+
+void BM_MigrationVictim(benchmark::State& state) {
+  World world(20);
+  const core::MigrationSelector selector{core::MigrationParams{}};
+  auto priority = [](TaskId id) { return static_cast<double>(id % 17); };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Server& server =
+        world.cluster.server(static_cast<ServerId>(i++ % world.cluster.server_count()));
+    benchmark::DoNotOptimize(selector.select_victim(world.cluster, server, 0.5, priority));
+  }
+}
+BENCHMARK(BM_MigrationVictim);
+
+void BM_ServerUtilization(benchmark::State& state) {
+  World world(20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.cluster.server(static_cast<ServerId>(i++ % 20)).utilization());
+  }
+}
+BENCHMARK(BM_ServerUtilization);
+
+void BM_OverloadDegree(benchmark::State& state) {
+  World world(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(world.cluster.overload_degree());
+}
+BENCHMARK(BM_OverloadDegree)->Arg(20)->Arg(550);
+
+void BM_MlfHFullRound(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world(20);
+    core::MlfsConfig config;
+    core::MlfH scheduler{config};
+    auto ctx = world.ctx();
+    state.ResumeTiming();
+    scheduler.schedule(ctx);
+  }
+}
+BENCHMARK(BM_MlfHFullRound)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Micro-benchmarks of the DRL substrate: policy inference (the per-task
+// cost of MLF-RL decisions), REINFORCE updates, imitation steps, and the
+// learning-curve fit behind OptStop.
+#include <benchmark/benchmark.h>
+
+#include "predict/learning_curve.hpp"
+#include "rl/reinforce.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+rl::ReinforceConfig agent_config() {
+  rl::ReinforceConfig config;
+  config.state_dim = 40;
+  config.action_dim = 4;
+  config.hidden = {48, 48};
+  config.seed = 5;
+  return config;
+}
+
+void BM_PolicyInference(benchmark::State& state) {
+  rl::ReinforceAgent agent(agent_config());
+  Rng rng(3);
+  std::vector<double> obs(40);
+  for (auto& v : obs) v = rng.uniform();
+  for (auto _ : state) benchmark::DoNotOptimize(agent.act_greedy(obs));
+}
+BENCHMARK(BM_PolicyInference);
+
+void BM_PolicySample(benchmark::State& state) {
+  rl::ReinforceAgent agent(agent_config());
+  Rng rng(3);
+  std::vector<double> obs(40);
+  for (auto& v : obs) v = rng.uniform();
+  for (auto _ : state) benchmark::DoNotOptimize(agent.act(obs));
+}
+BENCHMARK(BM_PolicySample);
+
+void BM_ReinforceUpdate(benchmark::State& state) {
+  rl::ReinforceAgent agent(agent_config());
+  Rng rng(7);
+  std::vector<rl::Episode> episodes(1);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    rl::Transition tr;
+    tr.state.resize(40);
+    for (auto& v : tr.state) v = rng.uniform();
+    tr.action = static_cast<int>(rng.uniform_int(0, 3));
+    tr.reward = rng.uniform();
+    episodes[0].push_back(std::move(tr));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(agent.update(episodes));
+}
+BENCHMARK(BM_ReinforceUpdate)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_ImitationStep(benchmark::State& state) {
+  rl::ReinforceAgent agent(agent_config());
+  Rng rng(9);
+  nn::Matrix states(64, 40);
+  for (auto& v : states.raw()) v = rng.uniform();
+  std::vector<int> actions(64);
+  for (auto& a : actions) a = static_cast<int>(rng.uniform_int(0, 3));
+  for (auto _ : state) benchmark::DoNotOptimize(agent.imitation_step(states, actions));
+}
+BENCHMARK(BM_ImitationStep)->Unit(benchmark::kMicrosecond);
+
+void BM_LearningCurveFit(benchmark::State& state) {
+  const LearningCurvePredictor predictor;
+  std::vector<double> observed;
+  for (int i = 1; i <= static_cast<int>(state.range(0)); ++i) {
+    observed.push_back(0.9 * i / (i + 12.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(predictor.predict_at(observed, 400));
+}
+BENCHMARK(BM_LearningCurveFit)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

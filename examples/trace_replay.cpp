@@ -1,0 +1,56 @@
+// Trace workflow example: generate a Philly-style synthetic trace, write
+// it to CSV (the replayable artifact a real Philly trace would be
+// converted into), read it back, and replay the identical workload under
+// two schedulers for an apples-to-apples comparison.
+//
+// Usage: trace_replay [num_jobs] [trace.csv]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+using namespace mlfs;
+
+int main(int argc, char** argv) {
+  const std::size_t num_jobs = argc > 1 ? std::stoul(argv[1]) : 150;
+  const std::string path = argc > 2 ? argv[2] : "trace_replay.csv";
+
+  // 1. Generate and persist the trace.
+  TraceConfig config;
+  config.num_jobs = num_jobs;
+  config.duration_hours = 24.0;
+  config.seed = 4242;
+  config.max_gpu_request = 8;
+  {
+    const auto jobs = PhillyTraceGenerator(config).generate();
+    std::ofstream out(path);
+    write_trace_csv(out, jobs);
+    std::cout << "wrote " << jobs.size() << " jobs to " << path << "\n";
+  }
+
+  // 2. Read it back — any CSV with this schema replays the same way.
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot reopen " << path << "\n";
+    return 1;
+  }
+  const auto replayed = read_trace_csv(in);
+  std::cout << "replaying " << replayed.size() << " jobs on a 6x4-GPU cluster\n\n";
+
+  // 3. Same workload, two schedulers.
+  ClusterConfig cluster;
+  cluster.server_count = 6;
+  cluster.gpus_per_server = 4;
+  for (const std::string name : {"MLFS", "TensorFlow"}) {
+    auto instance = exp::make_scheduler(name);
+    SimEngine engine(cluster, {}, replayed, *instance.scheduler, instance.controller.get());
+    const RunMetrics m = engine.run();
+    std::cout << m.summary() << "\n";
+  }
+  std::cout << "\nIdentical arrivals, models and requirements — the differences above\n"
+               "are purely scheduling policy.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Contract-check helpers (Core Guidelines I.6/I.8 style).
+//
+// MLFS_EXPECT / MLFS_ENSURE throw mlfs::ContractViolation instead of
+// aborting so that library users (and tests) can observe precondition
+// failures. They are always on: scheduling decisions are cheap relative to
+// the simulated work, and silent contract violations in a scheduler are
+// exactly the bugs that corrupt an evaluation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlfs {
+
+/// Thrown when a precondition (Expects) or postcondition (Ensures) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                          std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mlfs
+
+#define MLFS_EXPECT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) ::mlfs::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define MLFS_ENSURE(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) ::mlfs::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)

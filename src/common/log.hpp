@@ -1,0 +1,34 @@
+// Minimal leveled logger. Single global sink (stderr by default), cheap
+// enough to leave statements in library code; benches run at Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mlfs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace mlfs
+
+#define MLFS_LOG(level, expr)                                   \
+  do {                                                          \
+    if (static_cast<int>(level) >= static_cast<int>(::mlfs::log_level())) { \
+      std::ostringstream mlfs_log_os;                           \
+      mlfs_log_os << expr;                                      \
+      ::mlfs::detail::log_emit(level, mlfs_log_os.str());       \
+    }                                                           \
+  } while (false)
+
+#define MLFS_DEBUG(expr) MLFS_LOG(::mlfs::LogLevel::Debug, expr)
+#define MLFS_INFO(expr) MLFS_LOG(::mlfs::LogLevel::Info, expr)
+#define MLFS_WARN(expr) MLFS_LOG(::mlfs::LogLevel::Warn, expr)
+#define MLFS_ERROR(expr) MLFS_LOG(::mlfs::LogLevel::Error, expr)

@@ -1,0 +1,83 @@
+// Deterministic random number generation for the simulator and workload
+// generator. Every stochastic component takes an explicit Rng (or a seed)
+// so that whole experiments replay bit-identically from a single seed.
+//
+// The generator is xoshiro256++ seeded via splitmix64 — fast, high quality,
+// and trivially reimplementable, which matters for reproducing results
+// across platforms (std::mt19937's distributions are not portable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+/// xoshiro256++ PRNG with distribution helpers. Copyable: a copy continues
+/// the same stream independently, which is handy for splitting substreams.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare is not kept; stateless).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)) — mu/sigma are the *log-space* params.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64). Requires mean >= 0.
+  int poisson(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Requires a non-empty span with a positive total weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    MLFS_EXPECT(!items.empty());
+    return items[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A new Rng seeded from this one's stream (independent substream).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mlfs

@@ -1,0 +1,22 @@
+// Simulation time: double seconds since simulation start, plus readable
+// construction helpers. A plain double keeps the event queue and all the
+// arithmetic trivial; the helpers keep call sites unit-safe.
+#pragma once
+
+namespace mlfs {
+
+/// Seconds since the start of the simulation.
+using SimTime = double;
+
+/// Duration in seconds.
+using SimDuration = double;
+
+constexpr SimDuration seconds(double s) { return s; }
+constexpr SimDuration minutes(double m) { return m * 60.0; }
+constexpr SimDuration hours(double h) { return h * 3600.0; }
+constexpr SimDuration days(double d) { return d * 86400.0; }
+
+constexpr double to_minutes(SimDuration d) { return d / 60.0; }
+constexpr double to_hours(SimDuration d) { return d / 3600.0; }
+
+}  // namespace mlfs

@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double RunningStat::max() const {
+  return count_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+double SampleSet::mean() const {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  MLFS_EXPECT(!samples_.empty());
+  MLFS_EXPECT(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<double> SampleSet::cdf_series(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(cdf_at(x));
+  return out;
+}
+
+std::vector<double> SampleSet::sorted() const {
+  ensure_sorted();
+  return sorted_;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double improvement(double y, double z) {
+  MLFS_EXPECT(z != 0.0);
+  return (y - z) / z;
+}
+
+}  // namespace mlfs

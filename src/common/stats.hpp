@@ -1,0 +1,76 @@
+// Streaming statistics, percentiles and CDFs used by the metrics collector
+// and the figure harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlfs {
+
+/// Welford running mean/variance plus min/max. O(1) per observation.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1); 0 when n < 2
+  double stddev() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Keeps all samples; answers percentile/CDF queries. Used for JCT
+/// distributions where the figure needs the full CDF anyway.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Fraction of samples <= x (empirical CDF). Returns 0 when empty.
+  double cdf_at(double x) const;
+
+  /// CDF evaluated at each of `xs`; convenience for figure series.
+  std::vector<double> cdf_series(std::span<const double> xs) const;
+
+  /// Sorted copy of the samples.
+  std::vector<double> sorted() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Mean of a span; 0 when empty.
+double mean_of(std::span<const double> xs);
+
+/// Relative improvement (y - z) / z as used throughout the paper's §4.
+double improvement(double y, double z);
+
+}  // namespace mlfs

@@ -1,0 +1,43 @@
+// Plain-text table and CSV rendering for the benchmark harnesses. The
+// figure benches print one table per sub-figure in the same layout the
+// paper plots (one row per scheduler, one column per x-axis point).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlfs {
+
+/// A simple column-aligned text table with an optional title and a
+/// CSV escape hatch.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count of subsequent rows must match.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row with a string label followed by numeric cells
+  /// (formatted with `precision` digits after the point).
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 2);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed precision; trims to "0" etc. for readability.
+std::string format_double(double v, int precision = 2);
+
+}  // namespace mlfs

@@ -1,0 +1,38 @@
+// State featurization for MLF-RL (§3.4). The paper's state includes task
+// information (queuing/running, resource demand, waiting/running time),
+// job information (ML algorithm, urgency, deadline, iteration counts, loss
+// reductions, dependency graph) and server/GPU utilization. We encode the
+// decision-relevant slice per (task, K candidate servers) pair: the same
+// ML + computation features MLF-H's equations consume, plus per-candidate
+// utilization and communication affinity. The action is the index of the
+// chosen candidate server.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::core {
+
+class MlfRlFeaturizer {
+ public:
+  explicit MlfRlFeaturizer(std::size_t candidate_count);
+
+  std::size_t candidate_count() const { return candidate_count_; }
+  std::size_t state_dim() const;
+
+  /// K feasible (fits under ctx.hr), non-overloaded candidate servers,
+  /// lowest utilization norm first. May return fewer than K; empty when
+  /// the task currently fits nowhere.
+  std::vector<ServerId> candidates(const SchedulerContext& ctx, const Task& task) const;
+
+  /// Flat state vector for (task, candidates). candidates.size() <= K;
+  /// missing slots are encoded as saturated servers.
+  std::vector<double> state(const SchedulerContext& ctx, const Task& task,
+                            const std::vector<ServerId>& candidates) const;
+
+ private:
+  std::size_t candidate_count_;
+};
+
+}  // namespace mlfs::core

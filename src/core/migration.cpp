@@ -1,0 +1,93 @@
+#include "core/migration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "core/placement.hpp"
+
+namespace mlfs::core {
+
+MigrationSelector::MigrationSelector(const MigrationParams& params) : params_(params) {
+  MLFS_EXPECT(params_.ps > 0.0 && params_.ps <= 1.0);
+}
+
+std::optional<TaskId> MigrationSelector::select_victim(const Cluster& cluster,
+                                                       const Server& server, double hr,
+                                                       const PriorityFn& priority) const {
+  // Candidate pool: tasks on overloaded GPUs, filtered to the lowest-
+  // priority p_s fraction; if no GPU is hot, every task on the server.
+  std::vector<TaskId> candidates;
+  bool any_hot_gpu = false;
+  for (int g = 0; g < server.gpu_count(); ++g) {
+    if (server.gpu_load(g) > hr) {
+      any_hot_gpu = true;
+      const auto& tasks = server.tasks_on_gpu(g);
+      candidates.insert(candidates.end(), tasks.begin(), tasks.end());
+    }
+  }
+  if (any_hot_gpu) {
+    std::sort(candidates.begin(), candidates.end(), [&priority](TaskId a, TaskId b) {
+      return priority(a) < priority(b);  // ascending: lowest priority first
+    });
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(params_.ps * candidates.size())));
+    candidates.resize(std::min(candidates.size(), keep));
+  } else {
+    candidates = server.tasks();
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Which server resources are overloaded?
+  const ResourceVector util = server.utilization();
+  std::array<bool, kNumResources> hot{};
+  hot[static_cast<std::size_t>(Resource::Cpu)] = util[Resource::Cpu] > hr;
+  hot[static_cast<std::size_t>(Resource::Mem)] = util[Resource::Mem] > hr;
+  hot[static_cast<std::size_t>(Resource::Net)] = util[Resource::Net] > hr;
+  hot[static_cast<std::size_t>(Resource::Gpu)] = any_hot_gpu;
+
+  // Ideal virtual task U_v: max usage on hot resources, min on cold ones,
+  // zero communication with co-located tasks.
+  ResourceVector ideal;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    double extreme = cluster.task(candidates.front()).demand.at(r) *
+                     cluster.task(candidates.front()).usage_factor;
+    for (const TaskId tid : candidates) {
+      const Task& t = cluster.task(tid);
+      const double usage = t.demand.at(r) * t.usage_factor;
+      extreme = hot[r] ? std::max(extreme, usage) : std::min(extreme, usage);
+    }
+    ideal.at(r) = extreme;
+  }
+
+  double max_comm = 0.0;
+  std::vector<double> comms(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    comms[i] =
+        MlfPlacement::comm_volume_with_server(cluster, cluster.task(candidates[i]), server.id());
+    max_comm = std::max(max_comm, comms[i]);
+  }
+
+  TaskId best = candidates.front();
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Task& t = cluster.task(candidates[i]);
+    double sq = 0.0;
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      const double d = t.demand.at(r) * t.usage_factor - ideal.at(r);
+      sq += d * d;
+    }
+    if (max_comm > 0.0) {
+      const double d = comms[i] / max_comm;  // ideal communication = 0
+      sq += d * d;
+    }
+    const double distance = std::sqrt(sq);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidates[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace mlfs::core

@@ -1,0 +1,39 @@
+// Migration-victim selection for overloaded servers (§3.3.3, method of
+// [47] advanced with ML features): build the *ideal virtual task to move
+// out* U_v — per-resource maximum task usage on overloaded resources,
+// minimum on underloaded ones, and zero communication with the tasks that
+// stay — then pick the candidate task closest to U_v. Candidates are
+// restricted to the lowest-priority p_s fraction of tasks on overloaded
+// GPUs while any GPU is hot (protecting high-priority tasks), otherwise
+// all tasks on the server qualify.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/config.hpp"
+#include "sim/cluster.hpp"
+
+namespace mlfs::core {
+
+class MigrationSelector {
+ public:
+  explicit MigrationSelector(const MigrationParams& params);
+
+  /// Priority lookup for a task (combined Eq. 6 value), provided by the
+  /// scheduler which caches per-job priority vectors.
+  using PriorityFn = std::function<double(TaskId)>;
+
+  /// Next task to move out of `server`, or nullopt when the server has no
+  /// movable task. Call repeatedly (applying each move) until the server
+  /// is no longer overloaded.
+  std::optional<TaskId> select_victim(const Cluster& cluster, const Server& server, double hr,
+                                      const PriorityFn& priority) const;
+
+  const MigrationParams& params() const { return params_; }
+
+ private:
+  MigrationParams params_;
+};
+
+}  // namespace mlfs::core

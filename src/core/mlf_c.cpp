@@ -1,0 +1,36 @@
+#include "core/mlf_c.hpp"
+
+namespace mlfs::core {
+
+MlfC::MlfC(const LoadControlParams& params) : params_(params) {}
+
+void MlfC::before_schedule(Cluster& cluster, const std::vector<TaskId>& queue, SimTime now) {
+  if (!params_.enabled) {
+    overloaded_ = false;
+    return;
+  }
+  // §3.5: the system is overloaded when there are queued tasks or when the
+  // cluster overload degree exceeds h_s. "Queued" means backlog — tasks
+  // that already waited past a round or two — not tasks in transit to
+  // their first placement.
+  bool backlog = false;
+  for (const TaskId tid : queue) {
+    const Task& t = cluster.task(tid);
+    if (t.state == TaskState::Queued && now - t.queued_since >= kBacklogSeconds) {
+      backlog = true;
+      break;
+    }
+  }
+  overloaded_ = backlog || cluster.overload_degree() > params_.hs;
+  if (!overloaded_) return;
+
+  for (Job& job : cluster.jobs()) {
+    if (job.done()) continue;
+    const StopPolicy next =
+        job.active_policy() == StopPolicy::FixedIterations ? StopPolicy::OptStop
+                                                           : StopPolicy::AccuracyOnly;
+    if (job.downgrade_policy(next)) ++downgrades_;
+  }
+}
+
+}  // namespace mlfs::core

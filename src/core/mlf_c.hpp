@@ -1,0 +1,40 @@
+// MLF-C: ML-feature-based system load control (§3.5). The cluster is
+// overloaded when tasks wait in the queue or the overload degree
+// O_c = avg_s ||U_s|| exceeds h_s. While overloaded, MLF-C downgrades each
+// job's stop-policy option one step per tick, as far as the job's owner
+// permitted (i → ii → iii): fixed-iteration jobs switch to OptStop,
+// OptStop jobs switch to stopping at their required accuracy. The engine
+// enforces the downgraded policies, stopping tasks/iterations that no
+// longer contribute to the desired accuracy.
+#pragma once
+
+#include "core/config.hpp"
+#include "sim/engine.hpp"
+
+namespace mlfs::core {
+
+class MlfC : public LoadController {
+ public:
+  explicit MlfC(const LoadControlParams& params);
+
+  /// Tasks must have waited at least this long for the queue to count as
+  /// backlog (§3.5's "tasks in the queue"); tasks merely in transit
+  /// between arrival and their first placement round do not make the
+  /// system "overloaded".
+  static constexpr double kBacklogSeconds = 120.0;
+
+  std::string name() const override { return "MLF-C"; }
+  void before_schedule(Cluster& cluster, const std::vector<TaskId>& queue,
+                       SimTime now) override;
+
+  /// True iff the last before_schedule observed an overloaded system.
+  bool overloaded() const { return overloaded_; }
+  std::size_t downgrade_count() const { return downgrades_; }
+
+ private:
+  LoadControlParams params_;
+  bool overloaded_ = false;
+  std::size_t downgrades_ = 0;
+};
+
+}  // namespace mlfs::core

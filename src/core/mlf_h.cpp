@@ -1,0 +1,131 @@
+#include "core/mlf_h.hpp"
+
+#include <algorithm>
+
+namespace mlfs::core {
+
+MlfH::MlfH(const MlfsConfig& config)
+    : config_(config),
+      priority_calc_(config.priority),
+      placement_(config.placement),
+      migration_(config.migration) {}
+
+const std::vector<double>& MlfH::job_priority_vector(const Cluster& cluster, const Job& job,
+                                                     SimTime now) {
+  CacheEntry& entry = cache_[job.id()];
+  if (entry.computed_at != now) {
+    entry.priorities = priority_calc_.job_priorities(cluster, job, now);
+    entry.computed_at = now;
+  }
+  return entry.priorities;
+}
+
+double MlfH::task_priority(const Cluster& cluster, TaskId task, SimTime now) {
+  const Task& t = cluster.task(task);
+  const Job& job = cluster.job(t.job);
+  return job_priority_vector(cluster, job, now)[t.local_index];
+}
+
+std::vector<TaskId> MlfH::ordered_queue(SchedulerContext& ctx) {
+  std::vector<TaskId> queue;
+  queue.reserve(ctx.queue.size());
+  for (const TaskId tid : ctx.queue) {
+    if (ctx.cluster.task(tid).state == TaskState::Queued) queue.push_back(tid);
+  }
+  std::stable_sort(queue.begin(), queue.end(), [this, &ctx](TaskId a, TaskId b) {
+    return task_priority(ctx.cluster, a, ctx.now) > task_priority(ctx.cluster, b, ctx.now);
+  });
+  return queue;
+}
+
+void MlfH::place_queued_tasks(SchedulerContext& ctx) {
+  // Queue order is per-task priority (Eq. 6), but placement is
+  // job-coherent: reaching any task of a job immediately attempts all of
+  // the job's queued tasks (in their own priority order). Gang execution
+  // means partial placements cannot run, so interleaving jobs would only
+  // manufacture deadlocks.
+  int failures = 0;
+  for (const TaskId tid : ordered_queue(ctx)) {
+    if (failures >= 200) break;  // sustained-overload cap, see sched/util.hpp
+    const Task& first = ctx.cluster.task(tid);
+    if (first.state != TaskState::Queued) continue;
+    const Job& job = ctx.cluster.job(first.job);
+    std::vector<TaskId> siblings;
+    for (const TaskId sib : job.tasks()) {
+      if (ctx.cluster.task(sib).state == TaskState::Queued) siblings.push_back(sib);
+    }
+    // Fast fail for clearly-doomed gangs (see sched/util.hpp).
+    if (job.id() != ctx.protected_job &&
+        static_cast<int>(siblings.size()) >
+            2 * ctx.cluster.estimate_free_worker_slots(ctx.hr)) {
+      ++failures;
+      continue;
+    }
+    std::stable_sort(siblings.begin(), siblings.end(), [this, &ctx](TaskId a, TaskId b) {
+      return task_priority(ctx.cluster, a, ctx.now) > task_priority(ctx.cluster, b, ctx.now);
+    });
+    std::vector<TaskId> placed_now;
+    bool complete = true;
+    for (const TaskId sib : siblings) {
+      const Task& task = ctx.cluster.task(sib);
+      const auto host = placement_.choose_host(ctx, task, /*migrating=*/false);
+      // The imitation observer must see the pre-placement state — the
+      // exact decision input — so it runs before ops.place mutates
+      // utilizations. choose_host returning a host implies the placement
+      // below succeeds (same feasibility check).
+      if (host && observer_) observer_(ctx, sib, host->server);
+      if (host && ctx.ops.place(sib, host->server, host->gpu)) {
+        placed_now.push_back(sib);
+      } else {
+        complete = false;
+      }
+    }
+    // All-or-nothing per round (gang execution); the engine's protected
+    // job may accumulate partial placements across rounds instead.
+    if (!complete && job.id() != ctx.protected_job) {
+      for (const TaskId sib : placed_now) ctx.ops.release(sib);
+      ++failures;
+    } else if (!placed_now.empty()) {
+      failures = 0;
+    }
+  }
+}
+
+void MlfH::handle_overloaded_servers(SchedulerContext& ctx) {
+  if (!config_.migration.enabled) return;
+  Cluster& cluster = ctx.cluster;
+  auto priority_of = [this, &cluster, &ctx](TaskId tid) {
+    return task_priority(cluster, tid, ctx.now);
+  };
+  for (const ServerId sid : cluster.overloaded_servers(ctx.hr)) {
+    int moved = 0;
+    while (moved < config_.migration.max_victims_per_server) {
+      const Server& server = cluster.server(sid);
+      if (!server.overloaded(ctx.hr)) break;
+      const auto victim = migration_.select_victim(cluster, server, ctx.hr, priority_of);
+      if (!victim) break;
+      const Task& task = cluster.task(*victim);
+      if (const auto host = placement_.choose_host(ctx, task, /*migrating=*/true)) {
+        ctx.ops.migrate(*victim, host->server, host->gpu);
+      } else if (server.utilization().max_component() > 1.25 ||
+                 (task.placed() && server.gpu_load(task.gpu) > 1.25)) {
+        // §3.3.3: no underloaded destination — the victim returns to the
+        // waiting queue. A preemption stalls the victim's whole gang, so
+        // only deep oversubscription (25% past capacity, where quadratic
+        // congestion outweighs a gang stall) justifies paying it; milder
+        // overload rides out the fluctuation with the slowdown instead.
+        ctx.ops.preempt_to_queue(*victim);
+      } else {
+        break;  // tolerable overload and nowhere to move: stop shedding
+      }
+      ++moved;
+    }
+  }
+}
+
+void MlfH::schedule(SchedulerContext& ctx) {
+  place_queued_tasks(ctx);
+  handle_overloaded_servers(ctx);
+}
+
+}  // namespace mlfs::core

@@ -1,0 +1,65 @@
+// MLF-H: ML-feature-based heuristic task scheduling (§3.3).
+// Every tick: (1) order the waiting queue by combined priority (Eqs. 2-6),
+// (2) place tasks one by one onto the RIAL-matched underloaded server /
+// least-loaded GPU until nothing fits, (3) relieve overloaded servers by
+// moving out ideal-virtual-task victims (§3.3.3) — migrated directly when
+// an underloaded host exists, otherwise preempted back to the queue.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/migration.hpp"
+#include "core/placement.hpp"
+#include "core/priority.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mlfs::core {
+
+class MlfH : public Scheduler {
+ public:
+  explicit MlfH(const MlfsConfig& config);
+
+  std::string name() const override { return "MLF-H"; }
+  void schedule(SchedulerContext& ctx) override;
+
+  /// Combined Eq. 6 priority of a task (cached per job per tick).
+  double task_priority(const Cluster& cluster, TaskId task, SimTime now);
+
+  /// Queue sorted by priority, highest first (live tasks only).
+  std::vector<TaskId> ordered_queue(SchedulerContext& ctx);
+
+  /// Called after every successful queue placement — lets the MLFS facade
+  /// log (state, action) pairs for imitation while the heuristic drives.
+  using PlacementObserver = std::function<void(SchedulerContext&, TaskId, ServerId)>;
+  void set_placement_observer(PlacementObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Queue-placement pass only (used by the facade when the RL policy has
+  /// taken over placement but the heuristic still handles overload).
+  void place_queued_tasks(SchedulerContext& ctx);
+
+  /// Overload-relief pass only (§3.3.3).
+  void handle_overloaded_servers(SchedulerContext& ctx);
+
+  const MlfPlacement& placement() const { return placement_; }
+  const PriorityCalculator& priorities() const { return priority_calc_; }
+
+ private:
+  struct CacheEntry {
+    SimTime computed_at = -1.0;
+    std::vector<double> priorities;
+  };
+  const std::vector<double>& job_priority_vector(const Cluster& cluster, const Job& job,
+                                                 SimTime now);
+
+  MlfsConfig config_;
+  PriorityCalculator priority_calc_;
+  MlfPlacement placement_;
+  MigrationSelector migration_;
+  std::unordered_map<JobId, CacheEntry> cache_;
+  PlacementObserver observer_;
+};
+
+}  // namespace mlfs::core

@@ -1,0 +1,179 @@
+#include "core/mlfs.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mlfs::core {
+
+MlfsScheduler::MlfsScheduler(const MlfsConfig& config, std::string display_name)
+    : config_(config),
+      display_name_(std::move(display_name)),
+      heuristic_(config),
+      featurizer_(config.rl.candidate_count),
+      imitation_(featurizer_.state_dim()),
+      reward_(config.rl),
+      rng_(config.rl.seed ^ 0x1234abcd5678ef90ULL) {
+  if (config_.rl.algorithm == RlAlgorithm::ActorCritic) {
+    rl::ActorCriticConfig ac;
+    ac.state_dim = featurizer_.state_dim();
+    ac.action_dim = config_.rl.candidate_count;
+    ac.hidden = config_.rl.hidden;
+    ac.eta = config_.rl.eta;
+    ac.seed = config_.rl.seed;
+    agent_ = std::make_unique<rl::ActorCriticAgent>(ac);
+  } else {
+    rl::ReinforceConfig rc;
+    rc.state_dim = featurizer_.state_dim();
+    rc.action_dim = config_.rl.candidate_count;
+    rc.hidden = config_.rl.hidden;
+    rc.eta = config_.rl.eta;
+    rc.seed = config_.rl.seed;
+    agent_ = std::make_unique<rl::ReinforceAgent>(rc);
+  }
+  if (!config_.heuristic_only) {
+    heuristic_.set_placement_observer(
+        [this](SchedulerContext& ctx, TaskId task, ServerId chosen) {
+          record_imitation(ctx, task, chosen);
+        });
+  }
+}
+
+std::string MlfsScheduler::name() const {
+  if (!display_name_.empty()) return display_name_;
+  return config_.heuristic_only ? "MLF-H" : "MLF-RL";
+}
+
+void MlfsScheduler::record_imitation(SchedulerContext& ctx, TaskId task, ServerId chosen) {
+  // Only decisions expressible in the policy's action space (the chosen
+  // server is among the K candidates) become imitation samples.
+  const Task& t = ctx.cluster.task(task);
+  const auto candidates = featurizer_.candidates(ctx, t);
+  const auto it = std::find(candidates.begin(), candidates.end(), chosen);
+  if (it == candidates.end()) return;
+  const int action = static_cast<int>(it - candidates.begin());
+  imitation_.add(featurizer_.state(ctx, t, candidates), action);
+}
+
+void MlfsScheduler::maybe_switch_to_rl() {
+  if (rl_active_ || config_.heuristic_only) return;
+  if (imitation_.size() < config_.rl.warmup_samples) return;
+  imitation_.truncate_to_recent(config_.rl.warmup_samples);
+  const double loss =
+      imitation_.train(*agent_, config_.rl.imitation_epochs, config_.rl.imitation_batch, rng_);
+  rl_active_ = true;
+  MLFS_INFO(name() << ": policy cloned from " << imitation_.size()
+                   << " MLF-H decisions (final CE loss " << loss << "), switching to RL");
+}
+
+void MlfsScheduler::schedule_with_policy(SchedulerContext& ctx) {
+  // Close out the previous round: its decisions receive the Eq. 7 reward
+  // observed over the window that just ended.
+  if (decisions_this_round_ > 0) {
+    const double r = reward_.round_reward(ctx.cluster, ctx.now);
+    const std::size_t start = episode_.size() - decisions_this_round_;
+    for (std::size_t i = start; i < episode_.size(); ++i) episode_[i].reward = r;
+  } else {
+    // Keep the window anchored even on idle rounds.
+    (void)reward_.round_reward(ctx.cluster, ctx.now);
+  }
+  decisions_this_round_ = 0;
+
+  if (++rounds_since_update_ >= config_.rl.update_every_rounds && !episode_.empty()) {
+    std::vector<rl::Episode> episodes;
+    episodes.push_back(std::move(episode_));
+    episode_ = {};
+    agent_->update(episodes);
+    rounds_since_update_ = 0;
+  }
+
+  // Queue placement by the policy, in Eq. 6 priority order and
+  // job-coherently (gang execution; see MlfH::place_queued_tasks).
+  int failures = 0;
+  for (const TaskId tid : heuristic_.ordered_queue(ctx)) {
+    if (failures >= 200) break;  // sustained-overload cap, see sched/util.hpp
+    const Task& first = ctx.cluster.task(tid);
+    if (first.state != TaskState::Queued) continue;
+    const Job& job = ctx.cluster.job(first.job);
+    // Fast fail for clearly-doomed gangs (see sched/util.hpp).
+    std::size_t queued_count = 0;
+    for (const TaskId sib : job.tasks()) {
+      if (ctx.cluster.task(sib).state == TaskState::Queued) ++queued_count;
+    }
+    if (job.id() != ctx.protected_job &&
+        static_cast<int>(queued_count) >
+            2 * ctx.cluster.estimate_free_worker_slots(ctx.hr)) {
+      ++failures;
+      continue;
+    }
+    std::vector<TaskId> placed_now;
+    std::size_t decisions_before = episode_.size();
+    bool complete = true;
+    for (const TaskId sib : job.tasks()) {
+      const Task& task = ctx.cluster.task(sib);
+      if (task.state != TaskState::Queued) continue;
+      auto candidates = featurizer_.candidates(ctx, task);
+      if (candidates.empty()) {
+        // The policy's K-candidate view found nothing, but the gang must
+        // complete or the whole job stalls partially placed: fall back to
+        // the heuristic RIAL search over all underloaded servers.
+        if (const auto host = heuristic_.placement().choose_host(ctx, task, false)) {
+          if (ctx.ops.place(sib, host->server, host->gpu)) {
+            placed_now.push_back(sib);
+            continue;
+          }
+        }
+        complete = false;
+        continue;
+      }
+      const auto state = featurizer_.state(ctx, task, candidates);
+      std::vector<char> mask(config_.rl.candidate_count, 0);
+      for (std::size_t i = 0; i < candidates.size(); ++i) mask[i] = 1;
+      // Execute greedily once trained ("output optimal scheduling
+      // decisions", §3.4); residual exploration for the online REINFORCE
+      // updates comes from the environment itself (workload stochasticity)
+      // plus an occasional sampled action.
+      const std::span<const bool> mask_span(reinterpret_cast<const bool*>(mask.data()),
+                                            mask.size());
+      const int action = rng_.bernoulli(0.05) ? agent_->act(state, mask_span)
+                                              : agent_->act_greedy(state, mask_span);
+      const ServerId server = candidates[static_cast<std::size_t>(action)];
+      const int gpu = ctx.cluster.server(server).least_loaded_gpu();
+      if (ctx.ops.place(sib, server, gpu)) {
+        placed_now.push_back(sib);
+        episode_.push_back({state, action, 0.0});
+        ++decisions_this_round_;
+      } else {
+        complete = false;
+      }
+    }
+    // All-or-nothing per round (gang execution), matching MLF-H.
+    if (!complete && job.id() != ctx.protected_job) {
+      for (const TaskId sib : placed_now) ctx.ops.release(sib);
+      // Drop the policy decisions that were rolled back.
+      while (episode_.size() > decisions_before) {
+        episode_.pop_back();
+        --decisions_this_round_;
+      }
+      ++failures;
+    } else if (!placed_now.empty()) {
+      failures = 0;
+    }
+  }
+}
+
+void MlfsScheduler::schedule(SchedulerContext& ctx) {
+  maybe_switch_to_rl();
+  if (rl_active_) {
+    schedule_with_policy(ctx);
+    heuristic_.handle_overloaded_servers(ctx);
+  } else {
+    heuristic_.schedule(ctx);
+  }
+}
+
+void MlfsScheduler::on_job_complete(const Job& job, SimTime now) {
+  reward_.on_job_complete(job, now);
+}
+
+}  // namespace mlfs::core

@@ -1,0 +1,62 @@
+// The MLFS scheduler facade, staging MLF-H → MLF-RL exactly as §3.4
+// describes: the heuristic drives first and every placement it makes is
+// logged as an imitation sample; once enough samples accumulate the policy
+// network is behaviour-cloned from them and MLF-RL takes over queue
+// placement, continuing to improve online with REINFORCE on the Eq. 7
+// reward. Overload relief (victim selection + destination) stays on the
+// §3.3.3 machinery in both phases.
+//
+// The same class realizes the paper's three series:
+//   MLF-H : config.heuristic_only = true (never switches)
+//   MLF-RL: defaults (switches after warm-up)
+//   MLFS  : MLF-RL + an MlfC load controller registered with the engine
+#pragma once
+
+#include <memory>
+
+#include "core/featurizer.hpp"
+#include "core/mlf_h.hpp"
+#include "core/reward.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/imitation.hpp"
+#include "rl/reinforce.hpp"
+
+namespace mlfs::core {
+
+class MlfsScheduler : public Scheduler {
+ public:
+  /// `display_name` overrides the reported name (e.g. "MLFS" when paired
+  /// with MLF-C); empty picks "MLF-H" or "MLF-RL" from the config.
+  explicit MlfsScheduler(const MlfsConfig& config, std::string display_name = "");
+
+  std::string name() const override;
+  void schedule(SchedulerContext& ctx) override;
+  void on_job_complete(const Job& job, SimTime now) override;
+
+  bool rl_active() const { return rl_active_; }
+  std::size_t imitation_samples() const { return imitation_.size(); }
+  double imitation_accuracy() { return imitation_.evaluate_accuracy(*agent_); }
+  MlfH& heuristic() { return heuristic_; }
+  const MlfsConfig& config() const { return config_; }
+
+ private:
+  void record_imitation(SchedulerContext& ctx, TaskId task, ServerId chosen);
+  void maybe_switch_to_rl();
+  void schedule_with_policy(SchedulerContext& ctx);
+
+  MlfsConfig config_;
+  std::string display_name_;
+  MlfH heuristic_;
+  MlfRlFeaturizer featurizer_;
+  std::unique_ptr<rl::PolicyAgent> agent_;
+  rl::ImitationDataset imitation_;
+  RewardTracker reward_;
+  Rng rng_;
+
+  rl::Episode episode_;
+  std::size_t decisions_this_round_ = 0;
+  std::size_t rounds_since_update_ = 0;
+  bool rl_active_ = false;
+};
+
+}  // namespace mlfs::core

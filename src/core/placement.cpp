@@ -1,0 +1,122 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlfs::core {
+
+MlfPlacement::MlfPlacement(const PlacementParams& params) : params_(params) {}
+
+namespace {
+/// Shared walk over a task's communication peers; `weight(peer_server)`
+/// scores each placed peer's volume contribution.
+template <typename WeightFn>
+double weighted_comm_volume(const Cluster& cluster, const Task& task, const WeightFn& weight) {
+  const Job& job = cluster.job(task.job);
+  const Dag& dag = job.dag();
+  const std::size_t k = task.local_index;
+  double volume = 0.0;
+  auto edge_volume = [&job](const Task& a, const Task& b) {
+    return b.is_parameter_server || a.is_parameter_server ? job.spec().comm_volume_ps_mb
+                                                          : job.spec().comm_volume_ww_mb;
+  };
+  auto accumulate = [&](std::size_t other_index) {
+    const Task& other = cluster.task(job.task_at(other_index));
+    if (other.placed()) volume += weight(other.server) * edge_volume(task, other);
+  };
+  for (const std::size_t p : dag.parents(k)) accumulate(p);
+  for (const std::size_t c : dag.children(k)) accumulate(c);
+  if (job.spec().comm == CommStructure::AllReduce && job.task_count() > 1) {
+    accumulate((k + 1) % job.task_count());
+    accumulate((k + job.task_count() - 1) % job.task_count());
+  }
+  return volume;
+}
+}  // namespace
+
+double MlfPlacement::comm_volume_with_server(const Cluster& cluster, const Task& task,
+                                             ServerId server) {
+  return weighted_comm_volume(cluster, task, [server](ServerId peer) {
+    return peer == server ? 1.0 : 0.0;
+  });
+}
+
+double MlfPlacement::comm_volume_with_server_topology(const Cluster& cluster, const Task& task,
+                                                      ServerId server, double rack_affinity) {
+  const int rack = cluster.rack_of(server);
+  return weighted_comm_volume(cluster, task,
+                              [&cluster, server, rack, rack_affinity](ServerId peer) {
+                                if (peer == server) return 1.0;
+                                return cluster.rack_of(peer) == rack ? rack_affinity : 0.0;
+                              });
+}
+
+std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx, const Task& task,
+                                                    bool migrating) const {
+  const Cluster& cluster = ctx.cluster;
+
+  // Candidate set: underloaded servers that can host the task without
+  // becoming overloaded (on every resource and the target GPU).
+  struct Candidate {
+    ServerId server;
+    int gpu;
+    ResourceVector util;
+    double comm;  // MB/iteration with tasks already on the server
+  };
+  std::vector<Candidate> candidates;
+  double max_comm = 0.0;
+  for (const Server& s : cluster.servers()) {
+    if (migrating && s.id() == task.server) continue;
+    if (s.overloaded(ctx.hr)) continue;
+    const int gpu = s.least_loaded_gpu();
+    if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
+    Candidate c{s.id(), gpu, s.utilization(),
+                params_.use_topology
+                    ? comm_volume_with_server_topology(cluster, task, s.id(),
+                                                       params_.rack_affinity)
+                    : comm_volume_with_server(cluster, task, s.id())};
+    max_comm = std::max(max_comm, c.comm);
+    candidates.push_back(std::move(c));
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Ideal virtual host: component-wise minimum utilization; maximum
+  // communication volume (normalized); zero movement degradation.
+  ResourceVector ideal_util = candidates.front().util;
+  for (const Candidate& c : candidates) {
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      ideal_util.at(i) = std::min(ideal_util.at(i), c.util.at(i));
+    }
+  }
+
+  // Movement degradation q (same for every destination here: transfer time
+  // of the task state; it still participates so that migrating choices are
+  // penalized consistently with [10]'s model).
+  const double q = migrating
+                       ? task.state_size_mb / cluster.config().server_bandwidth_mbps /
+                             60.0  // minutes of disruption, ~[0,1] scale
+                       : 0.0;
+
+  const Candidate* best = nullptr;
+  double best_distance = 0.0;
+  for (const Candidate& c : candidates) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      const double d = c.util.at(i) - ideal_util.at(i);
+      sq += d * d;
+    }
+    if (params_.use_bandwidth && max_comm > 0.0) {
+      const double d = c.comm / max_comm - 1.0;  // ideal = the max
+      sq += d * d;
+    }
+    sq += q * q;  // distance of q to its ideal 0
+    const double distance = std::sqrt(sq);
+    if (best == nullptr || distance < best_distance) {
+      best = &c;
+      best_distance = distance;
+    }
+  }
+  return HostChoice{best->server, best->gpu};
+}
+
+}  // namespace mlfs::core

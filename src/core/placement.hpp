@@ -1,0 +1,48 @@
+// RIAL-style host selection (§3.3.2, method of [47]): build the *ideal
+// virtual host server* U_V — per-resource minimum utilization across the
+// underloaded servers, the maximum task↔server communication volume (so
+// chatty tasks co-locate with their peers), and zero movement degradation
+// — then pick the feasible underloaded server whose vector is closest to
+// U_V in Euclidean distance. The task lands on that server's least-loaded
+// GPU.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mlfs::core {
+
+struct HostChoice {
+  ServerId server;
+  int gpu;
+};
+
+class MlfPlacement {
+ public:
+  explicit MlfPlacement(const PlacementParams& params);
+
+  /// Chooses the host for `task` among the currently underloaded servers.
+  /// `migrating` adds the movement-degradation dimension q (state size
+  /// over bandwidth; 0 for queue placements). Returns nullopt when no
+  /// underloaded server fits the task under ctx.hr.
+  std::optional<HostChoice> choose_host(const SchedulerContext& ctx, const Task& task,
+                                        bool migrating) const;
+
+  /// Total communication volume (MB per iteration) between `task` and the
+  /// tasks currently placed on `server` — DAG parent/child edges plus
+  /// all-reduce ring neighbours (public for tests).
+  static double comm_volume_with_server(const Cluster& cluster, const Task& task,
+                                        ServerId server);
+
+  /// Topology-aware variant: same-server peers count fully, same-rack
+  /// peers at `rack_affinity` weight (the use_topology extension).
+  static double comm_volume_with_server_topology(const Cluster& cluster, const Task& task,
+                                                 ServerId server, double rack_affinity);
+
+ private:
+  PlacementParams params_;
+};
+
+}  // namespace mlfs::core

@@ -1,0 +1,70 @@
+// Eq. 7 reward for MLF-RL and its weight tuner.
+//
+//   r_t = β1 g1 + β2 g2 + β3 g3 + β4 g4 + β5 g5
+//
+// where g1..g5 are the five Eq. 1 objectives evaluated over the jobs that
+// completed in the observation window since the previous scheduling round
+// (the paper's "wait for a time period t_m after the decision" — here one
+// round), each normalized to [0,1] so the β weights act on comparable
+// scales:
+//   g1: 1/(1 + avg JCT hours of window completions)
+//   g2: fraction of window completions that met their deadline
+//   g3: 1/(1 + cross-server GB transferred in the window per active job)
+//   g4: fraction of window completions meeting their accuracy requirement
+//   g5: mean accuracy-by-deadline of window completions
+//
+// RewardTuner realizes §3.4's weight search: a limited number of coarse
+// random-search rounds (the Bayesian-optimization budget) followed by
+// local refinement "slightly varying each value", returning the weights
+// with the highest achieved reward.
+#pragma once
+
+#include <functional>
+
+#include "core/config.hpp"
+#include "sim/cluster.hpp"
+
+namespace mlfs::core {
+
+class RewardTracker {
+ public:
+  explicit RewardTracker(const RlParams& params);
+
+  /// Feed every completion (facade forwards Scheduler::on_job_complete).
+  void on_job_complete(const Job& job, SimTime now);
+
+  /// Reward for the round ending now; consumes the window.
+  double round_reward(const Cluster& cluster, SimTime now);
+
+ private:
+  RlParams params_;
+  // Window accumulators.
+  double jct_sum_hours_ = 0.0;
+  std::size_t completions_ = 0;
+  std::size_t deadline_met_ = 0;
+  std::size_t accuracy_met_ = 0;
+  double accuracy_sum_ = 0.0;
+  double last_bandwidth_mb_ = 0.0;
+  bool bandwidth_primed_ = false;
+};
+
+struct RewardWeights {
+  double beta1 = 0.5, beta2 = 0.55, beta3 = 0.25, beta4 = 0.15, beta5 = 0.15;
+};
+
+class RewardTuner {
+ public:
+  /// `coarse_rounds`: the "limited number of rounds (e.g., 10)" of global
+  /// search; `refine_rounds`: local perturbations around the best.
+  RewardTuner(std::size_t coarse_rounds, std::size_t refine_rounds, std::uint64_t seed);
+
+  /// Maximizes `evaluate` over the weight simplex-ish box [0,1]^5.
+  RewardWeights tune(const std::function<double(const RewardWeights&)>& evaluate);
+
+ private:
+  std::size_t coarse_rounds_;
+  std::size_t refine_rounds_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mlfs::core

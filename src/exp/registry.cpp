@@ -1,0 +1,67 @@
+#include "exp/registry.hpp"
+
+#include "common/expect.hpp"
+#include "core/mlf_c.hpp"
+#include "core/mlfs.hpp"
+#include "sched/fair.hpp"
+#include "sched/gandiva.hpp"
+#include "sched/graphene.hpp"
+#include "sched/hypersched.hpp"
+#include "sched/optimus.hpp"
+#include "sched/rl_baseline.hpp"
+#include "sched/slaq.hpp"
+#include "sched/tiresias.hpp"
+
+namespace mlfs::exp {
+
+SchedulerInstance make_scheduler(const std::string& name, const core::MlfsConfig& mlfs_config) {
+  SchedulerInstance out;
+  if (name == "MLF-H") {
+    core::MlfsConfig config = mlfs_config;
+    config.heuristic_only = true;
+    out.scheduler = std::make_unique<core::MlfsScheduler>(config, "MLF-H");
+  } else if (name == "MLF-RL") {
+    core::MlfsConfig config = mlfs_config;
+    config.heuristic_only = false;
+    out.scheduler = std::make_unique<core::MlfsScheduler>(config, "MLF-RL");
+  } else if (name == "MLFS") {
+    core::MlfsConfig config = mlfs_config;
+    config.heuristic_only = false;
+    out.scheduler = std::make_unique<core::MlfsScheduler>(config, "MLFS");
+    out.controller = std::make_unique<core::MlfC>(config.load_control);
+  } else if (name == "TensorFlow") {
+    out.scheduler = std::make_unique<sched::FairScheduler>();
+  } else if (name == "Gandiva") {
+    out.scheduler = std::make_unique<sched::GandivaScheduler>();
+  } else if (name == "SLAQ") {
+    out.scheduler = std::make_unique<sched::SlaqScheduler>();
+  } else if (name == "Tiresias") {
+    out.scheduler = std::make_unique<sched::TiresiasScheduler>();
+  } else if (name == "Graphene") {
+    out.scheduler = std::make_unique<sched::GrapheneScheduler>();
+  } else if (name == "HyperSched") {
+    out.scheduler = std::make_unique<sched::HyperSchedScheduler>();
+  } else if (name == "RL") {
+    out.scheduler = std::make_unique<sched::RlBaselineScheduler>();
+  } else if (name == "Optimus") {
+    out.scheduler = std::make_unique<sched::OptimusScheduler>();
+  } else {
+    throw ContractViolation("unknown scheduler: " + name);
+  }
+  return out;
+}
+
+std::vector<std::string> paper_scheduler_names() {
+  return {"MLF-H",    "MLF-RL",  "MLFS",     "TensorFlow", "Tiresias",
+          "SLAQ",     "Gandiva", "Graphene", "HyperSched", "RL"};
+}
+
+std::vector<std::string> mlfs_family_names() { return {"MLF-H", "MLF-RL", "MLFS"}; }
+
+std::vector<std::string> extended_scheduler_names() {
+  auto names = paper_scheduler_names();
+  names.push_back("Optimus");
+  return names;
+}
+
+}  // namespace mlfs::exp

@@ -1,0 +1,36 @@
+// Scheduler registry: builds any of the paper's ten series by name —
+// the seven comparison methods plus MLF-H, MLF-RL and full MLFS (which
+// couples MLF-RL with an MLF-C load controller). Ablation variants take a
+// customized MlfsConfig.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/engine.hpp"
+
+namespace mlfs::exp {
+
+struct SchedulerInstance {
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<LoadController> controller;  ///< non-null only for MLFS variants
+};
+
+/// Names accepted: "MLF-H", "MLF-RL", "MLFS", "TensorFlow", "Gandiva",
+/// "SLAQ", "Tiresias", "Graphene", "HyperSched", "RL".
+/// Throws ContractViolation for unknown names.
+SchedulerInstance make_scheduler(const std::string& name,
+                                 const core::MlfsConfig& mlfs_config = {});
+
+/// The ten series of Figs. 4/5, in the paper's legend order.
+std::vector<std::string> paper_scheduler_names();
+
+/// Our three methods only (for component/ablation figures).
+std::vector<std::string> mlfs_family_names();
+
+/// Paper set plus the extension baselines (currently Optimus [42]).
+std::vector<std::string> extended_scheduler_names();
+
+}  // namespace mlfs::exp

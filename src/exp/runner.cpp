@@ -1,0 +1,86 @@
+#include "exp/runner.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/log.hpp"
+
+namespace mlfs::exp {
+
+RunMetrics run_experiment(const Scenario& scenario, const std::string& scheduler_name,
+                          std::size_t num_jobs, const core::MlfsConfig& mlfs_config) {
+  TraceConfig trace = scenario.trace;
+  trace.num_jobs = num_jobs;
+  PhillyTraceGenerator generator(trace);
+  auto specs = generator.generate();
+
+  SchedulerInstance instance = make_scheduler(scheduler_name, mlfs_config);
+  SimEngine engine(scenario.cluster, scenario.engine, std::move(specs), *instance.scheduler,
+                   instance.controller.get());
+  return engine.run();
+}
+
+SweepResults run_sweep(const Scenario& scenario, const std::vector<std::string>& schedulers,
+                       const core::MlfsConfig& mlfs_config, bool verbose) {
+  SweepResults results;
+  for (const std::size_t jobs : sweep_job_counts(scenario)) {
+    for (const std::string& name : schedulers) {
+      RunMetrics m = run_experiment(scenario, name, jobs, mlfs_config);
+      if (verbose) std::cout << "  [" << scenario.name << " n=" << jobs << "] " << m.summary() << '\n';
+      results[name].push_back(std::move(m));
+    }
+  }
+  return results;
+}
+
+Table panel_table(const std::string& title, const Scenario& scenario,
+                  const std::vector<std::string>& schedulers, const SweepResults& results,
+                  double (*extract)(const RunMetrics&), int precision) {
+  Table table(title);
+  std::vector<std::string> header = {"scheduler"};
+  for (const std::size_t jobs : sweep_job_counts(scenario)) {
+    header.push_back(std::to_string(jobs) + " jobs");
+  }
+  table.set_header(std::move(header));
+  for (const std::string& name : schedulers) {
+    const auto it = results.find(name);
+    if (it == results.end()) continue;
+    std::vector<double> row;
+    row.reserve(it->second.size());
+    for (const RunMetrics& m : it->second) row.push_back(extract(m));
+    table.add_row(name, row, precision);
+  }
+  return table;
+}
+
+Table cdf_table(const std::string& title, const std::vector<std::string>& schedulers,
+                const SweepResults& results, std::size_t sweep_index,
+                const std::vector<double>& breakpoints_minutes) {
+  Table table(title);
+  std::vector<std::string> header = {"scheduler"};
+  for (const double bp : breakpoints_minutes) {
+    header.push_back("<=" + format_double(bp, 0) + "min");
+  }
+  table.set_header(std::move(header));
+  for (const std::string& name : schedulers) {
+    const auto it = results.find(name);
+    if (it == results.end() || sweep_index >= it->second.size()) continue;
+    const SampleSet& jct = it->second[sweep_index].jct_minutes;
+    std::vector<double> row;
+    row.reserve(breakpoints_minutes.size());
+    for (const double bp : breakpoints_minutes) row.push_back(jct.cdf_at(bp));
+    table.add_row(name, row, 3);
+  }
+  return table;
+}
+
+void write_csv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    MLFS_WARN("could not write CSV to " << path);
+    return;
+  }
+  out << table.to_csv();
+}
+
+}  // namespace mlfs::exp

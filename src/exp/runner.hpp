@@ -1,0 +1,42 @@
+// Experiment runner: one (scenario, scheduler, job-count) run and full
+// sweeps over job counts × schedulers, plus the figure-table builders the
+// bench binaries share.
+#pragma once
+
+#include <map>
+
+#include "common/table.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace mlfs::exp {
+
+/// Runs `scheduler_name` on the scenario with `num_jobs` trace jobs.
+RunMetrics run_experiment(const Scenario& scenario, const std::string& scheduler_name,
+                          std::size_t num_jobs, const core::MlfsConfig& mlfs_config = {});
+
+/// metrics[scheduler][sweep-point]; every scheduler sees the identical
+/// trace at each sweep point (same trace seed).
+using SweepResults = std::map<std::string, std::vector<RunMetrics>>;
+
+SweepResults run_sweep(const Scenario& scenario, const std::vector<std::string>& schedulers,
+                       const core::MlfsConfig& mlfs_config = {}, bool verbose = true);
+
+/// One figure panel: rows = schedulers (legend order), columns = sweep
+/// job counts, cells = `extract(metrics)`.
+Table panel_table(const std::string& title, const Scenario& scenario,
+                  const std::vector<std::string>& schedulers, const SweepResults& results,
+                  double (*extract)(const RunMetrics&), int precision = 2);
+
+/// CDF-of-JCT panel (Figs. 4(a)/5(a)) at one sweep point: rows =
+/// schedulers, columns = JCT breakpoints in minutes.
+Table cdf_table(const std::string& title, const std::vector<std::string>& schedulers,
+                const SweepResults& results, std::size_t sweep_index,
+                const std::vector<double>& breakpoints_minutes);
+
+/// Writes a table's CSV next to the bench outputs (best effort; logs on
+/// failure instead of throwing).
+void write_csv(const Table& table, const std::string& path);
+
+}  // namespace mlfs::exp

@@ -1,0 +1,79 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace mlfs::exp {
+
+Scenario testbed_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.name = "testbed-80gpu";
+  s.cluster.server_count = 20;
+  s.cluster.gpus_per_server = 4;
+  s.engine.seed = seed ^ 0xfeed;
+  s.trace.seed = seed;
+  s.trace.num_jobs = 620;
+  s.trace.duration_hours = 24.0 * 7;
+  s.sweep_multipliers = {0.25, 0.5, 1.0, 2.0, 3.0};
+  return s;
+}
+
+Scenario largescale_scenario(double scale, std::uint64_t seed) {
+  MLFS_EXPECT(scale > 0.0 && scale <= 1.0);
+  Scenario s;
+  s.name = "philly-large";
+  // 550 servers with ~4.5 GPUs each in the trace; we keep 4-GPU servers
+  // and scale the fleet so GPU count tracks 2474 × scale.
+  s.cluster.server_count =
+      std::max<std::size_t>(4, static_cast<std::size_t>(std::lround(550.0 * scale)));
+  s.cluster.gpus_per_server = 4;
+  s.engine.seed = seed ^ 0xbeef;
+  s.trace.seed = seed;
+  // 18 trace weeks at full scale is hours of wall clock; shrink the window
+  // linearly with the fleet so jobs-per-GPU-per-week holds, with the
+  // paper's one-tested-week floor.
+  const double weeks = std::clamp(18.0 * scale, 1.0, 18.0);
+  s.trace.duration_hours = 24.0 * 7 * weeks;
+  // Base job count keeps the *testbed's* jobs-per-GPU-per-week density
+  // (620 jobs / 80 GPUs / week) so the x ∈ {0.5..4} sweep spans the same
+  // light-to-heavy load range as Fig. 4. (The raw Philly density, 2.6
+  // jobs/GPU/week, sits near x = 1/3 of this axis — our synthetic jobs
+  // are heavier than the trace median, see EXPERIMENTS.md.)
+  const double fleet_gpus = static_cast<double>(s.cluster.server_count * 4);
+  s.trace.num_jobs = std::max<std::size_t>(
+      50, static_cast<std::size_t>(std::lround(620.0 / 80.0 * fleet_gpus * weeks)));
+  const int total_gpus = static_cast<int>(s.cluster.server_count) * s.cluster.gpus_per_server;
+  s.trace.max_gpu_request = std::min(32, total_gpus / 2);
+  s.sweep_multipliers = {0.5, 1.0, 2.0, 3.0, 4.0};
+  return s;
+}
+
+Scenario smoke_scenario(std::size_t num_jobs, std::uint64_t seed) {
+  Scenario s;
+  s.name = "smoke";
+  s.cluster.server_count = 4;
+  s.cluster.gpus_per_server = 4;
+  s.engine.seed = seed ^ 0x51;
+  s.trace.seed = seed;
+  s.trace.num_jobs = num_jobs;
+  s.trace.duration_hours = 12.0;
+  s.trace.max_iterations = 60;
+  s.trace.max_gpu_request = 8;  // 16-GPU fleet: 32-worker jobs can't gang-place
+  s.engine.max_sim_time = days(7);
+  s.sweep_multipliers = {1.0};
+  return s;
+}
+
+std::vector<std::size_t> sweep_job_counts(const Scenario& scenario) {
+  std::vector<std::size_t> counts;
+  counts.reserve(scenario.sweep_multipliers.size());
+  for (const double m : scenario.sweep_multipliers) {
+    counts.push_back(std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(m * static_cast<double>(scenario.trace.num_jobs)))));
+  }
+  return counts;
+}
+
+}  // namespace mlfs::exp

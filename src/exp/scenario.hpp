@@ -1,0 +1,38 @@
+// Canonical experiment scenarios mirroring §4.1:
+//  * testbed: 20 servers × 4 GPUs = 80 GPUs, 620x jobs over one trace week
+//    (the AWS "real implementation" configuration);
+//  * large-scale: 550 servers / 2474 GPUs, 117325x jobs over 18 trace
+//    weeks (the Philly-trace simulation), offered here at a configurable
+//    linear scale that preserves the jobs-per-GPU-per-week load so the
+//    figure *shapes* survive the shrink (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs::exp {
+
+struct Scenario {
+  std::string name;
+  ClusterConfig cluster;
+  EngineConfig engine;
+  TraceConfig trace;        ///< trace.num_jobs is the x-axis base (x = 1)
+  std::vector<double> sweep_multipliers;  ///< x-axis points as multiples of base
+};
+
+/// 80-GPU testbed, base 620 jobs, sweep {1/4, 1/2, 1, 2, 3} (Fig. 4).
+Scenario testbed_scenario(std::uint64_t seed = 42);
+
+/// Philly-like large cluster scaled by `scale` in servers and jobs,
+/// sweep {1/2, 1, 2, 3, 4} (Fig. 5). scale = 1 is the paper's full size.
+Scenario largescale_scenario(double scale = 0.02, std::uint64_t seed = 77);
+
+/// A deliberately small/fast configuration for tests and examples.
+Scenario smoke_scenario(std::size_t num_jobs = 40, std::uint64_t seed = 5);
+
+/// Job counts of the sweep (base × multipliers, rounded, >= 1).
+std::vector<std::size_t> sweep_job_counts(const Scenario& scenario);
+
+}  // namespace mlfs::exp

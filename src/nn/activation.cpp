@@ -1,0 +1,40 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+namespace mlfs::nn {
+
+Matrix Relu::forward(const Matrix& input) {
+  last_input_ = input;
+  Matrix out = input;
+  out.apply([](double v) { return v > 0.0 ? v : 0.0; });
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  MLFS_EXPECT(grad_output.same_shape(last_input_));
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (last_input_.raw()[i] <= 0.0) grad.raw()[i] = 0.0;
+  }
+  return grad;
+}
+
+Matrix Tanh::forward(const Matrix& input) {
+  Matrix out = input;
+  out.apply([](double v) { return std::tanh(v); });
+  last_output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  MLFS_EXPECT(grad_output.same_shape(last_output_));
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double y = last_output_.raw()[i];
+    grad.raw()[i] *= 1.0 - y * y;
+  }
+  return grad;
+}
+
+}  // namespace mlfs::nn

@@ -1,0 +1,26 @@
+// Parameterless activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mlfs::nn {
+
+class Relu : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix last_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix last_output_;  // tanh' = 1 - tanh^2, so cache the output
+};
+
+}  // namespace mlfs::nn

@@ -1,0 +1,27 @@
+#include "nn/dense.hpp"
+
+namespace mlfs::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weights_(Matrix::glorot(in_features, out_features, rng)),
+      bias_(1, out_features),
+      grad_weights_(in_features, out_features),
+      grad_bias_(1, out_features) {}
+
+Matrix Dense::forward(const Matrix& input) {
+  MLFS_EXPECT(input.cols() == weights_.rows());
+  last_input_ = input;
+  Matrix out = input.matmul(weights_);
+  out.add_row_broadcast(bias_);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  MLFS_EXPECT(grad_output.rows() == last_input_.rows());
+  MLFS_EXPECT(grad_output.cols() == weights_.cols());
+  grad_weights_ += last_input_.transposed().matmul(grad_output);
+  grad_bias_ += grad_output.column_sums();
+  return grad_output.matmul(weights_.transposed());
+}
+
+}  // namespace mlfs::nn

@@ -1,0 +1,35 @@
+// Fully connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mlfs::nn {
+
+class Dense : public Layer {
+ public:
+  /// Glorot-initialized weights, zero bias.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  std::vector<Matrix*> params() override { return {&weights_, &bias_}; }
+  std::vector<Matrix*> grads() override { return {&grad_weights_, &grad_bias_}; }
+
+  std::size_t in_features() const { return weights_.rows(); }
+  std::size_t out_features() const { return weights_.cols(); }
+
+  const Matrix& weights() const { return weights_; }
+  Matrix& weights() { return weights_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& bias() { return bias_; }
+
+ private:
+  Matrix weights_;       // in x out
+  Matrix bias_;          // 1 x out
+  Matrix grad_weights_;  // same shape as weights_
+  Matrix grad_bias_;     // same shape as bias_
+  Matrix last_input_;    // cached for backward
+};
+
+}  // namespace mlfs::nn

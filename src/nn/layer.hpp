@@ -1,0 +1,39 @@
+// Layer abstraction for the MLP: forward caches whatever backward needs;
+// backward accumulates parameter gradients and returns the gradient with
+// respect to the layer input.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace mlfs::nn {
+
+/// One differentiable layer. Layers own their parameters and gradient
+/// buffers; the optimizer sees them through params()/grads().
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = samples).
+  virtual Matrix forward(const Matrix& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter grads and returns
+  /// dLoss/dInput. Must be called after forward() on the same batch.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Mutable views of parameters and their gradient accumulators
+  /// (parallel vectors; empty for parameterless layers).
+  virtual std::vector<Matrix*> params() { return {}; }
+  virtual std::vector<Matrix*> grads() { return {}; }
+
+  /// Clears accumulated gradients.
+  void zero_grads() {
+    for (Matrix* g : grads()) g->zero();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace mlfs::nn

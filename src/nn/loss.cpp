@@ -1,0 +1,104 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlfs::nn {
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double maxv = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < out.cols(); ++j) maxv = std::max(maxv, out.at(i, j));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = std::exp(out.at(i, j) - maxv);
+      sum += out.at(i, j);
+    }
+    for (std::size_t j = 0; j < out.cols(); ++j) out.at(i, j) /= sum;
+  }
+  return out;
+}
+
+Matrix log_softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double maxv = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < out.cols(); ++j) maxv = std::max(maxv, out.at(i, j));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) sum += std::exp(out.at(i, j) - maxv);
+    const double log_z = maxv + std::log(sum);
+    for (std::size_t j = 0; j < out.cols(); ++j) out.at(i, j) -= log_z;
+  }
+  return out;
+}
+
+LossResult cross_entropy(const Matrix& logits, std::span<const int> targets) {
+  MLFS_EXPECT(logits.rows() == targets.size());
+  const Matrix probs = softmax(logits);
+  const auto n = static_cast<double>(logits.rows());
+  LossResult result;
+  result.grad_logits = probs;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const auto target = static_cast<std::size_t>(targets[i]);
+    MLFS_EXPECT(target < logits.cols());
+    result.loss -= std::log(std::max(probs.at(i, target), 1e-12));
+    result.grad_logits.at(i, target) -= 1.0;
+  }
+  result.loss /= n;
+  result.grad_logits *= 1.0 / n;
+  return result;
+}
+
+LossResult policy_gradient(const Matrix& logits, std::span<const int> actions,
+                           std::span<const double> advantages) {
+  MLFS_EXPECT(logits.rows() == actions.size());
+  MLFS_EXPECT(logits.rows() == advantages.size());
+  const Matrix probs = softmax(logits);
+  const auto n = static_cast<double>(logits.rows());
+  LossResult result;
+  result.grad_logits = Matrix(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const auto action = static_cast<std::size_t>(actions[i]);
+    MLFS_EXPECT(action < logits.cols());
+    const double adv = advantages[i];
+    result.loss -= adv * std::log(std::max(probs.at(i, action), 1e-12));
+    // d(-adv * log pi(a))/dlogit_j = adv * (pi_j - [j == a])
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      result.grad_logits.at(i, j) = adv * probs.at(i, j);
+    }
+    result.grad_logits.at(i, action) -= adv;
+  }
+  result.loss /= n;
+  result.grad_logits *= 1.0 / n;
+  return result;
+}
+
+LossResult mse(const Matrix& predictions, std::span<const double> targets) {
+  MLFS_EXPECT(predictions.cols() == 1);
+  MLFS_EXPECT(predictions.rows() == targets.size());
+  const auto n = static_cast<double>(predictions.rows());
+  LossResult result;
+  result.grad_logits = Matrix(predictions.rows(), 1);
+  for (std::size_t i = 0; i < predictions.rows(); ++i) {
+    const double diff = predictions.at(i, 0) - targets[i];
+    result.loss += diff * diff;
+    result.grad_logits.at(i, 0) = 2.0 * diff / n;
+  }
+  result.loss /= n;
+  return result;
+}
+
+double mean_entropy(const Matrix& logits) {
+  const Matrix probs = softmax(logits);
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    for (std::size_t j = 0; j < probs.cols(); ++j) {
+      const double p = probs.at(i, j);
+      if (p > 1e-12) total -= p * std::log(p);
+    }
+  }
+  return probs.rows() == 0 ? 0.0 : total / static_cast<double>(probs.rows());
+}
+
+}  // namespace mlfs::nn

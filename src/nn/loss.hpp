@@ -1,0 +1,39 @@
+// Softmax / log-softmax and the loss heads used by the RL code:
+// cross-entropy for behaviour cloning, policy-gradient surrogate for
+// REINFORCE, and squared error for the value baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace mlfs::nn {
+
+/// Row-wise softmax (numerically stabilized).
+Matrix softmax(const Matrix& logits);
+
+/// Row-wise log-softmax (numerically stabilized).
+Matrix log_softmax(const Matrix& logits);
+
+/// Mean cross-entropy of `logits` against integer class `targets`
+/// (one per row). Returns {loss, dLoss/dLogits}.
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad_logits;
+};
+
+LossResult cross_entropy(const Matrix& logits, std::span<const int> targets);
+
+/// Policy-gradient surrogate: loss = -mean_i(advantage_i * log pi(a_i|s_i))
+/// with the standard softmax-gradient shortcut. Returns {loss, grad}.
+LossResult policy_gradient(const Matrix& logits, std::span<const int> actions,
+                           std::span<const double> advantages);
+
+/// Mean squared error against per-row scalar targets (logits is Nx1).
+LossResult mse(const Matrix& predictions, std::span<const double> targets);
+
+/// Entropy of each softmax row, averaged (exploration diagnostics / bonus).
+double mean_entropy(const Matrix& logits);
+
+}  // namespace mlfs::nn

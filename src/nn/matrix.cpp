@@ -1,0 +1,150 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+namespace mlfs::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::row(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.data_) v = rng.uniform(-limit, limit);
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MLFS_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MLFS_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  MLFS_EXPECT(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through `other` row-wise for cache locality.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j * rows_ + i] = data_[i * cols_ + j];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  MLFS_EXPECT(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  MLFS_EXPECT(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::add_row_broadcast(const Matrix& row_vec) {
+  MLFS_EXPECT(row_vec.rows_ == 1 && row_vec.cols_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) data_[i * cols_ + j] += row_vec.data_[j];
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  MLFS_EXPECT(same_shape(other));
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::apply(const std::function<double(double)>& f) {
+  for (auto& v : data_) v = f(v);
+  return *this;
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += data_[i * cols_ + j];
+  return out;
+}
+
+void Matrix::zero() {
+  for (auto& v : data_) v = 0.0;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (const double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix lhs, double scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os << m.rows() << ' ' << m.cols() << '\n' << std::setprecision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j) os << ' ';
+      os << m.at(i, j);
+    }
+    os << '\n';
+  }
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  is >> rows >> cols;
+  MLFS_EXPECT(static_cast<bool>(is));
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) is >> m.at(i, j);
+  MLFS_EXPECT(static_cast<bool>(is));
+  return m;
+}
+
+}  // namespace mlfs::nn

@@ -1,0 +1,89 @@
+// Dense row-major matrix for the from-scratch neural-net substrate.
+// Deliberately small: exactly the operations the MLP and policy-gradient
+// code need, each one tested against hand values and finite differences.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace mlfs::nn {
+
+/// Row-major dense matrix of doubles. A 1xN matrix doubles as a row vector.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds a 1xN row vector from values.
+  static Matrix row(const std::vector<double>& values);
+
+  /// He/Glorot-style scaled uniform init for a dense layer's weights.
+  static Matrix glorot(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// this @ other. Requires cols() == other.rows().
+  Matrix matmul(const Matrix& other) const;
+
+  /// this^T as a new matrix.
+  Matrix transposed() const;
+
+  /// Elementwise in-place ops; shapes must match exactly.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Adds a 1xC row vector to every row (bias broadcast).
+  Matrix& add_row_broadcast(const Matrix& row_vec);
+
+  /// Elementwise product (Hadamard) as a new matrix.
+  Matrix hadamard(const Matrix& other) const;
+
+  /// Applies f to every element in place.
+  Matrix& apply(const std::function<double(double)>& f);
+
+  /// Column-wise sum as a 1xC matrix (bias gradient).
+  Matrix column_sums() const;
+
+  /// Sets every element to zero.
+  void zero();
+
+  /// Frobenius norm.
+  double norm() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double scalar);
+
+/// Text serialization: "rows cols v00 v01 ...". Round-trips exactly enough
+/// for checkpointing policies (uses max_digits10).
+void write_matrix(std::ostream& os, const Matrix& m);
+Matrix read_matrix(std::istream& is);
+
+}  // namespace mlfs::nn

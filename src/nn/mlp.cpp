@@ -1,0 +1,100 @@
+#include "nn/mlp.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace mlfs::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation hidden_activation, Rng& rng)
+    : sizes_(sizes) {
+  MLFS_EXPECT(sizes.size() >= 2);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Dense>(sizes[i], sizes[i + 1], rng));
+    const bool is_last = i + 2 == sizes.size();
+    if (!is_last) {
+      if (hidden_activation == Activation::Relu) {
+        layers_.push_back(std::make_unique<Relu>());
+      } else {
+        layers_.push_back(std::make_unique<Tanh>());
+      }
+    }
+  }
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  MLFS_EXPECT(input.cols() == sizes_.front());
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+void Mlp::backward(const Matrix& grad_logits) {
+  Matrix grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+}
+
+void Mlp::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+std::vector<Matrix*> Mlp::params() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_)
+    for (Matrix* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Matrix*> Mlp::grads() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_)
+    for (Matrix* g : layer->grads()) out.push_back(g);
+  return out;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    // params() is non-const by design (optimizer mutates); cast is local.
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) n += p->size();
+  }
+  return n;
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << sizes_.size() << '\n';
+  for (const auto s : sizes_) os << s << ' ';
+  os << '\n';
+  for (const auto& layer : layers_) {
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) write_matrix(os, *p);
+  }
+}
+
+void Mlp::load(std::istream& is) {
+  std::size_t n = 0;
+  is >> n;
+  MLFS_EXPECT(n == sizes_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t s = 0;
+    is >> s;
+    MLFS_EXPECT(s == sizes_[i]);
+  }
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->params()) {
+      Matrix loaded = read_matrix(is);
+      MLFS_EXPECT(loaded.same_shape(*p));
+      *p = std::move(loaded);
+    }
+  }
+}
+
+void Mlp::copy_params_from(const Mlp& other) {
+  MLFS_EXPECT(sizes_ == other.sizes_);
+  auto& self = *this;
+  auto& src = const_cast<Mlp&>(other);
+  auto dst_params = self.params();
+  auto src_params = src.params();
+  MLFS_EXPECT(dst_params.size() == src_params.size());
+  for (std::size_t i = 0; i < dst_params.size(); ++i) *dst_params[i] = *src_params[i];
+}
+
+}  // namespace mlfs::nn

@@ -1,0 +1,52 @@
+// Multi-layer perceptron: the function approximator behind both the MLF-RL
+// policy/value networks and the baseline RL scheduler. Dense layers with a
+// configurable hidden activation; the output is raw logits (loss heads live
+// in loss.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/layer.hpp"
+
+namespace mlfs::nn {
+
+enum class Activation { Relu, Tanh };
+
+/// Feed-forward network: Dense -> act -> ... -> Dense (logits out).
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<std::size_t>& sizes, Activation hidden_activation, Rng& rng);
+
+  /// Forward pass for a batch (rows = samples), returns logits.
+  Matrix forward(const Matrix& input);
+
+  /// Backprop from dLoss/dLogits; accumulates parameter gradients.
+  void backward(const Matrix& grad_logits);
+
+  void zero_grads();
+
+  /// Flattened parameter/gradient views across all layers.
+  std::vector<Matrix*> params();
+  std::vector<Matrix*> grads();
+
+  std::size_t in_features() const { return sizes_.front(); }
+  std::size_t out_features() const { return sizes_.back(); }
+  std::size_t parameter_count() const;
+
+  /// Text checkpointing of all parameters (architecture must match on load).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Copies parameters from another MLP with identical architecture.
+  void copy_params_from(const Mlp& other);
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace mlfs::nn

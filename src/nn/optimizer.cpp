@@ -1,0 +1,90 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mlfs::nn {
+
+Optimizer::Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  MLFS_EXPECT(params_.size() == grads_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    MLFS_EXPECT(params_[i] != nullptr && grads_[i] != nullptr);
+    MLFS_EXPECT(params_[i]->same_shape(*grads_[i]));
+  }
+}
+
+double Optimizer::clip_gradients() {
+  double sq = 0.0;
+  for (const Matrix* g : grads_) {
+    for (const double v : g->raw()) sq += v * v;
+  }
+  const double norm = std::sqrt(sq);
+  if (max_grad_norm_ > 0.0 && norm > max_grad_norm_) {
+    const double scale = max_grad_norm_ / norm;
+    for (Matrix* g : grads_) *g *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr, double momentum)
+    : Optimizer(std::move(params), std::move(grads)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const Matrix* p : params_) velocity_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Sgd::step() {
+  clip_gradients();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    if (momentum_ != 0.0) {
+      Matrix& vel = velocity_[i];
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        vel.raw()[j] = momentum_ * vel.raw()[j] - lr_ * g.raw()[j];
+        p.raw()[j] += vel.raw()[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.size(); ++j) p.raw()[j] -= lr_ * g.raw()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  clip_gradients();
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double grad = g.raw()[j];
+      m.raw()[j] = beta1_ * m.raw()[j] + (1.0 - beta1_) * grad;
+      v.raw()[j] = beta2_ * v.raw()[j] + (1.0 - beta2_) * grad * grad;
+      const double mhat = m.raw()[j] / bc1;
+      const double vhat = v.raw()[j] / bc2;
+      p.raw()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace mlfs::nn

@@ -1,0 +1,59 @@
+// Gradient-descent optimizers over a flat list of parameter matrices.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace mlfs::nn {
+
+/// Optimizer interface: step() applies the accumulated gradients to the
+/// bound parameters; callers zero the gradients afterwards.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads);
+  virtual ~Optimizer() = default;
+
+  /// One update step. If `max_grad_norm` > 0 the global gradient norm is
+  /// clipped first (standard for policy gradients).
+  virtual void step() = 0;
+
+  void set_max_grad_norm(double v) { max_grad_norm_ = v; }
+
+ protected:
+  /// Applies global-norm clipping; returns the pre-clip norm.
+  double clip_gradients();
+
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+  double max_grad_norm_ = 0.0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr,
+       double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace mlfs::nn

@@ -1,0 +1,46 @@
+// Weighted probabilistic learning-curve extrapolation in the style of
+// Domhan et al. [17] — the accuracy-prediction substrate MLFS assumes
+// (§3.1: "the accuracy of a job can be predicted ... around 90% accuracy";
+// §3.5: OptStop uses the prediction + its confidence).
+//
+// Mechanism: fit several parametric basis curves to the observed
+// (iteration, accuracy) points by least squares (Nelder-Mead), weight each
+// basis by how well it explains the observations, and report the weighted
+// prediction plus a confidence derived from inter-basis agreement and fit
+// residuals.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlfs {
+
+struct CurvePrediction {
+  double accuracy = 0.0;    ///< predicted accuracy at the target iteration
+  double confidence = 0.0;  ///< in [0, 1]; higher = tighter basis agreement
+};
+
+struct LearningCurveConfig {
+  std::size_t min_observations = 3;  ///< below this, predict_at falls back
+  double residual_scale = 0.02;      ///< basis-weighting bandwidth (accuracy units)
+};
+
+class LearningCurvePredictor {
+ public:
+  explicit LearningCurvePredictor(const LearningCurveConfig& config = {});
+
+  /// `observed[i]` = accuracy after iteration i+1. Predicts the accuracy
+  /// at `target_iteration` (1-based, may be <= observed.size() for
+  /// interpolation checks). With fewer than min_observations points, the
+  /// prediction is the last observation with zero confidence.
+  CurvePrediction predict_at(std::span<const double> observed, int target_iteration) const;
+
+  /// Names of the basis curves (diagnostics/tests).
+  static std::vector<std::string> basis_names();
+
+ private:
+  LearningCurveConfig config_;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,28 @@
+// Compact Nelder-Mead simplex minimizer for the low-dimensional curve fits
+// in the learning-curve predictor (2-4 parameters, smooth objectives).
+// Derivative-free, so basis curves don't need hand-written gradients.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mlfs {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 600;
+  double tolerance = 1e-9;      ///< stop when simplex f-spread falls below this
+  double initial_step = 0.25;   ///< relative perturbation building the simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Minimizes f starting from x0. f must be finite at x0; non-finite values
+/// elsewhere are treated as +inf (lets objectives reject invalid params).
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& options = {});
+
+}  // namespace mlfs

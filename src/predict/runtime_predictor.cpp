@@ -1,0 +1,43 @@
+#include "predict/runtime_predictor.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace mlfs {
+
+RuntimePredictor::RuntimePredictor(double seen_rel_error, double unseen_rel_error)
+    : seen_rel_error_(seen_rel_error), unseen_rel_error_(unseen_rel_error) {
+  MLFS_EXPECT(seen_rel_error_ >= 0.0);
+  MLFS_EXPECT(unseen_rel_error_ >= 0.0);
+}
+
+double RuntimePredictor::error_factor(const Job& job) const {
+  const double rel = has_history(job) ? seen_rel_error_ : unseen_rel_error_;
+  // Deterministic per-job perturbation in [1-rel, 1+rel]: re-querying the
+  // predictor for the same job yields the same estimate (as a fitted model
+  // would), and replays are reproducible.
+  Rng rng(job.spec().seed ^ 0x5bd1e995c4426a73ULL);
+  return 1.0 + rng.uniform(-rel, rel);
+}
+
+double RuntimePredictor::predict_execution_seconds(const Job& job) const {
+  return job.estimated_execution_seconds() * error_factor(job);
+}
+
+double RuntimePredictor::predict_remaining_seconds(const Job& job) const {
+  const int remaining =
+      std::max(0, job.target_iterations() - job.completed_iterations());
+  return job.ideal_iteration_seconds() * static_cast<double>(remaining) * error_factor(job);
+}
+
+void RuntimePredictor::record_completion(const Job& job) {
+  seen_.insert({static_cast<int>(job.spec().algorithm), job.spec().gpu_request});
+}
+
+bool RuntimePredictor::has_history(const Job& job) const {
+  return seen_.contains({static_cast<int>(job.spec().algorithm), job.spec().gpu_request});
+}
+
+}  // namespace mlfs

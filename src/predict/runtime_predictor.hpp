@@ -1,0 +1,41 @@
+// Optimus-style job running-time prediction (the §3.1 assumption: "89%
+// prediction accuracy for the jobs that ran previously and 70% ... for the
+// jobs that didn't"). Implemented as the paper uses it: the predictor
+// returns the job's sample-run estimate perturbed by a relative error whose
+// magnitude depends on whether a job with the same signature (algorithm ×
+// GPU request) has completed before. Deterministic per job seed.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "workload/job.hpp"
+
+namespace mlfs {
+
+class RuntimePredictor {
+ public:
+  /// Relative-error levels: 1 - 0.89 and 1 - 0.70 from the paper.
+  explicit RuntimePredictor(double seen_rel_error = 0.11, double unseen_rel_error = 0.30);
+
+  /// Predicted total execution seconds for the job (excluding queueing).
+  double predict_execution_seconds(const Job& job) const;
+
+  /// Predicted remaining running seconds given completed iterations.
+  double predict_remaining_seconds(const Job& job) const;
+
+  /// Marks the job's (algorithm, gpu_request) signature as having history.
+  void record_completion(const Job& job);
+
+  bool has_history(const Job& job) const;
+
+ private:
+  double error_factor(const Job& job) const;
+
+  double seen_rel_error_;
+  double unseen_rel_error_;
+  std::set<std::pair<int, int>> seen_;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,33 @@
+#include "rl/returns.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace mlfs::rl {
+
+std::vector<double> discounted_returns(std::span<const double> rewards, double eta) {
+  MLFS_EXPECT(eta > 0.0 && eta <= 1.0);
+  std::vector<double> returns(rewards.size());
+  double acc = 0.0;
+  for (std::size_t i = rewards.size(); i-- > 0;) {
+    acc = rewards[i] + eta * acc;
+    returns[i] = acc;
+  }
+  return returns;
+}
+
+void standardize(std::vector<double>& values) {
+  if (values.size() < 2) return;
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  const double stddev = std::sqrt(var);
+  if (stddev < 1e-9) return;
+  for (double& v : values) v = (v - mean) / stddev;
+}
+
+}  // namespace mlfs::rl

@@ -1,0 +1,29 @@
+// Episode containers and return computation shared by REINFORCE and the
+// baseline RL scheduler.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlfs::rl {
+
+/// One (state, action, reward) step. States are flat feature vectors of a
+/// fixed dimension decided by the featurizer.
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+};
+
+/// One rollout (an episode or a truncated segment).
+using Episode = std::vector<Transition>;
+
+/// Discounted return G_t = sum_k eta^k r_{t+k} for each step.
+/// eta in (0, 1]; matches the paper's future-reward discount η.
+std::vector<double> discounted_returns(std::span<const double> rewards, double eta);
+
+/// In-place standardization to zero mean / unit variance (no-op when the
+/// variance is ~0). Standard advantage normalization for policy gradients.
+void standardize(std::vector<double>& values);
+
+}  // namespace mlfs::rl

@@ -1,0 +1,35 @@
+#include "sched/fair.hpp"
+
+#include <algorithm>
+
+#include "sched/util.hpp"
+
+namespace mlfs::sched {
+
+void FairScheduler::schedule(SchedulerContext& ctx) {
+  auto queue = live_queue(ctx);
+  // Allocation share per job: placed tasks / total tasks. Jobs with the
+  // lowest share are the most underserved and get resources first.
+  auto share = [&ctx](TaskId tid) {
+    const Task& t = ctx.cluster.task(tid);
+    const Job& job = ctx.cluster.job(t.job);
+    std::size_t placed = 0;
+    for (const TaskId id : job.tasks()) {
+      if (ctx.cluster.task(id).placed()) ++placed;
+    }
+    return static_cast<double>(placed) / static_cast<double>(job.task_count());
+  };
+  std::stable_sort(queue.begin(), queue.end(), [&](TaskId a, TaskId b) {
+    return share(a) < share(b);
+  });
+  int failures = 0;
+  for (const TaskId tid : queue) {
+    if (failures >= kMaxConsecutiveGangFailures) break;
+    if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+    const int placed = place_job_gang(ctx, tid, least_loaded_placement);
+    if (placed == 0) ++failures;
+    if (placed > 0) failures = 0;
+  }
+}
+
+}  // namespace mlfs::sched

@@ -1,0 +1,18 @@
+// "TensorFlow" baseline: the Borg-style Fair scheduler ([53], as used in
+// the paper's comparison). Resources are allocated to equalize per-job
+// service: the waiting task whose job currently holds the fewest placed
+// tasks (relative to its request) goes first. No ML awareness, no overload
+// handling.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class FairScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "TensorFlow"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace mlfs::sched

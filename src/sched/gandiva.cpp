@@ -1,0 +1,78 @@
+#include "sched/gandiva.hpp"
+
+#include <algorithm>
+
+#include "sched/util.hpp"
+
+namespace mlfs::sched {
+
+void GandivaScheduler::schedule(SchedulerContext& ctx) {
+  // FIFO placement with affinity: try servers already hosting tasks of
+  // jobs with the same GPU request first ("affinity jobs").
+  // Affinity-aware chooser: servers already hosting tasks of jobs with the
+  // same GPU request first, else least-loaded.
+  auto affinity_choice = [](const SchedulerContext& c,
+                            const Task& task) -> std::optional<Placement> {
+    const int gpu_request = c.cluster.job(task.job).spec().gpu_request;
+    for (const Server& s : c.cluster.servers()) {
+      bool affinity = false;
+      for (const TaskId other : s.tasks()) {
+        const Task& o = c.cluster.task(other);
+        if (c.cluster.job(o.job).spec().gpu_request == gpu_request) {
+          affinity = true;
+          break;
+        }
+      }
+      if (!affinity) continue;
+      if (auto p = placement_on_server(c, task, s.id())) return p;
+    }
+    return least_loaded_placement(c, task);
+  };
+  int failures = 0;
+  for (const TaskId tid : live_queue(ctx)) {  // engine keeps arrival order (FIFO)
+    if (failures >= kMaxConsecutiveGangFailures) break;
+    if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+    const int placed = place_job_gang(ctx, tid, affinity_choice);
+    if (placed == 0) ++failures;
+    if (placed > 0) failures = 0;
+  }
+  migrate_overloaded_gpus(ctx);
+}
+
+void GandivaScheduler::migrate_overloaded_gpus(SchedulerContext& ctx) {
+  Cluster& cluster = ctx.cluster;
+  for (const Server& s : cluster.servers()) {
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      if (s.gpu_load(g) <= ctx.hr) continue;
+      // Lowest-GPU-utilization task on the hot GPU.
+      const auto& tasks = s.tasks_on_gpu(g);
+      if (tasks.empty()) continue;
+      TaskId victim = tasks.front();
+      double lowest = cluster.task(victim).demand[Resource::Gpu];
+      for (const TaskId tid : tasks) {
+        const double u = cluster.task(tid).demand[Resource::Gpu];
+        if (u < lowest) {
+          lowest = u;
+          victim = tid;
+        }
+      }
+      // Globally least-loaded GPU that accepts it.
+      std::optional<Placement> best;
+      double best_load = 0.0;
+      for (const Server& dst : cluster.servers()) {
+        for (int dg = 0; dg < dst.gpu_count(); ++dg) {
+          if (dst.id() == s.id() && dg == g) continue;
+          const double load = dst.gpu_load(dg);
+          if (!dst.fits_without_overload(cluster.task(victim), dg, ctx.hr)) continue;
+          if (!best || load < best_load) {
+            best = Placement{dst.id(), dg};
+            best_load = load;
+          }
+        }
+      }
+      if (best) ctx.ops.migrate(victim, best->server, best->gpu);
+    }
+  }
+}
+
+}  // namespace mlfs::sched

@@ -1,0 +1,23 @@
+// Gandiva [55] baseline: FIFO queueing with affinity packing (tasks of
+// jobs with the same GPU request are steered to the same servers) and
+// introspective GPU-overload migration: when a GPU's utilization exceeds
+// the threshold, the task with the lowest GPU utilization on it moves to
+// the globally least-loaded GPU. Gandiva handles only GPU overload (the
+// paper contrasts this with MLFS's multi-resource handling) and does not
+// try to reduce bandwidth cost.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class GandivaScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Gandiva"; }
+  void schedule(SchedulerContext& ctx) override;
+
+ private:
+  void migrate_overloaded_gpus(SchedulerContext& ctx);
+};
+
+}  // namespace mlfs::sched

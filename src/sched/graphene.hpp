@@ -1,0 +1,22 @@
+// Graphene [20] baseline: packing- and dependency-aware DAG scheduling.
+// "Troublesome" tasks — those with many dependent tasks and tough-to-pack
+// resource demands — are served first; placement uses tight best-fit
+// packing. Job order blends completion-time and throughput scores the way
+// Graphene's multi-objective weighting does. No ML feature awareness.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class GrapheneScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Graphene"; }
+  void schedule(SchedulerContext& ctx) override;
+
+  /// Troublesome score: normalized descendant count + demand magnitude
+  /// (public for tests).
+  static double troublesome_score(const Cluster& cluster, const Task& task);
+};
+
+}  // namespace mlfs::sched

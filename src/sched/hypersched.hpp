@@ -1,0 +1,29 @@
+// HyperSched [32] baseline: deadline-bounded accuracy maximization.
+// Resources go to the jobs with the largest predicted accuracy improvement
+// achievable before their deadlines; jobs whose recent iterations no
+// longer improve accuracy significantly are paused (their waiting tasks
+// are deprioritized) to free resources for jobs that can still gain.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class HyperSchedScheduler : public Scheduler {
+ public:
+  /// `pause_gain_threshold`: accuracy-per-iteration below which a job is
+  /// considered saturated and paused.
+  explicit HyperSchedScheduler(double pause_gain_threshold = 1e-4);
+
+  std::string name() const override { return "HyperSched"; }
+  void schedule(SchedulerContext& ctx) override;
+
+  /// Predicted accuracy gain achievable between now and the deadline
+  /// (public for tests).
+  static double achievable_gain(const Job& job, SimTime now);
+
+ private:
+  double pause_gain_threshold_;
+};
+
+}  // namespace mlfs::sched

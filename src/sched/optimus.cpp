@@ -1,0 +1,35 @@
+#include "sched/optimus.hpp"
+
+#include <algorithm>
+
+#include "predict/runtime_predictor.hpp"
+#include "sched/util.hpp"
+
+namespace mlfs::sched {
+
+void OptimusScheduler::schedule(SchedulerContext& ctx) {
+  auto queue = live_queue(ctx);
+  // Shortest predicted remaining time first; jobs with run history get the
+  // tighter 89%-fidelity estimate, new jobs the 70% one (§3.1 / [42]).
+  auto remaining = [&ctx](TaskId tid) {
+    const Job& job = ctx.cluster.job(ctx.cluster.task(tid).job);
+    if (ctx.runtime_predictor != nullptr) {
+      return ctx.runtime_predictor->predict_remaining_seconds(job);
+    }
+    const int left = std::max(0, job.target_iterations() - job.completed_iterations());
+    return job.ideal_iteration_seconds() * left;
+  };
+  std::stable_sort(queue.begin(), queue.end(), [&remaining](TaskId a, TaskId b) {
+    return remaining(a) < remaining(b);
+  });
+  int failures = 0;
+  for (const TaskId tid : queue) {
+    if (failures >= kMaxConsecutiveGangFailures) break;
+    if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+    const int placed = place_job_gang(ctx, tid, least_loaded_placement);
+    if (placed == 0) ++failures;
+    if (placed > 0) failures = 0;
+  }
+}
+
+}  // namespace mlfs::sched

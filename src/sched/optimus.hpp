@@ -1,0 +1,20 @@
+// Optimus [42] baseline (extension beyond the paper's Fig. 4 comparison
+// set; Optimus is discussed in its related work). Optimus predicts each
+// job's remaining time from an online-fitted convergence model and gives
+// resources to the jobs that will finish soonest, minimizing average JCT
+// with an accuracy guarantee. On this simulator that decision rule maps to
+// shortest-predicted-remaining-time-first queue ordering driven by the
+// RuntimePredictor (the same [42]-style estimator MLFS assumes in §3.1).
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class OptimusScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Optimus"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace mlfs::sched

@@ -1,0 +1,51 @@
+// "RL" baseline (Mirhoseini et al. [39] as used in the paper's
+// comparison): deep-RL device placement that minimizes JCT only. A softmax
+// policy network scores K candidate servers per waiting task from
+// computation features alone — no ML job features and no accuracy
+// objective, which is exactly the gap MLF-RL fills.
+//
+// Reward (per scheduling round, shared by the round's decisions): the
+// DeepRM-style JCT objective -sum_{jobs in system} 1/T_j, whose cumulative
+// maximization equals average-JCT minimization [35]. The agent trains
+// online with REINFORCE.
+#pragma once
+
+#include <memory>
+
+#include "rl/reinforce.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+struct RlBaselineConfig {
+  std::size_t candidate_count = 4;  ///< K candidate servers per decision
+  std::size_t update_every_rounds = 16;
+  double eta = 0.95;
+  std::uint64_t seed = 11;
+  std::vector<std::size_t> hidden = {32, 32};
+};
+
+class RlBaselineScheduler : public Scheduler {
+ public:
+  explicit RlBaselineScheduler(const RlBaselineConfig& config = {});
+
+  std::string name() const override { return "RL"; }
+  void schedule(SchedulerContext& ctx) override;
+
+  /// Feature dimension of the policy input (public for tests).
+  static std::size_t state_dim(std::size_t candidate_count);
+
+ private:
+  std::vector<double> featurize(const SchedulerContext& ctx, const Task& task,
+                                const std::vector<ServerId>& candidates) const;
+  double round_reward(const SchedulerContext& ctx) const;
+
+  RlBaselineConfig config_;
+  std::unique_ptr<rl::ReinforceAgent> agent_;
+  rl::Episode episode_;
+  std::vector<rl::Episode> pending_episodes_;
+  std::size_t decisions_this_round_ = 0;
+  std::size_t rounds_since_update_ = 0;
+};
+
+}  // namespace mlfs::sched

@@ -1,0 +1,21 @@
+// SLAQ [58] baseline: quality-driven scheduling. Resources go to the job
+// with the maximum predicted loss reduction per unit runtime for its next
+// iteration — SLAQ maximizes aggregate model quality, not JCT (the paper
+// notes it therefore produces the highest JCT among the comparison set).
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class SlaqScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "SLAQ"; }
+  void schedule(SchedulerContext& ctx) override;
+
+  /// Predicted loss reduction of the job's next iteration per second of
+  /// runtime — SLAQ's ranking quantity (public for tests).
+  static double quality_gain_rate(const Job& job);
+};
+
+}  // namespace mlfs::sched

@@ -1,0 +1,35 @@
+// Tiresias [21] baseline: discretized two-dimensional least-attained-
+// service. A job's priority is its attained service (requested GPUs ×
+// executed time); jobs with less attained service run first, which bounds
+// JCT without runtime estimates. We implement the 2D-LAS queue discipline
+// with priority discretization (queue levels by attained-service bands).
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class TiresiasScheduler : public Scheduler {
+ public:
+  /// `band_gpu_hours`: width of one discretization band of attained
+  /// service (GPU·hours), mirroring Tiresias's queue thresholds.
+  explicit TiresiasScheduler(double band_gpu_hours = 8.0);
+
+  std::string name() const override { return "Tiresias"; }
+  void schedule(SchedulerContext& ctx) override;
+  void on_job_complete(const Job& job, SimTime now) override;
+
+  double attained_service(JobId id) const;
+
+ private:
+  void accumulate_service(SchedulerContext& ctx);
+
+  double band_gpu_seconds_;
+  SimTime last_tick_ = -1.0;
+  std::unordered_map<JobId, double> service_;  // GPU·seconds
+  std::unordered_map<JobId, int> demotions_;  // per-job demotion count (max 1: 2 queues)
+};
+
+}  // namespace mlfs::sched

@@ -1,0 +1,117 @@
+#include "sched/util.hpp"
+
+#include <algorithm>
+
+namespace mlfs::sched {
+
+std::optional<Placement> least_loaded_placement(const SchedulerContext& ctx, const Task& task) {
+  const Cluster& cluster = ctx.cluster;
+  std::optional<Placement> best;
+  double best_norm = 0.0;
+  for (const Server& s : cluster.servers()) {
+    const int gpu = s.least_loaded_gpu();
+    if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
+    const double norm = s.utilization().norm();
+    if (!best || norm < best_norm) {
+      best = Placement{s.id(), gpu};
+      best_norm = norm;
+    }
+  }
+  return best;
+}
+
+std::optional<Placement> best_fit_placement(const SchedulerContext& ctx, const Task& task) {
+  const Cluster& cluster = ctx.cluster;
+  std::optional<Placement> best;
+  double best_distance = 0.0;
+  for (const Server& s : cluster.servers()) {
+    const int gpu = s.least_loaded_gpu();
+    if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
+    ResourceVector residual = ResourceVector::uniform(1.0) - s.utilization();
+    residual.clamp_non_negative();
+    const double distance = residual.distance(task.demand * task.usage_factor);
+    if (!best || distance < best_distance) {
+      best = Placement{s.id(), gpu};
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+std::optional<Placement> placement_on_server(const SchedulerContext& ctx, const Task& task,
+                                             ServerId server) {
+  const Server& s = ctx.cluster.server(server);
+  const int gpu = s.least_loaded_gpu();
+  if (!s.fits_without_overload(task, gpu, ctx.hr)) return std::nullopt;
+  return Placement{s.id(), gpu};
+}
+
+std::vector<TaskId> live_queue(const SchedulerContext& ctx) {
+  std::vector<TaskId> out;
+  out.reserve(ctx.queue.size());
+  for (const TaskId tid : ctx.queue) {
+    if (ctx.cluster.task(tid).state == TaskState::Queued) out.push_back(tid);
+  }
+  return out;
+}
+
+int place_job_gang(SchedulerContext& ctx, TaskId task, const PlacementChooser& choose) {
+  const Task& first = ctx.cluster.task(task);
+  const Job& job = ctx.cluster.job(first.job);
+  // Fast fail: if the cluster clearly lacks slots for the whole gang, skip
+  // the per-task host search (the expensive part) entirely.
+  std::size_t queued = 0;
+  for (const TaskId tid : job.tasks()) {
+    if (ctx.cluster.task(tid).state == TaskState::Queued) ++queued;
+  }
+  if (queued == 0) return -1;
+  // Conservative: only skip when the shortfall is unambiguous (2x), since
+  // the estimate assumes typical demands.
+  if (job.id() != ctx.protected_job &&
+      static_cast<int>(queued) > 2 * ctx.cluster.estimate_free_worker_slots(ctx.hr)) {
+    return 0;
+  }
+  std::vector<TaskId> placed_now;
+  bool complete = true;
+  bool any_queued = false;
+  for (const TaskId tid : job.tasks()) {
+    const Task& t = ctx.cluster.task(tid);
+    if (t.state != TaskState::Queued) continue;
+    any_queued = true;
+    const auto p = choose(ctx, t);
+    if (p && ctx.ops.place(tid, p->server, p->gpu)) {
+      placed_now.push_back(tid);
+    } else {
+      complete = false;
+    }
+  }
+  if (!any_queued) return -1;
+  // All-or-nothing: a gang that cannot fully place this round gives its
+  // capacity back immediately — partial gangs cannot run and would only
+  // starve jobs that *can*. The engine-designated protected job is exempt
+  // so oversized gangs still accumulate toward placement.
+  if (!complete && job.id() != ctx.protected_job) {
+    for (const TaskId tid : placed_now) ctx.ops.release(tid);
+    return 0;
+  }
+  return static_cast<int>(placed_now.size());
+}
+
+std::size_t preempt_job(SchedulerContext& ctx, const Job& job) {
+  std::size_t preempted = 0;
+  for (const TaskId tid : job.tasks()) {
+    if (ctx.cluster.task(tid).state == TaskState::Running) {
+      ctx.ops.preempt_to_queue(tid);
+      ++preempted;
+    }
+  }
+  return preempted;
+}
+
+double demand_magnitude(const Task& task) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kNumResources; ++i) sum += task.demand.at(i);
+  return sum;
+}
+
+}  // namespace mlfs::sched

@@ -1,0 +1,59 @@
+// Shared placement helpers for the baseline schedulers. Each baseline is
+// the decision rule of its paper reduced onto this simulator; these
+// helpers cover the mechanics they all need (feasibility checks,
+// least-loaded and best-fit server choice).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+struct Placement {
+  ServerId server;
+  int gpu;
+};
+
+/// Least-loaded feasible placement: the server with the lowest utilization
+/// norm whose least-loaded GPU accepts the task under ctx.hr.
+std::optional<Placement> least_loaded_placement(const SchedulerContext& ctx, const Task& task);
+
+/// Best-fit (packing) placement: among feasible servers, the one whose
+/// remaining capacity vector is *closest* to the task demand (tightest
+/// fit, Tetris/Graphene-style packing).
+std::optional<Placement> best_fit_placement(const SchedulerContext& ctx, const Task& task);
+
+/// Feasible placement on a specific server, if any (least-loaded GPU).
+std::optional<Placement> placement_on_server(const SchedulerContext& ctx, const Task& task,
+                                             ServerId server);
+
+/// Copy of the waiting queue filtered to genuinely queued tasks.
+std::vector<TaskId> live_queue(const SchedulerContext& ctx);
+
+/// Gang-coherent placement: places `task` and then every other queued task
+/// of the same job, choosing each host with `choose` (returns nullopt to
+/// skip). Jobs run iterations only when fully placed, so grouping a job's
+/// placements avoids the partial-placement deadlocks that task-interleaved
+/// orders otherwise produce. Returns the number of tasks placed.
+using PlacementChooser =
+    std::function<std::optional<Placement>(const SchedulerContext&, const Task&)>;
+/// Returns the number of tasks placed; 0 = the gang could not complete and
+/// was rolled back; -1 = the job had no queued tasks (stale queue entry).
+int place_job_gang(SchedulerContext& ctx, TaskId task, const PlacementChooser& choose);
+
+/// Under sustained overload most gangs fail; scheduler loops stop after
+/// this many consecutive failed gang attempts per round (the queue beyond
+/// that point retries next tick). Bounds per-round cost at high load.
+inline constexpr int kMaxConsecutiveGangFailures = 200;
+
+/// Sum of a task demand vector's components (a scalar "size" for packing
+/// difficulty scores).
+double demand_magnitude(const Task& task);
+
+/// Preempts every running task of `job` back to the queue (job-level
+/// preemption — gang execution stops either way). Returns tasks preempted.
+std::size_t preempt_job(SchedulerContext& ctx, const Job& job);
+
+}  // namespace mlfs::sched

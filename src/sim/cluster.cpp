@@ -1,0 +1,202 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  MLFS_EXPECT(config_.server_count >= 1);
+  MLFS_EXPECT(config_.gpus_per_server >= 1);
+  servers_.reserve(config_.server_count);
+  const auto slow_from = static_cast<std::size_t>(std::lround(
+      static_cast<double>(config_.server_count) * (1.0 - config_.slow_server_fraction)));
+  for (std::size_t i = 0; i < config_.server_count; ++i) {
+    const double speed = i >= slow_from ? config_.slow_server_speed : 1.0;
+    servers_.emplace_back(static_cast<ServerId>(i), config_.gpus_per_server, speed);
+  }
+}
+
+Server& Cluster::server(ServerId id) {
+  MLFS_EXPECT(id < servers_.size());
+  return servers_[id];
+}
+
+const Server& Cluster::server(ServerId id) const {
+  MLFS_EXPECT(id < servers_.size());
+  return servers_[id];
+}
+
+std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
+  std::vector<ServerId> out;
+  for (const Server& s : servers_) {
+    if (!s.overloaded(hr)) out.push_back(s.id());
+  }
+  return out;
+}
+
+std::vector<ServerId> Cluster::overloaded_servers(double hr) const {
+  std::vector<ServerId> out;
+  for (const Server& s : servers_) {
+    if (s.overloaded(hr)) out.push_back(s.id());
+  }
+  return out;
+}
+
+double Cluster::overload_degree() const {
+  double sum = 0.0;
+  for (const Server& s : servers_) sum += s.utilization().norm();
+  return sum / static_cast<double>(servers_.size());
+}
+
+int Cluster::estimate_free_worker_slots(double hr, double typical_demand) const {
+  int slots = 0;
+  for (const Server& s : servers_) {
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      const double headroom = hr - s.gpu_load(g);
+      if (headroom >= typical_demand) {
+        slots += static_cast<int>(headroom / typical_demand);
+      }
+    }
+  }
+  return slots;
+}
+
+void Cluster::register_job(Job job, std::vector<Task> tasks) {
+  MLFS_EXPECT(job.id() == jobs_.size());  // dense sequential ids
+  for (const Task& t : tasks) {
+    MLFS_EXPECT(t.id == tasks_.size());
+    tasks_.push_back(t);
+  }
+  jobs_.push_back(std::move(job));
+}
+
+Task& Cluster::task(TaskId id) {
+  MLFS_EXPECT(id < tasks_.size());
+  return tasks_[id];
+}
+
+const Task& Cluster::task(TaskId id) const {
+  MLFS_EXPECT(id < tasks_.size());
+  return tasks_[id];
+}
+
+Job& Cluster::job(JobId id) {
+  MLFS_EXPECT(id < jobs_.size());
+  return jobs_[id];
+}
+
+const Job& Cluster::job(JobId id) const {
+  MLFS_EXPECT(id < jobs_.size());
+  return jobs_[id];
+}
+
+void Cluster::place_task(TaskId id, ServerId server_id, int gpu) {
+  Task& t = task(id);
+  MLFS_EXPECT(!t.placed());
+  MLFS_EXPECT(t.state == TaskState::Queued);
+  server(server_id).attach_task(t, gpu);
+  t.server = server_id;
+  t.gpu = gpu;
+  t.state = TaskState::Running;
+}
+
+void Cluster::unplace_task(TaskId id) {
+  Task& t = task(id);
+  MLFS_EXPECT(t.placed());
+  server(t.server).detach_task(t, t.gpu);
+  t.server = kInvalidServer;
+  t.gpu = kNoGpu;
+  t.state = TaskState::Queued;
+  t.usage_factor = 1.0;  // feasibility checks while queued use nominal demand
+}
+
+void Cluster::move_task(TaskId id, ServerId to_server, int to_gpu) {
+  Task& t = task(id);
+  MLFS_EXPECT(t.placed());
+  server(t.server).detach_task(t, t.gpu);
+  server(to_server).attach_task(t, to_gpu);
+  t.server = to_server;
+  t.gpu = to_gpu;
+  ++t.migrations;
+}
+
+bool Cluster::job_fully_placed(const Job& job) const {
+  for (const TaskId id : job.tasks()) {
+    const Task& t = task(id);
+    if (t.state == TaskState::Removed || t.state == TaskState::Finished) continue;
+    if (!t.placed()) return false;
+  }
+  return true;
+}
+
+void Cluster::validate() const {
+  for (const Server& s : servers_) {
+    ResourceVector cpu_mem_net;
+    std::vector<double> gpu_sums(static_cast<std::size_t>(s.gpu_count()), 0.0);
+    std::size_t counted = 0;
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      for (const TaskId tid : s.tasks_on_gpu(g)) {
+        const Task& t = task(tid);
+        MLFS_EXPECT(t.server == s.id());
+        MLFS_EXPECT(t.gpu == g);
+        MLFS_EXPECT(t.state == TaskState::Running);
+        const ResourceVector usage = t.demand * t.usage_factor;
+        cpu_mem_net[Resource::Cpu] += usage[Resource::Cpu];
+        cpu_mem_net[Resource::Mem] += usage[Resource::Mem];
+        cpu_mem_net[Resource::Net] += usage[Resource::Net];
+        gpu_sums[static_cast<std::size_t>(g)] += usage[Resource::Gpu];
+        ++counted;
+      }
+    }
+    MLFS_EXPECT(counted == s.task_count());
+    const ResourceVector cached = s.utilization();
+    MLFS_EXPECT(std::abs(cached[Resource::Cpu] - cpu_mem_net[Resource::Cpu]) < 1e-6);
+    MLFS_EXPECT(std::abs(cached[Resource::Mem] - cpu_mem_net[Resource::Mem]) < 1e-6);
+    MLFS_EXPECT(std::abs(cached[Resource::Net] - cpu_mem_net[Resource::Net]) < 1e-6);
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      MLFS_EXPECT(std::abs(s.gpu_load(g) - gpu_sums[static_cast<std::size_t>(g)]) < 1e-6);
+    }
+  }
+  // Every placed task appears on its server.
+  for (const Task& t : tasks_) {
+    if (!t.placed()) continue;
+    const auto& on_gpu = server(t.server).tasks_on_gpu(t.gpu);
+    MLFS_EXPECT(std::find(on_gpu.begin(), on_gpu.end(), t.id) != on_gpu.end());
+  }
+}
+
+void Cluster::set_usage_factor(TaskId id, double factor) {
+  Task& t = task(id);
+  const double old_factor = t.usage_factor;
+  t.usage_factor = factor;
+  if (t.placed()) server(t.server).adjust_usage(t, old_factor, factor);
+}
+
+void Cluster::record_transfer(ServerId a, ServerId b, double mb) {
+  MLFS_EXPECT(mb >= 0.0);
+  if (a == b) return;
+  total_bandwidth_mb_ += mb;
+  if (crosses_racks(a, b)) inter_rack_bandwidth_mb_ += mb;
+  ++transfer_count_;
+}
+
+int Cluster::rack_of(ServerId id) const {
+  MLFS_EXPECT(id < servers_.size());
+  if (config_.servers_per_rack <= 0) return 0;
+  return static_cast<int>(id) / config_.servers_per_rack;
+}
+
+bool Cluster::crosses_racks(ServerId a, ServerId b) const {
+  if (config_.servers_per_rack <= 0) return false;
+  return rack_of(a) != rack_of(b);
+}
+
+double Cluster::flow_bandwidth_between(ServerId a, ServerId b) const {
+  return crosses_racks(a, b) ? config_.inter_rack_flow_bandwidth_mbps
+                             : config_.effective_flow_bandwidth_mbps;
+}
+
+}  // namespace mlfs

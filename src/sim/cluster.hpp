@@ -1,0 +1,132 @@
+// The cluster: the server fleet plus the global task and job pools, the
+// placement API, and the bandwidth-cost ledger. Everything the schedulers
+// read and mutate lives here; the engine drives time on top of it.
+#pragma once
+
+#include <vector>
+
+#include "sim/server.hpp"
+#include "workload/job.hpp"
+
+namespace mlfs {
+
+struct ClusterConfig {
+  std::size_t server_count = 20;
+  int gpus_per_server = 4;
+  /// NIC line rate per server (MB/s); used for migration state transfers
+  /// and the bandwidth ledger's accounting basis.
+  double server_bandwidth_mbps = 1000.0;
+
+  /// Effective per-flow share of the NIC under the contention of many
+  /// concurrent training flows (MB/s); converts per-iteration
+  /// communication volumes into critical-path seconds. The paper's
+  /// premise — "communication overhead between GPUs is 970MB-3168MB per
+  /// mini-batch" — is that this is a first-order cost, which is what
+  /// makes communication-aware placement (§3.3.2) matter.
+  double effective_flow_bandwidth_mbps = 500.0;
+
+  // --- extensions beyond the paper (its §5 limitations / §6 future work) -
+
+  /// Rack topology: servers_per_rack > 0 groups consecutive servers into
+  /// racks; flows crossing racks traverse the oversubscribed core and get
+  /// the slower share below. 0 = flat network (the paper's model).
+  int servers_per_rack = 0;
+  double inter_rack_flow_bandwidth_mbps = 150.0;
+
+  /// GPU heterogeneity: fraction of servers equipped with older GPUs that
+  /// run compute at `slow_server_speed` (< 1). Assignment is
+  /// deterministic: the *last* ceil(fraction × N) servers are slow.
+  double slow_server_fraction = 0.0;
+  double slow_server_speed = 0.5;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  // -- servers --
+  std::size_t server_count() const { return servers_.size(); }
+
+  /// Rack index of a server (0 when the network is flat).
+  int rack_of(ServerId id) const;
+  /// True iff the two servers are in different racks (always false when
+  /// the topology is flat).
+  bool crosses_racks(ServerId a, ServerId b) const;
+  /// Effective flow bandwidth between two distinct servers (MB/s),
+  /// honoring the rack topology.
+  double flow_bandwidth_between(ServerId a, ServerId b) const;
+  Server& server(ServerId id);
+  const Server& server(ServerId id) const;
+  const std::vector<Server>& servers() const { return servers_; }
+
+  /// Server ids currently not overloaded w.r.t. `hr`.
+  std::vector<ServerId> underloaded_servers(double hr) const;
+  std::vector<ServerId> overloaded_servers(double hr) const;
+
+  /// Cluster overload degree O_c = mean_s ||U_s|| (§3.5).
+  double overload_degree() const;
+
+  /// Cheap upper-bound estimate of how many typical worker tasks (GPU
+  /// demand ~`typical_demand`) could still be placed under threshold `hr`.
+  /// Used to fail doomed gang placements fast under sustained overload.
+  int estimate_free_worker_slots(double hr, double typical_demand = 0.45) const;
+
+  // -- task & job pools --
+  /// Registers instantiated job + tasks; task ids must be contiguous and
+  /// equal to the current pool size (ModelZoo::instantiate contract).
+  void register_job(Job job, std::vector<Task> tasks);
+
+  std::size_t task_count() const { return tasks_.size(); }
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+
+  std::size_t job_count() const { return jobs_.size(); }
+  Job& job(JobId id);
+  const Job& job(JobId id) const;
+  std::vector<Job>& jobs() { return jobs_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  // -- placement --
+  /// Places a queued task; requires it unplaced and gpu valid.
+  void place_task(TaskId id, ServerId server, int gpu);
+  /// Removes a placed task from its server (state -> Queued).
+  void unplace_task(TaskId id);
+  /// Atomic move between GPUs/servers; keeps the task Running.
+  void move_task(TaskId id, ServerId to_server, int to_gpu);
+
+  /// True iff every task of the job is placed (gang condition for an
+  /// iteration to run).
+  bool job_fully_placed(const Job& job) const;
+
+  /// Updates a task's usage fluctuation factor, keeping its host server's
+  /// cached usage sums consistent when the task is placed.
+  void set_usage_factor(TaskId id, double factor);
+
+  /// Full consistency audit: recomputes every server's usage sums and
+  /// task lists from the task pool and checks they match the incremental
+  /// state (throws ContractViolation on divergence). O(tasks); meant for
+  /// tests and debugging, not the hot path.
+  void validate() const;
+
+  // -- bandwidth ledger --
+  /// Records `mb` transferred between two servers; intra-server transfers
+  /// are free and not recorded.
+  void record_transfer(ServerId a, ServerId b, double mb);
+  double total_bandwidth_mb() const { return total_bandwidth_mb_; }
+  /// Portion of the ledger that crossed rack boundaries (== 0 when flat).
+  double inter_rack_bandwidth_mb() const { return inter_rack_bandwidth_mb_; }
+  std::size_t transfer_count() const { return transfer_count_; }
+
+ private:
+  ClusterConfig config_;
+  std::vector<Server> servers_;
+  std::vector<Task> tasks_;
+  std::vector<Job> jobs_;
+  double total_bandwidth_mb_ = 0.0;
+  double inter_rack_bandwidth_mb_ = 0.0;
+  std::size_t transfer_count_ = 0;
+};
+
+}  // namespace mlfs

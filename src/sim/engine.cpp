@@ -1,0 +1,621 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mlfs {
+
+SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& engine_config,
+                     std::vector<JobSpec> specs, Scheduler& scheduler,
+                     LoadController* load_controller)
+    : cluster_config_(cluster_config),
+      config_(engine_config),
+      cluster_(cluster_config),
+      scheduler_(scheduler),
+      load_controller_(load_controller),
+      rng_(engine_config.seed) {
+  // Instantiate the whole trace up front; arrival events release jobs into
+  // the queue at their trace times.
+  std::sort(specs.begin(), specs.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.id < b.id; });
+  TaskId next_task = 0;
+  for (const JobSpec& spec : specs) {
+    auto inst = ModelZoo::instantiate(spec, next_task);
+    next_task += static_cast<TaskId>(inst.tasks.size());
+    cluster_.register_job(std::move(inst.job), std::move(inst.tasks));
+  }
+  job_epoch_.assign(cluster_.job_count(), 0);
+  waiting_since_.assign(cluster_.job_count(), 0.0);
+  partial_since_.assign(cluster_.job_count(), -1.0);
+  iter_started_.assign(cluster_.job_count(), 0.0);
+  iter_duration_.assign(cluster_.job_count(), 0.0);
+  resume_credit_.assign(cluster_.job_count(), 0.0);
+  deadline_recorded_.assign(cluster_.job_count(), 0);
+  for (const Job& job : cluster_.jobs()) {
+    push_event(job.spec().arrival, EventType::Arrival, job.id());
+    push_event(job.deadline(), EventType::Deadline, job.id());
+  }
+}
+
+void SimEngine::push_event(SimTime time, EventType type, JobId job, std::uint64_t epoch) {
+  events_.push(Event{time, event_seq_++, type, job, epoch});
+}
+
+// --------------------------------------------------------------- ops
+
+bool SimEngine::place(TaskId task_id, ServerId server, int gpu) {
+  if (server >= cluster_.server_count()) return false;
+  if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
+  Task& t = cluster_.task(task_id);
+  if (t.state != TaskState::Queued) return false;
+  const Job& job = cluster_.job(t.job);
+  if (job.done()) return false;
+  t.total_waiting += now_ - t.queued_since;
+  cluster_.place_task(task_id, server, gpu);
+  if (observer_ != nullptr) observer_->on_task_placed(now_, task_id, server, gpu);
+  return true;
+}
+
+void SimEngine::preempt_to_queue(TaskId task_id) {
+  Task& t = cluster_.task(task_id);
+  MLFS_EXPECT(t.state == TaskState::Running);
+  cluster_.unplace_task(task_id);
+  t.queued_since = now_;
+  queue_.push_back(task_id);
+  ++preemptions_;
+  if (observer_ != nullptr) observer_->on_task_preempted(now_, task_id);
+  Job& job = cluster_.job(t.job);
+  if (job.state() == JobState::Running) {
+    abort_iteration(job);
+    job.set_state(JobState::Waiting);
+    waiting_since_[job.id()] = now_;
+  }
+}
+
+bool SimEngine::migrate(TaskId task_id, ServerId server, int gpu) {
+  if (server >= cluster_.server_count()) return false;
+  if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
+  Task& t = cluster_.task(task_id);
+  if (t.state != TaskState::Running) return false;
+  const ServerId from = t.server;
+  if (from == server && t.gpu == gpu) return false;
+  cluster_.move_task(task_id, server, gpu);
+  if (observer_ != nullptr) observer_->on_task_migrated(now_, task_id, from, server);
+  if (from != server) {
+    cluster_.record_transfer(from, server, t.state_size_mb);
+    t.pending_penalty_seconds += t.state_size_mb / cluster_config_.server_bandwidth_mbps +
+                                 config_.migration_fixed_penalty_seconds;
+  }
+  ++migrations_;
+  return true;
+}
+
+void SimEngine::release(TaskId task_id) {
+  Task& t = cluster_.task(task_id);
+  MLFS_EXPECT(t.state == TaskState::Running);
+  MLFS_EXPECT(cluster_.job(t.job).state() != JobState::Running);
+  cluster_.unplace_task(task_id);
+  t.queued_since = now_;
+  if (observer_ != nullptr) observer_->on_task_released(now_, task_id);
+  // No queue_.push_back: release() is only legal within the round that
+  // placed the task, and queue compaction runs before the round — the
+  // task's original queue entry is still present.
+}
+
+// --------------------------------------------------------------- events
+
+void SimEngine::handle_arrival(JobId id) {
+  Job& job = cluster_.job(id);
+  job.set_state(JobState::Waiting);
+  waiting_since_[id] = now_;
+  for (const TaskId tid : job.tasks()) {
+    Task& t = cluster_.task(tid);
+    t.queued_since = now_;
+    queue_.push_back(tid);
+  }
+  scheduler_.on_job_arrival(job, now_);
+  if (observer_ != nullptr) observer_->on_job_arrival(now_, id);
+  if (!tick_armed_) {
+    tick_armed_ = true;
+    push_event(now_, EventType::Tick);
+  }
+}
+
+void SimEngine::resample_usage() {
+  for (const Server& s : cluster_.servers()) {
+    for (const TaskId tid : s.tasks()) {
+      const Task& t = cluster_.task(tid);
+      cluster_.set_usage_factor(
+          tid, std::clamp(t.usage_bias * rng_.lognormal(0.0, config_.usage_noise_sigma),
+                          0.6, 1.8));
+    }
+  }
+}
+
+void SimEngine::compact_queue() {
+  // Drop entries whose task left the queue, and any duplicates (a task
+  // must appear at most once or gang placement would retry it per copy).
+  std::vector<char> seen(cluster_.task_count(), 0);
+  std::erase_if(queue_, [this, &seen](TaskId tid) {
+    const Task& t = cluster_.task(tid);
+    if (t.state != TaskState::Queued || cluster_.job(t.job).done()) return true;
+    if (seen[tid]) return true;
+    seen[tid] = 1;
+    return false;
+  });
+}
+
+void SimEngine::run_watchdog() {
+  bool any_running = false;
+  for (const Job& job : cluster_.jobs()) {
+    if (job.state() == JobState::Running) {
+      any_running = true;
+      break;
+    }
+  }
+  if (any_running || queue_.empty()) {
+    stall_ticks_ = 0;
+    return;
+  }
+  if (++stall_ticks_ < config_.stall_ticks_before_eviction) return;
+  stall_ticks_ = 0;
+  // Fragmentation deadlock: every waiting job is partially placed and no
+  // placement can complete any of them. Evict the placed tasks of the
+  // least-complete partial job so its resources unblock the others.
+  const JobId protected_id = protected_job();
+  JobId victim = kInvalidJob;
+  double lowest_placed_fraction = 2.0;
+  for (const Job& job : cluster_.jobs()) {
+    if (job.state() != JobState::Waiting || job.done()) continue;
+    if (job.id() == protected_id) continue;
+    std::size_t placed = 0;
+    std::size_t live = 0;
+    for (const TaskId tid : job.tasks()) {
+      const Task& t = cluster_.task(tid);
+      if (t.state == TaskState::Finished || t.state == TaskState::Removed) continue;
+      ++live;
+      if (t.placed()) ++placed;
+    }
+    if (live == 0 || placed == 0) continue;
+    const double fraction = static_cast<double>(placed) / static_cast<double>(live);
+    if (fraction < lowest_placed_fraction) {
+      lowest_placed_fraction = fraction;
+      victim = job.id();
+    }
+  }
+  if (victim == kInvalidJob) return;
+  MLFS_DEBUG("watchdog evicting partial job " << victim);
+  ++watchdog_evictions_;
+  const Job& job = cluster_.job(victim);
+  for (const TaskId tid : job.tasks()) {
+    Task& t = cluster_.task(tid);
+    if (t.state == TaskState::Running) {
+      cluster_.unplace_task(tid);
+      t.queued_since = now_;
+      queue_.push_back(tid);
+      ++preemptions_;
+    }
+  }
+}
+
+void SimEngine::handle_tick() {
+  resample_usage();
+  overload_occurrences_ += cluster_.overloaded_servers(config_.hr).size();
+  compact_queue();
+
+  if (load_controller_ != nullptr) {
+    load_controller_->before_schedule(cluster_, queue_, now_);
+    // The controller may have lowered targets below completed counts;
+    // stop any job that now satisfies its (possibly downgraded) policy.
+    for (Job& job : cluster_.jobs()) {
+      if (job.done() || job.state() == JobState::Waiting) continue;
+      if (job.completed_iterations() > 0 && should_stop(job)) complete_job(job);
+    }
+    compact_queue();
+  }
+
+  SchedulerContext ctx{cluster_,   queue_, *this, now_, config_.hr, &runtime_predictor_,
+                       protected_job()};
+  const auto wall_start = std::chrono::steady_clock::now();
+  scheduler_.schedule(ctx);
+  const auto wall_end = std::chrono::steady_clock::now();
+  sched_wall_ms_total_ +=
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  ++sched_rounds_;
+
+  compact_queue();
+  try_start_jobs();
+  release_stale_partial_placements();
+  run_watchdog();
+
+  // Keep ticking while there is anything left to drive.
+  if (jobs_completed_ < cluster_.job_count() && now_ < config_.max_sim_time) {
+    push_event(now_ + config_.tick_interval, EventType::Tick);
+  } else {
+    tick_armed_ = false;
+  }
+}
+
+void SimEngine::try_start_jobs() {
+  for (Job& job : cluster_.jobs()) {
+    if (job.state() != JobState::Waiting || job.done()) continue;
+    if (job.spec().arrival > now_) continue;
+    if (!cluster_.job_fully_placed(job)) continue;
+    // All live tasks placed: accumulate waiting, start the next iteration.
+    job.add_waiting_time(now_ - waiting_since_[job.id()]);
+    job.set_state(JobState::Running);
+    partial_since_[job.id()] = -1.0;
+    if (observer_ != nullptr) observer_->on_job_started(now_, job.id());
+    start_iteration(job);
+  }
+}
+
+JobId SimEngine::protected_job() const {
+  // The arrived, unfinished job that has waited longest. Its partial
+  // placements are never released or evicted, so it monotonically
+  // approaches a full gang — the global progress guarantee.
+  JobId best = kInvalidJob;
+  double best_wait = -1.0;
+  for (const Job& job : cluster_.jobs()) {
+    if (job.done() || job.state() != JobState::Waiting || job.spec().arrival > now_) continue;
+    const double wait = job.waiting_time() + (now_ - waiting_since_[job.id()]);
+    if (wait > best_wait) {
+      best_wait = wait;
+      best = job.id();
+    }
+  }
+  return best;
+}
+
+void SimEngine::release_stale_partial_placements() {
+  const JobId protected_id = protected_job();
+  for (Job& job : cluster_.jobs()) {
+    if (job.id() == protected_id) continue;
+    if (job.done() || job.state() != JobState::Waiting || job.spec().arrival > now_) {
+      partial_since_[job.id()] = -1.0;
+      continue;
+    }
+    bool any_placed = false;
+    for (const TaskId tid : job.tasks()) {
+      if (cluster_.task(tid).state == TaskState::Running) {
+        any_placed = true;
+        break;
+      }
+    }
+    if (!any_placed) {
+      partial_since_[job.id()] = -1.0;
+      continue;
+    }
+    if (partial_since_[job.id()] < 0.0) {
+      partial_since_[job.id()] = now_;
+      continue;
+    }
+    if (now_ - partial_since_[job.id()] < config_.partial_placement_timeout) continue;
+    // Idle placements held too long: give the capacity back (the job is
+    // not running, so nothing is aborted) and retry as one gang later.
+    for (const TaskId tid : job.tasks()) {
+      Task& t = cluster_.task(tid);
+      if (t.state == TaskState::Running) {
+        cluster_.unplace_task(tid);
+        t.queued_since = now_;
+        queue_.push_back(tid);
+      }
+    }
+    partial_since_[job.id()] = -1.0;
+    ++partial_releases_;
+  }
+}
+
+double SimEngine::iteration_duration(const Job& job) {
+  const Dag& dag = job.dag();
+  const std::size_t n = dag.node_count();
+  std::vector<double> finish(n, 0.0);
+  double critical = 0.0;
+  bool any_cross_server = false;
+  for (const std::size_t u : dag.topological_order()) {
+    Task& t = cluster_.task(job.task_at(u));
+    if (t.state == TaskState::Finished || t.state == TaskState::Removed) continue;
+    MLFS_EXPECT(t.placed());
+    const Server& server = cluster_.server(t.server);
+
+    double start = 0.0;
+    for (const std::size_t p : dag.parents(u)) {
+      const Task& pt = cluster_.task(job.task_at(p));
+      double comm = 0.0;
+      if (pt.placed() && pt.server != t.server) {
+        const double volume =
+            t.is_parameter_server ? job.spec().comm_volume_ps_mb : job.spec().comm_volume_ww_mb;
+        comm = volume / cluster_.flow_bandwidth_between(pt.server, t.server);
+        any_cross_server = true;
+      }
+      start = std::max(start, finish[p] + comm);
+    }
+
+    // Contention: sharing within capacity is free; past saturation the
+    // slowdown is quadratic (thrashing, cache and PCIe/NIC congestion are
+    // superlinear), which is what makes overload worth handling (§3.3.3).
+    const double hr = config_.hr;
+    const auto congestion = [hr](double load) {
+      // Interference begins at the overload threshold and grows
+      // quadratically (thrashing / congestion are superlinear).
+      if (load <= hr) return 1.0;
+      const double x = load / hr;
+      return x * x * x;
+    };
+    const double gpu_slow = congestion(server.gpu_load(t.gpu));
+    const ResourceVector u_s = server.utilization();
+    const double res_slow = std::max(
+        {congestion(u_s[Resource::Cpu]), congestion(u_s[Resource::Mem]),
+         congestion(u_s[Resource::Net])});
+    double compute = t.base_compute_seconds * gpu_slow * res_slow / server.speed();
+    if (config_.straggler_probability > 0.0) {
+      // Deterministic per (task, iteration) draws so replays agree. The
+      // effective slowdown is the minimum across the primary and its
+      // replicas — the paper's first-copy-wins mitigation.
+      const auto draws = 1 + std::max(0, config_.straggler_replicas);
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < draws; ++r) {
+        Rng draw(job.spec().seed ^ (0x9e3779b97f4a7c15ULL * (t.id + 1)) ^
+                 (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(
+                                             job.completed_iterations() * draws + r + 1)));
+        const double factor = draw.bernoulli(config_.straggler_probability)
+                                  ? config_.straggler_slowdown
+                                  : 1.0;
+        best = std::min(best, factor);
+      }
+      compute *= best;
+    }
+    compute += t.pending_penalty_seconds;
+    t.pending_penalty_seconds = 0.0;
+
+    finish[u] = start + compute;
+    critical = std::max(critical, finish[u]);
+  }
+  if (job.spec().comm == CommStructure::AllReduce) {
+    // Ring all-reduce at the iteration end; pipelined, so ~2 volumes when
+    // any hop crosses servers.
+    bool cross = any_cross_server;
+    if (!cross) {
+      for (std::size_t i = 0; i + 1 < job.task_count(); ++i) {
+        if (cluster_.task(job.task_at(i)).server != cluster_.task(job.task_at(i + 1)).server) {
+          cross = true;
+          break;
+        }
+      }
+    }
+    if (cross) {
+      // Worst hop in the ring bounds the all-reduce round.
+      double ring_bw = cluster_config_.effective_flow_bandwidth_mbps;
+      for (std::size_t i = 0; i < job.task_count(); ++i) {
+        const Task& a = cluster_.task(job.task_at(i));
+        const Task& b = cluster_.task(job.task_at((i + 1) % job.task_count()));
+        if (a.placed() && b.placed() && a.server != b.server) {
+          ring_bw = std::min(ring_bw, cluster_.flow_bandwidth_between(a.server, b.server));
+        }
+      }
+      critical += 2.0 * job.spec().comm_volume_ww_mb / ring_bw;
+    }
+  }
+  return std::max(critical, 1e-3);
+}
+
+void SimEngine::start_iteration(Job& job) {
+  MLFS_EXPECT(job.state() == JobState::Running);
+  // Resume credit from a previously aborted iteration (checkpointing):
+  // only the unfinished remainder must be recomputed.
+  double duration = iteration_duration(job) * (1.0 - resume_credit_[job.id()]);
+  resume_credit_[job.id()] = 0.0;
+  duration = std::max(duration, 1e-3);
+  const std::uint64_t epoch = ++job_epoch_[job.id()];
+  iter_started_[job.id()] = now_;
+  iter_duration_[job.id()] = duration;
+  push_event(now_ + duration, EventType::IterationDone, job.id(), epoch);
+}
+
+void SimEngine::abort_iteration(Job& job) {
+  const JobId id = job.id();
+  if (job.state() == JobState::Running && iter_duration_[id] > 0.0) {
+    const double fraction = (now_ - iter_started_[id]) / iter_duration_[id];
+    // Combine with any prior credit: progress accumulates across aborts.
+    const double prior = resume_credit_[id];
+    resume_credit_[id] =
+        std::clamp(prior + (1.0 - prior) * std::clamp(fraction, 0.0, 1.0), 0.0, 0.95);
+  }
+  iter_duration_[id] = 0.0;
+  ++job_epoch_[id];
+}
+
+void SimEngine::account_iteration_bandwidth(const Job& job) {
+  const Dag& dag = job.dag();
+  for (std::size_t u = 0; u < dag.node_count(); ++u) {
+    const Task& t = cluster_.task(job.task_at(u));
+    for (const std::size_t c : dag.children(u)) {
+      const Task& ct = cluster_.task(job.task_at(c));
+      if (!t.placed() || !ct.placed()) continue;
+      const double volume =
+          ct.is_parameter_server ? job.spec().comm_volume_ps_mb : job.spec().comm_volume_ww_mb;
+      cluster_.record_transfer(t.server, ct.server, volume);
+    }
+  }
+  if (job.spec().comm == CommStructure::AllReduce) {
+    for (std::size_t i = 0; i < job.task_count(); ++i) {
+      const Task& a = cluster_.task(job.task_at(i));
+      const Task& b = cluster_.task(job.task_at((i + 1) % job.task_count()));
+      if (a.placed() && b.placed()) {
+        cluster_.record_transfer(a.server, b.server, job.spec().comm_volume_ww_mb);
+      }
+    }
+  }
+  if (config_.straggler_replicas > 0) {
+    // Each replica ships its copy of the task's per-iteration output; we
+    // charge it as cross-server traffic (replicas are placed elsewhere by
+    // construction — co-locating them would not mitigate anything).
+    const double volume = job.spec().comm == CommStructure::ParameterServer
+                              ? job.spec().comm_volume_ps_mb
+                              : job.spec().comm_volume_ww_mb;
+    const double replica_mb =
+        volume * static_cast<double>(config_.straggler_replicas) *
+        static_cast<double>(job.task_count());
+    // Account against an arbitrary distinct server pair (ledger is scalar).
+    if (cluster_.server_count() > 1) cluster_.record_transfer(0, 1, replica_mb);
+  }
+}
+
+bool SimEngine::should_stop(const Job& job) const {
+  const int done = job.completed_iterations();
+  if (done >= job.target_iterations()) return true;
+  switch (job.active_policy()) {
+    case StopPolicy::FixedIterations:
+      return false;
+    case StopPolicy::AccuracyOnly:
+      return job.current_accuracy() >= job.spec().accuracy_requirement;
+    case StopPolicy::OptStop: {
+      if (done < 3 || done % config_.optstop_check_interval != 0) return false;
+      std::vector<double> observed(static_cast<std::size_t>(done));
+      for (int i = 1; i <= done; ++i) {
+        observed[static_cast<std::size_t>(i - 1)] = job.curve().accuracy_at(i);
+      }
+      const CurvePrediction at_max =
+          curve_predictor_.predict_at(observed, job.spec().max_iterations);
+      // §3.5: a job predicted to miss its requirement stops once the
+      // prediction is confident; otherwise it stops when it is within
+      // near_max_fraction of everything it could ever reach.
+      if (at_max.accuracy < job.spec().accuracy_requirement &&
+          at_max.confidence > config_.optstop_confidence_threshold) {
+        return true;
+      }
+      return job.current_accuracy() >= config_.optstop_near_max_fraction * at_max.accuracy;
+    }
+  }
+  return false;
+}
+
+void SimEngine::complete_job(Job& job) {
+  MLFS_EXPECT(!job.done());
+  abort_iteration(job);
+  if (job.state() == JobState::Waiting) {
+    job.add_waiting_time(now_ - waiting_since_[job.id()]);
+  }
+  for (const TaskId tid : job.tasks()) {
+    Task& t = cluster_.task(tid);
+    if (t.state == TaskState::Running) cluster_.unplace_task(tid);
+    t.state = TaskState::Finished;
+  }
+  job.set_state(JobState::Completed);
+  job.set_completion_time(now_);
+  ++jobs_completed_;
+  runtime_predictor_.record_completion(job);
+  scheduler_.on_job_complete(job, now_);
+  if (observer_ != nullptr) observer_->on_job_complete(now_, job.id());
+}
+
+void SimEngine::handle_iteration_done(JobId id, std::uint64_t epoch) {
+  Job& job = cluster_.job(id);
+  if (job.done() || epoch != job_epoch_[id]) return;  // aborted iteration
+  MLFS_EXPECT(job.state() == JobState::Running);
+  job.complete_iteration();
+  ++iterations_run_;
+  if (observer_ != nullptr) {
+    observer_->on_iteration_complete(now_, id, job.completed_iterations());
+  }
+  account_iteration_bandwidth(job);
+  if (should_stop(job)) {
+    complete_job(job);
+  } else {
+    start_iteration(job);
+  }
+}
+
+void SimEngine::handle_deadline(JobId id) {
+  Job& job = cluster_.job(id);
+  if (deadline_recorded_[id]) return;
+  deadline_recorded_[id] = 1;
+  if (!job.done()) job.record_deadline_progress();
+}
+
+// --------------------------------------------------------------- run
+
+RunMetrics SimEngine::run() {
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.time > config_.max_sim_time) break;
+    MLFS_EXPECT(ev.time + 1e-9 >= now_);
+    now_ = std::max(now_, ev.time);
+    switch (ev.type) {
+      case EventType::Arrival: handle_arrival(ev.job); break;
+      case EventType::Tick: handle_tick(); break;
+      case EventType::IterationDone: handle_iteration_done(ev.job, ev.epoch); break;
+      case EventType::Deadline: handle_deadline(ev.job); break;
+    }
+    if (jobs_completed_ == cluster_.job_count()) break;
+  }
+  if (jobs_completed_ < cluster_.job_count()) {
+    MLFS_WARN("simulation hit max_sim_time with " << (cluster_.job_count() - jobs_completed_)
+                                                  << " jobs incomplete (censored)");
+  }
+
+  RunMetrics m;
+  m.scheduler = scheduler_.name();
+  m.job_count = cluster_.job_count();
+  double first_arrival = std::numeric_limits<double>::infinity();
+  double last_completion = 0.0;
+  std::size_t deadline_met = 0;
+  std::size_t accuracy_met = 0;
+  std::size_t urgent_total = 0;
+  std::size_t urgent_met = 0;
+  double accuracy_sum = 0.0;
+  std::size_t iterations_saved = 0;
+  for (Job& job : cluster_.jobs()) {
+    if (!job.done()) {
+      // Censored job: charge it the full horizon so it cannot improve a
+      // scheduler's numbers by never finishing.
+      job.set_completion_time(std::max(now_, config_.max_sim_time));
+      if (job.iterations_at_deadline() < 0 && now_ > job.deadline()) {
+        job.record_deadline_progress();
+      }
+    }
+    const double jct = job.completion_time() - job.spec().arrival;
+    m.jct_minutes.add(to_minutes(jct));
+    m.waiting_seconds.add(job.waiting_time());
+    first_arrival = std::min(first_arrival, job.spec().arrival);
+    last_completion = std::max(last_completion, job.completion_time());
+    const bool met_deadline = job.done() && job.completion_time() <= job.deadline();
+    if (met_deadline) ++deadline_met;
+    if (job.spec().urgency > 8.0) {
+      ++urgent_total;
+      if (met_deadline) ++urgent_met;
+    }
+    const double acc = job.accuracy_by_deadline();
+    accuracy_sum += acc;
+    if (acc >= job.spec().accuracy_requirement) ++accuracy_met;
+    iterations_saved += static_cast<std::size_t>(
+        std::max(0, job.spec().max_iterations - job.completed_iterations()));
+  }
+  const auto n = static_cast<double>(cluster_.job_count());
+  m.makespan_hours = to_hours(last_completion - first_arrival);
+  m.deadline_ratio = static_cast<double>(deadline_met) / n;
+  m.accuracy_ratio = static_cast<double>(accuracy_met) / n;
+  m.average_accuracy = accuracy_sum / n;
+  m.bandwidth_tb = cluster_.total_bandwidth_mb() / 1e6;
+  m.inter_rack_tb = cluster_.inter_rack_bandwidth_mb() / 1e6;
+  m.sched_overhead_ms = sched_rounds_ > 0 ? sched_wall_ms_total_ / sched_rounds_ : 0.0;
+  m.overload_occurrences = overload_occurrences_;
+  m.migrations = migrations_;
+  m.preemptions = preemptions_;
+  m.partial_releases = partial_releases_;
+  m.watchdog_evictions = watchdog_evictions_;
+  m.iterations_run = iterations_run_;
+  m.iterations_saved = iterations_saved;
+  m.urgent_deadline_ratio =
+      urgent_total > 0 ? static_cast<double>(urgent_met) / urgent_total : 0.0;
+  return m;
+}
+
+}  // namespace mlfs

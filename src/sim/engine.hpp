@@ -1,0 +1,183 @@
+// Discrete-event simulation engine. Drives job arrivals, per-iteration
+// execution of each job's task DAG under contention, deadline bookkeeping,
+// the periodic scheduler tick, stop-policy semantics (§3.5 options), and
+// metric collection.
+//
+// Execution model (see DESIGN.md §5):
+//  * A job runs iterations only while *all* of its unfinished tasks are
+//    placed (gang execution across its dependency graph).
+//  * Iteration duration = critical path over the DAG where each task costs
+//    base_compute × contention slowdown, plus cross-server communication
+//    time, plus any pending one-time migration penalty.
+//  * Task usage fluctuates (lognormal factor resampled per tick), which is
+//    what produces overload episodes for the schedulers to handle.
+//  * The scheduler runs every tick_interval ("every minute", §4.1); its
+//    wall-clock time per round is the overhead metric of Figs. 4(h)/5(h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "predict/learning_curve.hpp"
+#include "predict/runtime_predictor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_log.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mlfs {
+
+struct EngineConfig {
+  SimDuration tick_interval = minutes(1);
+  double hr = 0.9;                 ///< per-server overload threshold (§3.3.2)
+  double usage_noise_sigma = 0.08; ///< lognormal sigma of task usage fluctuation
+  double migration_fixed_penalty_seconds = 5.0;  ///< restart cost on top of state transfer
+  SimDuration max_sim_time = days(365);  ///< hard stop; unfinished jobs count as censored
+  std::uint64_t seed = 7;
+
+  // OptStop semantics (§3.5, via the learning-curve predictor [17]).
+  int optstop_check_interval = 5;        ///< evaluate the stop rule every k iterations
+  double optstop_near_max_fraction = 0.99;  ///< stop when acc >= frac × predicted max
+  double optstop_confidence_threshold = 0.6;  ///< needed to stop a hopeless job early
+
+  /// Watchdog: if nothing runs for this many consecutive ticks while tasks
+  /// wait, the most-incomplete partially-placed job is evicted to unwedge
+  /// gang-placement fragmentation deadlocks.
+  int stall_ticks_before_eviction = 10;
+
+  // Straggler model + mitigation (§3.3.3 "Stragglers may occur due to
+  // failing hardware, software bugs, misconfiguration..."; the replica
+  // mechanism the paper sketches as future work). Each task-iteration
+  // independently becomes a straggler with `straggler_probability`,
+  // multiplying its compute by `straggler_slowdown`. With
+  // `straggler_replicas` > 0 each task runs that many backup copies and
+  // the fastest wins ("use the output of the task that completes first"),
+  // at the cost of the replica's communication volume every iteration.
+  double straggler_probability = 0.0;
+  double straggler_slowdown = 4.0;
+  int straggler_replicas = 0;
+
+  /// Gang-placement guard: a job whose tasks are only partially placed
+  /// does not run (gang execution), yet its placed tasks hold GPU slots.
+  /// After this long in that state the idle placements are released back
+  /// to the queue so capacity cannot leak into a cluster-wide deadlock;
+  /// the job's grown waiting-time priority then lets it gang-place
+  /// atomically once capacity frees.
+  SimDuration partial_placement_timeout = minutes(5);
+};
+
+/// Hook for MLF-C (§3.5): invoked every tick before the scheduler so it can
+/// downgrade job stop policies / retarget iterations under overload.
+class LoadController {
+ public:
+  virtual ~LoadController() = default;
+  virtual std::string name() const = 0;
+  virtual void before_schedule(Cluster& cluster, const std::vector<TaskId>& queue,
+                               SimTime now) = 0;
+};
+
+class SimEngine final : private SchedulerOps {
+ public:
+  SimEngine(const ClusterConfig& cluster_config, const EngineConfig& engine_config,
+            std::vector<JobSpec> specs, Scheduler& scheduler,
+            LoadController* load_controller = nullptr);
+
+  /// Runs the whole trace to completion (or max_sim_time) and returns the
+  /// collected metrics.
+  RunMetrics run();
+
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+  SimTime now() const { return now_; }
+  const std::vector<TaskId>& queue() const { return queue_; }
+  const EngineConfig& config() const { return config_; }
+  RuntimePredictor& runtime_predictor() { return runtime_predictor_; }
+
+  /// Attaches an observer notified on every state-changing event (see
+  /// sim/event_log.hpp). Must outlive the engine; nullptr detaches.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+ private:
+  // -- SchedulerOps --
+  bool place(TaskId task, ServerId server, int gpu) override;
+  void preempt_to_queue(TaskId task) override;
+  bool migrate(TaskId task, ServerId server, int gpu) override;
+  void release(TaskId task) override;
+
+  // -- events --
+  enum class EventType { Arrival, IterationDone, Deadline, Tick };
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tiebreak for equal times
+    EventType type;
+    JobId job;
+    std::uint64_t epoch;  // iteration-abort guard for IterationDone
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  void push_event(SimTime time, EventType type, JobId job = kInvalidJob,
+                  std::uint64_t epoch = 0);
+
+  void handle_arrival(JobId id);
+  void handle_tick();
+  void handle_iteration_done(JobId id, std::uint64_t epoch);
+  void handle_deadline(JobId id);
+
+  // -- execution --
+  void try_start_jobs();
+  void start_iteration(Job& job);
+  double iteration_duration(const Job& job);
+  void account_iteration_bandwidth(const Job& job);
+  bool should_stop(const Job& job) const;
+  void complete_job(Job& job);
+  void abort_iteration(Job& job);
+  void resample_usage();
+  void compact_queue();
+  void run_watchdog();
+  void release_stale_partial_placements();
+  JobId protected_job() const;
+
+  ClusterConfig cluster_config_;
+  EngineConfig config_;
+  Cluster cluster_;
+  Scheduler& scheduler_;
+  LoadController* load_controller_;
+  EngineObserver* observer_ = nullptr;
+  Rng rng_;
+  RuntimePredictor runtime_predictor_;
+  LearningCurvePredictor curve_predictor_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t event_seq_ = 0;
+  SimTime now_ = 0.0;
+
+  std::vector<TaskId> queue_;
+  std::vector<std::uint64_t> job_epoch_;     // per job, bumped on abort/start
+  std::vector<SimTime> waiting_since_;       // per job, valid while Waiting
+  std::vector<SimTime> partial_since_;       // per job, -1 = not partially placed
+  std::vector<char> deadline_recorded_;
+  // Checkpoint/resume model: an aborted iteration keeps the fraction of
+  // progress it had made; the job's next iteration start subtracts it.
+  std::vector<SimTime> iter_started_;        // per job, start of in-flight iteration
+  std::vector<double> iter_duration_;        // per job, planned duration
+  std::vector<double> resume_credit_;        // per job, completed fraction in [0, 0.95]
+
+  std::size_t jobs_completed_ = 0;
+  std::size_t overload_occurrences_ = 0;
+  std::size_t migrations_ = 0;
+  std::size_t preemptions_ = 0;
+  std::size_t partial_releases_ = 0;
+  std::size_t watchdog_evictions_ = 0;
+  std::size_t iterations_run_ = 0;
+  double sched_wall_ms_total_ = 0.0;
+  std::size_t sched_rounds_ = 0;
+  int stall_ticks_ = 0;
+  bool tick_armed_ = false;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,65 @@
+#include "sim/event_log.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mlfs {
+
+JsonlEventLog::JsonlEventLog(std::ostream& out) : out_(out) {}
+
+void JsonlEventLog::line(SimTime now, const std::string& event, const std::string& fields) {
+  out_ << "{\"t\":" << now << ",\"event\":\"" << event << '"';
+  if (!fields.empty()) out_ << ',' << fields;
+  out_ << "}\n";
+  ++events_;
+}
+
+void JsonlEventLog::on_job_arrival(SimTime now, JobId job) {
+  std::ostringstream f;
+  f << "\"job\":" << job;
+  line(now, "job_arrival", f.str());
+}
+
+void JsonlEventLog::on_task_placed(SimTime now, TaskId task, ServerId server, int gpu) {
+  std::ostringstream f;
+  f << "\"task\":" << task << ",\"server\":" << server << ",\"gpu\":" << gpu;
+  line(now, "task_placed", f.str());
+}
+
+void JsonlEventLog::on_task_released(SimTime now, TaskId task) {
+  std::ostringstream f;
+  f << "\"task\":" << task;
+  line(now, "task_released", f.str());
+}
+
+void JsonlEventLog::on_task_preempted(SimTime now, TaskId task) {
+  std::ostringstream f;
+  f << "\"task\":" << task;
+  line(now, "task_preempted", f.str());
+}
+
+void JsonlEventLog::on_task_migrated(SimTime now, TaskId task, ServerId from, ServerId to) {
+  std::ostringstream f;
+  f << "\"task\":" << task << ",\"from\":" << from << ",\"to\":" << to;
+  line(now, "task_migrated", f.str());
+}
+
+void JsonlEventLog::on_job_started(SimTime now, JobId job) {
+  std::ostringstream f;
+  f << "\"job\":" << job;
+  line(now, "job_started", f.str());
+}
+
+void JsonlEventLog::on_iteration_complete(SimTime now, JobId job, int iteration) {
+  std::ostringstream f;
+  f << "\"job\":" << job << ",\"iteration\":" << iteration;
+  line(now, "iteration_complete", f.str());
+}
+
+void JsonlEventLog::on_job_complete(SimTime now, JobId job) {
+  std::ostringstream f;
+  f << "\"job\":" << job;
+  line(now, "job_complete", f.str());
+}
+
+}  // namespace mlfs

@@ -1,0 +1,65 @@
+// Engine observability: an observer interface the engine notifies on every
+// state-changing event, plus a JSONL writer implementation. Lets users
+// trace a run (placements, migrations, preemptions, iteration progress)
+// without touching the engine, e.g. to feed a timeline visualizer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "workload/ids.hpp"
+
+namespace mlfs {
+
+/// Event callbacks, all optional. Invoked synchronously by the engine at
+/// the simulated time of the event; implementations must not mutate the
+/// cluster.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_job_arrival(SimTime now, JobId job) { (void)now, (void)job; }
+  virtual void on_task_placed(SimTime now, TaskId task, ServerId server, int gpu) {
+    (void)now, (void)task, (void)server, (void)gpu;
+  }
+  virtual void on_task_released(SimTime now, TaskId task) { (void)now, (void)task; }
+  virtual void on_task_preempted(SimTime now, TaskId task) { (void)now, (void)task; }
+  virtual void on_task_migrated(SimTime now, TaskId task, ServerId from, ServerId to) {
+    (void)now, (void)task, (void)from, (void)to;
+  }
+  virtual void on_job_started(SimTime now, JobId job) { (void)now, (void)job; }
+  virtual void on_iteration_complete(SimTime now, JobId job, int iteration) {
+    (void)now, (void)job, (void)iteration;
+  }
+  virtual void on_job_complete(SimTime now, JobId job) { (void)now, (void)job; }
+};
+
+/// Writes one JSON object per event to a stream:
+///   {"t":123.0,"event":"task_migrated","task":5,"from":0,"to":2}
+/// Field order is fixed and values are plain numbers, so the output is
+/// both jq-able and trivially diffable across deterministic replays.
+class JsonlEventLog final : public EngineObserver {
+ public:
+  /// The stream must outlive the log. No buffering beyond the stream's own.
+  explicit JsonlEventLog(std::ostream& out);
+
+  void on_job_arrival(SimTime now, JobId job) override;
+  void on_task_placed(SimTime now, TaskId task, ServerId server, int gpu) override;
+  void on_task_released(SimTime now, TaskId task) override;
+  void on_task_preempted(SimTime now, TaskId task) override;
+  void on_task_migrated(SimTime now, TaskId task, ServerId from, ServerId to) override;
+  void on_job_started(SimTime now, JobId job) override;
+  void on_iteration_complete(SimTime now, JobId job, int iteration) override;
+  void on_job_complete(SimTime now, JobId job) override;
+
+  std::size_t events_written() const { return events_; }
+
+ private:
+  void line(SimTime now, const std::string& event, const std::string& fields);
+
+  std::ostream& out_;
+  std::size_t events_ = 0;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,23 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace mlfs {
+
+std::string RunMetrics::summary() const {
+  std::ostringstream os;
+  os << scheduler << ": jobs=" << job_count
+     << " avgJCT=" << format_double(average_jct_minutes(), 1) << "min"
+     << " makespan=" << format_double(makespan_hours, 1) << "h"
+     << " deadline=" << format_double(100.0 * deadline_ratio, 1) << "%"
+     << " wait=" << format_double(average_waiting_seconds(), 0) << "s"
+     << " acc=" << format_double(average_accuracy, 3)
+     << " accOK=" << format_double(100.0 * accuracy_ratio, 1) << "%"
+     << " bw=" << format_double(bandwidth_tb, 2) << "TB"
+     << " sched=" << format_double(sched_overhead_ms, 2) << "ms";
+  return os.str();
+}
+
+}  // namespace mlfs

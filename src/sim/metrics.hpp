@@ -1,0 +1,44 @@
+// End-of-run metrics — exactly the eight panels of Figs. 4/5 plus the
+// makespan numbers quoted in §4.2.1 and the component counters the
+// ablation figures need (overload occurrences for Fig. 8(a), migrations).
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace mlfs {
+
+class Cluster;
+
+struct RunMetrics {
+  std::string scheduler;
+  std::size_t job_count = 0;
+
+  SampleSet jct_minutes;            ///< per-job completion time (Figs. 4/5 (a),(b))
+  double makespan_hours = 0.0;      ///< first arrival -> last completion
+  double deadline_ratio = 0.0;      ///< jobs finishing by their deadline (c)
+  SampleSet waiting_seconds;        ///< per-job waiting time (d)
+  double average_accuracy = 0.0;    ///< accuracy by deadline, mean (e)
+  double accuracy_ratio = 0.0;      ///< accuracy requirement met by deadline (f)
+  double bandwidth_tb = 0.0;        ///< total cross-server traffic (g)
+  double inter_rack_tb = 0.0;       ///< rack-crossing share (topology extension)
+  double sched_overhead_ms = 0.0;   ///< mean wall-clock per scheduling round (h)
+
+  std::size_t overload_occurrences = 0;  ///< server-tick overload events (Fig. 8(a))
+  std::size_t migrations = 0;
+  std::size_t preemptions = 0;
+  std::size_t partial_releases = 0;   ///< gang-timeout placement releases
+  std::size_t watchdog_evictions = 0;
+  std::size_t iterations_run = 0;
+  std::size_t iterations_saved = 0;  ///< max_iterations - executed, summed (MLF-C effect)
+  double urgent_deadline_ratio = 0.0;  ///< deadline ratio among jobs with urgency > 8 (Fig. 6)
+
+  double average_jct_minutes() const { return jct_minutes.mean(); }
+  double average_waiting_seconds() const { return waiting_seconds.mean(); }
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace mlfs

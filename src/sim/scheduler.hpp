@@ -1,0 +1,81 @@
+// The scheduler abstraction the engine drives. A scheduler is invoked on
+// every tick ("the job scheduler runs every minute", §4.1) with a view of
+// the cluster, the waiting queue, and an ops interface through which it
+// places queued tasks, preempts running tasks back to the queue, and
+// migrates tasks between servers. The engine times each invocation for the
+// scheduler-overhead metric (Figs. 4(h)/5(h)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sim/cluster.hpp"
+
+namespace mlfs {
+
+class RuntimePredictor;
+
+/// Mutation interface handed to schedulers. Implemented by the engine so
+/// every action goes through one place that keeps queue membership, task
+/// state, waiting-time accounting, and the bandwidth ledger consistent.
+class SchedulerOps {
+ public:
+  virtual ~SchedulerOps() = default;
+
+  /// Moves a queued task onto (server, gpu). Returns false (and does
+  /// nothing) if the task is not queued or the indices are invalid.
+  virtual bool place(TaskId task, ServerId server, int gpu) = 0;
+
+  /// Preempts a running task back to the waiting queue. Aborts the job's
+  /// in-flight iteration (gang execution stops until re-placed).
+  virtual void preempt_to_queue(TaskId task) = 0;
+
+  /// Migrates a running task directly to another server/GPU. Charges the
+  /// task's state size to the bandwidth ledger and a one-time delay to the
+  /// task's next iteration. Returns false if the task is not running.
+  virtual bool migrate(TaskId task, ServerId server, int gpu) = 0;
+
+  /// Rolls back a placement made earlier in the same round for a job that
+  /// could not complete its gang (all-or-nothing placement). The task
+  /// returns to the queue; unlike preempt_to_queue this does not count as
+  /// a preemption and must only be used on tasks of non-running jobs.
+  virtual void release(TaskId task) = 0;
+};
+
+/// Read-only + ops context for one scheduling round.
+struct SchedulerContext {
+  Cluster& cluster;
+  /// Waiting tasks, arrival order; schedulers impose their own order.
+  const std::vector<TaskId>& queue;
+  SchedulerOps& ops;
+  SimTime now = 0.0;
+  double hr = 0.9;  ///< server overload threshold (engine config)
+  const RuntimePredictor* runtime_predictor = nullptr;
+  /// Gang placement is all-or-nothing per round, except this job (the
+  /// longest-waiting one, engine-chosen) may accumulate partial
+  /// placements across rounds so arbitrarily large gangs cannot starve.
+  JobId protected_job = kInvalidJob;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One scheduling round: place waiting tasks, handle overloaded servers.
+  virtual void schedule(SchedulerContext& ctx) = 0;
+
+  /// Lifecycle notifications (optional).
+  virtual void on_job_arrival(const Job& job, SimTime now) {
+    (void)job;
+    (void)now;
+  }
+  virtual void on_job_complete(const Job& job, SimTime now) {
+    (void)job;
+    (void)now;
+  }
+};
+
+}  // namespace mlfs

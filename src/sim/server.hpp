@@ -1,0 +1,78 @@
+// A simulated multi-GPU server. Holds the placement of tasks onto GPUs and
+// answers the utilization queries the schedulers make: per-resource server
+// utilization U_s (CPU/MEM/NET as fractions of server capacity, GPU as mean
+// GPU load), per-GPU load, and overload checks against the threshold h_r
+// (§3.3.2).
+//
+// Task resource *usage* at time t is demand × usage_factor; the engine
+// resamples usage_factor each tick (lognormal noise), which is what makes
+// utilizations fluctuate and servers drift into overload the way real
+// ML-cluster servers do. Usage sums are maintained incrementally so every
+// scheduler query (utilization, gpu_load, feasibility) is O(1) — the
+// placement loops call them once per server per queued task.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace mlfs {
+
+class Cluster;  // owns the task pool this server indexes into
+
+class Server {
+ public:
+  Server(ServerId id, int gpu_count, double speed = 1.0);
+
+  ServerId id() const { return id_; }
+  int gpu_count() const { return gpu_count_; }
+
+  /// Relative compute speed of this server's GPUs (1.0 = the reference
+  /// tier; < 1 for the older tier under the heterogeneity extension).
+  double speed() const { return speed_; }
+
+  const std::vector<TaskId>& tasks() const { return tasks_; }
+  const std::vector<TaskId>& tasks_on_gpu(int gpu) const;
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Placement bookkeeping; called only by Cluster (which keeps the task's
+  /// usage contribution in sync with these calls).
+  void attach_task(const Task& task, int gpu);
+  void detach_task(const Task& task, int gpu);
+  /// Adjusts the cached sums when a placed task's usage_factor changes.
+  void adjust_usage(const Task& task, double old_factor, double new_factor);
+
+  /// Current utilization vector U_s: GPU component is the mean load across
+  /// GPUs; CPU/MEM/NET are summed task usages (can exceed 1 = overload).
+  ResourceVector utilization() const;
+
+  /// Load of one GPU: sum of gpu-demand × usage_factor of its tasks.
+  double gpu_load(int gpu) const;
+
+  /// Index of the least-loaded GPU.
+  int least_loaded_gpu() const;
+
+  /// True iff any resource utilization or any GPU load exceeds `hr`.
+  bool overloaded(double hr) const;
+
+  /// True iff the server stays within `hr` on every resource and on the
+  /// target GPU after hypothetically adding `task` to `gpu` — the
+  /// placement feasibility check (§3.3.2: the chosen server "will not be
+  /// overloaded (on each resource and its least-loaded GPU) by hosting
+  /// the task").
+  bool fits_without_overload(const Task& task, int gpu, double hr) const;
+
+ private:
+  ServerId id_;
+  int gpu_count_;
+  double speed_;
+  std::vector<TaskId> tasks_;
+  std::vector<std::vector<TaskId>> gpu_tasks_;
+  // Incremental usage sums (see class comment).
+  double cpu_sum_ = 0.0;
+  double mem_sum_ = 0.0;
+  double net_sum_ = 0.0;
+  std::vector<double> gpu_sums_;
+};
+
+}  // namespace mlfs

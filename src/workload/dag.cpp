@@ -1,0 +1,106 @@
+#include "workload/dag.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+void Dag::add_edge(std::size_t from, std::size_t to) {
+  MLFS_EXPECT(from < node_count() && to < node_count());
+  MLFS_EXPECT(from != to);
+  auto& kids = children_[from];
+  if (std::find(kids.begin(), kids.end(), to) != kids.end()) return;
+  kids.push_back(to);
+  parents_[to].push_back(from);
+}
+
+std::size_t Dag::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& kids : children_) n += kids.size();
+  return n;
+}
+
+std::vector<std::size_t> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(node_count());
+  for (std::size_t v = 0; v < node_count(); ++v) indegree[v] = parents_[v].size();
+  std::vector<std::size_t> frontier;
+  for (std::size_t v = 0; v < node_count(); ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(node_count());
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.back();
+    frontier.pop_back();
+    order.push_back(u);
+    for (const std::size_t v : children_[u]) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  MLFS_ENSURE(order.size() == node_count());  // otherwise there is a cycle
+  return order;
+}
+
+std::vector<std::size_t> Dag::reverse_topological_order() const {
+  auto order = topological_order();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> Dag::layers() const {
+  std::vector<std::size_t> layer(node_count(), 0);
+  for (const std::size_t u : topological_order()) {
+    for (const std::size_t p : parents_[u]) layer[u] = std::max(layer[u], layer[p] + 1);
+  }
+  return layer;
+}
+
+std::vector<std::size_t> Dag::descendant_counts() const {
+  // Bitset-free transitive closure via reverse topological merge of child
+  // sets; jobs have at most a few hundred tasks so a per-node sorted vector
+  // of descendants is fine.
+  std::vector<std::vector<std::size_t>> desc(node_count());
+  std::vector<std::size_t> counts(node_count(), 0);
+  for (const std::size_t u : reverse_topological_order()) {
+    std::vector<std::size_t> acc;
+    for (const std::size_t c : children_[u]) {
+      acc.push_back(c);
+      acc.insert(acc.end(), desc[c].begin(), desc[c].end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    counts[u] = acc.size();
+    desc[u] = std::move(acc);
+  }
+  return counts;
+}
+
+std::vector<std::size_t> Dag::depth_to_sink() const {
+  std::vector<std::size_t> depth(node_count(), 0);
+  for (const std::size_t u : reverse_topological_order()) {
+    for (const std::size_t c : children_[u]) depth[u] = std::max(depth[u], depth[c] + 1);
+  }
+  return depth;
+}
+
+bool Dag::is_acyclic() const {
+  std::vector<std::size_t> indegree(node_count());
+  for (std::size_t v = 0; v < node_count(); ++v) indegree[v] = parents_[v].size();
+  std::vector<std::size_t> frontier;
+  for (std::size_t v = 0; v < node_count(); ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const std::size_t v : children_[u]) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  return visited == node_count();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,56 @@
+// Task dependency graph of one job (the "model partition graph" of §3.2).
+// Nodes are job-local task indices; an edge u -> v means v consumes u's
+// output, i.e. v is a *child* of u in the paper's priority recursion
+// (Eq. 3: a task's priority folds in the discounted priorities of the tasks
+// that depend on it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mlfs {
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t node_count) : children_(node_count), parents_(node_count) {}
+
+  std::size_t node_count() const { return children_.size(); }
+
+  /// Adds dependency edge from -> to ("to depends on from").
+  /// Requires valid distinct node indices; duplicate edges are ignored.
+  void add_edge(std::size_t from, std::size_t to);
+
+  const std::vector<std::size_t>& children(std::size_t node) const { return children_[node]; }
+  const std::vector<std::size_t>& parents(std::size_t node) const { return parents_[node]; }
+
+  bool is_source(std::size_t node) const { return parents_[node].empty(); }
+  bool is_sink(std::size_t node) const { return children_[node].empty(); }
+
+  std::size_t edge_count() const;
+
+  /// Topological order (Kahn). Throws ContractViolation if cyclic.
+  std::vector<std::size_t> topological_order() const;
+
+  /// Reverse of topological_order() — children before parents; the order
+  /// in which Eq. 3's bottom-up priority recursion must visit nodes.
+  std::vector<std::size_t> reverse_topological_order() const;
+
+  /// Layer index per node: sources are layer 0, otherwise 1 + max(parents).
+  std::vector<std::size_t> layers() const;
+
+  /// Number of (transitive) descendants per node.
+  std::vector<std::size_t> descendant_counts() const;
+
+  /// Longest path length (in nodes) from each node to any sink, i.e. the
+  /// critical-path depth used by Graphene-style troublesome scoring.
+  std::vector<std::size_t> depth_to_sink() const;
+
+  bool is_acyclic() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::vector<std::size_t>> parents_;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,38 @@
+// Identifier types and the small closed enums of the workload model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mlfs {
+
+using JobId = std::uint32_t;
+using TaskId = std::uint32_t;
+using ServerId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+inline constexpr ServerId kInvalidServer = std::numeric_limits<ServerId>::max();
+inline constexpr int kNoGpu = -1;
+
+/// The five ML algorithms the paper's evaluation mixes (§4.1).
+enum class MlAlgorithm { AlexNet, ResNet, Mlp, Lstm, Svm };
+
+/// Parameter-accumulation structure (§3.2).
+enum class CommStructure { ParameterServer, AllReduce };
+
+/// MLF-C stop-policy options (§3.5): i) run the fixed iteration count,
+/// ii) OptStop at the predicted accuracy plateau, iii) stop as soon as the
+/// required accuracy is reached.
+enum class StopPolicy { FixedIterations = 0, OptStop = 1, AccuracyOnly = 2 };
+
+enum class TaskState { Queued, Running, Finished, Removed };
+
+enum class JobState { Waiting, Running, Completed };
+
+std::string to_string(MlAlgorithm a);
+std::string to_string(CommStructure c);
+std::string to_string(StopPolicy p);
+
+}  // namespace mlfs

@@ -1,0 +1,160 @@
+// The workload's central types: the static description of a submitted job
+// (JobSpec), one schedulable unit (Task = one model partition × one
+// mini-batch worker, §3.2), and the runtime Job object that tracks
+// iteration progress, loss reductions, deadlines and stop policy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "workload/dag.hpp"
+#include "workload/ids.hpp"
+#include "workload/loss_curve.hpp"
+#include "workload/resources.hpp"
+
+namespace mlfs {
+
+/// Everything known about a job at submission time. Produced by the trace
+/// generator (or a trace file) and consumed by ModelZoo::instantiate.
+struct JobSpec {
+  JobId id = kInvalidJob;
+  MlAlgorithm algorithm = MlAlgorithm::Mlp;
+  CommStructure comm = CommStructure::ParameterServer;
+  SimTime arrival = 0.0;
+  double urgency = 1.0;      ///< L_J in [0, m] (§3.3.1); higher = more urgent
+  int max_iterations = 50;   ///< I_max
+  int gpu_request = 1;       ///< in {1,2,4,8,16,32}; also the model-partition count (§4.1)
+  double train_data_mb = 500.0;
+  double accuracy_requirement = 0.7;  ///< a^r_J
+  double deadline_slack_hours = 4.0;  ///< t_r ~ U[0.5, 24] h (§4.1)
+  LossCurve::Params curve;
+  double comm_volume_ps_mb = 75.0;  ///< per-communication worker->PS volume (§4.1: U[50,100] MB)
+  double comm_volume_ww_mb = 75.0;  ///< per-communication worker<->worker volume
+  StopPolicy stop_policy = StopPolicy::FixedIterations;
+  StopPolicy min_allowed_policy = StopPolicy::FixedIterations;  ///< MLF-C downgrade bound (§3.5)
+  std::uint64_t seed = 0;  ///< per-job stream for task-level randomness
+};
+
+/// One schedulable unit. Static fields are set once by ModelZoo; dynamic
+/// fields are owned by the simulation (placement, waiting accounting).
+struct Task {
+  // -- static --
+  TaskId id = kInvalidTask;
+  JobId job = kInvalidJob;
+  std::uint32_t local_index = 0;  ///< node index in the job's Dag
+  bool is_parameter_server = false;
+  double partition_params_m = 1.0;    ///< S_k, millions of parameters
+  double state_size_mb = 100.0;       ///< migration payload (weights + activations)
+  ResourceVector demand;              ///< GPU share of one GPU; CPU/MEM/NET share of a server
+  double base_compute_seconds = 1.0;  ///< per-iteration compute on an unshared reference GPU
+
+  // -- dynamic (simulation-owned) --
+  TaskState state = TaskState::Queued;
+  ServerId server = kInvalidServer;
+  int gpu = kNoGpu;
+  SimTime queued_since = 0.0;
+  double total_waiting = 0.0;
+  int migrations = 0;
+  /// Persistent estimation error of the declared demand: actual usage
+  /// centers on demand × usage_bias (users misdeclare; the scheduler's
+  /// feasibility checks see only the declared demand).
+  double usage_bias = 1.0;
+  /// Multiplicative fluctuation applied on top, resampled by the engine
+  /// each tick; actual usage at time t = demand × usage_factor where
+  /// usage_factor ≈ usage_bias × tick noise (1.0 while queued).
+  double usage_factor = 1.0;
+  /// One-time extra seconds added to the next iteration (migration cost).
+  double pending_penalty_seconds = 0.0;
+
+  bool placed() const { return server != kInvalidServer; }
+};
+
+/// Runtime job: static spec + DAG + per-iteration progress. Task structs
+/// live in a global pool owned by the cluster; the job stores their ids
+/// (tasks()[local_index] is the global id of DAG node local_index).
+class Job {
+ public:
+  Job(JobSpec spec, Dag dag, std::vector<TaskId> task_ids, double total_params_m,
+      double ideal_iteration_seconds);
+
+  const JobSpec& spec() const { return spec_; }
+  JobId id() const { return spec_.id; }
+  const Dag& dag() const { return dag_; }
+  std::span<const TaskId> tasks() const { return task_ids_; }
+  TaskId task_at(std::size_t local_index) const { return task_ids_[local_index]; }
+  std::size_t task_count() const { return task_ids_.size(); }
+  double total_params_m() const { return total_params_m_; }
+
+  /// Critical-path seconds of one iteration with no contention — the
+  /// "sample run" estimate used for deadlines and runtime prediction.
+  double ideal_iteration_seconds() const { return ideal_iteration_seconds_; }
+
+  /// Estimated total execution time t_e (ideal, excluding queueing).
+  double estimated_execution_seconds() const {
+    return ideal_iteration_seconds_ * spec_.max_iterations;
+  }
+
+  // -- iteration progress --
+  int completed_iterations() const { return static_cast<int>(loss_reductions_.size()); }
+  /// Records completion of the next iteration and its observed delta-loss.
+  void complete_iteration();
+  const std::vector<double>& loss_reductions() const { return loss_reductions_; }
+  double cumulative_loss_reduction() const { return cumulative_loss_reduction_; }
+  /// Noise-free accuracy at the current iteration count.
+  double current_accuracy() const { return curve_.accuracy_at(completed_iterations()); }
+  const LossCurve& curve() const { return curve_; }
+
+  // -- stop policy (mutated by MLF-C §3.5) --
+  StopPolicy active_policy() const { return active_policy_; }
+  /// Downgrades toward `policy` if the user's min_allowed_policy permits;
+  /// returns true when the active policy actually changed.
+  bool downgrade_policy(StopPolicy policy);
+  /// Iterations the job will run under the current policy; engine/MLF-C
+  /// recompute this when the policy or predictions change.
+  int target_iterations() const { return target_iterations_; }
+  void set_target_iterations(int n);
+
+  // -- requirements & lifecycle --
+  SimTime deadline() const { return deadline_; }
+  void set_deadline(SimTime d) { deadline_ = d; }
+
+  JobState state() const { return state_; }
+  void set_state(JobState s) { state_ = s; }
+  SimTime completion_time() const { return completion_time_; }
+  void set_completion_time(SimTime t) { completion_time_ = t; }
+  double waiting_time() const { return waiting_time_; }
+  void add_waiting_time(double dt) { waiting_time_ += dt; }
+
+  /// Iterations finished when the deadline passed (-1 until recorded).
+  int iterations_at_deadline() const { return iterations_at_deadline_; }
+  void record_deadline_progress() { iterations_at_deadline_ = completed_iterations(); }
+
+  /// Accuracy achieved by min(deadline, completion) — the paper's
+  /// "accuracy by job deadline" metric (§4.2.1, Figs. 4(e)/5(e)).
+  double accuracy_by_deadline() const;
+
+  bool done() const { return state_ == JobState::Completed; }
+
+ private:
+  JobSpec spec_;
+  Dag dag_;
+  std::vector<TaskId> task_ids_;
+  double total_params_m_;
+  double ideal_iteration_seconds_;
+  LossCurve curve_;
+
+  std::vector<double> loss_reductions_;
+  double cumulative_loss_reduction_ = 0.0;
+
+  StopPolicy active_policy_;
+  int target_iterations_;
+
+  SimTime deadline_ = 0.0;
+  JobState state_ = JobState::Waiting;
+  SimTime completion_time_ = -1.0;
+  double waiting_time_ = 0.0;
+  int iterations_at_deadline_ = -1;
+};
+
+}  // namespace mlfs

@@ -1,0 +1,49 @@
+#include "workload/loss_curve.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+LossCurve::LossCurve(const Params& params) : params_(params) {
+  MLFS_EXPECT(params_.max_accuracy > 0.0 && params_.max_accuracy <= 1.0);
+  MLFS_EXPECT(params_.kappa > 0.0);
+  MLFS_EXPECT(params_.initial_loss >= params_.final_loss);
+  MLFS_EXPECT(params_.noise_sigma >= 0.0);
+}
+
+double LossCurve::accuracy_at(int iteration) const {
+  MLFS_EXPECT(iteration >= 0);
+  const double i = static_cast<double>(iteration);
+  return params_.max_accuracy * i / (i + params_.kappa);
+}
+
+double LossCurve::loss_at(int iteration) const {
+  MLFS_EXPECT(iteration >= 0);
+  const double i = static_cast<double>(iteration);
+  return params_.final_loss +
+         (params_.initial_loss - params_.final_loss) * params_.kappa / (i + params_.kappa);
+}
+
+double LossCurve::observed_delta_loss(int iteration) const {
+  MLFS_EXPECT(iteration >= 1);
+  const double clean = loss_at(iteration - 1) - loss_at(iteration);
+  if (params_.noise_sigma == 0.0) return clean;
+  // Deterministic per-(seed, iteration) noise: replaying a simulation must
+  // observe the same values regardless of event interleaving.
+  Rng rng(params_.noise_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(iteration)));
+  return clean * rng.lognormal(0.0, params_.noise_sigma);
+}
+
+int LossCurve::iterations_to_accuracy(double target, int limit) const {
+  MLFS_EXPECT(limit >= 0);
+  if (target <= 0.0) return 0;
+  if (target >= params_.max_accuracy) return limit;
+  // accuracy(I) >= target  <=>  I >= kappa * target / (a_max - target)
+  const double i = params_.kappa * target / (params_.max_accuracy - target);
+  const int need = static_cast<int>(std::ceil(i - 1e-12));
+  return need > limit ? limit : need;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,84 @@
+#include "workload/resources.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace mlfs {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  for (std::size_t i = 0; i < kNumResources; ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  for (std::size_t i = 0; i < kNumResources; ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator*=(double s) {
+  for (auto& x : v_) x *= s;
+  return *this;
+}
+
+double ResourceVector::norm() const {
+  double sq = 0.0;
+  for (const double x : v_) sq += x * x;
+  return std::sqrt(sq);
+}
+
+double ResourceVector::distance(const ResourceVector& o) const {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    const double d = v_[i] - o.v_[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+bool ResourceVector::fits_within(const ResourceVector& o, double eps) const {
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    if (v_[i] > o.v_[i] + eps) return false;
+  }
+  return true;
+}
+
+double ResourceVector::max_component() const {
+  double m = v_[0];
+  for (const double x : v_) m = std::max(m, x);
+  return m;
+}
+
+void ResourceVector::clamp_non_negative() {
+  for (auto& x : v_) {
+    if (x < 0.0) x = 0.0;
+  }
+}
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+ResourceVector operator-(ResourceVector a, const ResourceVector& b) { return a -= b; }
+ResourceVector operator*(ResourceVector a, double s) { return a *= s; }
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v) {
+  os << "[gpu=" << v[Resource::Gpu] << " cpu=" << v[Resource::Cpu] << " mem=" << v[Resource::Mem]
+     << " net=" << v[Resource::Net] << "]";
+  return os;
+}
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::Gpu: return "gpu";
+    case Resource::Cpu: return "cpu";
+    case Resource::Mem: return "mem";
+    case Resource::Net: return "net";
+  }
+  return "?";
+}
+
+}  // namespace mlfs

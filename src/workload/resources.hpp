@@ -1,0 +1,70 @@
+// Multi-resource vectors (§3.3.2): GPU, CPU, memory and network, each
+// expressed as a fraction of a server's capacity (GPU as a fraction of a
+// single GPU for task demands). The RIAL-style placement and migration
+// logic compares these vectors by Euclidean distance.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace mlfs {
+
+/// The M resource types the evaluation considers (§4.1: "CPU, memory, GPU
+/// and bandwidth cost"). Extendable by growing the enum + kNumResources.
+enum class Resource : std::size_t { Gpu = 0, Cpu = 1, Mem = 2, Net = 3 };
+
+inline constexpr std::size_t kNumResources = 4;
+
+/// Fixed-size vector over the resource types with the arithmetic the
+/// schedulers need. Values are utilizations/demands in [0, ~1+] — values
+/// above 1 mean oversubscription, which is exactly what overload detection
+/// looks for.
+class ResourceVector {
+ public:
+  constexpr ResourceVector() : v_{} {}
+  constexpr ResourceVector(double gpu, double cpu, double mem, double net)
+      : v_{gpu, cpu, mem, net} {}
+
+  static constexpr ResourceVector uniform(double x) { return {x, x, x, x}; }
+
+  double operator[](Resource r) const { return v_[static_cast<std::size_t>(r)]; }
+  double& operator[](Resource r) { return v_[static_cast<std::size_t>(r)]; }
+  double at(std::size_t i) const { return v_[i]; }
+  double& at(std::size_t i) { return v_[i]; }
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  ResourceVector& operator*=(double s);
+
+  /// Euclidean (L2) norm — the paper's overload degree ||U_s|| (§3.5).
+  double norm() const;
+
+  /// Euclidean distance to another vector — the RIAL selection metric.
+  double distance(const ResourceVector& o) const;
+
+  /// True iff every component is <= o's component + eps.
+  bool fits_within(const ResourceVector& o, double eps = 1e-9) const;
+
+  /// Largest component value.
+  double max_component() const;
+
+  /// Clamps negative components to zero (guards accumulated float error).
+  void clamp_non_negative();
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kNumResources> v_;
+};
+
+ResourceVector operator+(ResourceVector a, const ResourceVector& b);
+ResourceVector operator-(ResourceVector a, const ResourceVector& b);
+ResourceVector operator*(ResourceVector a, double s);
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v);
+
+const char* resource_name(Resource r);
+
+}  // namespace mlfs

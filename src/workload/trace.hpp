@@ -1,0 +1,82 @@
+// Synthetic Philly-style workload trace (substitution for the Microsoft
+// DNN trace [3], see DESIGN.md §2) plus CSV (de)serialization so generated
+// traces are replayable artifacts and real traces can be converted in.
+//
+// The generator reproduces the marginals the schedulers actually consume:
+// diurnal arrivals, GPU-request distribution skewed toward small jobs
+// (ATC'19 Philly analysis), heavy-tailed iteration counts (and therefore
+// durations), per-job accuracy targets, and the §4.1 experiment settings
+// (urgency ~ U[1,10], comm volumes ~ U[50,100] MB, data ~ U[100,1000] MB,
+// deadline slack t_r ~ U[0.5,24] h).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace mlfs {
+
+struct TraceConfig {
+  std::size_t num_jobs = 620;
+  double duration_hours = 24.0 * 7;  ///< arrival window (paper tests one trace week)
+  std::uint64_t seed = 42;
+
+  /// Arrival-rate modulation: rate(t) ∝ 1 + amplitude·sin(2π t / 24h).
+  double diurnal_amplitude = 0.4;
+
+  /// log-normal iteration-count distribution, clamped to [min, max].
+  double iteration_lognorm_mu = 4.25;    ///< ~ln(70): Philly-like 1-2 h jobs
+  double iteration_lognorm_sigma = 0.9;
+  int min_iterations = 5;
+  int max_iterations = 500;
+
+  int urgency_levels = 10;  ///< m; urgency ~ uniform integers [1, m]
+
+  /// Weights for GPU requests {1, 2, 4, 8, 16, 32} (small-job skew).
+  std::array<double, 6> gpu_request_weights = {0.42, 0.17, 0.16, 0.12, 0.08, 0.05};
+
+  /// Upper clamp on the GPU request. Must not exceed the target cluster's
+  /// schedulable GPU count or the job can never be gang-placed (workers
+  /// effectively own a GPU each); scenarios set this from the fleet size.
+  int max_gpu_request = 32;
+
+  double parameter_server_fraction = 0.7;  ///< rest use all-reduce
+
+  /// Stop-policy mix across submitted jobs (§3.5 options i/ii/iii).
+  double policy_fixed_fraction = 0.5;
+  double policy_optstop_fraction = 0.3;  ///< remainder is AccuracyOnly
+  /// Fraction of jobs whose users permit MLF-C to downgrade their option.
+  double allow_downgrade_fraction = 0.8;
+
+  double loss_noise_sigma = 0.10;
+
+  /// Extra head-room multiplier on iterations beyond what the accuracy
+  /// requirement needs — the over-provisioning OptStop reclaims (§3.5).
+  double iteration_headroom_min = 1.1;
+  double iteration_headroom_max = 2.5;
+};
+
+class PhillyTraceGenerator {
+ public:
+  explicit PhillyTraceGenerator(const TraceConfig& config);
+
+  /// Generates `num_jobs` specs with ids 0..n-1, sorted by arrival time.
+  std::vector<JobSpec> generate();
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  JobSpec make_job(JobId id, SimTime arrival);
+  std::vector<SimTime> arrival_times();
+
+  TraceConfig config_;
+  Rng rng_;
+};
+
+/// CSV round-trip of job specs (header + one line per job; all fields).
+void write_trace_csv(std::ostream& os, const std::vector<JobSpec>& jobs);
+std::vector<JobSpec> read_trace_csv(std::istream& is);
+
+}  // namespace mlfs

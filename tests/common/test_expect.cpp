@@ -1,0 +1,36 @@
+#include "common/expect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlfs {
+namespace {
+
+TEST(Expect, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(MLFS_EXPECT(1 + 1 == 2));
+  EXPECT_NO_THROW(MLFS_ENSURE(true));
+}
+
+TEST(Expect, FailureThrowsWithLocation) {
+  try {
+    MLFS_EXPECT(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Expects failed"), std::string::npos);
+    EXPECT_NE(what.find("test_expect.cpp"), std::string::npos);
+  }
+}
+
+TEST(Ensure, FailureNamesEnsures) {
+  try {
+    MLFS_ENSURE(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Ensures failed"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mlfs

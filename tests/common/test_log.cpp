@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlfs {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(before);
+}
+
+TEST(Log, BelowThresholdSkipsFormatting) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  bool formatted = false;
+  auto format_probe = [&formatted]() {
+    formatted = true;
+    return "x";
+  };
+  MLFS_DEBUG(format_probe());  // must not evaluate the expression
+  EXPECT_FALSE(formatted);
+  set_log_level(before);
+}
+
+TEST(Log, AtOrAboveThresholdEmits) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  MLFS_WARN("warn-" << 42);
+  MLFS_INFO("info-should-be-dropped");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[mlfs:WARN] warn-42"), std::string::npos);
+  EXPECT_EQ(err.find("info-should-be-dropped"), std::string::npos);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace mlfs

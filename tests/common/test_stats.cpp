@@ -1,0 +1,120 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStat, HandComputedMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSet, MeanAndSum) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SampleSet, EmptyMeanIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.cdf_at(100.0), 0.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(SampleSet, PercentileSingleSample) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 42.0);
+}
+
+TEST(SampleSet, PercentileRejectsEmptyAndOutOfRange) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50.0), ContractViolation);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), ContractViolation);
+  EXPECT_THROW(s.percentile(101.0), ContractViolation);
+}
+
+TEST(SampleSet, CdfMatchesDefinition) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.2);  // <= is inclusive
+  EXPECT_DOUBLE_EQ(s.cdf_at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfSeries) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0}) s.add(x);
+  const std::vector<double> xs = {0.0, 1.5, 3.0};
+  const auto series = s.cdf_series(xs);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_NEAR(series[1], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(SampleSet, SortedIsStableAfterMoreAdds) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  s.add(0.5);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.5);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+TEST(Improvement, MatchesPaperFormula) {
+  // (y - z) / z as in §4.1.
+  EXPECT_DOUBLE_EQ(improvement(150.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(improvement(50.0, 100.0), -0.5);
+  EXPECT_THROW(improvement(1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"name", "x"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,y\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace mlfs

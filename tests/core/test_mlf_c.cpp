@@ -1,0 +1,144 @@
+// MLF-C load control (§3.5): overload detection, policy downgrades, and
+// the end-to-end effect of Fig. 9.
+#include "core/mlf_c.hpp"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mlfs.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs::core {
+namespace {
+
+ClusterConfig tiny() {
+  ClusterConfig c;
+  c.server_count = 2;
+  c.gpus_per_server = 2;
+  return c;
+}
+
+JobId add_job(Cluster& cluster, StopPolicy policy, StopPolicy min_allowed,
+              std::uint64_t seed = 3) {
+  JobSpec spec;
+  spec.id = static_cast<JobId>(cluster.job_count());
+  spec.algorithm = MlAlgorithm::Mlp;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 1;
+  spec.max_iterations = 40;
+  spec.stop_policy = policy;
+  spec.min_allowed_policy = min_allowed;
+  spec.seed = seed;
+  auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+  return spec.id;
+}
+
+TEST(MlfC, NotOverloadedWhenIdleAndQueueEmpty) {
+  Cluster cluster(tiny());
+  MlfC controller{LoadControlParams{}};
+  const std::vector<TaskId> empty_queue;
+  controller.before_schedule(cluster, empty_queue, 0.0);
+  EXPECT_FALSE(controller.overloaded());
+  EXPECT_EQ(controller.downgrade_count(), 0u);
+}
+
+TEST(MlfC, BackloggedQueueMeansOverloaded) {
+  Cluster cluster(tiny());
+  const JobId id = add_job(cluster, StopPolicy::FixedIterations, StopPolicy::AccuracyOnly);
+  const std::vector<TaskId> queue = {cluster.job(id).task_at(0)};  // queued_since = 0
+  MlfC controller{LoadControlParams{}};
+  // Freshly queued tasks (in transit to their first placement) are NOT
+  // backlog: the system is not overloaded yet.
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds / 2.0);
+  EXPECT_FALSE(controller.overloaded());
+  EXPECT_EQ(cluster.job(id).active_policy(), StopPolicy::FixedIterations);
+  // Past the backlog threshold the queue counts and downgrades start:
+  // one step per tick, Fixed -> OptStop -> AccuracyOnly.
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 1.0);
+  EXPECT_TRUE(controller.overloaded());
+  EXPECT_EQ(cluster.job(id).active_policy(), StopPolicy::OptStop);
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 61.0);
+  EXPECT_EQ(cluster.job(id).active_policy(), StopPolicy::AccuracyOnly);
+  // Cannot go further.
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 121.0);
+  EXPECT_EQ(cluster.job(id).active_policy(), StopPolicy::AccuracyOnly);
+  EXPECT_EQ(controller.downgrade_count(), 2u);
+}
+
+TEST(MlfC, RespectsUserPermissionBound) {
+  Cluster cluster(tiny());
+  const JobId fixed_only =
+      add_job(cluster, StopPolicy::FixedIterations, StopPolicy::FixedIterations, 5);
+  const std::vector<TaskId> queue = {cluster.job(fixed_only).task_at(0)};
+  MlfC controller{LoadControlParams{}};
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 1.0);
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 61.0);
+  EXPECT_EQ(cluster.job(fixed_only).active_policy(), StopPolicy::FixedIterations);
+  EXPECT_EQ(controller.downgrade_count(), 0u);
+}
+
+TEST(MlfC, DisabledControllerDoesNothing) {
+  Cluster cluster(tiny());
+  const JobId id = add_job(cluster, StopPolicy::FixedIterations, StopPolicy::AccuracyOnly);
+  const std::vector<TaskId> queue = {cluster.job(id).task_at(0)};
+  LoadControlParams params;
+  params.enabled = false;  // Fig. 9 ablation
+  MlfC controller{params};
+  controller.before_schedule(cluster, queue, MlfC::kBacklogSeconds + 1.0);
+  EXPECT_FALSE(controller.overloaded());
+  EXPECT_EQ(cluster.job(id).active_policy(), StopPolicy::FixedIterations);
+}
+
+TEST(MlfC, OverloadDegreeTriggersWithoutQueue) {
+  Cluster cluster(tiny());
+  // Pack tasks until O_c > hs.
+  for (int i = 0; i < 8; ++i) {
+    const JobId id = add_job(cluster, StopPolicy::FixedIterations, StopPolicy::AccuracyOnly,
+                             100 + static_cast<std::uint64_t>(i));
+    Task& t = cluster.task(cluster.job(id).task_at(0));
+    (void)t;
+    cluster.place_task(cluster.job(id).task_at(0), static_cast<ServerId>(i % 2), i / 2 % 2);
+  }
+  LoadControlParams params;
+  params.hs = 0.3;  // low threshold so the packed cluster counts as overloaded
+  MlfC controller{params};
+  const std::vector<TaskId> empty_queue;
+  controller.before_schedule(cluster, empty_queue, 0.0);
+  EXPECT_TRUE(controller.overloaded());
+}
+
+TEST(MlfC, EndToEndImprovesJctUnderOverload) {
+  // Fig. 9 shape: with MLF-C the average JCT drops and the accuracy
+  // guarantee ratio does not collapse.
+  TraceConfig tc;
+  tc.num_jobs = 120;
+  tc.duration_hours = 8.0;
+  tc.seed = 99;
+  tc.max_gpu_request = 8;
+  auto specs = PhillyTraceGenerator(tc).generate();
+
+  ClusterConfig cc;
+  cc.server_count = 4;
+  cc.gpus_per_server = 4;
+
+  MlfsConfig config;
+  config.heuristic_only = true;
+
+  MlfsScheduler with_sched(config, "MLFS");
+  MlfC controller(config.load_control);
+  SimEngine with_engine(cc, {}, specs, with_sched, &controller);
+  const RunMetrics with_c = with_engine.run();
+
+  MlfsScheduler without_sched(config, "MLF-H");
+  SimEngine without_engine(cc, {}, specs, without_sched);
+  const RunMetrics without_c = without_engine.run();
+
+  EXPECT_LT(with_c.average_jct_minutes(), without_c.average_jct_minutes());
+  EXPECT_GT(with_c.iterations_saved, without_c.iterations_saved);
+  EXPECT_GE(with_c.accuracy_ratio, without_c.accuracy_ratio - 0.05);
+}
+
+}  // namespace
+}  // namespace mlfs::core

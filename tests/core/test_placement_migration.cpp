@@ -1,0 +1,195 @@
+// RIAL-style host selection (§3.3.2) and migration-victim selection
+// (§3.3.3) behaviour.
+#include <gtest/gtest.h>
+
+#include "core/migration.hpp"
+#include "core/placement.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mlfs::core {
+namespace {
+
+struct NoopOps : SchedulerOps {
+  bool place(TaskId, ServerId, int) override { return false; }
+  void preempt_to_queue(TaskId) override {}
+  bool migrate(TaskId, ServerId, int) override { return false; }
+  void release(TaskId) override {}
+};
+
+struct Fixture {
+  Cluster cluster{ClusterConfig{3, 2, 1000.0}};
+  NoopOps ops;
+  std::vector<TaskId> queue;
+
+  SchedulerContext ctx() {
+    return SchedulerContext{cluster, queue, ops, 0.0, 0.9, nullptr, kInvalidJob};
+  }
+
+  JobId add(MlAlgorithm algo, int gpus, std::uint64_t seed,
+            CommStructure comm = CommStructure::AllReduce) {
+    JobSpec spec;
+    spec.id = static_cast<JobId>(cluster.job_count());
+    spec.algorithm = algo;
+    spec.comm = comm;
+    spec.gpu_request = gpus;
+    spec.max_iterations = 30;
+    spec.seed = seed;
+    auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+    cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    return spec.id;
+  }
+};
+
+TEST(Placement, PicksLeastUtilizedWhenNoCommAffinity) {
+  Fixture f;
+  const JobId a = f.add(MlAlgorithm::Svm, 1, 1);
+  const JobId b = f.add(MlAlgorithm::Svm, 1, 2);
+  // Load server 0 with one task; keep 1 and 2 idle.
+  f.cluster.place_task(f.cluster.job(a).task_at(0), 0, 0);
+
+  const MlfPlacement placement{PlacementParams{}};
+  auto ctx = f.ctx();
+  const Task& incoming = f.cluster.task(f.cluster.job(b).task_at(0));
+  const auto host = placement.choose_host(ctx, incoming, false);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_NE(host->server, 0u);  // idle servers are closer to the ideal
+}
+
+TEST(Placement, BandwidthTermPullsTaskTowardItsPeers) {
+  Fixture f;
+  // 2-worker MLP chain: worker 1 communicates with worker 0.
+  const JobId id = f.add(MlAlgorithm::Mlp, 2, 3);
+  const Job& job = f.cluster.job(id);
+  f.cluster.place_task(job.task_at(0), 1, 0);
+
+  // Make every server equally utilized so only the comm term differs:
+  // place one equal decoy task on servers 0 and 2.
+  const JobId decoy1 = f.add(MlAlgorithm::Svm, 1, 999);
+  const JobId decoy2 = f.add(MlAlgorithm::Svm, 1, 999);
+  f.cluster.place_task(f.cluster.job(decoy1).task_at(0), 0, 0);
+  f.cluster.place_task(f.cluster.job(decoy2).task_at(0), 2, 0);
+
+  auto ctx = f.ctx();
+  const Task& partner = f.cluster.task(job.task_at(1));
+
+  const MlfPlacement with_bw{PlacementParams{true}};
+  const auto host = with_bw.choose_host(ctx, partner, false);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->server, 1u);  // co-locate with its upstream partition
+}
+
+TEST(Placement, CommVolumeComputation) {
+  Fixture f;
+  const JobId id = f.add(MlAlgorithm::Mlp, 2, 5, CommStructure::ParameterServer);
+  const Job& job = f.cluster.job(id);
+  // Chain 0 -> 1 -> PS(2). Place 0 on server 0 and PS on server 2.
+  f.cluster.place_task(job.task_at(0), 0, 0);
+  f.cluster.place_task(job.task_at(2), 2, 0);
+  const Task& middle = f.cluster.task(job.task_at(1));
+  EXPECT_DOUBLE_EQ(MlfPlacement::comm_volume_with_server(f.cluster, middle, 0),
+                   job.spec().comm_volume_ww_mb);
+  EXPECT_DOUBLE_EQ(MlfPlacement::comm_volume_with_server(f.cluster, middle, 2),
+                   job.spec().comm_volume_ps_mb);
+  EXPECT_DOUBLE_EQ(MlfPlacement::comm_volume_with_server(f.cluster, middle, 1), 0.0);
+}
+
+TEST(Placement, ReturnsNulloptWhenNothingFits) {
+  Fixture f;
+  // Saturate every GPU with two mid-sized workers.
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(f.add(MlAlgorithm::Svm, 1, 100 + i));
+  std::size_t placed = 0;
+  for (const JobId id : jobs) {
+    const TaskId tid = f.cluster.job(id).task_at(0);
+    for (ServerId s = 0; s < 3 && !f.cluster.task(tid).placed(); ++s) {
+      for (int g = 0; g < 2 && !f.cluster.task(tid).placed(); ++g) {
+        if (f.cluster.server(s).fits_without_overload(f.cluster.task(tid), g, 0.9)) {
+          f.cluster.place_task(tid, s, g);
+          ++placed;
+        }
+      }
+    }
+  }
+  ASSERT_GT(placed, 0u);
+  // A heavyweight AlexNet worker should now find no feasible host.
+  const JobId big = f.add(MlAlgorithm::AlexNet, 1, 500);
+  auto ctx = f.ctx();
+  const MlfPlacement placement{PlacementParams{}};
+  const Task& task = f.cluster.task(f.cluster.job(big).task_at(0));
+  // Either nothing fits (nullopt) or the chosen host genuinely fits.
+  if (const auto host = placement.choose_host(ctx, task, false)) {
+    EXPECT_TRUE(f.cluster.server(host->server).fits_without_overload(task, host->gpu, 0.9));
+  }
+}
+
+TEST(Placement, MigratingExcludesCurrentServer) {
+  Fixture f;
+  const JobId id = f.add(MlAlgorithm::Svm, 1, 7);
+  const TaskId tid = f.cluster.job(id).task_at(0);
+  f.cluster.place_task(tid, 1, 0);
+  auto ctx = f.ctx();
+  const MlfPlacement placement{PlacementParams{}};
+  for (int i = 0; i < 5; ++i) {
+    const auto host = placement.choose_host(ctx, f.cluster.task(tid), /*migrating=*/true);
+    ASSERT_TRUE(host.has_value());
+    EXPECT_NE(host->server, 1u);
+  }
+}
+
+TEST(Migration, SelectsHighUsageVictimOnHotGpu) {
+  Fixture f;
+  // Three workers stacked on server 0 GPU 0 -> overloaded GPU.
+  std::vector<TaskId> tids;
+  for (int i = 0; i < 3; ++i) {
+    const JobId id = f.add(MlAlgorithm::Svm, 1, 200 + i);
+    const TaskId tid = f.cluster.job(id).task_at(0);
+    f.cluster.place_task(tid, 0, 0);
+    tids.push_back(tid);
+  }
+  ASSERT_GT(f.cluster.server(0).gpu_load(0), 0.9);
+
+  const MigrationSelector selector{MigrationParams{}};
+  // Equal priorities: selection is purely by the ideal-virtual-task match.
+  const auto victim =
+      selector.select_victim(f.cluster, f.cluster.server(0), 0.9, [](TaskId) { return 1.0; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NE(std::find(tids.begin(), tids.end(), *victim), tids.end());
+}
+
+TEST(Migration, LowPriorityTasksPreferredUnderPsFilter) {
+  Fixture f;
+  std::vector<TaskId> tids;
+  for (int i = 0; i < 4; ++i) {
+    const JobId id = f.add(MlAlgorithm::Svm, 1, 300 + i);
+    const TaskId tid = f.cluster.job(id).task_at(0);
+    f.cluster.place_task(tid, 0, 0);
+    tids.push_back(tid);
+  }
+  ASSERT_GT(f.cluster.server(0).gpu_load(0), 0.9);
+
+  MigrationParams params;
+  params.ps = 0.25;  // only the single lowest-priority task is a candidate
+  const MigrationSelector selector{params};
+  // tids[2] has the lowest priority.
+  auto priority = [&tids](TaskId id) { return id == tids[2] ? 0.1 : 10.0; };
+  const auto victim = selector.select_victim(f.cluster, f.cluster.server(0), 0.9, priority);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, tids[2]);
+}
+
+TEST(Migration, NoVictimOnEmptyServer) {
+  Fixture f;
+  const MigrationSelector selector{MigrationParams{}};
+  const auto victim =
+      selector.select_victim(f.cluster, f.cluster.server(0), 0.9, [](TaskId) { return 1.0; });
+  EXPECT_FALSE(victim.has_value());
+}
+
+TEST(Migration, RejectsInvalidPs) {
+  MigrationParams params;
+  params.ps = 0.0;
+  EXPECT_THROW(MigrationSelector{params}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs::core

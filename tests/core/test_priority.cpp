@@ -1,0 +1,241 @@
+// Validates the priority equations (Eqs. 2-6) against hand-computed
+// values and the monotonicity properties §3.3.1 claims.
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.hpp"
+
+namespace mlfs::core {
+namespace {
+
+struct Fixture {
+  Cluster cluster{ClusterConfig{2, 4, 1000.0}};
+
+  JobId add(JobSpec spec) {
+    spec.id = static_cast<JobId>(cluster.job_count());
+    auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+    cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    return spec.id;
+  }
+
+  static JobSpec spec(MlAlgorithm algo, int gpus, double urgency,
+                      CommStructure comm = CommStructure::AllReduce) {
+    JobSpec s;
+    s.algorithm = algo;
+    s.comm = comm;
+    s.gpu_request = gpus;
+    s.urgency = urgency;
+    s.max_iterations = 50;
+    s.seed = 77;
+    s.curve.max_accuracy = 0.9;
+    s.curve.kappa = 10.0;
+    s.curve.noise_sigma = 0.0;
+    return s;
+  }
+};
+
+TEST(Priority, Eq2HandComputedForFreshIndependentTasks) {
+  Fixture f;
+  // SVM + all-reduce: no DAG edges, S_k/S_J = 1 for every task, so the
+  // Eq. 3 recursion is trivial and P'^ML = L_J * (1/I) * 1 * 1.
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 4, 7.0));
+  const PriorityCalculator calc{PriorityParams{}};
+  const auto ml = calc.ml_priorities(f.cluster, f.cluster.job(id));
+  // Fresh job: I = 1, loss ratio = 1, size ratio = 1; urgency L_J
+  // normalized by m = 10 (see priority.cpp).
+  for (const double p : ml) EXPECT_DOUBLE_EQ(p, 0.7);
+}
+
+TEST(Priority, Eq2IterationDecay) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 1.0));
+  Job& job = f.cluster.job(id);
+  const PriorityCalculator calc{PriorityParams{}};
+
+  const double fresh = calc.ml_priorities(f.cluster, job)[0];
+  job.complete_iteration();  // now I = 2
+  const double after_one = calc.ml_priorities(f.cluster, job)[0];
+  // 1/I halves; loss ratio is 1 (only one completed iteration).
+  EXPECT_NEAR(after_one, fresh / 2.0, 1e-12);
+
+  job.complete_iteration();  // I = 3; loss ratio < 1 now
+  const double after_two = calc.ml_priorities(f.cluster, job)[0];
+  EXPECT_LT(after_two, after_one);
+}
+
+TEST(Priority, Eq3ChainRecursionHandComputed) {
+  Fixture f;
+  // MLP + all-reduce: a pure chain 0 -> 1. With gamma = 0.8:
+  //   P(1) = base(1);  P(0) = base(0) + 0.8 * P(1).
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Mlp, 2, 5.0));
+  const Job& job = f.cluster.job(id);
+  PriorityParams params;
+  params.gamma = 0.8;
+  const PriorityCalculator calc{params};
+  const auto ml = calc.ml_priorities(f.cluster, job);
+
+  const Task& t0 = f.cluster.task(job.task_at(0));
+  const Task& t1 = f.cluster.task(job.task_at(1));
+  const double base0 = 0.5 * (t0.partition_params_m / job.total_params_m());
+  const double base1 = 0.5 * (t1.partition_params_m / job.total_params_m());
+  EXPECT_NEAR(ml[1], base1, 1e-12);
+  EXPECT_NEAR(ml[0], base0 + 0.8 * base1, 1e-12);
+}
+
+TEST(Priority, ChainHeadOutranksSinkOnMlComponent) {
+  // §3.3.1: "the more tasks that depend on task k, the higher priority".
+  // With randomized partition sizes strict per-hop monotonicity is not
+  // guaranteed (a huge downstream partition can locally outrank a tiny
+  // upstream one), but the head of a chain — on which everything depends —
+  // must dominate the sink.
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::AlexNet, 8, 3.0));
+  const Job& job = f.cluster.job(id);
+  const PriorityCalculator calc{PriorityParams{}};
+  const auto ml = calc.ml_priorities(f.cluster, job);
+  const auto depth = job.dag().depth_to_sink();
+  std::size_t head = 0;
+  std::size_t sink = 0;
+  for (std::size_t k = 0; k < job.task_count(); ++k) {
+    if (f.cluster.task(job.task_at(k)).is_parameter_server) continue;
+    if (depth[k] > depth[head]) head = k;
+    if (depth[k] < depth[sink]) sink = k;
+  }
+  ASSERT_GT(depth[head], depth[sink]);
+  EXPECT_GT(ml[head], ml[sink]);
+}
+
+TEST(Priority, UrgencyMonotonicity) {
+  Fixture f;
+  const JobId low = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 2.0));
+  const JobId high = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 9.0));
+  const PriorityCalculator calc{PriorityParams{}};
+  EXPECT_GT(calc.ml_priorities(f.cluster, f.cluster.job(high))[0],
+            calc.ml_priorities(f.cluster, f.cluster.job(low))[0]);
+}
+
+TEST(Priority, UrgencyAblationRemovesEffect) {
+  Fixture f;
+  const JobId low = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 2.0));
+  const JobId high = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 9.0));
+  PriorityParams params;
+  params.use_urgency = false;  // Fig. 6 ablation
+  const PriorityCalculator calc{params};
+  EXPECT_DOUBLE_EQ(calc.ml_priorities(f.cluster, f.cluster.job(high))[0],
+                   calc.ml_priorities(f.cluster, f.cluster.job(low))[0]);
+}
+
+TEST(Priority, LargerPartitionHigherMlPriority) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 1, 1.0));
+  (void)id;
+  // Compare S_k effect via two MLP chain tasks of unequal size: pick the
+  // job and compare base (non-recursive) contributions at the sinks only.
+  const JobId mlp = f.add(Fixture::spec(MlAlgorithm::Mlp, 4, 1.0));
+  const Job& job = f.cluster.job(mlp);
+  const PriorityCalculator calc{PriorityParams{}};
+  const auto ml = calc.ml_priorities(f.cluster, job);
+  // Sink task (3) has no children: its ML priority is proportional to its
+  // partition size — verify directly (urgency 1 normalized by 10).
+  const Task& sink = f.cluster.task(job.task_at(3));
+  EXPECT_NEAR(ml[3], 0.1 * sink.partition_params_m / job.total_params_m(), 1e-12);
+}
+
+TEST(Priority, Eq4WaitingTimeIncreasesPriority) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 1.0));
+  const Job& job = f.cluster.job(id);
+  Task& task = f.cluster.task(job.task_at(0));
+  task.queued_since = 0.0;
+  const PriorityCalculator calc{PriorityParams{}};
+  const double early = calc.computation_priorities(f.cluster, job, minutes(10))[0];
+  const double later = calc.computation_priorities(f.cluster, job, hours(5))[0];
+  EXPECT_GT(later, early);
+}
+
+TEST(Priority, Eq4DeadlineProximityBoost) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 1, 1.0));
+  Job& job = f.cluster.job(id);
+  job.set_deadline(hours(100.0));
+  const PriorityCalculator calc{PriorityParams{}};
+  const double far = calc.computation_priorities(f.cluster, job, hours(1.0))[0];
+  const double near = calc.computation_priorities(f.cluster, job, hours(99.5))[0];
+  // Waiting time also grows; isolate the deadline effect via ablation.
+  PriorityParams no_deadline;
+  no_deadline.use_deadline_term = false;
+  const PriorityCalculator calc_nd{no_deadline};
+  const double far_nd = calc_nd.computation_priorities(f.cluster, job, hours(1.0))[0];
+  const double near_nd = calc_nd.computation_priorities(f.cluster, job, hours(99.5))[0];
+  EXPECT_GT(near - near_nd, far - far_nd);  // deadline term grew as d-t shrank
+}
+
+TEST(Priority, ExpiredDeadlineDropsBoost) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 1, 1.0));
+  Job& job = f.cluster.job(id);
+  job.set_deadline(hours(1.0));
+  PriorityParams no_deadline;
+  no_deadline.use_deadline_term = false;
+  const PriorityCalculator with{PriorityParams{}};
+  const PriorityCalculator without{no_deadline};
+  const SimTime after_expiry = hours(10.0);
+  // Past expiry the deadline term contributes nothing.
+  EXPECT_DOUBLE_EQ(with.computation_priorities(f.cluster, job, after_expiry)[0],
+                   without.computation_priorities(f.cluster, job, after_expiry)[0]);
+}
+
+TEST(Priority, Eq6AlphaBlends) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 6.0));
+  const Job& job = f.cluster.job(id);
+  PriorityParams p0;
+  p0.alpha = 0.0;
+  PriorityParams p1;
+  p1.alpha = 1.0;
+  PriorityParams phalf;
+  phalf.alpha = 0.5;
+  const double ml = PriorityCalculator{p1}.job_priorities(f.cluster, job, 0.0)[0];
+  const double comp = PriorityCalculator{p0}.job_priorities(f.cluster, job, 0.0)[0];
+  const double blend = PriorityCalculator{phalf}.job_priorities(f.cluster, job, 0.0)[0];
+  EXPECT_NEAR(blend, 0.5 * ml + 0.5 * comp, 1e-12);
+}
+
+TEST(Priority, ParameterServerTaskHasHighestPriority) {
+  Fixture f;
+  const JobId id =
+      f.add(Fixture::spec(MlAlgorithm::Mlp, 4, 3.0, CommStructure::ParameterServer));
+  const Job& job = f.cluster.job(id);
+  const PriorityCalculator calc{PriorityParams{}};
+  const auto combined = calc.job_priorities(f.cluster, job, 0.0);
+  std::size_t ps_index = job.task_count() - 1;
+  ASSERT_TRUE(f.cluster.task(job.task_at(ps_index)).is_parameter_server);
+  for (std::size_t k = 0; k < job.task_count(); ++k) {
+    if (k == ps_index) continue;
+    EXPECT_GT(combined[ps_index], combined[k]);
+  }
+}
+
+TEST(Priority, FinishedTasksHaveZeroBase) {
+  Fixture f;
+  const JobId id = f.add(Fixture::spec(MlAlgorithm::Svm, 2, 5.0));
+  const Job& job = f.cluster.job(id);
+  f.cluster.task(job.task_at(0)).state = TaskState::Finished;
+  const PriorityCalculator calc{PriorityParams{}};
+  const auto ml = calc.ml_priorities(f.cluster, job);
+  EXPECT_DOUBLE_EQ(ml[0], 0.0);
+  EXPECT_GT(ml[1], 0.0);
+}
+
+TEST(Priority, RejectsInvalidParams) {
+  PriorityParams bad;
+  bad.alpha = 1.5;
+  EXPECT_THROW(PriorityCalculator{bad}, ContractViolation);
+  bad = PriorityParams{};
+  bad.gamma = 1.0;
+  EXPECT_THROW(PriorityCalculator{bad}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs::core

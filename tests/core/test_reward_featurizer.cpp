@@ -1,0 +1,199 @@
+// Eq. 7 reward tracking, weight tuning, and the MLF-RL state featurizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "core/featurizer.hpp"
+#include "core/reward.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace mlfs::core {
+namespace {
+
+struct NoopOps : SchedulerOps {
+  bool place(TaskId, ServerId, int) override { return false; }
+  void preempt_to_queue(TaskId) override {}
+  bool migrate(TaskId, ServerId, int) override { return false; }
+  void release(TaskId) override {}
+};
+
+struct Fixture {
+  Cluster cluster{ClusterConfig{2, 2, 1000.0}};
+  NoopOps ops;
+  std::vector<TaskId> queue;
+
+  SchedulerContext ctx(SimTime now = 0.0) {
+    return SchedulerContext{cluster, queue, ops, now, 0.9, nullptr, kInvalidJob};
+  }
+
+  Job& add(int gpus, std::uint64_t seed, double urgency = 5.0) {
+    JobSpec spec;
+    spec.id = static_cast<JobId>(cluster.job_count());
+    spec.algorithm = MlAlgorithm::Mlp;
+    spec.comm = CommStructure::ParameterServer;
+    spec.gpu_request = gpus;
+    spec.urgency = urgency;
+    spec.max_iterations = 30;
+    spec.seed = seed;
+    auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+    cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    return cluster.job(spec.id);
+  }
+};
+
+TEST(RewardTracker, NoCompletionsNoBandwidthIsZeroFirstRound) {
+  Fixture f;
+  RewardTracker tracker{RlParams{}};
+  // First round primes bandwidth (g3 needs a delta), everything else 0.
+  EXPECT_DOUBLE_EQ(tracker.round_reward(f.cluster, 60.0), 0.0);
+}
+
+TEST(RewardTracker, CompletionsRaiseReward) {
+  Fixture f;
+  RlParams params;
+  RewardTracker tracker{params};
+  (void)tracker.round_reward(f.cluster, 0.0);  // prime
+
+  Job& job = f.add(1, 11);
+  for (int i = 0; i < 10; ++i) job.complete_iteration();
+  job.set_completion_time(hours(1.0));
+  job.set_deadline(hours(2.0));  // met deadline
+  job.set_state(JobState::Completed);
+  tracker.on_job_complete(job, hours(1.0));
+  const double with_completion = tracker.round_reward(f.cluster, hours(1.0));
+
+  // g1 (JCT), g2 (deadline met), g3 (no bandwidth), g4/g5 (accuracy) all
+  // contribute; reward must clearly exceed the idle-round value.
+  EXPECT_GT(with_completion, params.beta3 * 0.9);
+}
+
+TEST(RewardTracker, MissedDeadlineScoresLower) {
+  Fixture f;
+  RewardTracker tracker{RlParams{}};
+  (void)tracker.round_reward(f.cluster, 0.0);
+
+  Job& met = f.add(1, 21);
+  for (int i = 0; i < 10; ++i) met.complete_iteration();
+  met.set_completion_time(hours(1.0));
+  met.set_deadline(hours(2.0));
+  tracker.on_job_complete(met, hours(1.0));
+  const double reward_met = tracker.round_reward(f.cluster, hours(1.0));
+
+  Job& missed = f.add(1, 22);
+  for (int i = 0; i < 10; ++i) missed.complete_iteration();
+  missed.set_completion_time(hours(3.0));
+  missed.set_deadline(hours(2.0));
+  missed.record_deadline_progress();
+  tracker.on_job_complete(missed, hours(3.0));
+  const double reward_missed = tracker.round_reward(f.cluster, hours(3.0));
+
+  EXPECT_GT(reward_met, reward_missed);
+}
+
+TEST(RewardTracker, WindowResetsBetweenRounds) {
+  Fixture f;
+  RewardTracker tracker{RlParams{}};
+  (void)tracker.round_reward(f.cluster, 0.0);
+  Job& job = f.add(1, 31);
+  for (int i = 0; i < 5; ++i) job.complete_iteration();
+  job.set_completion_time(60.0);
+  job.set_deadline(120.0);
+  tracker.on_job_complete(job, 60.0);
+  const double first = tracker.round_reward(f.cluster, 60.0);
+  const double second = tracker.round_reward(f.cluster, 120.0);
+  EXPECT_GT(first, second);  // window consumed
+}
+
+TEST(RewardTuner, FindsBetterWeightsOnKnownObjective) {
+  // Objective: peak at beta = (1, 0, 0, 0, 0).
+  auto evaluate = [](const RewardWeights& w) {
+    return w.beta1 - 0.5 * (w.beta2 + w.beta3 + w.beta4 + w.beta5);
+  };
+  RewardTuner tuner(30, 20, 99);
+  const RewardWeights best = tuner.tune(evaluate);
+  EXPECT_GT(best.beta1, 0.6);
+  EXPECT_GT(evaluate(best), evaluate(RewardWeights{}));
+}
+
+TEST(RewardTuner, NeverWorseThanPaperDefaults) {
+  auto evaluate = [](const RewardWeights& w) {
+    // Defaults are already optimal for this objective.
+    const RewardWeights d;
+    const double dist = std::abs(w.beta1 - d.beta1) + std::abs(w.beta2 - d.beta2) +
+                        std::abs(w.beta3 - d.beta3) + std::abs(w.beta4 - d.beta4) +
+                        std::abs(w.beta5 - d.beta5);
+    return -dist;
+  };
+  RewardTuner tuner(10, 10, 7);
+  const RewardWeights best = tuner.tune(evaluate);
+  EXPECT_GE(evaluate(best), evaluate(RewardWeights{}) - 1e-12);
+}
+
+TEST(Featurizer, StateDimMatchesLayout) {
+  const MlfRlFeaturizer f4(4);
+  const MlfRlFeaturizer f8(8);
+  EXPECT_EQ(f8.state_dim() - f4.state_dim(), 4u * 6u);  // 6 features per candidate
+}
+
+TEST(Featurizer, CandidatesSortedByUtilization) {
+  Fixture f;
+  Job& loadmaker = f.add(1, 41);
+  f.cluster.place_task(loadmaker.task_at(0), 0, 0);  // server 0 busier
+
+  Job& job = f.add(1, 42);
+  const Task& task = f.cluster.task(job.task_at(0));
+  const MlfRlFeaturizer featurizer(4);
+  auto ctx = f.ctx();
+  const auto candidates = featurizer.candidates(ctx, task);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0], 1u);  // idle server first
+  EXPECT_EQ(candidates[1], 0u);
+}
+
+TEST(Featurizer, StateVectorWellFormed) {
+  Fixture f;
+  Job& job = f.add(2, 51, 8.0);
+  const Task& task = f.cluster.task(job.task_at(0));
+  const MlfRlFeaturizer featurizer(4);
+  auto ctx = f.ctx();
+  const auto candidates = featurizer.candidates(ctx, task);
+  const auto state = featurizer.state(ctx, task, candidates);
+  ASSERT_EQ(state.size(), featurizer.state_dim());
+  for (const double v : state) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -1.0 - 1e-9);
+    EXPECT_LE(v, 1.5);
+  }
+  EXPECT_DOUBLE_EQ(state[0], 0.8);  // urgency 8 / 10
+  EXPECT_DOUBLE_EQ(state[1], 1.0);  // 1/I at I = 1
+}
+
+TEST(Featurizer, AlgorithmOneHotSumsToOne) {
+  Fixture f;
+  Job& job = f.add(1, 61);
+  const Task& task = f.cluster.task(job.task_at(0));
+  const MlfRlFeaturizer featurizer(2);
+  auto ctx = f.ctx();
+  const auto state = featurizer.state(ctx, task, featurizer.candidates(ctx, task));
+  // Task features (11) then the 5-way one-hot.
+  double onehot_sum = 0.0;
+  for (std::size_t i = 11; i < 16; ++i) onehot_sum += state[i];
+  EXPECT_DOUBLE_EQ(onehot_sum, 1.0);
+}
+
+TEST(Featurizer, MissingCandidateSlotsEncodedSaturated) {
+  Fixture f;
+  Job& job = f.add(1, 71);
+  const Task& task = f.cluster.task(job.task_at(0));
+  const MlfRlFeaturizer featurizer(4);  // only 2 servers exist
+  auto ctx = f.ctx();
+  const auto candidates = featurizer.candidates(ctx, task);
+  ASSERT_EQ(candidates.size(), 2u);
+  const auto state = featurizer.state(ctx, task, candidates);
+  // Last candidate block (slot 3) is the saturated filler.
+  const std::size_t base = state.size() - 6;
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(state[base + i], 1.0);
+  EXPECT_DOUBLE_EQ(state[base + 5], 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs::core

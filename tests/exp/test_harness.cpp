@@ -1,0 +1,103 @@
+// Experiment-harness tests: scenarios, sweep bookkeeping, figure tables.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace mlfs::exp {
+namespace {
+
+TEST(Scenario, TestbedMatchesPaperSetup) {
+  const Scenario s = testbed_scenario();
+  EXPECT_EQ(s.cluster.server_count, 20u);       // 20 p3.8xlarge
+  EXPECT_EQ(s.cluster.gpus_per_server, 4);      // 4 V100 each = 80 GPUs
+  EXPECT_EQ(s.trace.num_jobs, 620u);            // base x = 1
+  EXPECT_DOUBLE_EQ(s.trace.duration_hours, 24.0 * 7);
+  const auto counts = sweep_job_counts(s);      // 620x, x in {1/4,1/2,1,2,3}
+  EXPECT_EQ(counts, (std::vector<std::size_t>{155, 310, 620, 1240, 1860}));
+}
+
+TEST(Scenario, LargescaleScalesProportionally) {
+  const Scenario full = largescale_scenario(1.0);
+  EXPECT_EQ(full.cluster.server_count, 550u);
+
+  const Scenario small = largescale_scenario(0.02);
+  EXPECT_EQ(small.cluster.server_count, 11u);
+  // jobs-per-GPU-per-week is preserved across scales, pinned to the
+  // testbed's density (620 jobs / 80 GPUs / week).
+  for (const Scenario* s : {&full, &small}) {
+    const double weeks = s->trace.duration_hours / (24.0 * 7.0);
+    const double rate = static_cast<double>(s->trace.num_jobs) /
+                        (static_cast<double>(s->cluster.server_count) * 4.0) / weeks;
+    EXPECT_NEAR(rate, 620.0 / 80.0, 0.2);
+  }
+}
+
+TEST(Scenario, SmokeClampsGpuRequestToFleet) {
+  const Scenario s = smoke_scenario();
+  EXPECT_LE(s.trace.max_gpu_request,
+            static_cast<int>(s.cluster.server_count) * s.cluster.gpus_per_server);
+}
+
+TEST(Runner, RunExperimentProducesNamedMetrics) {
+  Scenario s = smoke_scenario(20, 3);
+  const RunMetrics m = run_experiment(s, "Gandiva", 20);
+  EXPECT_EQ(m.scheduler, "Gandiva");
+  EXPECT_EQ(m.job_count, 20u);
+  EXPECT_EQ(m.jct_minutes.count(), 20u);
+}
+
+TEST(Runner, SweepCoversAllSchedulersAndPoints) {
+  Scenario s = smoke_scenario(15, 5);
+  s.sweep_multipliers = {0.5, 1.0};
+  const auto results = run_sweep(s, {"Gandiva", "SLAQ"}, {}, /*verbose=*/false);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& [name, runs] : results) {
+    EXPECT_EQ(runs.size(), 2u) << name;
+    EXPECT_EQ(runs[0].job_count, 8u);   // round(0.5 * 15)
+    EXPECT_EQ(runs[1].job_count, 15u);
+  }
+}
+
+TEST(Runner, PanelTableLaysOutSchedulersBySweep) {
+  Scenario s = smoke_scenario(12, 7);
+  s.sweep_multipliers = {1.0};
+  const auto results = run_sweep(s, {"Gandiva"}, {}, false);
+  const Table t = panel_table("demo", s, {"Gandiva"}, results,
+                              [](const RunMetrics& m) { return m.deadline_ratio; }, 3);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("scheduler,12 jobs"), std::string::npos);
+  EXPECT_NE(csv.find("Gandiva,"), std::string::npos);
+}
+
+TEST(Runner, CdfTableHasBreakpointColumns) {
+  Scenario s = smoke_scenario(12, 9);
+  s.sweep_multipliers = {1.0};
+  const auto results = run_sweep(s, {"Gandiva"}, {}, false);
+  const Table t = cdf_table("cdf", {"Gandiva"}, results, 0, {10.0, 100.0, 100000.0});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("<=10min"), std::string::npos);
+  // The last breakpoint is beyond every JCT: CDF must be 1.
+  EXPECT_NE(csv.find(",1.000"), std::string::npos);
+}
+
+TEST(Registry, ExtendedSetSupersetOfPaperSet) {
+  const auto paper = paper_scheduler_names();
+  const auto extended = extended_scheduler_names();
+  EXPECT_GT(extended.size(), paper.size());
+  for (const auto& name : extended) {
+    EXPECT_NO_THROW(make_scheduler(name)) << name;
+  }
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  Scenario s = smoke_scenario(10, 11);
+  const RunMetrics m = run_experiment(s, "SLAQ", 10);
+  const std::string summary = m.summary();
+  EXPECT_NE(summary.find("SLAQ"), std::string::npos);
+  EXPECT_NE(summary.find("jobs=10"), std::string::npos);
+  EXPECT_NE(summary.find("avgJCT="), std::string::npos);
+  EXPECT_NE(summary.find("bw="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlfs::exp

@@ -1,0 +1,74 @@
+// Component-ablation shape tests mirroring Figs. 6-9 on CI-sized
+// workloads: each MLFS component must move its metric in the direction
+// the paper reports.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace mlfs {
+namespace {
+
+exp::Scenario scenario() {
+  exp::Scenario s = exp::testbed_scenario(/*seed=*/777);
+  s.cluster.server_count = 8;
+  s.trace.num_jobs = 500;
+  s.trace.max_gpu_request = 16;
+  s.sweep_multipliers = {1.0};
+  return s;
+}
+
+TEST(AblationShape, UrgencyConsiderationHelpsUrgentJobs) {
+  // Fig. 6 (left): with the urgency coefficient, urgent jobs (urgency > 8)
+  // meet their deadlines more often.
+  const auto s = scenario();
+  core::MlfsConfig with;
+  with.heuristic_only = true;
+  core::MlfsConfig without = with;
+  without.priority.use_urgency = false;
+  const RunMetrics w = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, with);
+  const RunMetrics wo = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, without);
+  EXPECT_GE(w.urgent_deadline_ratio, wo.urgent_deadline_ratio);
+}
+
+TEST(AblationShape, BandwidthConsiderationCutsBandwidth) {
+  // Fig. 7: dropping u_BW,V from the ideal-virtual-server match raises the
+  // bandwidth cost.
+  const auto s = scenario();
+  core::MlfsConfig with;
+  with.heuristic_only = true;
+  core::MlfsConfig without = with;
+  without.placement.use_bandwidth = false;
+  const RunMetrics w = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, with);
+  const RunMetrics wo = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, without);
+  EXPECT_LT(w.bandwidth_tb, wo.bandwidth_tb);
+}
+
+TEST(AblationShape, MigrationReducesOverloadAndAddsBandwidth) {
+  // Fig. 8(a): migration reduces overload occurrences and raises the
+  // bandwidth cost (state transfers).
+  const auto s = scenario();
+  core::MlfsConfig with;
+  with.heuristic_only = true;
+  core::MlfsConfig without = with;
+  without.migration.enabled = false;
+  const RunMetrics w = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, with);
+  const RunMetrics wo = exp::run_experiment(s, "MLF-H", s.trace.num_jobs, without);
+  EXPECT_GT(w.migrations, 0u);
+  EXPECT_EQ(wo.migrations, 0u);
+  EXPECT_LT(w.overload_occurrences, wo.overload_occurrences);
+  EXPECT_GT(w.bandwidth_tb, wo.bandwidth_tb);
+}
+
+TEST(AblationShape, LoadControlImprovesJctAndAccuracyGuarantee) {
+  // Fig. 9: MLFS (with MLF-C) vs MLF-RL (without): JCT drops, accuracy
+  // guarantee ratio does not degrade.
+  const auto s = scenario();
+  const RunMetrics with_c = exp::run_experiment(s, "MLFS", s.trace.num_jobs);
+  const RunMetrics without_c = exp::run_experiment(s, "MLF-RL", s.trace.num_jobs);
+  EXPECT_LT(with_c.average_jct_minutes(), without_c.average_jct_minutes());
+  EXPECT_GE(with_c.accuracy_ratio + 0.02, without_c.accuracy_ratio);
+  EXPECT_GT(with_c.iterations_saved, without_c.iterations_saved);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,204 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold for
+// every seed/configuration, not just one crafted case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mlf_c.hpp"
+#include "core/mlfs.hpp"
+#include "core/priority.hpp"
+#include "exp/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+ClusterConfig cluster_config() {
+  ClusterConfig c;
+  c.server_count = 4;
+  c.gpus_per_server = 4;
+  return c;
+}
+
+std::vector<JobSpec> trace(std::size_t jobs, std::uint64_t seed) {
+  TraceConfig config;
+  config.num_jobs = jobs;
+  config.duration_hours = 6.0;
+  config.seed = seed;
+  config.max_gpu_request = 8;
+  config.max_iterations = 40;
+  return PhillyTraceGenerator(config).generate();
+}
+
+// ---------------------------------------------------------------- seeds
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EngineInvariantsHoldEndToEnd) {
+  core::MlfsConfig config;
+  config.rl.warmup_samples = 100;
+  core::MlfsScheduler scheduler(config, "MLFS");
+  core::MlfC controller(config.load_control);
+  SimEngine engine(cluster_config(), {}, trace(40, GetParam()), scheduler, &controller);
+  const RunMetrics m = engine.run();
+
+  // The incremental utilization bookkeeping must match a from-scratch
+  // recomputation after thousands of mutations.
+  EXPECT_NO_THROW(engine.cluster().validate());
+
+  // Per-job conservation laws.
+  for (const Job& job : engine.cluster().jobs()) {
+    EXPECT_TRUE(job.done());
+    EXPECT_GE(job.completion_time(), job.spec().arrival);
+    EXPECT_GE(job.waiting_time(), 0.0);
+    EXPECT_LE(job.waiting_time(), job.completion_time() - job.spec().arrival + 1e-6);
+    EXPECT_GE(job.completed_iterations(), 1);
+    EXPECT_LE(job.completed_iterations(), job.spec().max_iterations);
+    EXPECT_GE(job.accuracy_by_deadline(), 0.0);
+    EXPECT_LE(job.accuracy_by_deadline(), 1.0);
+    // Every task of a completed job is finished and unplaced.
+    for (const TaskId tid : job.tasks()) {
+      const Task& t = engine.cluster().task(tid);
+      EXPECT_EQ(t.state, TaskState::Finished);
+      EXPECT_FALSE(t.placed());
+    }
+  }
+  EXPECT_EQ(m.jct_minutes.count(), 40u);
+  EXPECT_GE(m.makespan_hours * 60.0 + 1e-9, m.jct_minutes.percentile(100.0));
+}
+
+TEST_P(SeedSweep, DeterministicReplay) {
+  auto run_once = [this] {
+    core::MlfsConfig config;
+    config.rl.warmup_samples = 100;
+    core::MlfsScheduler scheduler(config, "MLFS");
+    core::MlfC controller(config.load_control);
+    SimEngine engine(cluster_config(), {}, trace(30, GetParam()), scheduler, &controller);
+    return engine.run();
+  };
+  const RunMetrics a = run_once();
+  const RunMetrics b = run_once();
+  EXPECT_DOUBLE_EQ(a.average_jct_minutes(), b.average_jct_minutes());
+  EXPECT_DOUBLE_EQ(a.bandwidth_tb, b.bandwidth_tb);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 42u, 1337u, 9001u));
+
+// ------------------------------------------------------------- priority
+
+struct PriorityCase {
+  MlAlgorithm algorithm;
+  int gpus;
+  CommStructure comm;
+};
+
+class PrioritySweep : public ::testing::TestWithParam<PriorityCase> {};
+
+TEST_P(PrioritySweep, PrioritiesFiniteNonNegativeAndUrgencyMonotone) {
+  const auto param = GetParam();
+  Cluster cluster(cluster_config());
+  auto add = [&cluster, &param](double urgency, std::uint64_t seed) {
+    JobSpec spec;
+    spec.id = static_cast<JobId>(cluster.job_count());
+    spec.algorithm = param.algorithm;
+    spec.comm = param.comm;
+    spec.gpu_request = param.gpus;
+    spec.urgency = urgency;
+    spec.max_iterations = 30;
+    spec.seed = seed;
+    auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+    cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    return spec.id;
+  };
+  const JobId low = add(2.0, 5);
+  const JobId high = add(9.0, 5);  // same seed: identical structure
+
+  const core::PriorityCalculator calc{core::PriorityParams{}};
+  const auto p_low = calc.job_priorities(cluster, cluster.job(low), minutes(5));
+  const auto p_high = calc.job_priorities(cluster, cluster.job(high), minutes(5));
+  ASSERT_EQ(p_low.size(), p_high.size());
+  for (std::size_t k = 0; k < p_low.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(p_low[k]));
+    EXPECT_GE(p_low[k], 0.0);
+    // Same structure, higher urgency => no task ranks lower.
+    EXPECT_GE(p_high[k] + 1e-12, p_low[k]);
+  }
+}
+
+TEST_P(PrioritySweep, DagRecursionNeverBelowOwnBase) {
+  const auto param = GetParam();
+  Cluster cluster(cluster_config());
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = param.algorithm;
+  spec.comm = param.comm;
+  spec.gpu_request = param.gpus;
+  spec.max_iterations = 30;
+  spec.seed = 11;
+  auto inst = ModelZoo::instantiate(spec, 0);
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+  const Job& job = cluster.job(0);
+
+  const core::PriorityCalculator calc{core::PriorityParams{}};
+  const auto ml = calc.ml_priorities(cluster, job);
+  // Eq. 3 only *adds* discounted child priorities: a parent is never below
+  // any single discounted child contribution.
+  const auto& dag = job.dag();
+  core::PriorityParams params;
+  for (std::size_t u = 0; u < dag.node_count(); ++u) {
+    for (const std::size_t c : dag.children(u)) {
+      EXPECT_GE(ml[u] + 1e-12, params.gamma * ml[c]) << u << "->" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, PrioritySweep,
+    ::testing::Values(PriorityCase{MlAlgorithm::Mlp, 4, CommStructure::AllReduce},
+                      PriorityCase{MlAlgorithm::Mlp, 8, CommStructure::ParameterServer},
+                      PriorityCase{MlAlgorithm::ResNet, 8, CommStructure::AllReduce},
+                      PriorityCase{MlAlgorithm::Lstm, 16, CommStructure::ParameterServer},
+                      PriorityCase{MlAlgorithm::AlexNet, 2, CommStructure::ParameterServer},
+                      PriorityCase{MlAlgorithm::Svm, 4, CommStructure::AllReduce}));
+
+// ------------------------------------------------------ curve predictor
+
+class CurveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CurveSweep, OptStopNeverStopsBelowRequirementWhenReachable) {
+  // For every saturation speed, an OptStop job must end within a whisker
+  // of the best accuracy its budget allows.
+  const double kappa = GetParam();
+  TraceConfig tc;
+  tc.num_jobs = 8;
+  tc.duration_hours = 2.0;
+  tc.seed = static_cast<std::uint64_t>(kappa * 100);
+  tc.max_gpu_request = 4;
+  auto specs = PhillyTraceGenerator(tc).generate();
+  for (auto& spec : specs) {
+    spec.stop_policy = StopPolicy::OptStop;
+    spec.min_allowed_policy = StopPolicy::OptStop;
+    spec.curve.kappa = kappa;
+    spec.curve.noise_sigma = 0.0;
+    spec.max_iterations = 300;
+  }
+  auto instance = exp::make_scheduler("MLF-H");
+  SimEngine engine(cluster_config(), {}, specs, *instance.scheduler);
+  (void)engine.run();
+  for (const Job& job : engine.cluster().jobs()) {
+    const double best = job.curve().accuracy_at(job.spec().max_iterations);
+    EXPECT_GE(job.current_accuracy(), 0.9 * best) << "kappa " << kappa;
+    EXPECT_LT(job.completed_iterations(), job.spec().max_iterations)
+        << "OptStop should reclaim head-room at kappa " << kappa;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, CurveSweep, ::testing::Values(3.0, 6.0, 10.0, 16.0));
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,99 @@
+// Shape tests: scaled-down versions of the paper's headline comparisons.
+// These assert the *relative ordering* claims of §4.2 (who wins, roughly
+// by what direction), not absolute numbers, on a workload small enough for
+// CI. The bench binaries reproduce the full figures.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace mlfs {
+namespace {
+
+/// One shared sweep at a single moderately-overloaded point, run once for
+/// the whole suite (it is the expensive part).
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    exp::Scenario scenario = exp::testbed_scenario(/*seed=*/1234);
+    scenario.cluster.server_count = 8;  // 32 GPUs: faster, same regime
+    scenario.trace.num_jobs = 600;      // ~x3 load for a 32-GPU fleet
+    scenario.trace.max_gpu_request = 16;
+    scenario.sweep_multipliers = {1.0};
+    results_ = new exp::SweepResults(
+        exp::run_sweep(scenario, exp::paper_scheduler_names(), {}, /*verbose=*/false));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const RunMetrics& metrics(const std::string& name) {
+    return results_->at(name).front();
+  }
+
+  static exp::SweepResults* results_;
+};
+
+exp::SweepResults* ShapeTest::results_ = nullptr;
+
+TEST_F(ShapeTest, MlfsBeatsEveryBaselineOnJct) {
+  const double mlfs = metrics("MLFS").average_jct_minutes();
+  for (const std::string name :
+       {"TensorFlow", "Tiresias", "SLAQ", "Gandiva", "Graphene", "HyperSched", "RL"}) {
+    EXPECT_LT(mlfs, metrics(name).average_jct_minutes()) << "vs " << name;
+  }
+}
+
+TEST_F(ShapeTest, MlfsFamilyInternalOrdering) {
+  // MLFS < MLF-RL and MLFS < MLF-H on JCT (MLF-C's contribution).
+  EXPECT_LT(metrics("MLFS").average_jct_minutes(), metrics("MLF-RL").average_jct_minutes());
+  EXPECT_LT(metrics("MLFS").average_jct_minutes(), metrics("MLF-H").average_jct_minutes());
+}
+
+TEST_F(ShapeTest, MlfsBestDeadlineRatio) {
+  const double mlfs = metrics("MLFS").deadline_ratio;
+  for (const auto& name : exp::paper_scheduler_names()) {
+    if (name == "MLFS") continue;
+    EXPECT_GE(mlfs + 1e-9, metrics(name).deadline_ratio) << "vs " << name;
+  }
+}
+
+TEST_F(ShapeTest, MlfsLowestBandwidth) {
+  const double mlfs = metrics("MLFS").bandwidth_tb;
+  for (const std::string name : {"TensorFlow", "Tiresias", "SLAQ", "Gandiva", "HyperSched"}) {
+    EXPECT_LT(mlfs, metrics(name).bandwidth_tb) << "vs " << name;
+  }
+}
+
+TEST_F(ShapeTest, MlfsBestAccuracyGuarantee) {
+  const double mlfs = metrics("MLFS").accuracy_ratio;
+  for (const std::string name : {"TensorFlow", "RL", "Gandiva"}) {
+    EXPECT_GE(mlfs + 1e-9, metrics(name).accuracy_ratio) << "vs " << name;
+  }
+}
+
+TEST_F(ShapeTest, SlaqAndTensorFlowTrailOnJct) {
+  // The paper's bottom of the JCT ordering: TensorFlow ⪅ SLAQ, both far
+  // behind the MLFS family.
+  const double mlf_h = metrics("MLF-H").average_jct_minutes();
+  EXPECT_GT(metrics("SLAQ").average_jct_minutes(), mlf_h);
+  EXPECT_GT(metrics("TensorFlow").average_jct_minutes(), mlf_h);
+}
+
+TEST_F(ShapeTest, LowerJctGoesWithLowerWaiting) {
+  // Waiting time tracks JCT (§4.2.1 (d)): MLFS has the least waiting.
+  const double mlfs = metrics("MLFS").average_waiting_seconds();
+  for (const std::string name : {"TensorFlow", "SLAQ", "Tiresias"}) {
+    EXPECT_LT(mlfs, metrics(name).average_waiting_seconds()) << "vs " << name;
+  }
+}
+
+TEST_F(ShapeTest, EveryRunCompletesAllJobs) {
+  for (const auto& name : exp::paper_scheduler_names()) {
+    EXPECT_EQ(metrics(name).jct_minutes.count(), 600u) << name;
+    EXPECT_GT(metrics(name).makespan_hours, 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mlfs

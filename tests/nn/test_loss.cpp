@@ -1,0 +1,119 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlfs::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Matrix logits(2, 3);
+  logits.at(0, 0) = 1.0;
+  logits.at(0, 1) = 2.0;
+  logits.at(0, 2) = 3.0;
+  logits.at(1, 0) = -5.0;
+  logits.at(1, 1) = 0.0;
+  logits.at(1, 2) = 5.0;
+  const Matrix p = softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  Matrix logits(1, 2);
+  logits.at(0, 0) = 1000.0;
+  logits.at(0, 1) = 1000.0;
+  const Matrix p = softmax(logits);
+  EXPECT_NEAR(p.at(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(p.at(0, 1), 0.5, 1e-12);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  Matrix logits(1, 4);
+  logits.at(0, 0) = 0.3;
+  logits.at(0, 1) = -1.2;
+  logits.at(0, 2) = 2.0;
+  logits.at(0, 3) = 0.0;
+  const Matrix p = softmax(logits);
+  const Matrix lp = log_softmax(logits);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(lp.at(0, j), std::log(p.at(0, j)), 1e-12);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogN) {
+  Matrix logits(1, 4);  // all zeros -> uniform distribution
+  const std::vector<int> targets = {2};
+  const auto result = cross_entropy(logits, targets);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Matrix logits(1, 3);
+  logits.at(0, 1) = 50.0;
+  const std::vector<int> targets = {1};
+  EXPECT_LT(cross_entropy(logits, targets).loss, 1e-9);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Matrix logits(2, 3);
+  logits.at(0, 0) = 1.0;
+  logits.at(1, 2) = -2.0;
+  const std::vector<int> targets = {0, 2};
+  const auto result = cross_entropy(logits, targets);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) sum += result.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-12);  // softmax gradient identity
+  }
+}
+
+TEST(PolicyGradient, ZeroAdvantageZeroGradient) {
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 0.7;
+  const std::vector<int> actions = {1};
+  const std::vector<double> advantages = {0.0};
+  const auto result = policy_gradient(logits, actions, advantages);
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+  for (const double g : result.grad_logits.raw()) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(PolicyGradient, PositiveAdvantageIncreasesActionLogit) {
+  Matrix logits(1, 3);
+  const std::vector<int> actions = {1};
+  const std::vector<double> advantages = {1.0};
+  const auto result = policy_gradient(logits, actions, advantages);
+  // Gradient descent step -grad should raise the chosen logit.
+  EXPECT_LT(result.grad_logits.at(0, 1), 0.0);
+  EXPECT_GT(result.grad_logits.at(0, 0), 0.0);
+  EXPECT_GT(result.grad_logits.at(0, 2), 0.0);
+}
+
+TEST(Mse, HandValues) {
+  Matrix pred(2, 1);
+  pred.at(0, 0) = 1.0;
+  pred.at(1, 0) = 3.0;
+  const std::vector<double> targets = {0.0, 1.0};
+  const auto result = mse(pred, targets);
+  EXPECT_NEAR(result.loss, (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(result.grad_logits.at(0, 0), 2.0 * 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(result.grad_logits.at(1, 0), 2.0 * 2.0 / 2.0, 1e-12);
+}
+
+TEST(MeanEntropy, UniformIsMaximal) {
+  Matrix uniform(1, 4);                  // all-zero logits
+  Matrix peaked(1, 4);
+  peaked.at(0, 0) = 100.0;
+  EXPECT_NEAR(mean_entropy(uniform), std::log(4.0), 1e-9);
+  EXPECT_LT(mean_entropy(peaked), 1e-6);
+}
+
+}  // namespace
+}  // namespace mlfs::nn

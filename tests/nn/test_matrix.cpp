@@ -1,0 +1,130 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace mlfs::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), 1.5);
+}
+
+TEST(Matrix, RowVector) {
+  const Matrix r = Matrix::row({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_DOUBLE_EQ(r.at(0, 2), 3.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 2), ContractViolation);
+}
+
+TEST(Matrix, MatmulHandValues) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  double v = 1.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = v++;
+  Matrix b(3, 2);
+  // [7 8; 9 10; 11 12]
+  v = 7.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b.at(i, j) = v++;
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), ContractViolation);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  const Matrix m = Matrix::glorot(3, 5, rng);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  const Matrix tt = t.transposed();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(tt.at(i, j), m.at(i, j));
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3, 2.0);
+  Matrix b(1, 3, 3.0);
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  const Matrix prod = a.hadamard(b);
+  const Matrix scaled = a * 4.0;
+  EXPECT_DOUBLE_EQ(sum.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(diff.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(prod.at(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(scaled.at(0, 0), 8.0);
+}
+
+TEST(Matrix, RowBroadcast) {
+  Matrix m(2, 3, 1.0);
+  m.add_row_broadcast(Matrix::row({10.0, 20.0, 30.0}));
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 31.0);
+}
+
+TEST(Matrix, ColumnSums) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const Matrix s = m.column_sums();
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 6.0);
+}
+
+TEST(Matrix, NormAndZero) {
+  Matrix m(1, 2);
+  m.at(0, 0) = 3.0;
+  m.at(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m.norm(), 0.0);
+}
+
+TEST(Matrix, GlorotWithinLimit) {
+  Rng rng(5);
+  const Matrix m = Matrix::glorot(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (const double v : m.raw()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Matrix, SerializationRoundTrip) {
+  Rng rng(9);
+  const Matrix m = Matrix::glorot(4, 7, rng);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  const Matrix loaded = read_matrix(ss);
+  ASSERT_TRUE(loaded.same_shape(m));
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(loaded.raw()[i], m.raw()[i]);
+}
+
+}  // namespace
+}  // namespace mlfs::nn

@@ -1,0 +1,103 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mlfs::nn {
+namespace {
+
+TEST(Mlp, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp net({4, 8, 3}, Activation::Relu, rng);
+  EXPECT_EQ(net.in_features(), 4u);
+  EXPECT_EQ(net.out_features(), 3u);
+  // (4*8 + 8) + (8*3 + 3) = 40 + 27
+  EXPECT_EQ(net.parameter_count(), 67u);
+  Matrix input(5, 4, 0.1);
+  const Matrix out = net.forward(input);
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(Mlp, RejectsWrongInputWidth) {
+  Rng rng(2);
+  Mlp net({4, 3}, Activation::Relu, rng);
+  Matrix input(1, 5);
+  EXPECT_THROW(net.forward(input), ContractViolation);
+}
+
+TEST(Mlp, LearnsXor) {
+  Rng rng(3);
+  Mlp net({2, 16, 2}, Activation::Tanh, rng);
+  Adam opt(net.params(), net.grads(), 0.02);
+
+  Matrix inputs(4, 2);
+  const double xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<int> targets = {0, 1, 1, 0};
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 2; ++j) inputs.at(i, j) = xs[i][j];
+
+  double loss = 0.0;
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    net.zero_grads();
+    const auto result = cross_entropy(net.forward(inputs), targets);
+    loss = result.loss;
+    net.backward(result.grad_logits);
+    opt.step();
+  }
+  EXPECT_LT(loss, 0.05);
+  const Matrix probs = softmax(net.forward(inputs));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(probs.at(i, static_cast<std::size_t>(targets[i])), 0.8) << "sample " << i;
+  }
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Rng rng(5);
+  Mlp a({3, 6, 2}, Activation::Tanh, rng);
+  Rng rng2(99);
+  Mlp b({3, 6, 2}, Activation::Tanh, rng2);
+
+  Matrix input(2, 3, 0.5);
+  const Matrix before = a.forward(input);
+
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+  const Matrix after = b.forward(input);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after.raw()[i], before.raw()[i]);
+  }
+}
+
+TEST(Mlp, LoadRejectsWrongArchitecture) {
+  Rng rng(7);
+  Mlp a({3, 6, 2}, Activation::Tanh, rng);
+  Mlp b({3, 5, 2}, Activation::Tanh, rng);
+  std::stringstream ss;
+  a.save(ss);
+  EXPECT_THROW(b.load(ss), ContractViolation);
+}
+
+TEST(Mlp, CopyParamsMatchesOutputs) {
+  Rng rng(11);
+  Mlp a({2, 4, 2}, Activation::Relu, rng);
+  Mlp b({2, 4, 2}, Activation::Relu, rng);
+  Matrix input(1, 2, 0.7);
+  b.copy_params_from(a);
+  const Matrix oa = a.forward(input);
+  const Matrix ob = b.forward(input);
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_DOUBLE_EQ(oa.raw()[i], ob.raw()[i]);
+}
+
+TEST(Mlp, MinimumTwoLayerSizes) {
+  Rng rng(13);
+  EXPECT_THROW(Mlp({3}, Activation::Relu, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs::nn

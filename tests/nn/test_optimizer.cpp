@@ -1,0 +1,76 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlfs::nn {
+namespace {
+
+/// Minimizes f(x, y) = (x-3)^2 + (y+1)^2 with an optimizer; gradients are
+/// set manually each step.
+template <typename MakeOpt>
+std::pair<double, double> minimize_quadratic(MakeOpt make_opt, int steps) {
+  Matrix param(1, 2);
+  Matrix grad(1, 2);
+  auto opt = make_opt(std::vector<Matrix*>{&param}, std::vector<Matrix*>{&grad});
+  for (int i = 0; i < steps; ++i) {
+    grad.at(0, 0) = 2.0 * (param.at(0, 0) - 3.0);
+    grad.at(0, 1) = 2.0 * (param.at(0, 1) + 1.0);
+    opt->step();
+    grad.zero();
+  }
+  return {param.at(0, 0), param.at(0, 1)};
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  const auto [x, y] = minimize_quadratic(
+      [](auto p, auto g) { return std::make_unique<Sgd>(p, g, 0.1); }, 200);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+  EXPECT_NEAR(y, -1.0, 1e-6);
+}
+
+TEST(Sgd, MomentumConverges) {
+  const auto [x, y] = minimize_quadratic(
+      [](auto p, auto g) { return std::make_unique<Sgd>(p, g, 0.05, 0.9); }, 300);
+  EXPECT_NEAR(x, 3.0, 1e-4);
+  EXPECT_NEAR(y, -1.0, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  const auto [x, y] = minimize_quadratic(
+      [](auto p, auto g) { return std::make_unique<Adam>(p, g, 0.1); }, 500);
+  EXPECT_NEAR(x, 3.0, 1e-3);
+  EXPECT_NEAR(y, -1.0, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  Matrix param(1, 1);
+  Matrix grad(1, 1);
+  grad.at(0, 0) = 123.0;  // Adam normalizes: first step ~= lr regardless of magnitude
+  Adam opt({&param}, {&grad}, 0.01);
+  opt.step();
+  EXPECT_NEAR(param.at(0, 0), -0.01, 1e-6);
+}
+
+TEST(Optimizer, GradientClippingBoundsNorm) {
+  Matrix param(1, 2);
+  Matrix grad(1, 2);
+  grad.at(0, 0) = 30.0;
+  grad.at(0, 1) = 40.0;  // norm 50
+  Sgd opt({&param}, {&grad}, 1.0);
+  opt.set_max_grad_norm(5.0);
+  opt.step();
+  // Clipped gradient = (3, 4): param moves by exactly -lr * clipped.
+  EXPECT_NEAR(param.at(0, 0), -3.0, 1e-12);
+  EXPECT_NEAR(param.at(0, 1), -4.0, 1e-12);
+}
+
+TEST(Optimizer, RejectsMismatchedShapes) {
+  Matrix param(1, 2);
+  Matrix grad(2, 1);
+  EXPECT_THROW(Sgd({&param}, {&grad}, 0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs::nn

@@ -1,0 +1,112 @@
+#include "predict/learning_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "workload/loss_curve.hpp"
+
+namespace mlfs {
+namespace {
+
+std::vector<double> curve_samples(double a_max, double kappa, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    out.push_back(a_max * i / (i + kappa));
+  }
+  return out;
+}
+
+TEST(LearningCurvePredictor, RecoversHyperbolicCurveFamily) {
+  // The simulator's ground-truth family is MMF with delta=1: the predictor
+  // must extrapolate it accurately from a prefix (the §3.1 "around 90%
+  // accuracy" assumption holds by a wide margin here).
+  const LearningCurvePredictor predictor;
+  const auto observed = curve_samples(0.9, 10.0, 20);
+  const auto prediction = predictor.predict_at(observed, 200);
+  const double truth = 0.9 * 200.0 / 210.0;
+  EXPECT_NEAR(prediction.accuracy, truth, 0.02);
+  EXPECT_GT(prediction.confidence, 0.5);
+}
+
+TEST(LearningCurvePredictor, InterpolationIsAccurate) {
+  const LearningCurvePredictor predictor;
+  const auto observed = curve_samples(0.8, 6.0, 30);
+  const auto prediction = predictor.predict_at(observed, 15);
+  EXPECT_NEAR(prediction.accuracy, observed[14], 0.01);
+}
+
+TEST(LearningCurvePredictor, FewObservationsFallBack) {
+  const LearningCurvePredictor predictor;
+  const std::vector<double> two = {0.1, 0.18};
+  const auto prediction = predictor.predict_at(two, 100);
+  EXPECT_DOUBLE_EQ(prediction.accuracy, 0.18);  // last observation
+  EXPECT_DOUBLE_EQ(prediction.confidence, 0.0);
+
+  const auto empty_pred = predictor.predict_at({}, 100);
+  EXPECT_DOUBLE_EQ(empty_pred.accuracy, 0.0);
+}
+
+TEST(LearningCurvePredictor, NoisyObservationsStillClose) {
+  Rng rng(5);
+  auto observed = curve_samples(0.85, 12.0, 25);
+  for (auto& v : observed) v = std::clamp(v * rng.lognormal(0.0, 0.02), 0.0, 1.0);
+  const LearningCurvePredictor predictor;
+  const auto prediction = predictor.predict_at(observed, 300);
+  const double truth = 0.85 * 300.0 / 312.0;
+  EXPECT_NEAR(prediction.accuracy, truth, 0.06);
+}
+
+TEST(LearningCurvePredictor, PredictionWithinUnitInterval) {
+  const LearningCurvePredictor predictor;
+  // Pathological rising observations must still clamp to [0, 1].
+  const std::vector<double> weird = {0.2, 0.5, 0.8, 0.95, 0.99};
+  const auto prediction = predictor.predict_at(weird, 10000);
+  EXPECT_GE(prediction.accuracy, 0.0);
+  EXPECT_LE(prediction.accuracy, 1.0);
+  EXPECT_GE(prediction.confidence, 0.0);
+  EXPECT_LE(prediction.confidence, 1.0);
+}
+
+TEST(LearningCurvePredictor, ConfidenceGrowsWithAgreement) {
+  const LearningCurvePredictor predictor;
+  // Clean long prefix: bases agree -> high confidence.
+  const auto clean = curve_samples(0.9, 8.0, 40);
+  const auto clean_pred = predictor.predict_at(clean, 100);
+  // Erratic observations: bases disagree -> lower confidence.
+  std::vector<double> erratic;
+  Rng rng(9);
+  for (int i = 1; i <= 8; ++i) erratic.push_back(rng.uniform(0.1, 0.9));
+  const auto erratic_pred = predictor.predict_at(erratic, 100);
+  EXPECT_GT(clean_pred.confidence, erratic_pred.confidence);
+}
+
+TEST(LearningCurvePredictor, BasisNamesExposed) {
+  const auto names = LearningCurvePredictor::basis_names();
+  EXPECT_GE(names.size(), 3u);
+}
+
+TEST(LearningCurvePredictor, AccuracyAcrossCurveFamilyAbove90Percent) {
+  // The §3.1 claim: ~90% prediction accuracy. Sweep the generator's curve
+  // parameter space and check mean relative error stays under 10%.
+  const LearningCurvePredictor predictor;
+  Rng rng(77);
+  double total_rel_error = 0.0;
+  int cases = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const double a_max = rng.uniform(0.65, 0.96);
+    const double kappa = rng.uniform(3.0, 20.0);
+    const auto observed = curve_samples(a_max, kappa, 15);
+    const int target = 150;
+    const double truth = a_max * target / (target + kappa);
+    const auto prediction = predictor.predict_at(observed, target);
+    total_rel_error += std::abs(prediction.accuracy - truth) / truth;
+    ++cases;
+  }
+  EXPECT_LT(total_rel_error / cases, 0.10);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,80 @@
+#include "predict/runtime_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/model_zoo.hpp"
+
+namespace mlfs {
+namespace {
+
+Job make_job(MlAlgorithm algo, int gpus, std::uint64_t seed) {
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = algo;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = gpus;
+  spec.max_iterations = 40;
+  spec.seed = seed;
+  return std::move(ModelZoo::instantiate(spec, 0).job);
+}
+
+TEST(RuntimePredictor, UnseenJobsHaveLargerErrorBound) {
+  RuntimePredictor predictor;  // 11% seen / 30% unseen
+  const Job job = make_job(MlAlgorithm::Mlp, 2, 1);
+  EXPECT_FALSE(predictor.has_history(job));
+  const double truth = job.estimated_execution_seconds();
+  const double unseen = predictor.predict_execution_seconds(job);
+  EXPECT_LE(std::abs(unseen - truth) / truth, 0.30 + 1e-9);
+
+  predictor.record_completion(job);
+  EXPECT_TRUE(predictor.has_history(job));
+  const double seen = predictor.predict_execution_seconds(job);
+  EXPECT_LE(std::abs(seen - truth) / truth, 0.11 + 1e-9);
+}
+
+TEST(RuntimePredictor, HistoryIsPerAlgorithmAndGpuCount) {
+  RuntimePredictor predictor;
+  const Job a = make_job(MlAlgorithm::Mlp, 2, 1);
+  const Job b = make_job(MlAlgorithm::Mlp, 4, 2);   // same algo, different GPUs
+  const Job c = make_job(MlAlgorithm::Lstm, 2, 3);  // different algo
+  predictor.record_completion(a);
+  EXPECT_TRUE(predictor.has_history(a));
+  EXPECT_FALSE(predictor.has_history(b));
+  EXPECT_FALSE(predictor.has_history(c));
+}
+
+TEST(RuntimePredictor, DeterministicPerJob) {
+  RuntimePredictor predictor;
+  const Job job = make_job(MlAlgorithm::ResNet, 4, 9);
+  EXPECT_DOUBLE_EQ(predictor.predict_execution_seconds(job),
+                   predictor.predict_execution_seconds(job));
+}
+
+TEST(RuntimePredictor, RemainingShrinksWithProgress) {
+  RuntimePredictor predictor;
+  Job job = make_job(MlAlgorithm::ResNet, 2, 4);
+  const double before = predictor.predict_remaining_seconds(job);
+  job.complete_iteration();
+  job.complete_iteration();
+  const double after = predictor.predict_remaining_seconds(job);
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0.0);
+}
+
+TEST(RuntimePredictor, RemainingIsZeroWhenTargetReached) {
+  RuntimePredictor predictor;
+  Job job = make_job(MlAlgorithm::Mlp, 1, 6);
+  job.set_target_iterations(2);
+  job.complete_iteration();
+  job.complete_iteration();
+  EXPECT_DOUBLE_EQ(predictor.predict_remaining_seconds(job), 0.0);
+}
+
+TEST(RuntimePredictor, RejectsNegativeErrorLevels) {
+  EXPECT_THROW(RuntimePredictor(-0.1, 0.3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs

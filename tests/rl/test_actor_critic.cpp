@@ -1,0 +1,127 @@
+#include "rl/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlfs::rl {
+namespace {
+
+ActorCriticConfig bandit_config() {
+  ActorCriticConfig c;
+  c.state_dim = 2;
+  c.action_dim = 2;
+  c.hidden = {8};
+  c.policy_lr = 0.05;
+  c.value_lr = 0.05;
+  c.eta = 0.9;
+  c.entropy_bonus = 0.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(ActorCritic, LearnsTwoArmedBandit) {
+  ActorCriticAgent agent(bandit_config());
+  const std::vector<double> state = {1.0, 0.0};
+  for (int round = 0; round < 250; ++round) {
+    std::vector<Episode> episodes(1);
+    for (int step = 0; step < 16; ++step) {
+      const int action = agent.act(state);
+      episodes[0].push_back({state, action, action == 1 ? 1.0 : 0.0});
+    }
+    agent.update(episodes);
+  }
+  EXPECT_EQ(agent.act_greedy(state), 1);
+  EXPECT_GT(agent.action_probabilities(state)[1], 0.85);
+}
+
+TEST(ActorCritic, ValueEstimateTracksReward) {
+  // Constant reward 1 per step, eta = 0.9: V(s) converges toward the
+  // bootstrap fixed point 1/(1-0.9) = 10 (truncation keeps it below).
+  ActorCriticAgent agent(bandit_config());
+  const std::vector<double> state = {0.5, 0.5};
+  for (int round = 0; round < 400; ++round) {
+    std::vector<Episode> episodes(1);
+    for (int step = 0; step < 32; ++step) {
+      episodes[0].push_back({state, agent.act(state), 1.0});
+    }
+    agent.update(episodes);
+  }
+  const double v = agent.value_of(state);
+  EXPECT_GT(v, 2.0);
+  EXPECT_LT(v, 11.0);
+}
+
+TEST(ActorCritic, LearnsContextualBandit) {
+  auto config = bandit_config();
+  config.seed = 7;
+  ActorCriticAgent agent(config);
+  const std::vector<double> s0 = {1.0, 0.0};
+  const std::vector<double> s1 = {0.0, 1.0};
+  Rng rng(5);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<Episode> episodes(1);
+    for (int step = 0; step < 16; ++step) {
+      const bool ctx = rng.bernoulli(0.5);
+      const auto& state = ctx ? s1 : s0;
+      const int best = ctx ? 0 : 1;
+      const int action = agent.act(state);
+      episodes[0].push_back({state, action, action == best ? 1.0 : 0.0});
+    }
+    agent.update(episodes);
+  }
+  EXPECT_EQ(agent.act_greedy(s0), 1);
+  EXPECT_EQ(agent.act_greedy(s1), 0);
+}
+
+TEST(ActorCritic, MaskedActionsNeverSampled) {
+  ActorCriticAgent agent(bandit_config());
+  const std::vector<double> state = {0.5, 0.5};
+  const std::vector<char> mask_bytes = {0, 1};
+  const std::span<const bool> mask(reinterpret_cast<const bool*>(mask_bytes.data()), 2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(agent.act(state, mask), 1);
+}
+
+TEST(ActorCritic, UpdateOnEmptyIsNoop) {
+  ActorCriticAgent agent(bandit_config());
+  const std::vector<Episode> none;
+  const auto stats = agent.update(none);
+  EXPECT_EQ(stats.policy_loss, 0.0);
+}
+
+TEST(ActorCritic, SaveLoadRoundTrip) {
+  ActorCriticAgent a(bandit_config());
+  auto config = bandit_config();
+  config.seed = 31;
+  ActorCriticAgent b(config);
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+  const std::vector<double> state = {0.3, 0.7};
+  const auto pa = a.action_probabilities(state);
+  const auto pb = b.action_probabilities(state);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(ActorCritic, ImitationStepIsSharedInterface) {
+  ActorCriticAgent agent(bandit_config());
+  nn::Matrix states(2, 2);
+  states.at(0, 0) = 1.0;
+  states.at(1, 1) = 1.0;
+  const std::vector<int> actions = {0, 1};
+  double loss = agent.imitation_step(states, actions);
+  for (int i = 0; i < 300; ++i) loss = agent.imitation_step(states, actions);
+  EXPECT_LT(loss, 0.1);
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{1.0, 0.0}), 0);
+}
+
+TEST(ActorCritic, PolymorphicViaPolicyAgent) {
+  auto config = bandit_config();
+  std::unique_ptr<PolicyAgent> agent = std::make_unique<ActorCriticAgent>(config);
+  const std::vector<double> state = {1.0, 0.0};
+  const int action = agent->act(state);
+  EXPECT_TRUE(action == 0 || action == 1);
+}
+
+}  // namespace
+}  // namespace mlfs::rl

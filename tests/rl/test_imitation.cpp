@@ -1,0 +1,75 @@
+#include "rl/imitation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlfs::rl {
+namespace {
+
+ReinforceConfig agent_config() {
+  ReinforceConfig c;
+  c.state_dim = 3;
+  c.action_dim = 3;
+  c.hidden = {16};
+  c.policy_lr = 0.05;
+  c.seed = 9;
+  return c;
+}
+
+/// Expert: action = argmax(state) — linearly separable.
+void fill_dataset(ImitationDataset& dataset, std::size_t n, Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> state = {rng.uniform(), rng.uniform(), rng.uniform()};
+    int best = 0;
+    for (int j = 1; j < 3; ++j) {
+      if (state[static_cast<std::size_t>(j)] > state[static_cast<std::size_t>(best)]) best = j;
+    }
+    dataset.add(state, best);
+  }
+}
+
+TEST(ImitationDataset, SizeAndValidation) {
+  ImitationDataset dataset(3);
+  EXPECT_TRUE(dataset.empty());
+  dataset.add(std::vector<double>{0.1, 0.2, 0.3}, 2);
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_THROW(dataset.add(std::vector<double>{0.1}, 0), ContractViolation);
+}
+
+TEST(ImitationDataset, TruncateKeepsMostRecent) {
+  ImitationDataset dataset(1);
+  for (int i = 0; i < 10; ++i) dataset.add(std::vector<double>{static_cast<double>(i)}, i % 2);
+  dataset.truncate_to_recent(4);
+  EXPECT_EQ(dataset.size(), 4u);
+  // No-op when already within bounds.
+  dataset.truncate_to_recent(100);
+  EXPECT_EQ(dataset.size(), 4u);
+}
+
+TEST(ImitationDataset, TrainingLearnsSeparableExpert) {
+  ImitationDataset dataset(3);
+  Rng data_rng(3);
+  fill_dataset(dataset, 600, data_rng);
+
+  ReinforceAgent agent(agent_config());
+  const double before = dataset.evaluate_accuracy(agent);
+  Rng train_rng(5);
+  const double loss = dataset.train(agent, /*epochs=*/20, /*batch=*/32, train_rng);
+  const double after = dataset.evaluate_accuracy(agent);
+  EXPECT_GT(after, 0.9);
+  EXPECT_GT(after, before);
+  EXPECT_LT(loss, 0.5);
+}
+
+TEST(ImitationDataset, TrainRejectsEmpty) {
+  ImitationDataset dataset(2);
+  ReinforceConfig c = agent_config();
+  c.state_dim = 2;
+  c.action_dim = 2;
+  ReinforceAgent agent(c);
+  Rng rng(1);
+  EXPECT_THROW(dataset.train(agent, 1, 8, rng), ContractViolation);
+  EXPECT_EQ(dataset.evaluate_accuracy(agent), 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs::rl

@@ -1,0 +1,132 @@
+#include "rl/reinforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlfs::rl {
+namespace {
+
+ReinforceConfig bandit_config() {
+  ReinforceConfig c;
+  c.state_dim = 2;
+  c.action_dim = 2;
+  c.hidden = {8};
+  c.policy_lr = 0.05;
+  c.value_lr = 0.05;
+  c.eta = 0.99;
+  c.entropy_bonus = 0.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(ReinforceAgent, LearnsTwoArmedBandit) {
+  // State is constant; arm 1 pays 1, arm 0 pays 0. The policy must
+  // concentrate on arm 1.
+  ReinforceAgent agent(bandit_config());
+  const std::vector<double> state = {1.0, 0.0};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Episode> episodes(1);
+    for (int step = 0; step < 16; ++step) {
+      const int action = agent.act(state);
+      episodes[0].push_back({state, action, action == 1 ? 1.0 : 0.0});
+    }
+    agent.update(episodes);
+  }
+  const auto probs = agent.action_probabilities(state);
+  EXPECT_GT(probs[1], 0.9);
+  EXPECT_EQ(agent.act_greedy(state), 1);
+}
+
+TEST(ReinforceAgent, LearnsContextualBandit) {
+  // Best arm depends on the state bit.
+  auto config = bandit_config();
+  config.seed = 7;
+  ReinforceAgent agent(config);
+  const std::vector<double> s0 = {1.0, 0.0};
+  const std::vector<double> s1 = {0.0, 1.0};
+  Rng rng(5);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<Episode> episodes(1);
+    for (int step = 0; step < 16; ++step) {
+      const bool ctx = rng.bernoulli(0.5);
+      const auto& state = ctx ? s1 : s0;
+      const int best = ctx ? 0 : 1;
+      const int action = agent.act(state);
+      episodes[0].push_back({state, action, action == best ? 1.0 : 0.0});
+    }
+    agent.update(episodes);
+  }
+  EXPECT_EQ(agent.act_greedy(s0), 1);
+  EXPECT_EQ(agent.act_greedy(s1), 0);
+}
+
+TEST(ReinforceAgent, MaskExcludesInvalidActions) {
+  ReinforceAgent agent(bandit_config());
+  const std::vector<double> state = {0.5, 0.5};
+  const std::vector<bool> only_zero = {true, false};
+  std::vector<char> mask_bytes(only_zero.begin(), only_zero.end());
+  const std::span<const bool> mask(reinterpret_cast<const bool*>(mask_bytes.data()),
+                                   mask_bytes.size());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(agent.act(state, mask), 0);
+    EXPECT_EQ(agent.act_greedy(state, mask), 0);
+  }
+}
+
+TEST(ReinforceAgent, AllMaskedThrows) {
+  ReinforceAgent agent(bandit_config());
+  const std::vector<double> state = {0.5, 0.5};
+  const std::vector<char> mask_bytes = {0, 0};
+  const std::span<const bool> mask(reinterpret_cast<const bool*>(mask_bytes.data()),
+                                   mask_bytes.size());
+  EXPECT_THROW(agent.act(state, mask), ContractViolation);
+}
+
+TEST(ReinforceAgent, ProbabilitiesSumToOne) {
+  ReinforceAgent agent(bandit_config());
+  const std::vector<double> state = {0.1, 0.9};
+  const auto probs = agent.action_probabilities(state);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+}
+
+TEST(ReinforceAgent, UpdateOnEmptyEpisodesIsNoop) {
+  ReinforceAgent agent(bandit_config());
+  const std::vector<Episode> none;
+  const auto stats = agent.update(none);
+  EXPECT_EQ(stats.policy_loss, 0.0);
+  EXPECT_EQ(stats.mean_return, 0.0);
+}
+
+TEST(ReinforceAgent, SaveLoadPreservesPolicy) {
+  ReinforceAgent a(bandit_config());
+  auto config = bandit_config();
+  config.seed = 99;
+  ReinforceAgent b(config);
+  const std::vector<double> state = {1.0, 0.0};
+
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+  const auto pa = a.action_probabilities(state);
+  const auto pb = b.action_probabilities(state);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(ReinforceAgent, ImitationStepReducesLoss) {
+  ReinforceAgent agent(bandit_config());
+  nn::Matrix states(4, 2);
+  states.at(0, 0) = 1.0;
+  states.at(1, 0) = 1.0;
+  states.at(2, 1) = 1.0;
+  states.at(3, 1) = 1.0;
+  const std::vector<int> actions = {0, 0, 1, 1};
+  double first = agent.imitation_step(states, actions);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = agent.imitation_step(states, actions);
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace mlfs::rl

@@ -1,0 +1,63 @@
+#include "rl/returns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace mlfs::rl {
+namespace {
+
+TEST(DiscountedReturns, HandValues) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const auto g = discounted_returns(rewards, 0.5);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[2], 3.0);
+  EXPECT_DOUBLE_EQ(g[1], 2.0 + 0.5 * 3.0);
+  EXPECT_DOUBLE_EQ(g[0], 1.0 + 0.5 * 3.5);
+}
+
+TEST(DiscountedReturns, NoDiscountIsSuffixSum) {
+  const std::vector<double> rewards = {1.0, 1.0, 1.0, 1.0};
+  const auto g = discounted_returns(rewards, 1.0);
+  EXPECT_DOUBLE_EQ(g[0], 4.0);
+  EXPECT_DOUBLE_EQ(g[3], 1.0);
+}
+
+TEST(DiscountedReturns, EmptyInput) {
+  EXPECT_TRUE(discounted_returns({}, 0.9).empty());
+}
+
+TEST(DiscountedReturns, RejectsBadEta) {
+  const std::vector<double> rewards = {1.0};
+  EXPECT_THROW(discounted_returns(rewards, 0.0), ContractViolation);
+  EXPECT_THROW(discounted_returns(rewards, 1.5), ContractViolation);
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  standardize(v);
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= 5.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (const double x : v) var += x * x;
+  EXPECT_NEAR(var / 5.0, 1.0, 1e-12);
+}
+
+TEST(Standardize, ConstantVectorUntouched) {
+  std::vector<double> v = {2.0, 2.0, 2.0};
+  standardize(v);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Standardize, TooSmallUntouched) {
+  std::vector<double> v = {7.0};
+  standardize(v);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+}
+
+}  // namespace
+}  // namespace mlfs::rl

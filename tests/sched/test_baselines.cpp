@@ -1,0 +1,201 @@
+// Behavioural tests of the seven comparison schedulers: each baseline's
+// signature decision rule, plus an end-to-end completion check for all.
+#include <gtest/gtest.h>
+
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+#include "sched/graphene.hpp"
+#include "sched/hypersched.hpp"
+#include "sched/slaq.hpp"
+#include "sched/tiresias.hpp"
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs::sched {
+namespace {
+
+ClusterConfig cluster_config() {
+  ClusterConfig c;
+  c.server_count = 4;
+  c.gpus_per_server = 4;
+  return c;
+}
+
+std::vector<JobSpec> trace(std::size_t jobs, std::uint64_t seed) {
+  TraceConfig config;
+  config.num_jobs = jobs;
+  config.duration_hours = 8.0;
+  config.seed = seed;
+  config.max_gpu_request = 8;
+  config.max_iterations = 50;
+  return PhillyTraceGenerator(config).generate();
+}
+
+class BaselineCompletion : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineCompletion, CompletesModerateWorkload) {
+  auto instance = exp::make_scheduler(GetParam());
+  SimEngine engine(cluster_config(), {}, trace(60, 17), *instance.scheduler,
+                   instance.controller.get());
+  const RunMetrics m = engine.run();
+  EXPECT_EQ(m.scheduler, GetParam());
+  std::size_t incomplete = 0;
+  for (const Job& job : engine.cluster().jobs()) {
+    if (!job.done()) ++incomplete;
+  }
+  EXPECT_EQ(incomplete, 0u) << GetParam() << " left jobs unfinished";
+  EXPECT_GT(m.average_accuracy, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, BaselineCompletion,
+                         ::testing::ValuesIn(exp::paper_scheduler_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Registry, RejectsUnknownScheduler) {
+  EXPECT_THROW(exp::make_scheduler("NoSuchScheduler"), ContractViolation);
+}
+
+TEST(Registry, OnlyMlfsHasController) {
+  for (const auto& name : exp::paper_scheduler_names()) {
+    const auto instance = exp::make_scheduler(name);
+    EXPECT_EQ(instance.controller != nullptr, name == "MLFS") << name;
+  }
+}
+
+TEST(Slaq, QualityGainRateDecreasesWithProgress) {
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Mlp;
+  spec.gpu_request = 1;
+  spec.comm = CommStructure::AllReduce;
+  spec.max_iterations = 50;
+  spec.seed = 3;
+  Job job = std::move(ModelZoo::instantiate(spec, 0).job);
+  const double fresh = SlaqScheduler::quality_gain_rate(job);
+  for (int i = 0; i < 10; ++i) job.complete_iteration();
+  const double later = SlaqScheduler::quality_gain_rate(job);
+  EXPECT_GT(fresh, later);
+  EXPECT_GT(later, 0.0);
+  // Exhausted budget: no gain left.
+  for (int i = 10; i < 50; ++i) job.complete_iteration();
+  EXPECT_DOUBLE_EQ(SlaqScheduler::quality_gain_rate(job), 0.0);
+}
+
+TEST(HyperSched, AchievableGainShrinksNearDeadline) {
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Mlp;
+  spec.gpu_request = 1;
+  spec.comm = CommStructure::AllReduce;
+  spec.max_iterations = 100;
+  spec.seed = 5;
+  Job job = std::move(ModelZoo::instantiate(spec, 0).job);
+  job.set_deadline(hours(10.0));
+  const double early = HyperSchedScheduler::achievable_gain(job, 0.0);
+  const double late = HyperSchedScheduler::achievable_gain(job, hours(9.9));
+  EXPECT_GT(early, late);
+  // Past the deadline there is nothing to gain.
+  EXPECT_DOUBLE_EQ(HyperSchedScheduler::achievable_gain(job, hours(11.0)), 0.0);
+}
+
+TEST(Tiresias, ServiceAccumulatesOnlyWhileRunning) {
+  TiresiasScheduler scheduler;
+  EXPECT_DOUBLE_EQ(scheduler.attained_service(0), 0.0);
+}
+
+TEST(Graphene, TroublesomeScoreGrowsWithDependentsAndDemand) {
+  Cluster cluster(cluster_config());
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::AlexNet;  // sequential chain
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 4;
+  spec.max_iterations = 20;
+  spec.seed = 7;
+  auto inst = ModelZoo::instantiate(spec, 0);
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+  const Job& job = cluster.job(0);
+  // Head of the chain (3 descendants) beats the sink (0 descendants)
+  // unless the sink has a much tougher demand; dependency share dominates.
+  const double head = GrapheneScheduler::troublesome_score(cluster, cluster.task(job.task_at(0)));
+  const double sink = GrapheneScheduler::troublesome_score(cluster, cluster.task(job.task_at(3)));
+  EXPECT_GT(head, sink);
+}
+
+TEST(GangPlacement, AllOrNothingRollsBack) {
+  // A job requesting more workers than the cluster can host must leave no
+  // partial placements behind (unless protected).
+  Cluster cluster(ClusterConfig{1, 2, 1000.0});
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Lstm;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 8;  // needs 8 GPUs; cluster has 2
+  spec.max_iterations = 10;
+  spec.seed = 9;
+  auto inst = ModelZoo::instantiate(spec, 0);
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+
+  struct RecordingOps : SchedulerOps {
+    Cluster& cluster;
+    explicit RecordingOps(Cluster& c) : cluster(c) {}
+    bool place(TaskId t, ServerId s, int g) override {
+      if (cluster.task(t).state != TaskState::Queued) return false;
+      cluster.place_task(t, s, g);
+      return true;
+    }
+    void preempt_to_queue(TaskId) override {}
+    bool migrate(TaskId, ServerId, int) override { return false; }
+    void release(TaskId t) override { cluster.unplace_task(t); }
+  } ops{cluster};
+
+  std::vector<TaskId> queue;
+  for (const TaskId tid : cluster.job(0).tasks()) queue.push_back(tid);
+  SchedulerContext ctx{cluster, queue, ops, 0.0, 0.9, nullptr, kInvalidJob};
+  const int placed = place_job_gang(ctx, queue.front(), least_loaded_placement);
+  EXPECT_EQ(placed, 0);
+  for (const TaskId tid : queue) EXPECT_FALSE(cluster.task(tid).placed());
+}
+
+TEST(GangPlacement, ProtectedJobMayStayPartial) {
+  Cluster cluster(ClusterConfig{1, 2, 1000.0});
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Lstm;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 8;
+  spec.max_iterations = 10;
+  spec.seed = 9;
+  auto inst = ModelZoo::instantiate(spec, 0);
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+
+  struct RecordingOps : SchedulerOps {
+    Cluster& cluster;
+    explicit RecordingOps(Cluster& c) : cluster(c) {}
+    bool place(TaskId t, ServerId s, int g) override {
+      if (cluster.task(t).state != TaskState::Queued) return false;
+      cluster.place_task(t, s, g);
+      return true;
+    }
+    void preempt_to_queue(TaskId) override {}
+    bool migrate(TaskId, ServerId, int) override { return false; }
+    void release(TaskId t) override { cluster.unplace_task(t); }
+  } ops{cluster};
+
+  std::vector<TaskId> queue;
+  for (const TaskId tid : cluster.job(0).tasks()) queue.push_back(tid);
+  SchedulerContext ctx{cluster, queue, ops, 0.0, 0.9, nullptr, /*protected_job=*/0};
+  const int placed = place_job_gang(ctx, queue.front(), least_loaded_placement);
+  EXPECT_GT(placed, 0);  // partial placements retained for the protected job
+}
+
+}  // namespace
+}  // namespace mlfs::sched

@@ -1,0 +1,119 @@
+// Shared scheduler-utility helpers.
+#include "sched/util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.hpp"
+
+namespace mlfs::sched {
+namespace {
+
+struct RecordingOps : SchedulerOps {
+  Cluster& cluster;
+  explicit RecordingOps(Cluster& c) : cluster(c) {}
+  bool place(TaskId t, ServerId s, int g) override {
+    if (cluster.task(t).state != TaskState::Queued) return false;
+    cluster.place_task(t, s, g);
+    return true;
+  }
+  void preempt_to_queue(TaskId t) override { cluster.unplace_task(t); }
+  bool migrate(TaskId, ServerId, int) override { return false; }
+  void release(TaskId t) override { cluster.unplace_task(t); }
+};
+
+struct Fixture {
+  Cluster cluster{ClusterConfig{2, 2, 1000.0}};
+  RecordingOps ops{cluster};
+  std::vector<TaskId> queue;
+
+  SchedulerContext ctx() {
+    return SchedulerContext{cluster, queue, ops, 0.0, 0.9, nullptr, kInvalidJob};
+  }
+
+  JobId add(int gpus, std::uint64_t seed) {
+    JobSpec spec;
+    spec.id = static_cast<JobId>(cluster.job_count());
+    spec.algorithm = MlAlgorithm::Svm;
+    spec.comm = CommStructure::AllReduce;
+    spec.gpu_request = gpus;
+    spec.max_iterations = 10;
+    spec.seed = seed;
+    auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster.task_count()));
+    cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+    for (const TaskId tid : cluster.job(spec.id).tasks()) queue.push_back(tid);
+    return spec.id;
+  }
+};
+
+TEST(SchedUtil, LiveQueueFiltersNonQueuedEntries) {
+  Fixture f;
+  f.add(2, 1);
+  auto ctx = f.ctx();
+  EXPECT_EQ(live_queue(ctx).size(), 2u);
+  f.cluster.place_task(f.queue[0], 0, 0);
+  EXPECT_EQ(live_queue(ctx).size(), 1u);
+  EXPECT_EQ(live_queue(ctx)[0], f.queue[1]);
+}
+
+TEST(SchedUtil, LeastLoadedPlacementPrefersEmptierServer) {
+  Fixture f;
+  const JobId filler = f.add(1, 2);
+  f.cluster.place_task(f.cluster.job(filler).task_at(0), 0, 0);
+  const JobId next = f.add(1, 3);
+  auto ctx = f.ctx();
+  const auto p = least_loaded_placement(ctx, f.cluster.task(f.cluster.job(next).task_at(0)));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->server, 1u);
+}
+
+TEST(SchedUtil, BestFitPlacementPrefersTighterServer) {
+  Fixture f;
+  const JobId filler = f.add(1, 4);
+  f.cluster.place_task(f.cluster.job(filler).task_at(0), 0, 0);
+  const JobId next = f.add(1, 5);
+  auto ctx = f.ctx();
+  // Best fit = smallest residual distance => the already-loaded server
+  // (still feasible: two SVM workers fit under hr on separate GPUs).
+  const auto p = best_fit_placement(ctx, f.cluster.task(f.cluster.job(next).task_at(0)));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->server, 0u);
+}
+
+TEST(SchedUtil, PlacementOnServerChecksFeasibility) {
+  Fixture f;
+  const JobId id = f.add(1, 6);
+  auto ctx = f.ctx();
+  const Task& t = f.cluster.task(f.cluster.job(id).task_at(0));
+  const auto p = placement_on_server(ctx, t, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->server, 1u);
+}
+
+TEST(SchedUtil, DemandMagnitudeSumsComponents) {
+  Task t;
+  t.demand = ResourceVector(0.5, 0.1, 0.2, 0.1);
+  EXPECT_NEAR(demand_magnitude(t), 0.9, 1e-12);
+}
+
+TEST(SchedUtil, GangReturnsMinusOneForStaleEntry) {
+  Fixture f;
+  const JobId id = f.add(1, 7);
+  auto ctx = f.ctx();
+  // Place the job's only task: the queue entry is now stale.
+  f.cluster.place_task(f.cluster.job(id).task_at(0), 0, 0);
+  EXPECT_EQ(place_job_gang(ctx, f.queue[0], least_loaded_placement), -1);
+}
+
+TEST(SchedUtil, PreemptJobPullsEveryRunningTask) {
+  Fixture f;
+  const JobId id = f.add(2, 8);
+  const Job& job = f.cluster.job(id);
+  f.cluster.place_task(job.task_at(0), 0, 0);
+  f.cluster.place_task(job.task_at(1), 1, 0);
+  auto ctx = f.ctx();
+  EXPECT_EQ(preempt_job(ctx, job), 2u);
+  for (const TaskId tid : job.tasks()) EXPECT_FALSE(f.cluster.task(tid).placed());
+}
+
+}  // namespace
+}  // namespace mlfs::sched

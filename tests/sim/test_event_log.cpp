@@ -1,0 +1,121 @@
+// Engine observability: the JSONL event log captures every lifecycle
+// transition, consistently with the run's metrics, and replays identically.
+#include "sim/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-test"; }
+  void schedule(SchedulerContext& ctx) override {
+    for (const TaskId tid : sched::live_queue(ctx)) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      sched::place_job_gang(ctx, tid, sched::least_loaded_placement);
+    }
+  }
+};
+
+std::vector<JobSpec> trace(std::size_t jobs, std::uint64_t seed) {
+  TraceConfig config;
+  config.num_jobs = jobs;
+  config.duration_hours = 3.0;
+  config.seed = seed;
+  config.max_gpu_request = 8;
+  config.max_iterations = 30;
+  return PhillyTraceGenerator(config).generate();
+}
+
+std::string run_logged(std::size_t jobs, std::uint64_t seed, RunMetrics* metrics = nullptr) {
+  ClusterConfig cc;
+  cc.server_count = 4;
+  cc.gpus_per_server = 4;
+  GreedyScheduler scheduler;
+  SimEngine engine(cc, {}, trace(jobs, seed), scheduler);
+  std::ostringstream out;
+  JsonlEventLog log(out);
+  engine.set_observer(&log);
+  const RunMetrics m = engine.run();
+  if (metrics != nullptr) *metrics = m;
+  return out.str();
+}
+
+std::size_t count_events(const std::string& log, const std::string& event) {
+  const std::string needle = "\"event\":\"" + event + "\"";
+  std::size_t count = 0;
+  for (std::size_t pos = log.find(needle); pos != std::string::npos;
+       pos = log.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(EventLog, LifecycleCountsMatchMetrics) {
+  RunMetrics metrics;
+  const std::string log = run_logged(15, 3, &metrics);
+  EXPECT_EQ(count_events(log, "job_arrival"), 15u);
+  EXPECT_EQ(count_events(log, "job_complete"), 15u);
+  EXPECT_EQ(count_events(log, "iteration_complete"), metrics.iterations_run);
+  EXPECT_EQ(count_events(log, "task_preempted"), metrics.preemptions);
+  EXPECT_EQ(count_events(log, "task_migrated"), metrics.migrations);
+  // Every job started at least once.
+  EXPECT_GE(count_events(log, "job_started"), 15u);
+  // Placements at least cover every task once.
+  EXPECT_GE(count_events(log, "task_placed"), 15u);
+}
+
+TEST(EventLog, LinesAreWellFormedJsonObjects) {
+  const std::string log = run_logged(8, 7);
+  std::istringstream lines(log);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"t\":"), std::string::npos);
+    EXPECT_NE(line.find("\"event\":\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_GT(n, 20u);
+}
+
+TEST(EventLog, DeterministicReplayProducesIdenticalLog) {
+  EXPECT_EQ(run_logged(12, 11), run_logged(12, 11));
+}
+
+TEST(EventLog, TimesAreMonotonicallyNonDecreasing) {
+  const std::string log = run_logged(10, 13);
+  std::istringstream lines(log);
+  std::string line;
+  double last = -1.0;
+  while (std::getline(lines, line)) {
+    const auto start = line.find("\"t\":") + 4;
+    const double t = std::stod(line.substr(start, line.find(',') - start));
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(EventLog, CountsExposed) {
+  std::ostringstream out;
+  JsonlEventLog log(out);
+  EXPECT_EQ(log.events_written(), 0u);
+  log.on_job_arrival(1.0, 0);
+  log.on_task_placed(2.0, 3, 1, 0);
+  EXPECT_EQ(log.events_written(), 2u);
+  EXPECT_EQ(out.str(),
+            "{\"t\":1,\"event\":\"job_arrival\",\"job\":0}\n"
+            "{\"t\":2,\"event\":\"task_placed\",\"task\":3,\"server\":1,\"gpu\":0}\n");
+}
+
+}  // namespace
+}  // namespace mlfs

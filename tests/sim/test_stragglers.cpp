@@ -1,0 +1,77 @@
+// Straggler model + replica mitigation (§3.3.3 / paper future work):
+// stragglers lengthen JCT; replicas claw most of it back at a bandwidth
+// premium ("more replicas can better avoid straggler occurrence but
+// generate more overhead").
+#include <gtest/gtest.h>
+
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-test"; }
+  void schedule(SchedulerContext& ctx) override {
+    for (const TaskId tid : sched::live_queue(ctx)) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      sched::place_job_gang(ctx, tid, sched::least_loaded_placement);
+    }
+  }
+};
+
+RunMetrics run_with(double straggler_probability, int replicas) {
+  TraceConfig tc;
+  tc.num_jobs = 25;
+  tc.duration_hours = 4.0;
+  tc.seed = 77;
+  tc.max_gpu_request = 8;
+  tc.max_iterations = 40;
+  ClusterConfig cc;
+  cc.server_count = 4;
+  cc.gpus_per_server = 4;
+  EngineConfig ec;
+  ec.straggler_probability = straggler_probability;
+  ec.straggler_slowdown = 4.0;
+  ec.straggler_replicas = replicas;
+  GreedyScheduler scheduler;
+  SimEngine engine(cc, ec, PhillyTraceGenerator(tc).generate(), scheduler);
+  return engine.run();
+}
+
+TEST(Stragglers, SlowdownLengthensJct) {
+  const RunMetrics clean = run_with(0.0, 0);
+  const RunMetrics straggly = run_with(0.15, 0);
+  EXPECT_GT(straggly.average_jct_minutes(), clean.average_jct_minutes());
+}
+
+TEST(Stragglers, ReplicasMitigateAtBandwidthCost) {
+  const RunMetrics unmitigated = run_with(0.15, 0);
+  const RunMetrics mitigated = run_with(0.15, 2);
+  // First-copy-wins cuts the straggler tax...
+  EXPECT_LT(mitigated.average_jct_minutes(), unmitigated.average_jct_minutes());
+  // ...but replicas ship extra output every iteration.
+  EXPECT_GT(mitigated.bandwidth_tb, unmitigated.bandwidth_tb);
+}
+
+TEST(Stragglers, MoreReplicasMonotonicallyCloserToClean) {
+  const double clean = run_with(0.0, 0).average_jct_minutes();
+  const double r0 = run_with(0.2, 0).average_jct_minutes();
+  const double r3 = run_with(0.2, 3).average_jct_minutes();
+  EXPECT_LT(r3, r0);
+  // With 3 backups a 20% straggler rate is almost fully absorbed
+  // (probability all four copies straggle: 0.2^4 = 0.16%).
+  EXPECT_LT(r3 - clean, 0.25 * (r0 - clean) + 1e-9);
+}
+
+TEST(Stragglers, DeterministicPerSeed) {
+  const RunMetrics a = run_with(0.1, 1);
+  const RunMetrics b = run_with(0.1, 1);
+  EXPECT_DOUBLE_EQ(a.average_jct_minutes(), b.average_jct_minutes());
+  EXPECT_DOUBLE_EQ(a.bandwidth_tb, b.bandwidth_tb);
+}
+
+}  // namespace
+}  // namespace mlfs

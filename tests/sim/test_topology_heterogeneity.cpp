@@ -1,0 +1,184 @@
+// Extension tests: rack topology (the paper's §5 limitation, implemented)
+// and heterogeneous GPU tiers (its §6 future work).
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+#include "exp/registry.hpp"
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-test"; }
+  void schedule(SchedulerContext& ctx) override {
+    for (const TaskId tid : sched::live_queue(ctx)) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      sched::place_job_gang(ctx, tid, sched::least_loaded_placement);
+    }
+  }
+};
+
+TEST(Topology, RackAssignmentAndCrossings) {
+  ClusterConfig config;
+  config.server_count = 6;
+  config.gpus_per_server = 2;
+  config.servers_per_rack = 2;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.rack_of(0), 0);
+  EXPECT_EQ(cluster.rack_of(1), 0);
+  EXPECT_EQ(cluster.rack_of(2), 1);
+  EXPECT_EQ(cluster.rack_of(5), 2);
+  EXPECT_FALSE(cluster.crosses_racks(0, 1));
+  EXPECT_TRUE(cluster.crosses_racks(1, 2));
+  EXPECT_DOUBLE_EQ(cluster.flow_bandwidth_between(0, 1),
+                   config.effective_flow_bandwidth_mbps);
+  EXPECT_DOUBLE_EQ(cluster.flow_bandwidth_between(0, 5),
+                   config.inter_rack_flow_bandwidth_mbps);
+}
+
+TEST(Topology, FlatClusterNeverCrosses) {
+  ClusterConfig config;
+  config.server_count = 4;
+  Cluster cluster(config);
+  EXPECT_FALSE(cluster.crosses_racks(0, 3));
+  EXPECT_EQ(cluster.rack_of(3), 0);
+}
+
+TEST(Topology, InterRackLedgerTracksCrossings) {
+  ClusterConfig config;
+  config.server_count = 4;
+  config.gpus_per_server = 2;
+  config.servers_per_rack = 2;
+  Cluster cluster(config);
+  cluster.record_transfer(0, 1, 100.0);  // same rack
+  cluster.record_transfer(0, 2, 50.0);   // cross rack
+  EXPECT_DOUBLE_EQ(cluster.total_bandwidth_mb(), 150.0);
+  EXPECT_DOUBLE_EQ(cluster.inter_rack_bandwidth_mb(), 50.0);
+}
+
+TEST(Topology, CrossRackCommLengthensIterations) {
+  // Identical workload on a flat vs a racked cluster: the racked run pays
+  // slower cross-rack flows, so total time cannot improve.
+  TraceConfig tc;
+  tc.num_jobs = 20;
+  tc.duration_hours = 2.0;
+  tc.seed = 5;
+  tc.max_gpu_request = 8;
+  tc.parameter_server_fraction = 1.0;  // comm-heavy
+  const auto specs = PhillyTraceGenerator(tc).generate();
+
+  ClusterConfig flat;
+  flat.server_count = 4;
+  flat.gpus_per_server = 4;
+  ClusterConfig racked = flat;
+  racked.servers_per_rack = 1;  // every cross-server flow crosses racks
+  racked.inter_rack_flow_bandwidth_mbps = 50.0;
+
+  GreedyScheduler s1, s2;
+  SimEngine flat_engine(flat, {}, specs, s1);
+  SimEngine racked_engine(racked, {}, specs, s2);
+  const RunMetrics flat_m = flat_engine.run();
+  const RunMetrics racked_m = racked_engine.run();
+  EXPECT_GT(racked_m.average_jct_minutes(), flat_m.average_jct_minutes());
+  EXPECT_GT(racked_m.inter_rack_tb, 0.0);
+  EXPECT_DOUBLE_EQ(flat_m.inter_rack_tb, 0.0);
+}
+
+TEST(Topology, TopologyAwarePlacementPrefersPeerRack) {
+  ClusterConfig config;
+  config.server_count = 4;
+  config.gpus_per_server = 2;
+  config.servers_per_rack = 2;
+  Cluster cluster(config);
+
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Mlp;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 2;  // chain 0 -> 1
+  spec.max_iterations = 10;
+  spec.seed = 3;
+  auto inst = ModelZoo::instantiate(spec, 0);
+  cluster.register_job(std::move(inst.job), std::move(inst.tasks));
+  const Job& job = cluster.job(0);
+  cluster.place_task(job.task_at(0), 0, 0);  // rack 0
+
+  const Task& partner = cluster.task(job.task_at(1));
+  // Same-rack server 1 scores rack_affinity * volume; rack-1 servers 0.
+  const double same_rack = core::MlfPlacement::comm_volume_with_server_topology(
+      cluster, partner, 1, 0.5);
+  const double other_rack = core::MlfPlacement::comm_volume_with_server_topology(
+      cluster, partner, 2, 0.5);
+  const double same_server = core::MlfPlacement::comm_volume_with_server_topology(
+      cluster, partner, 0, 0.5);
+  EXPECT_GT(same_server, same_rack);
+  EXPECT_GT(same_rack, other_rack);
+  EXPECT_DOUBLE_EQ(other_rack, 0.0);
+}
+
+TEST(Heterogeneity, SlowTierAssignedToTail) {
+  ClusterConfig config;
+  config.server_count = 4;
+  config.slow_server_fraction = 0.5;
+  config.slow_server_speed = 0.5;
+  Cluster cluster(config);
+  EXPECT_DOUBLE_EQ(cluster.server(0).speed(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.server(1).speed(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.server(2).speed(), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.server(3).speed(), 0.5);
+}
+
+TEST(Heterogeneity, SlowClusterRunsSlower) {
+  TraceConfig tc;
+  tc.num_jobs = 20;
+  tc.duration_hours = 2.0;
+  tc.seed = 9;
+  tc.max_gpu_request = 4;
+  const auto specs = PhillyTraceGenerator(tc).generate();
+
+  ClusterConfig fast;
+  fast.server_count = 4;
+  fast.gpus_per_server = 4;
+  ClusterConfig mixed = fast;
+  mixed.slow_server_fraction = 1.0;  // every server on the 0.5x tier
+  mixed.slow_server_speed = 0.5;
+
+  GreedyScheduler s1, s2;
+  SimEngine fast_engine(fast, {}, specs, s1);
+  SimEngine mixed_engine(mixed, {}, specs, s2);
+  const double fast_jct = fast_engine.run().average_jct_minutes();
+  const double slow_jct = mixed_engine.run().average_jct_minutes();
+  EXPECT_GT(slow_jct, fast_jct * 1.3);  // compute roughly halves in speed
+}
+
+TEST(Optimus, ShortestPredictedRemainingCompletesFirstUnderLoad) {
+  // Sanity: the Optimus extension baseline completes everything and beats
+  // plain fair scheduling on average JCT (it is SRPT-flavoured).
+  TraceConfig tc;
+  tc.num_jobs = 80;
+  tc.duration_hours = 6.0;
+  tc.seed = 21;
+  tc.max_gpu_request = 8;
+  const auto specs = PhillyTraceGenerator(tc).generate();
+  ClusterConfig cc;
+  cc.server_count = 4;
+  cc.gpus_per_server = 4;
+
+  auto optimus = exp::make_scheduler("Optimus");
+  SimEngine e1(cc, {}, specs, *optimus.scheduler);
+  const RunMetrics m_optimus = e1.run();
+  for (const Job& job : e1.cluster().jobs()) EXPECT_TRUE(job.done());
+
+  auto fair = exp::make_scheduler("TensorFlow");
+  SimEngine e2(cc, {}, specs, *fair.scheduler);
+  const RunMetrics m_fair = e2.run();
+  EXPECT_LT(m_optimus.jct_minutes.median(), m_fair.jct_minutes.median() * 1.2);
+}
+
+}  // namespace
+}  // namespace mlfs

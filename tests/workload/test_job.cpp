@@ -1,0 +1,102 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.hpp"
+
+namespace mlfs {
+namespace {
+
+Job make_job(StopPolicy policy = StopPolicy::FixedIterations,
+             StopPolicy min_allowed = StopPolicy::AccuracyOnly) {
+  JobSpec spec;
+  spec.id = 0;
+  spec.algorithm = MlAlgorithm::Mlp;
+  spec.comm = CommStructure::AllReduce;
+  spec.gpu_request = 2;
+  spec.max_iterations = 20;
+  spec.stop_policy = policy;
+  spec.min_allowed_policy = min_allowed;
+  spec.curve.max_accuracy = 0.8;
+  spec.curve.kappa = 5.0;
+  spec.seed = 7;
+  return std::move(ModelZoo::instantiate(spec, 0).job);
+}
+
+TEST(Job, IterationProgressAccumulatesLossReductions) {
+  Job job = make_job();
+  EXPECT_EQ(job.completed_iterations(), 0);
+  EXPECT_DOUBLE_EQ(job.current_accuracy(), 0.0);
+  job.complete_iteration();
+  job.complete_iteration();
+  EXPECT_EQ(job.completed_iterations(), 2);
+  EXPECT_EQ(job.loss_reductions().size(), 2u);
+  EXPECT_GT(job.cumulative_loss_reduction(), 0.0);
+  EXPECT_NEAR(job.cumulative_loss_reduction(),
+              job.loss_reductions()[0] + job.loss_reductions()[1], 1e-12);
+  EXPECT_GT(job.current_accuracy(), 0.0);
+}
+
+TEST(Job, CannotExceedMaxIterations) {
+  Job job = make_job();
+  for (int i = 0; i < 20; ++i) job.complete_iteration();
+  EXPECT_THROW(job.complete_iteration(), ContractViolation);
+}
+
+TEST(Job, PolicyDowngradeRespectsPermission) {
+  Job job = make_job(StopPolicy::FixedIterations, StopPolicy::OptStop);
+  EXPECT_TRUE(job.downgrade_policy(StopPolicy::OptStop));
+  EXPECT_EQ(job.active_policy(), StopPolicy::OptStop);
+  // AccuracyOnly is beyond the permitted bound.
+  EXPECT_FALSE(job.downgrade_policy(StopPolicy::AccuracyOnly));
+  EXPECT_EQ(job.active_policy(), StopPolicy::OptStop);
+}
+
+TEST(Job, PolicyNeverUpgrades) {
+  Job job = make_job(StopPolicy::AccuracyOnly, StopPolicy::AccuracyOnly);
+  EXPECT_FALSE(job.downgrade_policy(StopPolicy::OptStop));
+  EXPECT_EQ(job.active_policy(), StopPolicy::AccuracyOnly);
+}
+
+TEST(Job, DowngradeIsIdempotent) {
+  Job job = make_job(StopPolicy::FixedIterations, StopPolicy::AccuracyOnly);
+  EXPECT_TRUE(job.downgrade_policy(StopPolicy::AccuracyOnly));
+  EXPECT_FALSE(job.downgrade_policy(StopPolicy::AccuracyOnly));
+}
+
+TEST(Job, TargetIterationsClampedToMaxAndCompleted) {
+  Job job = make_job();
+  job.set_target_iterations(100);
+  EXPECT_EQ(job.target_iterations(), 20);  // clamped to max
+  job.complete_iteration();
+  job.complete_iteration();
+  job.set_target_iterations(1);
+  EXPECT_EQ(job.target_iterations(), 2);  // cannot un-run iterations
+}
+
+TEST(Job, AccuracyByDeadlineUsesDeadlineFreeze) {
+  Job job = make_job();
+  job.complete_iteration();
+  job.complete_iteration();
+  job.record_deadline_progress();  // deadline passed at 2 iterations
+  for (int i = 0; i < 5; ++i) job.complete_iteration();
+  job.set_completion_time(job.deadline() + 100.0);  // finished after deadline
+  EXPECT_DOUBLE_EQ(job.accuracy_by_deadline(), job.curve().accuracy_at(2));
+}
+
+TEST(Job, AccuracyByDeadlineUsesFinalWhenOnTime) {
+  Job job = make_job();
+  for (int i = 0; i < 5; ++i) job.complete_iteration();
+  job.set_completion_time(job.deadline() - 100.0);  // finished before deadline
+  EXPECT_DOUBLE_EQ(job.accuracy_by_deadline(), job.curve().accuracy_at(5));
+}
+
+TEST(Job, WaitingTimeAccumulates) {
+  Job job = make_job();
+  job.add_waiting_time(10.0);
+  job.add_waiting_time(5.5);
+  EXPECT_DOUBLE_EQ(job.waiting_time(), 15.5);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,105 @@
+#include "workload/loss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace mlfs {
+namespace {
+
+LossCurve::Params clean_params() {
+  LossCurve::Params p;
+  p.max_accuracy = 0.9;
+  p.kappa = 10.0;
+  p.initial_loss = 2.0;
+  p.final_loss = 0.1;
+  p.noise_sigma = 0.0;
+  return p;
+}
+
+TEST(LossCurve, AccuracyStartsAtZeroAndSaturates) {
+  const LossCurve c(clean_params());
+  EXPECT_DOUBLE_EQ(c.accuracy_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy_at(10), 0.45);  // a_max * k/(k+k) = a_max/2
+  EXPECT_LT(c.accuracy_at(10000), 0.9);
+  EXPECT_GT(c.accuracy_at(10000), 0.89);
+}
+
+TEST(LossCurve, AccuracyMonotonicallyIncreasing) {
+  const LossCurve c(clean_params());
+  for (int i = 0; i < 200; ++i) EXPECT_LT(c.accuracy_at(i), c.accuracy_at(i + 1));
+}
+
+TEST(LossCurve, LossMonotonicallyDecreasing) {
+  const LossCurve c(clean_params());
+  EXPECT_DOUBLE_EQ(c.loss_at(0), 2.0);
+  for (int i = 0; i < 200; ++i) EXPECT_GT(c.loss_at(i), c.loss_at(i + 1));
+  EXPECT_GT(c.loss_at(100000), 0.1);
+}
+
+TEST(LossCurve, DeltaLossDiminishingReturns) {
+  // The temporal feature MLFS exploits (§3.3.1): earlier iterations have
+  // strictly larger loss reductions.
+  const LossCurve c(clean_params());
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_GT(c.observed_delta_loss(i), c.observed_delta_loss(i + 1));
+    EXPECT_GT(c.observed_delta_loss(i), 0.0);
+  }
+}
+
+TEST(LossCurve, NoisyDeltaLossIsDeterministicPerIteration) {
+  auto p = clean_params();
+  p.noise_sigma = 0.2;
+  p.noise_seed = 42;
+  const LossCurve c(p);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(c.observed_delta_loss(i), c.observed_delta_loss(i));
+  }
+  // Different seeds give different observations.
+  p.noise_seed = 43;
+  const LossCurve c2(p);
+  int differing = 0;
+  for (int i = 1; i <= 20; ++i) {
+    if (c.observed_delta_loss(i) != c2.observed_delta_loss(i)) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(LossCurve, IterationsToAccuracyInvertsTheCurve) {
+  const LossCurve c(clean_params());
+  for (const double target : {0.1, 0.3, 0.45, 0.7, 0.85}) {
+    const int need = c.iterations_to_accuracy(target, 1000000);
+    EXPECT_GE(c.accuracy_at(need), target);
+    if (need > 0) EXPECT_LT(c.accuracy_at(need - 1), target);
+  }
+}
+
+TEST(LossCurve, IterationsToAccuracyEdgeCases) {
+  const LossCurve c(clean_params());
+  EXPECT_EQ(c.iterations_to_accuracy(0.0, 100), 0);
+  EXPECT_EQ(c.iterations_to_accuracy(-1.0, 100), 0);
+  // Unreachable target returns the limit.
+  EXPECT_EQ(c.iterations_to_accuracy(0.95, 100), 100);
+  EXPECT_EQ(c.iterations_to_accuracy(0.9, 100), 100);  // asymptote itself
+}
+
+TEST(LossCurve, ParamValidation) {
+  auto p = clean_params();
+  p.max_accuracy = 0.0;
+  EXPECT_THROW(LossCurve{p}, ContractViolation);
+  p = clean_params();
+  p.kappa = 0.0;
+  EXPECT_THROW(LossCurve{p}, ContractViolation);
+  p = clean_params();
+  p.final_loss = 3.0;  // above initial
+  EXPECT_THROW(LossCurve{p}, ContractViolation);
+}
+
+TEST(LossCurve, NegativeIterationRejected) {
+  const LossCurve c(clean_params());
+  EXPECT_THROW(c.accuracy_at(-1), ContractViolation);
+  EXPECT_THROW(c.observed_delta_loss(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlfs

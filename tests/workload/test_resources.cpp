@@ -1,0 +1,81 @@
+#include "workload/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlfs {
+namespace {
+
+TEST(ResourceVector, DefaultIsZero) {
+  const ResourceVector v;
+  for (std::size_t i = 0; i < kNumResources; ++i) EXPECT_DOUBLE_EQ(v.at(i), 0.0);
+}
+
+TEST(ResourceVector, IndexingByEnum) {
+  ResourceVector v(0.1, 0.2, 0.3, 0.4);
+  EXPECT_DOUBLE_EQ(v[Resource::Gpu], 0.1);
+  EXPECT_DOUBLE_EQ(v[Resource::Cpu], 0.2);
+  EXPECT_DOUBLE_EQ(v[Resource::Mem], 0.3);
+  EXPECT_DOUBLE_EQ(v[Resource::Net], 0.4);
+  v[Resource::Net] = 0.9;
+  EXPECT_DOUBLE_EQ(v[Resource::Net], 0.9);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a(1.0, 2.0, 3.0, 4.0);
+  const ResourceVector b(0.5, 0.5, 0.5, 0.5);
+  const ResourceVector sum = a + b;
+  const ResourceVector diff = a - b;
+  const ResourceVector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(sum[Resource::Gpu], 1.5);
+  EXPECT_DOUBLE_EQ(diff[Resource::Net], 3.5);
+  EXPECT_DOUBLE_EQ(scaled[Resource::Mem], 6.0);
+}
+
+TEST(ResourceVector, NormIsEuclidean) {
+  const ResourceVector v(1.0, 2.0, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 3.0);
+}
+
+TEST(ResourceVector, DistanceIsSymmetricAndZeroOnSelf) {
+  const ResourceVector a(0.3, 0.1, 0.9, 0.2);
+  const ResourceVector b(0.7, 0.5, 0.1, 0.6);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.distance(b), b.distance(a));
+  EXPECT_NEAR(a.distance(b), std::sqrt(0.16 + 0.16 + 0.64 + 0.16), 1e-12);
+}
+
+TEST(ResourceVector, FitsWithin) {
+  const ResourceVector small(0.1, 0.1, 0.1, 0.1);
+  const ResourceVector big(0.5, 0.5, 0.5, 0.5);
+  EXPECT_TRUE(small.fits_within(big));
+  EXPECT_FALSE(big.fits_within(small));
+  // Epsilon tolerance.
+  EXPECT_TRUE(big.fits_within(ResourceVector(0.5, 0.5, 0.5, 0.5)));
+}
+
+TEST(ResourceVector, MaxComponentAndClamp) {
+  ResourceVector v(0.2, -0.1, 0.8, 0.3);
+  EXPECT_DOUBLE_EQ(v.max_component(), 0.8);
+  v.clamp_non_negative();
+  EXPECT_DOUBLE_EQ(v[Resource::Cpu], 0.0);
+  EXPECT_DOUBLE_EQ(v[Resource::Mem], 0.8);
+}
+
+TEST(ResourceVector, UniformFactory) {
+  const ResourceVector v = ResourceVector::uniform(0.25);
+  for (std::size_t i = 0; i < kNumResources; ++i) EXPECT_DOUBLE_EQ(v.at(i), 0.25);
+}
+
+TEST(ResourceVector, NamesAndPrinting) {
+  EXPECT_STREQ(resource_name(Resource::Gpu), "gpu");
+  EXPECT_STREQ(resource_name(Resource::Net), "net");
+  const ResourceVector v(0.1, 0.2, 0.3, 0.4);
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("gpu=0.1"), std::string::npos);
+  EXPECT_NE(s.find("net=0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,206 @@
+// mlfs_sim — command-line driver for the simulator. Runs any registered
+// scheduler on either a synthetic Philly-style workload or a trace CSV
+// (the examples/trace_replay.cpp schema) and prints the run metrics,
+// optionally as CSV. The one binary a downstream user needs to evaluate a
+// scheduling idea against the MLFS family.
+//
+// Usage:
+//   mlfs_sim [--scheduler NAME]... [--jobs N] [--hours H] [--seed S]
+//            [--servers N] [--gpus-per-server N] [--trace FILE]
+//            [--servers-per-rack N] [--slow-fraction F] [--straggler P]
+//            [--replicas N] [--csv] [--list]
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_log.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+struct Options {
+  std::vector<std::string> schedulers;
+  std::size_t jobs = 200;
+  double hours = 24.0;
+  std::uint64_t seed = 42;
+  std::size_t servers = 8;
+  int gpus_per_server = 4;
+  std::string trace_file;
+  int servers_per_rack = 0;
+  double slow_fraction = 0.0;
+  double straggler_probability = 0.0;
+  int straggler_replicas = 0;
+  bool csv = false;
+  std::string event_log_file;
+};
+
+void print_usage() {
+  std::cout <<
+      "mlfs_sim — run ML-cluster scheduling experiments\n\n"
+      "  --scheduler NAME     scheduler to run (repeatable; default: MLFS)\n"
+      "  --list               list registered schedulers and exit\n"
+      "  --jobs N             synthetic jobs to generate (default 200)\n"
+      "  --hours H            arrival window in hours (default 24)\n"
+      "  --seed S             trace + engine seed (default 42)\n"
+      "  --servers N          server count (default 8)\n"
+      "  --gpus-per-server N  GPUs per server (default 4)\n"
+      "  --trace FILE         replay a trace CSV instead of generating\n"
+      "  --servers-per-rack N rack topology (0 = flat)\n"
+      "  --slow-fraction F    fraction of servers on the slow GPU tier\n"
+      "  --straggler P        per task-iteration straggler probability\n"
+      "  --replicas N         straggler-mitigation replicas per task\n"
+      "  --csv                emit one CSV row per run instead of prose\n"
+      "  --event-log FILE     write a JSONL event trace of the (last) run\n";
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    } else if (arg == "--list") {
+      for (const auto& name : exp::extended_scheduler_names()) std::cout << name << "\n";
+      return false;
+    } else if (arg == "--scheduler") {
+      const char* v = next("--scheduler");
+      if (!v) return false;
+      options.schedulers.emplace_back(v);
+    } else if (arg == "--jobs") {
+      const char* v = next("--jobs");
+      if (!v) return false;
+      options.jobs = std::stoul(v);
+    } else if (arg == "--hours") {
+      const char* v = next("--hours");
+      if (!v) return false;
+      options.hours = std::stod(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      options.seed = std::stoull(v);
+    } else if (arg == "--servers") {
+      const char* v = next("--servers");
+      if (!v) return false;
+      options.servers = std::stoul(v);
+    } else if (arg == "--gpus-per-server") {
+      const char* v = next("--gpus-per-server");
+      if (!v) return false;
+      options.gpus_per_server = std::stoi(v);
+    } else if (arg == "--trace") {
+      const char* v = next("--trace");
+      if (!v) return false;
+      options.trace_file = v;
+    } else if (arg == "--servers-per-rack") {
+      const char* v = next("--servers-per-rack");
+      if (!v) return false;
+      options.servers_per_rack = std::stoi(v);
+    } else if (arg == "--slow-fraction") {
+      const char* v = next("--slow-fraction");
+      if (!v) return false;
+      options.slow_fraction = std::stod(v);
+    } else if (arg == "--straggler") {
+      const char* v = next("--straggler");
+      if (!v) return false;
+      options.straggler_probability = std::stod(v);
+    } else if (arg == "--replicas") {
+      const char* v = next("--replicas");
+      if (!v) return false;
+      options.straggler_replicas = std::stoi(v);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--event-log") {
+      const char* v = next("--event-log");
+      if (!v) return false;
+      options.event_log_file = v;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      print_usage();
+      return false;
+    }
+  }
+  if (options.schedulers.empty()) options.schedulers = {"MLFS"};
+  return true;
+}
+
+std::vector<JobSpec> load_workload(const Options& options) {
+  if (!options.trace_file.empty()) {
+    std::ifstream in(options.trace_file);
+    if (!in) throw ContractViolation("cannot open trace file: " + options.trace_file);
+    return read_trace_csv(in);
+  }
+  TraceConfig config;
+  config.num_jobs = options.jobs;
+  config.duration_hours = options.hours;
+  config.seed = options.seed;
+  config.max_gpu_request =
+      std::min<int>(32, static_cast<int>(options.servers) * options.gpus_per_server / 2);
+  return PhillyTraceGenerator(config).generate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse(argc, argv, options)) return 0;
+
+    ClusterConfig cluster;
+    cluster.server_count = options.servers;
+    cluster.gpus_per_server = options.gpus_per_server;
+    cluster.servers_per_rack = options.servers_per_rack;
+    cluster.slow_server_fraction = options.slow_fraction;
+
+    EngineConfig engine_config;
+    engine_config.seed = options.seed ^ 0xabc;
+    engine_config.straggler_probability = options.straggler_probability;
+    engine_config.straggler_replicas = options.straggler_replicas;
+
+    if (options.csv) {
+      std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
+                   "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
+                   "sched_overhead_ms,migrations,preemptions\n";
+    }
+    for (const auto& name : options.schedulers) {
+      auto workload = load_workload(options);
+      auto instance = exp::make_scheduler(name);
+      SimEngine engine(cluster, engine_config, std::move(workload), *instance.scheduler,
+                       instance.controller.get());
+      std::ofstream event_out;
+      std::unique_ptr<JsonlEventLog> event_log;
+      if (!options.event_log_file.empty()) {
+        event_out.open(options.event_log_file);
+        if (!event_out) throw ContractViolation("cannot open " + options.event_log_file);
+        event_log = std::make_unique<JsonlEventLog>(event_out);
+        engine.set_observer(event_log.get());
+      }
+      const RunMetrics m = engine.run();
+      if (options.csv) {
+        std::cout << m.scheduler << ',' << m.job_count << ',' << m.average_jct_minutes() << ','
+                  << m.jct_minutes.median() << ',' << m.makespan_hours << ',' << m.deadline_ratio
+                  << ',' << m.average_waiting_seconds() << ',' << m.average_accuracy << ','
+                  << m.accuracy_ratio << ',' << m.bandwidth_tb << ',' << m.inter_rack_tb << ','
+                  << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << "\n";
+      } else {
+        std::cout << m.summary() << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
