@@ -1,0 +1,83 @@
+// Robustness benchmark — schedulers under machine churn (fault-injection
+// subsystem; beyond the paper, which evaluates a benign cluster).
+//
+// Sweeps the registered failure-rate points (crashes per server per week,
+// exponential MTBF/MTTR) on the Fig. 4 testbed workload and compares the
+// MLFS family against representative baselines on: average JCT, deadline
+// ratio, goodput (useful / executed iteration work), work lost to
+// failures, and mean job recovery time.
+//
+// Usage: bench_fault_recovery [--quick] [--csv-dir DIR]
+#include <cstring>
+#include <iostream>
+
+#include "exp/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  bool quick = false;
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+  }
+
+  exp::Scenario base = exp::testbed_scenario();
+  if (quick) base.trace.num_jobs = 150;
+  const std::size_t jobs = base.trace.num_jobs;
+  const std::vector<std::string> schedulers = {"MLFS", "MLF-H", "Tiresias", "SLAQ",
+                                               "TensorFlow"};
+  const auto sweep = exp::failure_rate_sweep();
+
+  std::cout << "=== Fault recovery: schedulers under increasing failure rates ===\n"
+            << "testbed " << base.cluster.server_count << "x" << base.cluster.gpus_per_server
+            << " GPUs, " << jobs << " jobs; MTTR "
+            << 0.5 << "h, checkpoint every 5 iterations\n\n";
+
+  std::vector<std::string> header = {"scheduler"};
+  for (const auto& pt : sweep) header.push_back(pt.label);
+  Table jct("Average JCT (minutes) vs failure rate");
+  Table deadline("Deadline-met ratio vs failure rate");
+  Table goodput("Goodput (useful/executed iteration work) vs failure rate");
+  Table lost("Work lost to failures (GPU-hours) vs failure rate");
+  Table recovery("Mean job recovery time (seconds) vs failure rate");
+  for (Table* t : {&jct, &deadline, &goodput, &lost, &recovery}) t->set_header(header);
+
+  for (const std::string& name : schedulers) {
+    std::vector<double> jct_row, dl_row, gp_row, lost_row, rec_row;
+    for (const auto& pt : sweep) {
+      exp::Scenario s = base;
+      exp::set_failure_rate(s, pt.crashes_per_server_week);
+      const RunMetrics m = exp::run_experiment(s, name, jobs);
+      std::cout << "  [" << pt.label << "] " << m.summary() << '\n';
+      jct_row.push_back(m.average_jct_minutes());
+      dl_row.push_back(m.deadline_ratio);
+      gp_row.push_back(m.goodput);
+      lost_row.push_back(m.work_lost_gpu_seconds / 3600.0);
+      rec_row.push_back(m.mean_recovery_seconds);
+    }
+    jct.add_row(name, jct_row, 1);
+    deadline.add_row(name, dl_row, 3);
+    goodput.add_row(name, gp_row, 3);
+    lost.add_row(name, lost_row, 2);
+    recovery.add_row(name, rec_row, 0);
+  }
+  std::cout << '\n';
+  for (Table* t : {&jct, &deadline, &goodput, &lost, &recovery}) {
+    t->render(std::cout);
+    std::cout << '\n';
+  }
+
+  if (!csv_dir.empty()) {
+    exp::write_csv(jct, csv_dir + "/fault_jct.csv");
+    exp::write_csv(deadline, csv_dir + "/fault_deadline.csv");
+    exp::write_csv(goodput, csv_dir + "/fault_goodput.csv");
+    exp::write_csv(lost, csv_dir + "/fault_work_lost.csv");
+    exp::write_csv(recovery, csv_dir + "/fault_recovery_time.csv");
+  }
+  std::cout << "expected shape: JCT grows and goodput falls as the failure rate rises;\n"
+               "waiting-aware schedulers (MLFS family, Tiresias) re-place crash victims\n"
+               "faster than fair sharing, so their recovery time and deadline ratio\n"
+               "degrade more gracefully.\n";
+  return 0;
+}

@@ -3,20 +3,51 @@
 // converted into), read it back, and replay the identical workload under
 // two schedulers for an apples-to-apples comparison.
 //
+// The straggler and failure models are sweepable from the command line —
+// no code edits needed to re-run the comparison under churn.
+//
 // Usage: trace_replay [num_jobs] [trace.csv]
+//                     [--stragglers P] [--failure-rate CRASHES_PER_SERVER_WEEK]
+//                     [--mttr HOURS] [--kill-prob P]
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "exp/registry.hpp"
+#include "exp/scenario.hpp"
 #include "sim/engine.hpp"
 #include "workload/trace.hpp"
 
 using namespace mlfs;
 
 int main(int argc, char** argv) {
-  const std::size_t num_jobs = argc > 1 ? std::stoul(argv[1]) : 150;
-  const std::string path = argc > 2 ? argv[2] : "trace_replay.csv";
+  std::size_t num_jobs = 150;
+  std::string path = "trace_replay.csv";
+  double stragglers = 0.0, failure_rate = 0.0, mttr_hours = 0.5, kill_prob = 0.0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stragglers") == 0 && i + 1 < argc) {
+      stragglers = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--failure-rate") == 0 && i + 1 < argc) {
+      failure_rate = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mttr") == 0 && i + 1 < argc) {
+      mttr_hours = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-prob") == 0 && i + 1 < argc) {
+      kill_prob = std::stod(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "unknown or valueless flag: " << argv[i]
+                << "\nusage: trace_replay [num_jobs] [trace.csv] [--stragglers P]"
+                   " [--failure-rate R] [--mttr H] [--kill-prob P]\n";
+      return 1;
+    } else if (positional == 0) {
+      num_jobs = std::stoul(argv[i]);
+      ++positional;
+    } else {
+      path = argv[i];
+      ++positional;
+    }
+  }
 
   // 1. Generate and persist the trace.
   TraceConfig config;
@@ -38,15 +69,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto replayed = read_trace_csv(in);
-  std::cout << "replaying " << replayed.size() << " jobs on a 6x4-GPU cluster\n\n";
+  std::cout << "replaying " << replayed.size() << " jobs on a 6x4-GPU cluster";
+  if (failure_rate > 0.0) std::cout << ", " << failure_rate << " crashes/server/week";
+  if (stragglers > 0.0) std::cout << ", straggler p=" << stragglers;
+  if (kill_prob > 0.0) std::cout << ", task kill p=" << kill_prob;
+  std::cout << "\n\n";
 
-  // 3. Same workload, two schedulers.
-  ClusterConfig cluster;
-  cluster.server_count = 6;
-  cluster.gpus_per_server = 4;
+  // 3. Same workload (and same chaos, if any), two schedulers.
+  exp::Scenario scenario;
+  scenario.cluster.server_count = 6;
+  scenario.cluster.gpus_per_server = 4;
+  if (stragglers > 0.0) exp::set_stragglers(scenario, stragglers);
+  if (failure_rate > 0.0) exp::set_failure_rate(scenario, failure_rate, mttr_hours);
+  scenario.engine.fault.task_kill_probability = kill_prob;
   for (const std::string name : {"MLFS", "TensorFlow"}) {
     auto instance = exp::make_scheduler(name);
-    SimEngine engine(cluster, {}, replayed, *instance.scheduler, instance.controller.get());
+    SimEngine engine(scenario.cluster, scenario.engine, replayed, *instance.scheduler,
+                     instance.controller.get());
     const RunMetrics m = engine.run();
     std::cout << m.summary() << "\n";
   }

@@ -64,4 +64,10 @@ std::vector<std::string> extended_scheduler_names() {
   return names;
 }
 
+std::vector<FaultSweepPoint> failure_rate_sweep() {
+  // Crashes per server per week: none, quarterly-grade hardware, weekly
+  // churn, and a stress point where every server dies every other day.
+  return {{"no faults", 0.0}, {"0.5/srv/wk", 0.5}, {"2/srv/wk", 2.0}, {"3.5/srv/wk", 3.5}};
+}
+
 }  // namespace mlfs::exp

@@ -33,4 +33,15 @@ std::vector<std::string> mlfs_family_names();
 /// Paper set plus the extension baselines (currently Optimus [42]).
 std::vector<std::string> extended_scheduler_names();
 
+/// One point of the failure-rate sweep used by bench_fault_recovery and
+/// the robustness tests: a label plus the crashes-per-server-week rate
+/// fed to exp::set_failure_rate.
+struct FaultSweepPoint {
+  std::string label;
+  double crashes_per_server_week;
+};
+
+/// The registered failure-rate sweep, from fault-free to heavy churn.
+std::vector<FaultSweepPoint> failure_rate_sweep();
+
 }  // namespace mlfs::exp

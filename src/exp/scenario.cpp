@@ -66,6 +66,31 @@ Scenario smoke_scenario(std::size_t num_jobs, std::uint64_t seed) {
   return s;
 }
 
+void set_stragglers(Scenario& scenario, double probability, double slowdown, int replicas) {
+  MLFS_EXPECT(probability >= 0.0 && probability <= 1.0);
+  scenario.engine.straggler_probability = probability;
+  scenario.engine.straggler_slowdown = slowdown;
+  scenario.engine.straggler_replicas = replicas;
+}
+
+void set_failure_rate(Scenario& scenario, double crashes_per_server_week, double mttr_hours,
+                      int checkpoint_interval_iterations) {
+  MLFS_EXPECT(crashes_per_server_week >= 0.0);
+  FaultConfig& fault = scenario.engine.fault;
+  fault.server_mtbf_hours =
+      crashes_per_server_week > 0.0 ? 24.0 * 7.0 / crashes_per_server_week : 0.0;
+  fault.server_mttr_hours = mttr_hours;
+  fault.checkpoint_interval_iterations = checkpoint_interval_iterations;
+}
+
+Scenario chaos_scenario(std::size_t num_jobs, std::uint64_t seed) {
+  Scenario s = smoke_scenario(num_jobs, seed);
+  s.name = "chaos";
+  set_failure_rate(s, 14.0);  // MTBF 12h on a 7-day horizon: real churn
+  s.engine.fault.task_kill_probability = 2e-4;
+  return s;
+}
+
 std::vector<std::size_t> sweep_job_counts(const Scenario& scenario) {
   std::vector<std::size_t> counts;
   counts.reserve(scenario.sweep_multipliers.size());

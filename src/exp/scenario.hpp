@@ -35,4 +35,22 @@ Scenario smoke_scenario(std::size_t num_jobs = 40, std::uint64_t seed = 5);
 /// Job counts of the sweep (base × multipliers, rounded, >= 1).
 std::vector<std::size_t> sweep_job_counts(const Scenario& scenario);
 
+// --- chaos knobs ---------------------------------------------------------
+// Sweepable mutators so bench binaries and trace_replay can vary the
+// straggler and failure models from the command line, without code edits.
+
+/// Sets the §3.3.3 straggler model on a scenario's engine config.
+void set_stragglers(Scenario& scenario, double probability, double slowdown = 4.0,
+                    int replicas = 0);
+
+/// Applies a failure rate expressed as expected crashes per server per
+/// trace week (an operator-facing unit): 0 disables; 1 ≈ every server
+/// crashes weekly. MTTR and the checkpoint interval ride along.
+void set_failure_rate(Scenario& scenario, double crashes_per_server_week,
+                      double mttr_hours = 0.5, int checkpoint_interval_iterations = 5);
+
+/// smoke_scenario with a churny failure model (crashes + transient kills)
+/// — the canonical chaos demo/test configuration.
+Scenario chaos_scenario(std::size_t num_jobs = 40, std::uint64_t seed = 5);
+
 }  // namespace mlfs::exp

@@ -29,10 +29,27 @@ const Server& Cluster::server(ServerId id) const {
   return servers_[id];
 }
 
+void Cluster::set_server_up(ServerId id, bool up) {
+  Server& s = server(id);
+  MLFS_EXPECT(s.up() != up);
+  // A server may only go down empty: the engine evicts its tasks first,
+  // so placement state never dangles onto dead hardware.
+  if (!up) MLFS_EXPECT(s.task_count() == 0);
+  s.up_ = up;
+}
+
+std::size_t Cluster::up_server_count() const {
+  std::size_t n = 0;
+  for (const Server& s : servers_) {
+    if (s.up()) ++n;
+  }
+  return n;
+}
+
 std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
   std::vector<ServerId> out;
   for (const Server& s : servers_) {
-    if (!s.overloaded(hr)) out.push_back(s.id());
+    if (s.up() && !s.overloaded(hr)) out.push_back(s.id());
   }
   return out;
 }
@@ -40,20 +57,26 @@ std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
 std::vector<ServerId> Cluster::overloaded_servers(double hr) const {
   std::vector<ServerId> out;
   for (const Server& s : servers_) {
-    if (s.overloaded(hr)) out.push_back(s.id());
+    if (s.up() && s.overloaded(hr)) out.push_back(s.id());
   }
   return out;
 }
 
 double Cluster::overload_degree() const {
   double sum = 0.0;
-  for (const Server& s : servers_) sum += s.utilization().norm();
-  return sum / static_cast<double>(servers_.size());
+  std::size_t up = 0;
+  for (const Server& s : servers_) {
+    if (!s.up()) continue;
+    sum += s.utilization().norm();
+    ++up;
+  }
+  return up > 0 ? sum / static_cast<double>(up) : 0.0;
 }
 
 int Cluster::estimate_free_worker_slots(double hr, double typical_demand) const {
   int slots = 0;
   for (const Server& s : servers_) {
+    if (!s.up()) continue;
     for (int g = 0; g < s.gpu_count(); ++g) {
       const double headroom = hr - s.gpu_load(g);
       if (headroom >= typical_demand) {
@@ -134,6 +157,13 @@ bool Cluster::job_fully_placed(const Job& job) const {
 
 void Cluster::validate() const {
   for (const Server& s : servers_) {
+    // A down server must be fully evacuated — any task still attached (or
+    // any residual usage) means the crash path leaked placement state.
+    if (!s.up()) {
+      MLFS_EXPECT(s.task_count() == 0);
+      const ResourceVector idle = s.utilization();
+      for (std::size_t r = 0; r < kNumResources; ++r) MLFS_EXPECT(idle.at(r) < 1e-9);
+    }
     ResourceVector cpu_mem_net;
     std::vector<double> gpu_sums(static_cast<std::size_t>(s.gpu_count()), 0.0);
     std::size_t counted = 0;
@@ -160,9 +190,10 @@ void Cluster::validate() const {
       MLFS_EXPECT(std::abs(s.gpu_load(g) - gpu_sums[static_cast<std::size_t>(g)]) < 1e-6);
     }
   }
-  // Every placed task appears on its server.
+  // Every placed task appears on its server, and that server is up.
   for (const Task& t : tasks_) {
     if (!t.placed()) continue;
+    MLFS_EXPECT(server(t.server).up());
     const auto& on_gpu = server(t.server).tasks_on_gpu(t.gpu);
     MLFS_EXPECT(std::find(on_gpu.begin(), on_gpu.end(), t.id) != on_gpu.end());
   }

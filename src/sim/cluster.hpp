@@ -61,11 +61,19 @@ class Cluster {
   const Server& server(ServerId id) const;
   const std::vector<Server>& servers() const { return servers_; }
 
-  /// Server ids currently not overloaded w.r.t. `hr`.
+  /// Marks a server up or down (fault-injection subsystem). Taking a
+  /// server down requires it to host no tasks — the engine evicts them
+  /// first; bringing one up requires it to be down. A down server is
+  /// excluded from every placement query below and rejects placements.
+  void set_server_up(ServerId id, bool up);
+  /// Servers currently up (== server_count() when faults are disabled).
+  std::size_t up_server_count() const;
+
+  /// Up server ids currently not overloaded w.r.t. `hr`.
   std::vector<ServerId> underloaded_servers(double hr) const;
   std::vector<ServerId> overloaded_servers(double hr) const;
 
-  /// Cluster overload degree O_c = mean_s ||U_s|| (§3.5).
+  /// Cluster overload degree O_c = mean_s ||U_s|| over up servers (§3.5).
   double overload_degree() const;
 
   /// Cheap upper-bound estimate of how many typical worker tasks (GPU

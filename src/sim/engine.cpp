@@ -19,7 +19,8 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
       cluster_(cluster_config),
       scheduler_(scheduler),
       load_controller_(load_controller),
-      rng_(engine_config.seed) {
+      rng_(engine_config.seed),
+      fault_rng_(engine_config.seed ^ 0xfa17f5eedULL) {
   // Instantiate the whole trace up front; arrival events release jobs into
   // the queue at their trace times.
   std::sort(specs.begin(), specs.end(),
@@ -37,9 +38,20 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
   iter_duration_.assign(cluster_.job_count(), 0.0);
   resume_credit_.assign(cluster_.job_count(), 0.0);
   deadline_recorded_.assign(cluster_.job_count(), 0);
+  fault_stopped_since_.assign(cluster_.job_count(), -1.0);
+  server_epoch_.assign(cluster_.server_count(), 0);
   for (const Job& job : cluster_.jobs()) {
     push_event(job.spec().arrival, EventType::Arrival, job.id());
     push_event(job.deadline(), EventType::Deadline, job.id());
+  }
+  // Seed the crash processes. Draws only happen for nonzero rates, so a
+  // zero-rate config consumes no fault randomness at all.
+  if (config_.fault.server_mtbf_hours > 0.0) {
+    for (ServerId s = 0; s < cluster_.server_count(); ++s) schedule_server_crash(s);
+  }
+  if (config_.fault.rack_mtbf_hours > 0.0 && cluster_config_.servers_per_rack > 0) {
+    const int racks = cluster_.rack_of(static_cast<ServerId>(cluster_.server_count() - 1)) + 1;
+    for (int r = 0; r < racks; ++r) schedule_rack_outage(r);
   }
 }
 
@@ -51,6 +63,7 @@ void SimEngine::push_event(SimTime time, EventType type, JobId job, std::uint64_
 
 bool SimEngine::place(TaskId task_id, ServerId server, int gpu) {
   if (server >= cluster_.server_count()) return false;
+  if (!cluster_.server(server).up()) return false;
   if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
   Task& t = cluster_.task(task_id);
   if (t.state != TaskState::Queued) return false;
@@ -80,6 +93,7 @@ void SimEngine::preempt_to_queue(TaskId task_id) {
 
 bool SimEngine::migrate(TaskId task_id, ServerId server, int gpu) {
   if (server >= cluster_.server_count()) return false;
+  if (!cluster_.server(server).up()) return false;
   if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
   Task& t = cluster_.task(task_id);
   if (t.state != TaskState::Running) return false;
@@ -204,8 +218,149 @@ void SimEngine::run_watchdog() {
   }
 }
 
+// --------------------------------------------------------------- faults
+
+void SimEngine::inject_server_failure(ServerId server, SimTime at) {
+  MLFS_EXPECT(server < cluster_.server_count());
+  MLFS_EXPECT(at >= now_);
+  push_event(at, EventType::ServerDown, server, server_epoch_[server]);
+}
+
+void SimEngine::schedule_server_crash(ServerId id) {
+  const double dt = fault_rng_.exponential(1.0 / hours(config_.fault.server_mtbf_hours));
+  push_event(now_ + dt, EventType::ServerDown, id, server_epoch_[id]);
+}
+
+void SimEngine::schedule_rack_outage(int rack) {
+  const double dt = fault_rng_.exponential(1.0 / hours(config_.fault.rack_mtbf_hours));
+  push_event(now_ + dt, EventType::RackOutage, static_cast<JobId>(rack));
+}
+
+void SimEngine::evict_task_for_fault(TaskId tid) {
+  Task& t = cluster_.task(tid);
+  MLFS_EXPECT(t.state == TaskState::Running);
+  cluster_.unplace_task(tid);
+  t.queued_since = now_;
+  queue_.push_back(tid);
+  if (observer_ != nullptr) observer_->on_task_killed(now_, tid);
+}
+
+void SimEngine::fault_abort(Job& job) {
+  const JobId id = job.id();
+  // Everything since the last checkpoint is destroyed: any preserved
+  // resume credit, the in-flight fraction, and completed iterations past
+  // the latest checkpoint-interval boundary.
+  double lost_fraction = resume_credit_[id];
+  if (job.state() == JobState::Running && iter_duration_[id] > 0.0) {
+    const double elapsed =
+        std::clamp((now_ - iter_started_[id]) / iter_duration_[id], 0.0, 1.0);
+    lost_fraction = std::clamp(lost_fraction + (1.0 - lost_fraction) * elapsed, 0.0, 1.0);
+  }
+  resume_credit_[id] = 0.0;
+  const int interval = std::max(1, config_.fault.checkpoint_interval_iterations);
+  const int lost_iters = job.completed_iterations() % interval;
+  job.rollback_iterations(lost_iters);
+  iterations_rolled_back_ += static_cast<std::size_t>(lost_iters);
+  inflight_work_lost_iterations_ += lost_fraction;
+  work_lost_gpu_seconds_ += (static_cast<double>(lost_iters) + lost_fraction) *
+                            job.ideal_iteration_seconds() *
+                            static_cast<double>(job.spec().gpu_request);
+  iter_duration_[id] = 0.0;
+  ++job_epoch_[id];  // any in-flight IterationDone is now stale
+  if (fault_stopped_since_[id] < 0.0) fault_stopped_since_[id] = now_;
+  if (job.state() == JobState::Running) {
+    job.set_state(JobState::Waiting);
+    waiting_since_[id] = now_;
+  }
+}
+
+bool SimEngine::crash_server(ServerId id, SimDuration repair_after) {
+  Server& server = cluster_.server(id);
+  if (!server.up()) return false;
+  ++server_failures_;
+  // Evict every hosted task first (requeued with accumulated waiting-time
+  // priority intact), then apply one checkpoint-loss abort per affected
+  // job — a job with several tasks on the dead server rolls back once.
+  const std::vector<TaskId> victims = server.tasks();
+  std::vector<JobId> affected;
+  for (const TaskId tid : victims) {
+    const JobId jid = cluster_.task(tid).job;
+    evict_task_for_fault(tid);
+    ++crash_evictions_;
+    if (std::find(affected.begin(), affected.end(), jid) == affected.end()) {
+      affected.push_back(jid);
+    }
+  }
+  for (const JobId jid : affected) {
+    Job& job = cluster_.job(jid);
+    if (!job.done()) fault_abort(job);
+  }
+  cluster_.set_server_up(id, false);
+  ++server_epoch_[id];  // invalidates any pending ServerDown for this server
+  if (observer_ != nullptr) observer_->on_server_down(now_, id);
+  if (repair_after > 0.0) {
+    push_event(now_ + repair_after, EventType::ServerUp, id, server_epoch_[id]);
+  }
+  return true;
+}
+
+void SimEngine::handle_server_down(ServerId id, std::uint64_t epoch) {
+  if (epoch != server_epoch_[id]) return;  // scheduled under an older up-period
+  const double mttr = config_.fault.server_mttr_hours;
+  crash_server(id, mttr > 0.0 ? fault_rng_.exponential(1.0 / hours(mttr)) : -1.0);
+}
+
+void SimEngine::handle_server_up(ServerId id, std::uint64_t epoch) {
+  if (epoch != server_epoch_[id]) return;
+  MLFS_EXPECT(!cluster_.server(id).up());
+  cluster_.set_server_up(id, true);
+  ++server_epoch_[id];
+  if (observer_ != nullptr) observer_->on_server_up(now_, id);
+  // The repaired server re-enters the individual crash process.
+  if (config_.fault.server_mtbf_hours > 0.0) schedule_server_crash(id);
+}
+
+void SimEngine::handle_rack_outage(int rack) {
+  ++rack_outages_;
+  // One repair draw for the whole rack: its servers fail together and
+  // come back together (correlated failure domain).
+  const double mttr = config_.fault.rack_mttr_hours;
+  const SimDuration repair = mttr > 0.0 ? fault_rng_.exponential(1.0 / hours(mttr)) : -1.0;
+  for (ServerId s = 0; s < cluster_.server_count(); ++s) {
+    if (cluster_.rack_of(s) == rack) crash_server(s, repair);
+  }
+  schedule_rack_outage(rack);
+}
+
+void SimEngine::kill_random_tasks() {
+  if (config_.fault.task_kill_probability <= 0.0) return;
+  // Draw victims first: evictions mutate the server task lists.
+  std::vector<TaskId> victims;
+  for (const Server& s : cluster_.servers()) {
+    for (const TaskId tid : s.tasks()) {
+      if (fault_rng_.bernoulli(config_.fault.task_kill_probability)) victims.push_back(tid);
+    }
+  }
+  std::vector<JobId> affected;
+  for (const TaskId tid : victims) {
+    const JobId jid = cluster_.task(tid).job;
+    evict_task_for_fault(tid);
+    ++task_kills_;
+    if (std::find(affected.begin(), affected.end(), jid) == affected.end()) {
+      affected.push_back(jid);
+    }
+  }
+  for (const JobId jid : affected) {
+    Job& job = cluster_.job(jid);
+    if (!job.done()) fault_abort(job);
+  }
+}
+
+// --------------------------------------------------------------- tick
+
 void SimEngine::handle_tick() {
   resample_usage();
+  kill_random_tasks();
   overload_occurrences_ += cluster_.overloaded_servers(config_.hr).size();
   compact_queue();
 
@@ -251,6 +406,13 @@ void SimEngine::try_start_jobs() {
     job.add_waiting_time(now_ - waiting_since_[job.id()]);
     job.set_state(JobState::Running);
     partial_since_[job.id()] = -1.0;
+    if (fault_stopped_since_[job.id()] >= 0.0) {
+      // The job is running again after a fault knocked it out: close the
+      // recovery interval for the mean-recovery-time metric.
+      recovery_seconds_sum_ += now_ - fault_stopped_since_[job.id()];
+      ++recoveries_;
+      fault_stopped_since_[job.id()] = -1.0;
+    }
     if (observer_ != nullptr) observer_->on_job_started(now_, job.id());
     start_iteration(job);
   }
@@ -553,6 +715,9 @@ RunMetrics SimEngine::run() {
       case EventType::Tick: handle_tick(); break;
       case EventType::IterationDone: handle_iteration_done(ev.job, ev.epoch); break;
       case EventType::Deadline: handle_deadline(ev.job); break;
+      case EventType::ServerDown: handle_server_down(ev.job, ev.epoch); break;
+      case EventType::ServerUp: handle_server_up(ev.job, ev.epoch); break;
+      case EventType::RackOutage: handle_rack_outage(static_cast<int>(ev.job)); break;
     }
     if (jobs_completed_ == cluster_.job_count()) break;
   }
@@ -615,6 +780,22 @@ RunMetrics SimEngine::run() {
   m.iterations_saved = iterations_saved;
   m.urgent_deadline_ratio =
       urgent_total > 0 ? static_cast<double>(urgent_met) / urgent_total : 0.0;
+  m.server_failures = server_failures_;
+  m.rack_outages = rack_outages_;
+  m.task_kills = task_kills_;
+  m.crash_evictions = crash_evictions_;
+  m.iterations_rolled_back = iterations_rolled_back_;
+  m.work_lost_gpu_seconds = work_lost_gpu_seconds_;
+  m.mean_recovery_seconds =
+      recoveries_ > 0 ? recovery_seconds_sum_ / static_cast<double>(recoveries_) : 0.0;
+  // Goodput: rolled-back iterations were executed (counted in
+  // iterations_run_) but not useful; discarded in-flight fractions were
+  // executed but never counted.
+  const double useful = static_cast<double>(iterations_run_) -
+                        static_cast<double>(iterations_rolled_back_);
+  const double executed =
+      static_cast<double>(iterations_run_) + inflight_work_lost_iterations_;
+  m.goodput = executed > 0.0 ? useful / executed : 1.0;
   return m;
 }
 

@@ -30,6 +30,38 @@
 
 namespace mlfs {
 
+/// Fault-injection model (robustness extension; the paper's §3.3.3 premise
+/// that hardware fails is otherwise only visible as straggler slowdown).
+/// Servers crash and recover under per-server exponential MTBF/MTTR;
+/// racks suffer correlated outages (all up servers in the rack crash
+/// together and repair together) when the cluster has a rack topology;
+/// individual tasks die transiently with a per-tick probability. All
+/// draws come from a dedicated RNG stream, so any all-zero-rate config is
+/// bit-identical to a fault-free run.
+struct FaultConfig {
+  /// Mean time between crashes per server, hours; 0 disables crashes.
+  double server_mtbf_hours = 0.0;
+  /// Mean repair time, hours; <= 0 makes a crash permanent.
+  double server_mttr_hours = 0.5;
+  /// Per running task, per tick: probability of a transient kill (process
+  /// dies; server survives). 0 disables.
+  double task_kill_probability = 0.0;
+  /// Correlated outages per rack (requires ClusterConfig::servers_per_rack
+  /// > 0): mean time between outages per rack, hours; 0 disables.
+  double rack_mtbf_hours = 0.0;
+  double rack_mttr_hours = 0.25;
+  /// Jobs checkpoint every k completed iterations; a fault rolls the job
+  /// back to its last checkpoint, losing up to k-1 completed iterations
+  /// plus any in-flight iteration fraction (with k = 1 only the in-flight
+  /// work is lost). Voluntary aborts (preemption/migration) still keep
+  /// their resume credit — only faults destroy un-checkpointed state.
+  int checkpoint_interval_iterations = 1;
+
+  bool any_faults() const {
+    return server_mtbf_hours > 0.0 || task_kill_probability > 0.0 || rack_mtbf_hours > 0.0;
+  }
+};
+
 struct EngineConfig {
   SimDuration tick_interval = minutes(1);
   double hr = 0.9;                 ///< per-server overload threshold (§3.3.2)
@@ -67,6 +99,10 @@ struct EngineConfig {
   /// the job's grown waiting-time priority then lets it gang-place
   /// atomically once capacity frees.
   SimDuration partial_placement_timeout = minutes(5);
+
+  /// Failure model (crashes, recoveries, transient kills); all rates
+  /// default to zero = the historical fault-free simulation.
+  FaultConfig fault;
 };
 
 /// Hook for MLF-C (§3.5): invoked every tick before the scheduler so it can
@@ -100,6 +136,12 @@ class SimEngine final : private SchedulerOps {
   /// sim/event_log.hpp). Must outlive the engine; nullptr detaches.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  /// Schedules a crash of `server` at simulated time `at` (chaos/test
+  /// hook; independent of the random MTBF process). The event is dropped
+  /// if the server has already changed up/down state by then; repair
+  /// follows FaultConfig::server_mttr_hours as usual.
+  void inject_server_failure(ServerId server, SimTime at);
+
  private:
   // -- SchedulerOps --
   bool place(TaskId task, ServerId server, int gpu) override;
@@ -108,13 +150,14 @@ class SimEngine final : private SchedulerOps {
   void release(TaskId task) override;
 
   // -- events --
-  enum class EventType { Arrival, IterationDone, Deadline, Tick };
+  enum class EventType { Arrival, IterationDone, Deadline, Tick, ServerDown, ServerUp,
+                         RackOutage };
   struct Event {
     SimTime time;
     std::uint64_t seq;  // FIFO tiebreak for equal times
     EventType type;
-    JobId job;
-    std::uint64_t epoch;  // iteration-abort guard for IterationDone
+    JobId job;  // ServerId for ServerDown/Up, rack index for RackOutage
+    std::uint64_t epoch;  // abort guard for IterationDone / stale guard for ServerDown/Up
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -127,6 +170,9 @@ class SimEngine final : private SchedulerOps {
   void handle_tick();
   void handle_iteration_done(JobId id, std::uint64_t epoch);
   void handle_deadline(JobId id);
+  void handle_server_down(ServerId id, std::uint64_t epoch);
+  void handle_server_up(ServerId id, std::uint64_t epoch);
+  void handle_rack_outage(int rack);
 
   // -- execution --
   void try_start_jobs();
@@ -142,6 +188,25 @@ class SimEngine final : private SchedulerOps {
   void release_stale_partial_placements();
   JobId protected_job() const;
 
+  // -- fault injection --
+  /// Pushes the next random ServerDown for `id` (MTBF exponential draw).
+  void schedule_server_crash(ServerId id);
+  /// Pushes the next random RackOutage for `rack`.
+  void schedule_rack_outage(int rack);
+  /// Crashes an up server: evicts and requeues its tasks, applies
+  /// checkpoint-loss aborts to the affected jobs, marks the server down,
+  /// and (when repair_after > 0) schedules its recovery. No-op on a down
+  /// server. Returns true iff the server actually crashed.
+  bool crash_server(ServerId id, SimDuration repair_after);
+  /// Per-tick transient task kills (Bernoulli per running task).
+  void kill_random_tasks();
+  /// Fault-caused abort: unlike abort_iteration, progress since the last
+  /// checkpoint — in-flight fraction, resume credit, and completed
+  /// iterations past the checkpoint — is destroyed and accounted as lost.
+  void fault_abort(Job& job);
+  /// Requeues a task evicted by a fault and notifies the observer.
+  void evict_task_for_fault(TaskId tid);
+
   ClusterConfig cluster_config_;
   EngineConfig config_;
   Cluster cluster_;
@@ -149,6 +214,10 @@ class SimEngine final : private SchedulerOps {
   LoadController* load_controller_;
   EngineObserver* observer_ = nullptr;
   Rng rng_;
+  /// Dedicated stream for every fault draw: fault injection must not
+  /// perturb the usage/straggler streams, or a zero-rate FaultConfig
+  /// would change unrelated results.
+  Rng fault_rng_;
   RuntimePredictor runtime_predictor_;
   LearningCurvePredictor curve_predictor_;
 
@@ -167,6 +236,13 @@ class SimEngine final : private SchedulerOps {
   std::vector<double> iter_duration_;        // per job, planned duration
   std::vector<double> resume_credit_;        // per job, completed fraction in [0, 0.95]
 
+  // Fault-injection state: per-server up/down transition counter (stale
+  // ServerDown/Up events carry the epoch they were scheduled under and
+  // are dropped when it no longer matches), and per-job fault-impact time
+  // for the recovery-latency metric (-1 = not currently impacted).
+  std::vector<std::uint64_t> server_epoch_;
+  std::vector<SimTime> fault_stopped_since_;
+
   std::size_t jobs_completed_ = 0;
   std::size_t overload_occurrences_ = 0;
   std::size_t migrations_ = 0;
@@ -174,6 +250,15 @@ class SimEngine final : private SchedulerOps {
   std::size_t partial_releases_ = 0;
   std::size_t watchdog_evictions_ = 0;
   std::size_t iterations_run_ = 0;
+  std::size_t server_failures_ = 0;
+  std::size_t rack_outages_ = 0;
+  std::size_t task_kills_ = 0;
+  std::size_t crash_evictions_ = 0;
+  std::size_t iterations_rolled_back_ = 0;
+  double inflight_work_lost_iterations_ = 0.0;  ///< discarded partial-iteration fractions
+  double work_lost_gpu_seconds_ = 0.0;
+  double recovery_seconds_sum_ = 0.0;
+  std::size_t recoveries_ = 0;
   double sched_wall_ms_total_ = 0.0;
   std::size_t sched_rounds_ = 0;
   int stall_ticks_ = 0;

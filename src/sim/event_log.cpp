@@ -62,4 +62,22 @@ void JsonlEventLog::on_job_complete(SimTime now, JobId job) {
   line(now, "job_complete", f.str());
 }
 
+void JsonlEventLog::on_server_down(SimTime now, ServerId server) {
+  std::ostringstream f;
+  f << "\"server\":" << server;
+  line(now, "server_down", f.str());
+}
+
+void JsonlEventLog::on_server_up(SimTime now, ServerId server) {
+  std::ostringstream f;
+  f << "\"server\":" << server;
+  line(now, "server_up", f.str());
+}
+
+void JsonlEventLog::on_task_killed(SimTime now, TaskId task) {
+  std::ostringstream f;
+  f << "\"task\":" << task;
+  line(now, "task_killed", f.str());
+}
+
 }  // namespace mlfs

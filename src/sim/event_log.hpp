@@ -33,6 +33,13 @@ class EngineObserver {
     (void)now, (void)job, (void)iteration;
   }
   virtual void on_job_complete(SimTime now, JobId job) { (void)now, (void)job; }
+
+  // Fault-injection events. on_task_killed fires for every fault-caused
+  // eviction — a transient task kill or a task caught on a crashing
+  // server (the latter arrives before that server's on_server_down).
+  virtual void on_server_down(SimTime now, ServerId server) { (void)now, (void)server; }
+  virtual void on_server_up(SimTime now, ServerId server) { (void)now, (void)server; }
+  virtual void on_task_killed(SimTime now, TaskId task) { (void)now, (void)task; }
 };
 
 /// Writes one JSON object per event to a stream:
@@ -52,6 +59,9 @@ class JsonlEventLog final : public EngineObserver {
   void on_job_started(SimTime now, JobId job) override;
   void on_iteration_complete(SimTime now, JobId job, int iteration) override;
   void on_job_complete(SimTime now, JobId job) override;
+  void on_server_down(SimTime now, ServerId server) override;
+  void on_server_up(SimTime now, ServerId server) override;
+  void on_task_killed(SimTime now, TaskId task) override;
 
   std::size_t events_written() const { return events_; }
 

@@ -17,6 +17,12 @@ std::string RunMetrics::summary() const {
      << " accOK=" << format_double(100.0 * accuracy_ratio, 1) << "%"
      << " bw=" << format_double(bandwidth_tb, 2) << "TB"
      << " sched=" << format_double(sched_overhead_ms, 2) << "ms";
+  if (server_failures > 0 || task_kills > 0) {
+    os << " failures=" << server_failures << " kills=" << task_kills
+       << " goodput=" << format_double(goodput, 3)
+       << " lost=" << format_double(work_lost_gpu_seconds, 0) << "gpu-s"
+       << " recovery=" << format_double(mean_recovery_seconds, 0) << "s";
+  }
   return os.str();
 }
 

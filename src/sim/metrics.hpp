@@ -34,6 +34,18 @@ struct RunMetrics {
   std::size_t iterations_saved = 0;  ///< max_iterations - executed, summed (MLF-C effect)
   double urgent_deadline_ratio = 0.0;  ///< deadline ratio among jobs with urgency > 8 (Fig. 6)
 
+  // -- failure-recovery accounting (fault-injection subsystem) --
+  std::size_t server_failures = 0;    ///< individual crashes + rack-outage casualties
+  std::size_t rack_outages = 0;       ///< correlated rack-level outage events
+  std::size_t task_kills = 0;         ///< transient single-task kills
+  std::size_t crash_evictions = 0;    ///< placed tasks evicted by server crashes
+  std::size_t iterations_rolled_back = 0;  ///< completed iterations lost to checkpoint rollback
+  double work_lost_gpu_seconds = 0.0;      ///< GPU-seconds of discarded training work
+  double mean_recovery_seconds = 0.0;      ///< fault impact -> victim job running again
+  /// Useful iteration work over all iteration work executed (== 1.0 in a
+  /// fault-free run; lost work = rollbacks + discarded in-flight fractions).
+  double goodput = 1.0;
+
   double average_jct_minutes() const { return jct_minutes.mean(); }
   double average_waiting_seconds() const { return waiting_seconds.mean(); }
 

@@ -21,6 +21,7 @@ const std::vector<TaskId>& Server::tasks_on_gpu(int gpu) const {
 }
 
 void Server::attach_task(const Task& task, int gpu) {
+  MLFS_EXPECT(up_);  // placing onto a down server is a contract violation
   MLFS_EXPECT(gpu >= 0 && gpu < gpu_count_);
   tasks_.push_back(task.id);
   gpu_tasks_[static_cast<std::size_t>(gpu)].push_back(task.id);
@@ -88,6 +89,7 @@ bool Server::overloaded(double hr) const {
 
 bool Server::fits_without_overload(const Task& task, int gpu, double hr) const {
   MLFS_EXPECT(gpu >= 0 && gpu < gpu_count_);
+  if (!up_) return false;
   const ResourceVector usage = task.demand * task.usage_factor;
   if (cpu_sum_ + usage[Resource::Cpu] > hr) return false;
   if (mem_sum_ + usage[Resource::Mem] > hr) return false;

@@ -31,6 +31,11 @@ class Server {
   /// tier; < 1 for the older tier under the heterogeneity extension).
   double speed() const { return speed_; }
 
+  /// Liveness under the fault-injection model: a down (crashed) server
+  /// hosts no tasks and accepts no placements until it recovers. Toggled
+  /// only through Cluster::set_server_up so invariants stay centralized.
+  bool up() const { return up_; }
+
   const std::vector<TaskId>& tasks() const { return tasks_; }
   const std::vector<TaskId>& tasks_on_gpu(int gpu) const;
   std::size_t task_count() const { return tasks_.size(); }
@@ -55,17 +60,22 @@ class Server {
   /// True iff any resource utilization or any GPU load exceeds `hr`.
   bool overloaded(double hr) const;
 
-  /// True iff the server stays within `hr` on every resource and on the
-  /// target GPU after hypothetically adding `task` to `gpu` — the
-  /// placement feasibility check (§3.3.2: the chosen server "will not be
-  /// overloaded (on each resource and its least-loaded GPU) by hosting
-  /// the task").
+  /// True iff the server is up and stays within `hr` on every resource
+  /// and on the target GPU after hypothetically adding `task` to `gpu` —
+  /// the placement feasibility check (§3.3.2: the chosen server "will not
+  /// be overloaded (on each resource and its least-loaded GPU) by hosting
+  /// the task"). Every placement path (baselines and MLF alike) funnels
+  /// through this, which is what keeps down servers unplaceable without
+  /// per-scheduler changes.
   bool fits_without_overload(const Task& task, int gpu, double hr) const;
 
  private:
+  friend class Cluster;  // sole writer of up_ (set_server_up)
+
   ServerId id_;
   int gpu_count_;
   double speed_;
+  bool up_ = true;
   std::vector<TaskId> tasks_;
   std::vector<std::vector<TaskId>> gpu_tasks_;
   // Incremental usage sums (see class comment).

@@ -60,6 +60,15 @@ void Job::complete_iteration() {
   cumulative_loss_reduction_ += dl;
 }
 
+void Job::rollback_iterations(int n) {
+  MLFS_EXPECT(n >= 0);
+  const int drop = std::min(n, completed_iterations());
+  for (int i = 0; i < drop; ++i) {
+    cumulative_loss_reduction_ -= loss_reductions_.back();
+    loss_reductions_.pop_back();
+  }
+}
+
 bool Job::downgrade_policy(StopPolicy policy) {
   // Policies are ordered: FixedIterations < OptStop < AccuracyOnly in
   // "aggressiveness"; min_allowed_policy bounds how far we may go.

@@ -99,6 +99,12 @@ class Job {
   int completed_iterations() const { return static_cast<int>(loss_reductions_.size()); }
   /// Records completion of the next iteration and its observed delta-loss.
   void complete_iteration();
+  /// Discards the most recent `n` completed iterations (capped at the
+  /// completed count) — failure recovery rolls a job back to its last
+  /// checkpoint, and the lost iterations must be re-run. Re-running them
+  /// reproduces the same observed delta-losses (the curve is a pure
+  /// function of the iteration index), so accounting stays replayable.
+  void rollback_iterations(int n);
   const std::vector<double>& loss_reductions() const { return loss_reductions_; }
   double cumulative_loss_reduction() const { return cumulative_loss_reduction_; }
   /// Noise-free accuracy at the current iteration count.

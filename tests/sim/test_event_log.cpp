@@ -105,6 +105,45 @@ TEST(EventLog, TimesAreMonotonicallyNonDecreasing) {
   }
 }
 
+TEST(EventLog, GoldenStringsForLifecycleAndFaultEvents) {
+  std::ostringstream out;
+  JsonlEventLog log(out);
+  log.on_task_migrated(15.5, 42, 1, 2);
+  log.on_task_preempted(16.0, 42);
+  log.on_task_released(16.5, 43);
+  log.on_server_down(20.25, 3);
+  log.on_task_killed(20.25, 7);
+  log.on_server_up(21.0, 3);
+  EXPECT_EQ(log.events_written(), 6u);
+  EXPECT_EQ(out.str(),
+            "{\"t\":15.5,\"event\":\"task_migrated\",\"task\":42,\"from\":1,\"to\":2}\n"
+            "{\"t\":16,\"event\":\"task_preempted\",\"task\":42}\n"
+            "{\"t\":16.5,\"event\":\"task_released\",\"task\":43}\n"
+            "{\"t\":20.25,\"event\":\"server_down\",\"server\":3}\n"
+            "{\"t\":20.25,\"event\":\"task_killed\",\"task\":7}\n"
+            "{\"t\":21,\"event\":\"server_up\",\"server\":3}\n");
+}
+
+TEST(EventLog, FaultEventCountsMatchMetrics) {
+  ClusterConfig cc;
+  cc.server_count = 4;
+  cc.gpus_per_server = 4;
+  EngineConfig ec;
+  ec.fault.server_mtbf_hours = 5.0;
+  ec.fault.server_mttr_hours = 0.25;
+  ec.fault.task_kill_probability = 5e-4;
+  GreedyScheduler scheduler;
+  SimEngine engine(cc, ec, trace(12, 19), scheduler);
+  std::ostringstream out;
+  JsonlEventLog log(out);
+  engine.set_observer(&log);
+  const RunMetrics m = engine.run();
+  EXPECT_GT(m.server_failures, 0u);
+  EXPECT_EQ(count_events(out.str(), "server_down"), m.server_failures);
+  // task_killed covers crash evictions and transient kills alike.
+  EXPECT_EQ(count_events(out.str(), "task_killed"), m.crash_evictions + m.task_kills);
+}
+
 TEST(EventLog, CountsExposed) {
   std::ostringstream out;
   JsonlEventLog log(out);

@@ -1,0 +1,287 @@
+// Fault-injection subsystem: crashes evict cleanly (no leaked GPU slots,
+// placement state consistent after every failure), recovery re-places
+// victims, accounting conserves iteration work, and the fault RNG stream
+// is isolated so zero-rate configs replay the fault-free simulation
+// bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "exp/scenario.hpp"
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_log.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-test"; }
+  void schedule(SchedulerContext& ctx) override {
+    for (const TaskId tid : sched::live_queue(ctx)) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      sched::place_job_gang(ctx, tid, sched::least_loaded_placement);
+    }
+  }
+};
+
+ClusterConfig four_by_four() {
+  ClusterConfig c;
+  c.server_count = 4;
+  c.gpus_per_server = 4;
+  return c;
+}
+
+std::vector<JobSpec> small_trace(std::size_t jobs, std::uint64_t seed = 21) {
+  TraceConfig config;
+  config.num_jobs = jobs;
+  config.duration_hours = 6.0;
+  config.seed = seed;
+  config.max_gpu_request = 8;
+  config.max_iterations = 40;
+  return PhillyTraceGenerator(config).generate();
+}
+
+/// Audits the cluster on every fault event — a crash that leaks a GPU
+/// slot or leaves a task on the dead server trips immediately, at the
+/// failure, not at end-of-run.
+class ValidatingObserver : public EngineObserver {
+ public:
+  explicit ValidatingObserver(SimEngine& engine) : engine_(engine) {}
+  void on_server_down(SimTime, ServerId server) override {
+    engine_.cluster().validate();
+    EXPECT_FALSE(engine_.cluster().server(server).up());
+    ++downs;
+  }
+  void on_server_up(SimTime, ServerId server) override {
+    engine_.cluster().validate();
+    EXPECT_TRUE(engine_.cluster().server(server).up());
+    ++ups;
+  }
+  void on_task_placed(SimTime, TaskId, ServerId server, int) override {
+    // The placement contract: a down server never receives a task.
+    EXPECT_TRUE(engine_.cluster().server(server).up());
+  }
+  void on_task_killed(SimTime, TaskId) override { ++kills; }
+
+  std::size_t downs = 0;
+  std::size_t ups = 0;
+  std::size_t kills = 0;
+
+ private:
+  SimEngine& engine_;
+};
+
+/// iterations_run counts every completed iteration event; rollbacks
+/// subtract from per-job progress. A double abort or a stale-epoch
+/// completion would break this identity.
+void expect_iteration_conservation(const SimEngine& engine, const RunMetrics& m) {
+  std::size_t completed = 0;
+  for (const Job& job : engine.cluster().jobs()) {
+    completed += static_cast<std::size_t>(job.completed_iterations());
+  }
+  EXPECT_EQ(m.iterations_run, completed + m.iterations_rolled_back);
+}
+
+TEST(FaultInjection, ZeroRatesReproduceFaultFreeMetricsExactly) {
+  auto run_with = [](const EngineConfig& ec) {
+    GreedyScheduler scheduler;
+    SimEngine engine(four_by_four(), ec, small_trace(25, 9), scheduler);
+    std::ostringstream out;
+    JsonlEventLog log(out);
+    engine.set_observer(&log);
+    const RunMetrics m = engine.run();
+    return std::make_pair(m, out.str());
+  };
+  // Baseline: the historical fault-free config. Variant: fault knobs set
+  // but every rate zero — must not perturb a single draw.
+  EngineConfig plain;
+  EngineConfig zero_rates;
+  zero_rates.fault.server_mttr_hours = 2.0;
+  zero_rates.fault.rack_mttr_hours = 1.0;
+  zero_rates.fault.checkpoint_interval_iterations = 7;
+  const auto [a, log_a] = run_with(plain);
+  const auto [b, log_b] = run_with(zero_rates);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.average_jct_minutes(), b.average_jct_minutes());
+  EXPECT_EQ(a.makespan_hours, b.makespan_hours);
+  EXPECT_EQ(a.bandwidth_tb, b.bandwidth_tb);
+  EXPECT_EQ(b.server_failures, 0u);
+  EXPECT_EQ(b.task_kills, 0u);
+  EXPECT_EQ(b.work_lost_gpu_seconds, 0.0);
+  EXPECT_EQ(b.goodput, 1.0);
+}
+
+TEST(FaultInjection, IdenticalFaultConfigReplaysByteIdenticalJsonl) {
+  auto run_logged = [] {
+    EngineConfig ec;
+    ec.fault.server_mtbf_hours = 6.0;
+    ec.fault.server_mttr_hours = 0.25;
+    ec.fault.task_kill_probability = 1e-3;
+    ec.fault.checkpoint_interval_iterations = 3;
+    GreedyScheduler scheduler;
+    SimEngine engine(four_by_four(), ec, small_trace(20, 13), scheduler);
+    std::ostringstream out;
+    JsonlEventLog log(out);
+    engine.set_observer(&log);
+    const RunMetrics m = engine.run();
+    return std::make_pair(m.server_failures, out.str());
+  };
+  const auto [failures_a, log_a] = run_logged();
+  const auto [failures_b, log_b] = run_logged();
+  EXPECT_GT(failures_a, 0u);  // the config must actually inject churn
+  EXPECT_EQ(failures_a, failures_b);
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(FaultInjection, CrashDuringGangPlacementLeaksNothing) {
+  // Churn heavy enough that crashes land while gangs are partially
+  // placed; the validating observer audits placement state per failure.
+  EngineConfig ec;
+  ec.fault.server_mtbf_hours = 3.0;
+  ec.fault.server_mttr_hours = 0.2;
+  ec.fault.checkpoint_interval_iterations = 5;
+  ec.partial_placement_timeout = minutes(3);
+  ec.stall_ticks_before_eviction = 5;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(25, 17), scheduler);
+  ValidatingObserver observer(engine);
+  engine.set_observer(&observer);
+  const RunMetrics m = engine.run();
+
+  EXPECT_GT(observer.downs, 0u);
+  EXPECT_EQ(observer.downs, m.server_failures);
+  engine.cluster().validate();
+  expect_iteration_conservation(engine, m);
+  EXPECT_GT(m.crash_evictions, 0u);
+  EXPECT_EQ(observer.kills, m.crash_evictions + m.task_kills);
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+  // Watchdog/partial-release interplay under churn must not strand
+  // finished state: every completed job's tasks are off the cluster.
+  for (const Job& job : engine.cluster().jobs()) {
+    if (!job.done()) continue;
+    for (const TaskId tid : job.tasks()) {
+      EXPECT_FALSE(engine.cluster().task(tid).placed());
+    }
+  }
+}
+
+TEST(FaultInjection, CrashOfFullyPlacedJobAbortsIterationOnceAndRecovers) {
+  // No random faults; deterministically crash every server shortly after
+  // the first job can have started, then let the 0.1h MTTR bring them
+  // back. The in-flight gang iteration must abort exactly once (epoch
+  // guard) and the victims must re-place and finish.
+  EngineConfig ec;
+  ec.fault.server_mttr_hours = 0.1;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(6, 29), scheduler);
+  SimTime first_arrival = std::numeric_limits<double>::infinity();
+  for (const Job& job : engine.cluster().jobs()) {
+    first_arrival = std::min(first_arrival, job.spec().arrival);
+  }
+  for (ServerId s = 0; s < engine.cluster().server_count(); ++s) {
+    engine.inject_server_failure(s, first_arrival + minutes(5));
+  }
+  ValidatingObserver observer(engine);
+  engine.set_observer(&observer);
+  const RunMetrics m = engine.run();
+
+  EXPECT_EQ(m.server_failures, engine.cluster().server_count());
+  EXPECT_EQ(observer.ups, engine.cluster().server_count());
+  EXPECT_GT(m.crash_evictions, 0u);
+  EXPECT_GT(m.work_lost_gpu_seconds, 0.0);
+  EXPECT_GT(m.mean_recovery_seconds, 0.0);
+  expect_iteration_conservation(engine, m);
+  for (const Job& job : engine.cluster().jobs()) {
+    EXPECT_TRUE(job.done());
+  }
+  engine.cluster().validate();
+}
+
+TEST(FaultInjection, PermanentlyDownServerNeverHostsTasks) {
+  // Capacity loss, not churn: one server dies at t=0 and never repairs
+  // (mttr 0). The shared placement path must route everything else around
+  // it for the whole run.
+  EngineConfig ec;
+  ec.fault.server_mttr_hours = 0.0;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(12, 33), scheduler);
+  engine.inject_server_failure(2, 0.0);
+  ValidatingObserver observer(engine);  // asserts every placement targets an up server
+  engine.set_observer(&observer);
+  const RunMetrics m = engine.run();
+
+  EXPECT_EQ(m.server_failures, 1u);
+  EXPECT_EQ(observer.ups, 0u);
+  EXPECT_FALSE(engine.cluster().server(2).up());
+  EXPECT_EQ(engine.cluster().up_server_count(), engine.cluster().server_count() - 1);
+  EXPECT_EQ(engine.cluster().server(2).task_count(), 0u);
+  for (const Job& job : engine.cluster().jobs()) {
+    EXPECT_TRUE(job.done());  // the remaining 3 servers absorb the load
+  }
+  engine.cluster().validate();
+}
+
+TEST(FaultInjection, RackOutageTakesWholeRackDownTogether) {
+  ClusterConfig cc = four_by_four();
+  cc.servers_per_rack = 2;  // racks {0,1} and {2,3}
+  EngineConfig ec;
+  ec.fault.rack_mtbf_hours = 4.0;
+  ec.fault.rack_mttr_hours = 0.2;
+  GreedyScheduler scheduler;
+  SimEngine engine(cc, ec, small_trace(15, 41), scheduler);
+  ValidatingObserver observer(engine);
+  engine.set_observer(&observer);
+  const RunMetrics m = engine.run();
+
+  EXPECT_GT(m.rack_outages, 0u);
+  EXPECT_GT(m.server_failures, 0u);
+  // Casualties come in rack-sized groups (servers already down when their
+  // rack fails again are not double-counted, so <=).
+  EXPECT_LE(m.server_failures, m.rack_outages * 2);
+  expect_iteration_conservation(engine, m);
+  engine.cluster().validate();
+}
+
+TEST(FaultInjection, TransientTaskKillsRollBackToCheckpoint) {
+  EngineConfig ec;
+  ec.fault.task_kill_probability = 2e-3;
+  ec.fault.checkpoint_interval_iterations = 5;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(15, 37), scheduler);
+  const RunMetrics m = engine.run();
+
+  EXPECT_GT(m.task_kills, 0u);
+  EXPECT_EQ(m.server_failures, 0u);  // kills spare the server
+  EXPECT_GT(m.work_lost_gpu_seconds, 0.0);
+  EXPECT_LT(m.goodput, 1.0);
+  expect_iteration_conservation(engine, m);
+  for (const Job& job : engine.cluster().jobs()) {
+    EXPECT_TRUE(job.done());
+    EXPECT_LE(job.completed_iterations(), job.spec().max_iterations);
+  }
+  engine.cluster().validate();
+}
+
+TEST(FaultInjection, ChaosScenarioHelperConfiguresChurn) {
+  const exp::Scenario chaos = exp::chaos_scenario(10, 3);
+  EXPECT_TRUE(chaos.engine.fault.any_faults());
+  exp::Scenario calm = exp::smoke_scenario(10, 3);
+  exp::set_failure_rate(calm, 0.0);
+  EXPECT_FALSE(calm.engine.fault.any_faults());
+  exp::set_failure_rate(calm, 7.0, 0.4, 3);
+  EXPECT_DOUBLE_EQ(calm.engine.fault.server_mtbf_hours, 24.0);
+  EXPECT_DOUBLE_EQ(calm.engine.fault.server_mttr_hours, 0.4);
+  EXPECT_EQ(calm.engine.fault.checkpoint_interval_iterations, 3);
+}
+
+}  // namespace
+}  // namespace mlfs
