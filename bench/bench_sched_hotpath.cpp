@@ -1,0 +1,190 @@
+// Scheduler hot-path benchmark — the perf-trajectory baseline for the
+// incremental load index + comm-volume memoization (DESIGN.md, "Scheduler
+// hot path").
+//
+// For each cluster size it runs MLF-H twice on the *same* workload and
+// seeds: once in legacy mode (full fleet scans, recompute-per-candidate
+// comm volumes, comparator-driven sorts) and once with the indexed hot
+// path. Both runs stream their JSONL event log through a hash so the
+// benchmark also *proves* the optimization changed no decision: the two
+// event streams must be byte-identical.
+//
+// Emits BENCH_sched_hotpath.json with per-point mean wall-clock per
+// scheduling round, the hot-path counters, the speedup, and the
+// decisions_identical verdict. CI runs `--smoke` and uploads the file.
+//
+// Usage: bench_sched_hotpath [--smoke] [--out FILE]
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/mlf_h.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_log.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+/// Sink that FNV-1a-hashes everything written to it — lets us compare two
+/// multi-million-line event streams without holding either in memory.
+class HashStreamBuf : public std::streambuf {
+ public:
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) mix(static_cast<unsigned char>(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) mix(static_cast<unsigned char>(s[i]));
+    return n;
+  }
+
+ private:
+  void mix(unsigned char c) {
+    hash_ = (hash_ ^ c) * 1099511628211ull;
+    ++bytes_;
+  }
+  std::uint64_t hash_ = 1469598103934665603ull;
+  std::uint64_t bytes_ = 0;
+};
+
+struct SizePoint {
+  std::size_t servers;
+  std::size_t jobs;
+};
+
+struct ModeResult {
+  RunMetrics metrics;
+  std::uint64_t stream_hash = 0;
+  std::uint64_t stream_bytes = 0;
+};
+
+/// One full simulation. `hash_events` attaches the JSONL observer and
+/// hashes its stream; timing runs leave it off, because the observer
+/// serializes events *inside* the timed scheduler window (ops.place emits
+/// during schedule()) and would add the same constant to both modes,
+/// diluting the measured speedup.
+ModeResult run_mode(const SizePoint& pt, bool legacy, bool hash_events) {
+  ClusterConfig cluster;
+  cluster.server_count = pt.servers;
+  cluster.gpus_per_server = 4;
+  cluster.incremental_load_index = !legacy;
+
+  core::MlfsConfig config;
+  config.heuristic_only = true;
+  config.legacy_hot_path = legacy;
+
+  TraceConfig trace;
+  trace.num_jobs = pt.jobs;
+  trace.duration_hours = 12.0;
+  trace.seed = 42;
+  trace.max_gpu_request =
+      std::min<int>(32, static_cast<int>(pt.servers) * cluster.gpus_per_server / 2);
+
+  EngineConfig engine_config;
+  engine_config.seed = 42 ^ 0xabc;
+
+  core::MlfH scheduler{config};
+  SimEngine engine(cluster, engine_config, PhillyTraceGenerator(trace).generate(), scheduler);
+  HashStreamBuf sink;
+  std::ostream out(&sink);
+  JsonlEventLog log(out);
+  if (hash_events) engine.set_observer(&log);
+
+  ModeResult r;
+  r.metrics = engine.run();
+  r.stream_hash = sink.hash();
+  r.stream_bytes = sink.bytes();
+  return r;
+}
+
+void emit_counters(std::ostream& os, const RunMetrics& m) {
+  os << "{\"ms_per_round\": " << m.sched_overhead_ms << ", \"rounds\": " << m.sched_rounds
+     << ", \"candidates_scanned\": " << m.candidates_scanned
+     << ", \"comm_cache_hits\": " << m.comm_cache_hits
+     << ", \"comm_cache_misses\": " << m.comm_cache_misses
+     << ", \"load_index_rebuilds\": " << m.load_index_rebuilds
+     << ", \"load_index_refreshes\": " << m.load_index_refreshes
+     << ", \"servers_reindexed\": " << m.servers_reindexed << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_file = "BENCH_sched_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_file = argv[++i];
+  }
+
+  const std::vector<SizePoint> points =
+      smoke ? std::vector<SizePoint>{{8, 60}}
+            : std::vector<SizePoint>{{16, 150}, {32, 300}, {64, 600}, {96, 900}};
+
+  std::ofstream json(out_file);
+  if (!json) {
+    std::cerr << "cannot open " << out_file << "\n";
+    return 1;
+  }
+  json << "{\n  \"benchmark\": \"sched_hotpath\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"points\": [\n";
+
+  bool all_identical = true;
+  double largest_speedup = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& pt = points[i];
+    std::cout << "=== " << pt.servers << " servers / " << pt.jobs << " jobs ===\n";
+    // Equivalence pass: hash both event streams.
+    const ModeResult legacy_hashed = run_mode(pt, /*legacy=*/true, /*hash_events=*/true);
+    const ModeResult indexed_hashed = run_mode(pt, /*legacy=*/false, /*hash_events=*/true);
+    // Timing pass: observer off, scheduler wall-clock only.
+    const ModeResult legacy = run_mode(pt, /*legacy=*/true, /*hash_events=*/false);
+    std::cout << "  legacy : " << legacy.metrics.summary() << "\n";
+    const ModeResult indexed = run_mode(pt, /*legacy=*/false, /*hash_events=*/false);
+    std::cout << "  indexed: " << indexed.metrics.summary() << "\n";
+
+    const bool identical = legacy_hashed.stream_hash == indexed_hashed.stream_hash &&
+                           legacy_hashed.stream_bytes == indexed_hashed.stream_bytes &&
+                           indexed_hashed.stream_bytes > 0;
+    all_identical = all_identical && identical;
+    const double speedup = indexed.metrics.sched_overhead_ms > 0.0
+                               ? legacy.metrics.sched_overhead_ms /
+                                     indexed.metrics.sched_overhead_ms
+                               : 0.0;
+    largest_speedup = speedup;  // points are ordered smallest -> largest
+    std::cout << "  decisions_identical=" << (identical ? "true" : "false")
+              << " speedup=" << speedup << "x ("
+              << legacy.metrics.sched_overhead_ms << "ms -> "
+              << indexed.metrics.sched_overhead_ms << "ms per round)\n";
+
+    json << "    {\"servers\": " << pt.servers << ", \"jobs\": " << pt.jobs
+         << ", \"decisions_identical\": " << (identical ? "true" : "false")
+         << ", \"event_stream_bytes\": " << indexed_hashed.stream_bytes
+         << ", \"speedup\": " << speedup << ",\n     \"legacy\": ";
+    emit_counters(json, legacy.metrics);
+    json << ",\n     \"indexed\": ";
+    emit_counters(json, indexed.metrics);
+    json << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"largest_point_speedup\": " << largest_speedup
+       << ",\n  \"all_decisions_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << out_file << "\n";
+
+  if (!all_identical) {
+    std::cerr << "FAIL: indexed hot path diverged from the legacy scheduler\n";
+    return 1;
+  }
+  return 0;
+}

@@ -39,6 +39,12 @@ struct PlacementParams {
   /// the oversubscribed inter-rack core. No effect on flat clusters.
   bool use_topology = false;
   double rack_affinity = 0.5;
+
+  /// Memoize per-(task, server) communication volumes within a scheduling
+  /// round, keyed on the cluster's placement epoch (see DESIGN.md,
+  /// "Scheduler hot path"). Bit-exact with the direct computation; `false`
+  /// keeps the reference path for equivalence tests and benchmarks.
+  bool memoize_comm = true;
 };
 
 struct MigrationParams {
@@ -89,6 +95,13 @@ struct MlfsConfig {
   /// Run MLF-H only (never switch to the RL policy) — the "MLF-H" series
   /// of Figs. 4/5.
   bool heuristic_only = false;
+
+  /// Reference mode for the hot-path benchmark: disable the comm-volume
+  /// memo and the decorate-sort-undecorate queue ordering, falling back to
+  /// the direct (recompute-per-candidate) implementations. Decisions are
+  /// identical either way; pair with ClusterConfig::incremental_load_index
+  /// = false to measure the full pre-index scheduler.
+  bool legacy_hot_path = false;
 };
 
 }  // namespace mlfs::core

@@ -1,13 +1,24 @@
 #include "core/mlf_h.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace mlfs::core {
+
+namespace {
+PlacementParams effective_placement_params(const MlfsConfig& config) {
+  PlacementParams p = config.placement;
+  // Legacy mode must exercise the reference (recompute-per-candidate)
+  // comm-volume path regardless of the placement default.
+  if (config.legacy_hot_path) p.memoize_comm = false;
+  return p;
+}
+}  // namespace
 
 MlfH::MlfH(const MlfsConfig& config)
     : config_(config),
       priority_calc_(config.priority),
-      placement_(config.placement),
+      placement_(effective_placement_params(config)),
       migration_(config.migration) {}
 
 const std::vector<double>& MlfH::job_priority_vector(const Cluster& cluster, const Job& job,
@@ -26,16 +37,38 @@ double MlfH::task_priority(const Cluster& cluster, TaskId task, SimTime now) {
   return job_priority_vector(cluster, job, now)[t.local_index];
 }
 
+void MlfH::sort_by_priority(std::vector<TaskId>& tasks, SchedulerContext& ctx) {
+  if (config_.legacy_hot_path) {
+    // Reference path: priority lookups inside the comparator (one pair of
+    // cache probes per comparison).
+    std::stable_sort(tasks.begin(), tasks.end(), [this, &ctx](TaskId a, TaskId b) {
+      return task_priority(ctx.cluster, a, ctx.now) > task_priority(ctx.cluster, b, ctx.now);
+    });
+    return;
+  }
+  std::vector<std::pair<double, TaskId>> keyed;
+  keyed.reserve(tasks.size());
+  for (const TaskId tid : tasks) {
+    keyed.emplace_back(task_priority(ctx.cluster, tid, ctx.now), tid);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i] = keyed[i].second;
+}
+
 std::vector<TaskId> MlfH::ordered_queue(SchedulerContext& ctx) {
   std::vector<TaskId> queue;
   queue.reserve(ctx.queue.size());
   for (const TaskId tid : ctx.queue) {
     if (ctx.cluster.task(tid).state == TaskState::Queued) queue.push_back(tid);
   }
-  std::stable_sort(queue.begin(), queue.end(), [this, &ctx](TaskId a, TaskId b) {
-    return task_priority(ctx.cluster, a, ctx.now) > task_priority(ctx.cluster, b, ctx.now);
-  });
+  sort_by_priority(queue, ctx);
   return queue;
+}
+
+void MlfH::on_job_complete(const Job& job, SimTime now) {
+  (void)now;
+  cache_.erase(job.id());
 }
 
 void MlfH::place_queued_tasks(SchedulerContext& ctx) {
@@ -61,9 +94,7 @@ void MlfH::place_queued_tasks(SchedulerContext& ctx) {
       ++failures;
       continue;
     }
-    std::stable_sort(siblings.begin(), siblings.end(), [this, &ctx](TaskId a, TaskId b) {
-      return task_priority(ctx.cluster, a, ctx.now) > task_priority(ctx.cluster, b, ctx.now);
-    });
+    sort_by_priority(siblings, ctx);
     std::vector<TaskId> placed_now;
     bool complete = true;
     for (const TaskId sib : siblings) {

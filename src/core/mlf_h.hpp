@@ -23,6 +23,16 @@ class MlfH : public Scheduler {
   std::string name() const override { return "MLF-H"; }
   void schedule(SchedulerContext& ctx) override;
 
+  /// Evicts the job's priority-cache entry — without this the cache grows
+  /// without bound over a long run (one entry per job ever seen).
+  void on_job_complete(const Job& job, SimTime now) override;
+
+  /// Hot-path counters (candidate scans + comm-memo hit rate).
+  SchedStats sched_stats() const override { return placement_.stats(); }
+
+  /// Number of jobs currently held in the priority cache (for tests).
+  std::size_t priority_cache_size() const { return cache_.size(); }
+
   /// Combined Eq. 6 priority of a task (cached per job per tick).
   double task_priority(const Cluster& cluster, TaskId task, SimTime now);
 
@@ -53,6 +63,11 @@ class MlfH : public Scheduler {
   };
   const std::vector<double>& job_priority_vector(const Cluster& cluster, const Job& job,
                                                  SimTime now);
+  /// Sorts task ids by priority, highest first, stable. Decorate-sort-
+  /// undecorate: priorities are evaluated once per task instead of once per
+  /// comparison; the permutation is identical to sorting with a
+  /// priority-comparing comparator (same cached values, same stability).
+  void sort_by_priority(std::vector<TaskId>& tasks, SchedulerContext& ctx);
 
   MlfsConfig config_;
   PriorityCalculator priority_calc_;

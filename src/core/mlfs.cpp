@@ -174,6 +174,7 @@ void MlfsScheduler::schedule(SchedulerContext& ctx) {
 
 void MlfsScheduler::on_job_complete(const Job& job, SimTime now) {
   reward_.on_job_complete(job, now);
+  heuristic_.on_job_complete(job, now);  // evict its priority-cache entry
 }
 
 }  // namespace mlfs::core

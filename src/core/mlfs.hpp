@@ -32,6 +32,7 @@ class MlfsScheduler : public Scheduler {
   std::string name() const override;
   void schedule(SchedulerContext& ctx) override;
   void on_job_complete(const Job& job, SimTime now) override;
+  SchedStats sched_stats() const override { return heuristic_.sched_stats(); }
 
   bool rl_active() const { return rl_active_; }
   std::size_t imitation_samples() const { return imitation_.size(); }

@@ -8,28 +8,39 @@ namespace mlfs::core {
 MlfPlacement::MlfPlacement(const PlacementParams& params) : params_(params) {}
 
 namespace {
-/// Shared walk over a task's communication peers; `weight(peer_server)`
-/// scores each placed peer's volume contribution.
-template <typename WeightFn>
-double weighted_comm_volume(const Cluster& cluster, const Task& task, const WeightFn& weight) {
+/// Shared walk over a task's *placed* communication peers, in the canonical
+/// order: DAG parents, DAG children, then all-reduce ring neighbours. Calls
+/// `fn(peer_task, edge_volume_mb)` for each. Every comm-volume computation
+/// (direct or memoized) funnels through this walk so they accumulate the
+/// same terms in the same order — the bit-exactness contract.
+template <typename PeerFn>
+void for_each_placed_peer(const Cluster& cluster, const Task& task, const PeerFn& fn) {
   const Job& job = cluster.job(task.job);
   const Dag& dag = job.dag();
   const std::size_t k = task.local_index;
-  double volume = 0.0;
   auto edge_volume = [&job](const Task& a, const Task& b) {
     return b.is_parameter_server || a.is_parameter_server ? job.spec().comm_volume_ps_mb
                                                           : job.spec().comm_volume_ww_mb;
   };
-  auto accumulate = [&](std::size_t other_index) {
+  auto visit = [&](std::size_t other_index) {
     const Task& other = cluster.task(job.task_at(other_index));
-    if (other.placed()) volume += weight(other.server) * edge_volume(task, other);
+    if (other.placed()) fn(other, edge_volume(task, other));
   };
-  for (const std::size_t p : dag.parents(k)) accumulate(p);
-  for (const std::size_t c : dag.children(k)) accumulate(c);
+  for (const std::size_t p : dag.parents(k)) visit(p);
+  for (const std::size_t c : dag.children(k)) visit(c);
   if (job.spec().comm == CommStructure::AllReduce && job.task_count() > 1) {
-    accumulate((k + 1) % job.task_count());
-    accumulate((k + job.task_count() - 1) % job.task_count());
+    visit((k + 1) % job.task_count());
+    visit((k + job.task_count() - 1) % job.task_count());
   }
+}
+
+/// `weight(peer_server)` scores each placed peer's volume contribution.
+template <typename WeightFn>
+double weighted_comm_volume(const Cluster& cluster, const Task& task, const WeightFn& weight) {
+  double volume = 0.0;
+  for_each_placed_peer(cluster, task, [&volume, &weight](const Task& other, double edge) {
+    volume += weight(other.server) * edge;
+  });
   return volume;
 }
 }  // namespace
@@ -51,11 +62,56 @@ double MlfPlacement::comm_volume_with_server_topology(const Cluster& cluster, co
                               });
 }
 
+const std::vector<double>& MlfPlacement::comm_vector(const Cluster& cluster,
+                                                     const Task& task) const {
+  const std::uint64_t epoch = cluster.placement_epoch();
+  if (epoch != comm_cache_epoch_) {
+    comm_cache_.clear();
+    comm_cache_epoch_ = epoch;
+  }
+  if (const auto it = comm_cache_.find(task.id); it != comm_cache_.end()) {
+    ++stats_.comm_cache_hits;
+    return it->second;
+  }
+  ++stats_.comm_cache_misses;
+  std::vector<double>& vec = comm_cache_[task.id];
+  vec.assign(cluster.server_count(), 0.0);
+  if (!params_.use_topology) {
+    for_each_placed_peer(cluster, task, [&vec](const Task& other, double edge) {
+      vec[other.server] += edge;
+    });
+  } else {
+    // Scatter each peer's contribution to its own server (weight 1) and to
+    // every other server of its rack (weight rack_affinity): for any fixed
+    // destination this adds the same nonzero terms, in the same peer order,
+    // as the per-server weighted sum.
+    const int spr = cluster.config().servers_per_rack;
+    const std::size_t n = cluster.server_count();
+    const double affinity = params_.rack_affinity;
+    for_each_placed_peer(cluster, task, [&](const Task& other, double edge) {
+      vec[other.server] += edge;
+      std::size_t lo = 0;
+      std::size_t hi = n;
+      if (spr > 0) {
+        lo = static_cast<std::size_t>(cluster.rack_of(other.server)) *
+             static_cast<std::size_t>(spr);
+        hi = std::min(n, lo + static_cast<std::size_t>(spr));
+      }
+      for (std::size_t s = lo; s < hi; ++s) {
+        if (s != static_cast<std::size_t>(other.server)) vec[s] += affinity * edge;
+      }
+    });
+  }
+  return vec;
+}
+
 std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx, const Task& task,
                                                     bool migrating) const {
+  if (params_.memoize_comm) return choose_host_fast(ctx, task, migrating);
   const Cluster& cluster = ctx.cluster;
 
-  // Candidate set: underloaded servers that can host the task without
+  // Candidate set: underloaded servers (ascending id — the same relative
+  // order a full fleet scan yields) that can host the task without
   // becoming overloaded (on every resource and the target GPU).
   struct Candidate {
     ServerId server;
@@ -65,16 +121,17 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
   };
   std::vector<Candidate> candidates;
   double max_comm = 0.0;
-  for (const Server& s : cluster.servers()) {
-    if (migrating && s.id() == task.server) continue;
-    if (s.overloaded(ctx.hr)) continue;
-    const int gpu = s.least_loaded_gpu();
-    if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
-    Candidate c{s.id(), gpu, s.utilization(),
+  for (const ServerId sid : cluster.underloaded_servers(ctx.hr)) {
+    if (migrating && sid == task.server) continue;
+    ++stats_.candidates_scanned;
+    const Server& s = cluster.server(sid);
+    const int gpu = s.best_fitting_gpu(task, ctx.hr);
+    if (gpu == kNoGpu) continue;
+    Candidate c{sid, gpu, s.utilization(),
                 params_.use_topology
-                    ? comm_volume_with_server_topology(cluster, task, s.id(),
+                    ? comm_volume_with_server_topology(cluster, task, sid,
                                                        params_.rack_affinity)
-                    : comm_volume_with_server(cluster, task, s.id())};
+                    : comm_volume_with_server(cluster, task, sid)};
     max_comm = std::max(max_comm, c.comm);
     candidates.push_back(std::move(c));
   }
@@ -89,14 +146,6 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
     }
   }
 
-  // Movement degradation q (same for every destination here: transfer time
-  // of the task state; it still participates so that migrating choices are
-  // penalized consistently with [10]'s model).
-  const double q = migrating
-                       ? task.state_size_mb / cluster.config().server_bandwidth_mbps /
-                             60.0  // minutes of disruption, ~[0,1] scale
-                       : 0.0;
-
   const Candidate* best = nullptr;
   double best_distance = 0.0;
   for (const Candidate& c : candidates) {
@@ -109,7 +158,17 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
       const double d = c.comm / max_comm - 1.0;  // ideal = the max
       sq += d * d;
     }
-    sq += q * q;  // distance of q to its ideal 0
+    if (migrating) {
+      // Movement degradation q ([10]'s model): minutes of disruption to
+      // transfer the task's state to *this* destination, over the
+      // topology-aware flow bandwidth — cross-rack moves pay the slower
+      // inter-rack share. On a flat network q is one constant for every
+      // candidate, so it shifts all distances uniformly and cannot flip a
+      // choice.
+      const double q = task.state_size_mb /
+                       cluster.flow_bandwidth_between(task.server, c.server) / 60.0;
+      sq += q * q;  // distance of q to its ideal 0
+    }
     const double distance = std::sqrt(sq);
     if (best == nullptr || distance < best_distance) {
       best = &c;
@@ -117,6 +176,118 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
     }
   }
   return HostChoice{best->server, best->gpu};
+}
+
+std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext& ctx,
+                                                         const Task& task, bool migrating) const {
+  const Cluster& cluster = ctx.cluster;
+  const std::vector<double>& comm = comm_vector(cluster, task);
+
+  // Candidate ids by reference from the index when it is on (no per-call
+  // copy of the id vector); the scan fallback still yields the same ids in
+  // the same ascending order.
+  const bool indexed = cluster.config().incremental_load_index;
+  std::vector<ServerId> scan;
+  if (!indexed) scan = cluster.underloaded_servers(ctx.hr);
+  const std::vector<ServerId>& under = indexed ? cluster.underloaded_index(ctx.hr) : scan;
+
+  // One usage product for the whole candidate loop (the legacy body
+  // recomputes demand × usage_factor inside every feasibility check — the
+  // product is the same value every time, so hoisting cannot change a
+  // fit verdict).
+  const ResourceVector usage = task.demand * task.usage_factor;
+
+  ResourceVector util_buf;  // scan-mode fallback storage
+  const auto util_of = [&](ServerId sid) -> const ResourceVector& {
+    if (indexed) return cluster.cached_utilization(sid);
+    util_buf = cluster.server(sid).utilization();
+    return util_buf;
+  };
+
+  // Pass 1: feasibility + the ideal host's components. Seeding the
+  // component-wise min from the first feasible candidate matches the
+  // legacy fold exactly (min(x, x) == x).
+  feasible_.clear();
+  feasible_.reserve(under.size());
+  ResourceVector ideal_util;
+  bool first = true;
+  double max_comm = 0.0;
+  const double u_gpu = usage[Resource::Gpu];
+  const double u_cpu = usage[Resource::Cpu];
+  const double u_mem = usage[Resource::Mem];
+  const double u_net = usage[Resource::Net];
+  for (const ServerId sid : under) {
+    if (migrating && sid == task.server) continue;
+    ++stats_.candidates_scanned;
+    const ResourceVector& util = util_of(sid);
+    int gpu;
+    if (indexed) {
+      // Feasibility from cached data only: the utilization's CPU/MEM/NET
+      // components *are* the server's usage sums, so together with the
+      // cached least-loaded GPU load these four comparisons are exactly
+      // Server::fits_usage_without_overload on the least-loaded GPU (the
+      // liveness test is vacuous — the underloaded partition only holds up
+      // servers). And the least-loaded GPU's verdict decides the server:
+      // every other GPU carries load >= the least-loaded one, and FP
+      // addition of the same usage is monotone, so when the least-loaded
+      // GPU overflows hr, so does every other — best_fitting_gpu's per-GPU
+      // search cannot rescue the candidate (the profile shows ~80% of
+      // candidates are infeasible under sustained overload, so this single
+      // rejection test carries the hot path).
+      if (util[Resource::Cpu] + u_cpu > ctx.hr || util[Resource::Mem] + u_mem > ctx.hr ||
+          util[Resource::Net] + u_net > ctx.hr ||
+          cluster.cached_least_gpu_load(sid) + u_gpu > ctx.hr) {
+        continue;
+      }
+      gpu = cluster.cached_least_gpu(sid);
+    } else {
+      gpu = cluster.server(sid).best_fitting_gpu_for_usage(usage, ctx.hr);
+      if (gpu == kNoGpu) continue;
+    }
+    if (first) {
+      ideal_util = util;
+      first = false;
+    } else {
+      for (std::size_t i = 0; i < kNumResources; ++i) {
+        ideal_util.at(i) = std::min(ideal_util.at(i), util.at(i));
+      }
+    }
+    max_comm = std::max(max_comm, comm[sid]);
+    feasible_.emplace_back(sid, gpu);
+  }
+  if (feasible_.empty()) return std::nullopt;
+
+  // Pass 2: identical distance arithmetic to the legacy body, reading the
+  // per-candidate inputs back from the caches instead of a Candidate array.
+  ServerId best_server = feasible_.front().first;
+  int best_gpu = feasible_.front().second;
+  double best_distance = 0.0;
+  bool have_best = false;
+  for (const auto& [sid, gpu] : feasible_) {
+    const ResourceVector& util = util_of(sid);
+    double sq = 0.0;
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      const double d = util.at(i) - ideal_util.at(i);
+      sq += d * d;
+    }
+    if (params_.use_bandwidth && max_comm > 0.0) {
+      const double d = comm[sid] / max_comm - 1.0;  // ideal = the max
+      sq += d * d;
+    }
+    if (migrating) {
+      const double q =
+          task.state_size_mb / cluster.flow_bandwidth_between(task.server, sid) / 60.0;
+      sq += q * q;  // distance of q to its ideal 0
+    }
+    const double distance = std::sqrt(sq);
+    if (!have_best || distance < best_distance) {
+      have_best = true;
+      best_server = sid;
+      best_gpu = gpu;
+      best_distance = distance;
+    }
+  }
+  return HostChoice{best_server, best_gpu};
 }
 
 }  // namespace mlfs::core

@@ -3,11 +3,21 @@
 // underloaded servers, the maximum task↔server communication volume (so
 // chatty tasks co-locate with their peers), and zero movement degradation
 // — then pick the feasible underloaded server whose vector is closest to
-// U_V in Euclidean distance. The task lands on that server's least-loaded
-// GPU.
+// U_V in Euclidean distance. The task lands on that server's best-fitting
+// GPU (the least-loaded one whenever it fits).
+//
+// Hot path: candidates come from the cluster's underloaded index rather
+// than a fleet scan, and the per-(task, server) communication volumes are
+// memoized per placement epoch (PlacementParams::memoize_comm) — both
+// bit-exact with the direct computation (see DESIGN.md, "Scheduler hot
+// path").
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "sim/scheduler.hpp"
@@ -24,11 +34,15 @@ class MlfPlacement {
   explicit MlfPlacement(const PlacementParams& params);
 
   /// Chooses the host for `task` among the currently underloaded servers.
-  /// `migrating` adds the movement-degradation dimension q (state size
-  /// over bandwidth; 0 for queue placements). Returns nullopt when no
-  /// underloaded server fits the task under ctx.hr.
+  /// `migrating` adds the movement-degradation dimension q — the state-
+  /// transfer time from the task's current server to *that* destination
+  /// over the topology-aware flow bandwidth (0 for queue placements).
+  /// Returns nullopt when no underloaded server fits the task under ctx.hr.
   std::optional<HostChoice> choose_host(const SchedulerContext& ctx, const Task& task,
                                         bool migrating) const;
+
+  /// Hot-path counters accumulated across all choose_host calls.
+  const SchedStats& stats() const { return stats_; }
 
   /// Total communication volume (MB per iteration) between `task` and the
   /// tasks currently placed on `server` — DAG parent/child edges plus
@@ -42,7 +56,27 @@ class MlfPlacement {
                                                  ServerId server, double rack_affinity);
 
  private:
+  /// Per-server communication volumes of `task`, memoized per placement
+  /// epoch. Entry [s] is bit-identical to comm_volume_with_server[_topology]
+  /// (cluster, task, s): the accumulation visits peers in the same order
+  /// and drops only exact-zero terms.
+  const std::vector<double>& comm_vector(const Cluster& cluster, const Task& task) const;
+
+  /// The memoized hot path of choose_host: same candidate order, same
+  /// feasibility checks, same distance arithmetic as the legacy body —
+  /// the equivalence tests and the hot-path benchmark enforce that the two
+  /// produce byte-identical decision streams — but with the per-candidate
+  /// constants hoisted: usage vector computed once, utilizations read from
+  /// the cluster's refresh-time cache, comm volumes from the epoch memo,
+  /// and a reused scratch vector instead of a fresh candidate array.
+  std::optional<HostChoice> choose_host_fast(const SchedulerContext& ctx, const Task& task,
+                                             bool migrating) const;
+
   PlacementParams params_;
+  mutable std::uint64_t comm_cache_epoch_ = ~std::uint64_t{0};
+  mutable std::unordered_map<TaskId, std::vector<double>> comm_cache_;
+  mutable std::vector<std::pair<ServerId, int>> feasible_;  ///< choose_host_fast scratch
+  mutable SchedStats stats_;
 };
 
 }  // namespace mlfs::core

@@ -23,6 +23,11 @@ PriorityCalculator::PriorityCalculator(const PriorityParams& params) : params_(p
   MLFS_EXPECT(params_.gamma > 0.0 && params_.gamma < 1.0);
 }
 
+double PriorityCalculator::loss_share(double last_delta, double cumulative) {
+  if (cumulative <= 0.0) return 1.0;
+  return std::clamp(last_delta / cumulative, 0.0, 1.0);
+}
+
 double PriorityCalculator::task_deadline(const Job& job, std::size_t local_index,
                                          const std::vector<std::size_t>& depth_to_sink) {
   // A task with descendants must leave them room: pull its deadline
@@ -53,10 +58,10 @@ std::vector<double> PriorityCalculator::ml_priorities(const Cluster& cluster,
   // under the paper's default α.
   const double urgency = params_.use_urgency ? job.spec().urgency / 10.0 : 1.0;
   const double temporal = 1.0 / static_cast<double>(current_iteration);
-  double loss_ratio = 1.0;  // first iteration: full importance
-  if (!job.loss_reductions().empty() && job.cumulative_loss_reduction() > 0.0) {
-    loss_ratio = job.loss_reductions().back() / job.cumulative_loss_reduction();
-  }
+  const double loss_ratio =
+      job.loss_reductions().empty()
+          ? 1.0  // first iteration: full importance
+          : loss_share(job.loss_reductions().back(), job.cumulative_loss_reduction());
 
   for (std::size_t k = 0; k < n; ++k) {
     const Task& t = cluster.task(job.task_at(k));

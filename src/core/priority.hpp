@@ -34,6 +34,14 @@ class PriorityCalculator {
   std::vector<double> computation_priorities(const Cluster& cluster, const Job& job,
                                              SimTime now) const;
 
+  /// Eq. 2's loss-reduction share δl_{I-1} / Σ_{j<I} δl_j, clamped to
+  /// [0, 1]. The raw ratio can leave that range on adversarial curves (a
+  /// loss *increase* makes δl negative), which would flip the sign of the
+  /// whole ML priority and push the job below freshly-arrived work; the
+  /// clamp pins such iterations to "no ML urgency" instead. Returns 1 when
+  /// there is no history yet (first iteration: full importance).
+  static double loss_share(double last_delta, double cumulative);
+
   /// Per-task deadline d_{k,J}: the job deadline pulled earlier for tasks
   /// deeper in the dependency graph (tasks whose descendants still need
   /// time must finish sooner), following the [21]-style derivation the

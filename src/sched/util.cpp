@@ -9,6 +9,7 @@ std::optional<Placement> least_loaded_placement(const SchedulerContext& ctx, con
   std::optional<Placement> best;
   double best_norm = 0.0;
   for (const Server& s : cluster.servers()) {
+    if (!s.up()) continue;  // down servers fail every fit; skip the probe
     const int gpu = s.least_loaded_gpu();
     if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
     const double norm = s.utilization().norm();
@@ -25,6 +26,7 @@ std::optional<Placement> best_fit_placement(const SchedulerContext& ctx, const T
   std::optional<Placement> best;
   double best_distance = 0.0;
   for (const Server& s : cluster.servers()) {
+    if (!s.up()) continue;  // down servers fail every fit; skip the probe
     const int gpu = s.least_loaded_gpu();
     if (!s.fits_without_overload(task, gpu, ctx.hr)) continue;
     ResourceVector residual = ResourceVector::uniform(1.0) - s.utilization();

@@ -36,6 +36,101 @@ void Cluster::set_server_up(ServerId id, bool up) {
   // so placement state never dangles onto dead hardware.
   if (!up) MLFS_EXPECT(s.task_count() == 0);
   s.up_ = up;
+  touch_server(id);
+}
+
+// ------------------------------------------------------ load index
+
+void Cluster::touch_server(ServerId id) const {
+  if (!index_valid_ || index_dirty_[id]) return;
+  index_dirty_[id] = 1;
+  index_dirty_ids_.push_back(id);
+}
+
+int Cluster::server_slot_estimate(const Server& s, double hr, double typical_demand) {
+  int slots = 0;
+  for (int g = 0; g < s.gpu_count(); ++g) {
+    const double headroom = hr - s.gpu_load(g);
+    if (headroom >= typical_demand) {
+      slots += static_cast<int>(headroom / typical_demand);
+    }
+  }
+  return slots;
+}
+
+void Cluster::refresh_load_index(double hr, double typical_demand) const {
+  auto insert_sorted = [](std::vector<ServerId>& v, ServerId id) {
+    v.insert(std::lower_bound(v.begin(), v.end(), id), id);
+  };
+  auto erase_sorted = [](std::vector<ServerId>& v, ServerId id) {
+    const auto it = std::lower_bound(v.begin(), v.end(), id);
+    MLFS_EXPECT(it != v.end() && *it == id);
+    v.erase(it);
+  };
+
+  if (!index_valid_ || hr != index_hr_ || typical_demand != index_demand_) {
+    // First query, or the query key changed: evaluate the whole fleet.
+    ++index_stats_.full_rebuilds;
+    index_stats_.servers_reindexed += servers_.size();
+    index_hr_ = hr;
+    index_demand_ = typical_demand;
+    index_dirty_.assign(servers_.size(), 0);
+    index_dirty_ids_.clear();
+    index_overloaded_.assign(servers_.size(), 0);
+    index_underloaded_.assign(servers_.size(), 0);
+    index_slots_.assign(servers_.size(), 0);
+    index_util_.assign(servers_.size(), ResourceVector{});
+    index_least_gpu_.assign(servers_.size(), 0);
+    index_least_load_.assign(servers_.size(), 0.0);
+    index_total_slots_ = 0;
+    underloaded_ids_.clear();
+    overloaded_ids_.clear();
+    for (const Server& s : servers_) {
+      const bool over = s.up() && s.overloaded(hr);
+      const bool under = s.up() && !over;
+      index_overloaded_[s.id()] = over ? 1 : 0;
+      index_underloaded_[s.id()] = under ? 1 : 0;
+      if (over) overloaded_ids_.push_back(s.id());
+      if (under) underloaded_ids_.push_back(s.id());
+      index_util_[s.id()] = s.utilization();
+      const int least = s.least_loaded_gpu();
+      index_least_gpu_[s.id()] = least;
+      index_least_load_[s.id()] = s.gpu_load(least);
+      const int slots = s.up() ? server_slot_estimate(s, hr, typical_demand) : 0;
+      index_slots_[s.id()] = slots;
+      index_total_slots_ += slots;
+    }
+    index_valid_ = true;
+    return;
+  }
+
+  if (index_dirty_ids_.empty()) return;
+  ++index_stats_.refreshes;
+  for (const ServerId id : index_dirty_ids_) {
+    ++index_stats_.servers_reindexed;
+    index_dirty_[id] = 0;
+    const Server& s = servers_[id];
+    const bool over = s.up() && s.overloaded(hr);
+    const bool under = s.up() && !over;
+    index_util_[id] = s.utilization();
+    const int least = s.least_loaded_gpu();
+    index_least_gpu_[id] = least;
+    index_least_load_[id] = s.gpu_load(least);
+    const int slots = s.up() ? server_slot_estimate(s, hr, typical_demand) : 0;
+    index_total_slots_ += slots - index_slots_[id];
+    index_slots_[id] = slots;
+    if (over != (index_overloaded_[id] != 0)) {
+      if (over) insert_sorted(overloaded_ids_, id);
+      else erase_sorted(overloaded_ids_, id);
+      index_overloaded_[id] = over ? 1 : 0;
+    }
+    if (under != (index_underloaded_[id] != 0)) {
+      if (under) insert_sorted(underloaded_ids_, id);
+      else erase_sorted(underloaded_ids_, id);
+      index_underloaded_[id] = under ? 1 : 0;
+    }
+  }
+  index_dirty_ids_.clear();
 }
 
 std::size_t Cluster::up_server_count() const {
@@ -47,6 +142,10 @@ std::size_t Cluster::up_server_count() const {
 }
 
 std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
+  if (config_.incremental_load_index) {
+    refresh_load_index(hr, index_demand_);
+    return underloaded_ids_;
+  }
   std::vector<ServerId> out;
   for (const Server& s : servers_) {
     if (s.up() && !s.overloaded(hr)) out.push_back(s.id());
@@ -54,7 +153,17 @@ std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
   return out;
 }
 
+const std::vector<ServerId>& Cluster::underloaded_index(double hr) const {
+  MLFS_EXPECT(config_.incremental_load_index);
+  refresh_load_index(hr, index_demand_);
+  return underloaded_ids_;
+}
+
 std::vector<ServerId> Cluster::overloaded_servers(double hr) const {
+  if (config_.incremental_load_index) {
+    refresh_load_index(hr, index_demand_);
+    return overloaded_ids_;
+  }
   std::vector<ServerId> out;
   for (const Server& s : servers_) {
     if (s.up() && s.overloaded(hr)) out.push_back(s.id());
@@ -74,15 +183,13 @@ double Cluster::overload_degree() const {
 }
 
 int Cluster::estimate_free_worker_slots(double hr, double typical_demand) const {
+  if (config_.incremental_load_index) {
+    refresh_load_index(hr, typical_demand);
+    return static_cast<int>(index_total_slots_);
+  }
   int slots = 0;
   for (const Server& s : servers_) {
-    if (!s.up()) continue;
-    for (int g = 0; g < s.gpu_count(); ++g) {
-      const double headroom = hr - s.gpu_load(g);
-      if (headroom >= typical_demand) {
-        slots += static_cast<int>(headroom / typical_demand);
-      }
-    }
+    if (s.up()) slots += server_slot_estimate(s, hr, typical_demand);
   }
   return slots;
 }
@@ -124,12 +231,16 @@ void Cluster::place_task(TaskId id, ServerId server_id, int gpu) {
   t.server = server_id;
   t.gpu = gpu;
   t.state = TaskState::Running;
+  touch_server(server_id);
+  ++placement_epoch_;
 }
 
 void Cluster::unplace_task(TaskId id) {
   Task& t = task(id);
   MLFS_EXPECT(t.placed());
   server(t.server).detach_task(t, t.gpu);
+  touch_server(t.server);
+  ++placement_epoch_;
   t.server = kInvalidServer;
   t.gpu = kNoGpu;
   t.state = TaskState::Queued;
@@ -141,6 +252,9 @@ void Cluster::move_task(TaskId id, ServerId to_server, int to_gpu) {
   MLFS_EXPECT(t.placed());
   server(t.server).detach_task(t, t.gpu);
   server(to_server).attach_task(t, to_gpu);
+  touch_server(t.server);
+  touch_server(to_server);
+  ++placement_epoch_;
   t.server = to_server;
   t.gpu = to_gpu;
   ++t.migrations;
@@ -203,7 +317,10 @@ void Cluster::set_usage_factor(TaskId id, double factor) {
   Task& t = task(id);
   const double old_factor = t.usage_factor;
   t.usage_factor = factor;
-  if (t.placed()) server(t.server).adjust_usage(t, old_factor, factor);
+  if (t.placed()) {
+    server(t.server).adjust_usage(t, old_factor, factor);
+    touch_server(t.server);
+  }
 }
 
 void Cluster::record_transfer(ServerId a, ServerId b, double mb) {

@@ -38,6 +38,20 @@ struct ClusterConfig {
   /// deterministic: the *last* ceil(fraction × N) servers are slow.
   double slow_server_fraction = 0.0;
   double slow_server_speed = 0.5;
+
+  /// Incremental load index (see DESIGN.md, "Scheduler hot path"): serve
+  /// overload/underload partitions and the free-slot estimate from
+  /// dirty-tracked per-server state instead of full fleet scans. Decisions
+  /// are identical either way; `false` keeps the reference scan
+  /// implementation for equivalence tests and the hot-path benchmark.
+  bool incremental_load_index = true;
+};
+
+/// Load-index bookkeeping counters (perf-trajectory instrumentation).
+struct LoadIndexStats {
+  std::size_t full_rebuilds = 0;      ///< whole-fleet re-evaluations (hr change / first use)
+  std::size_t refreshes = 0;          ///< incremental refresh passes over dirty servers
+  std::size_t servers_reindexed = 0;  ///< per-server re-evaluations, total
 };
 
 class Cluster {
@@ -69,9 +83,39 @@ class Cluster {
   /// Servers currently up (== server_count() when faults are disabled).
   std::size_t up_server_count() const;
 
-  /// Up server ids currently not overloaded w.r.t. `hr`.
+  /// Up server ids currently not overloaded w.r.t. `hr`, ascending.
   std::vector<ServerId> underloaded_servers(double hr) const;
   std::vector<ServerId> overloaded_servers(double hr) const;
+
+  /// Reference view of the underloaded partition (same ids, same ascending
+  /// order as underloaded_servers) — avoids copying the id vector on every
+  /// placement call. Requires the incremental index; valid until the next
+  /// cluster mutation.
+  const std::vector<ServerId>& underloaded_index(double hr) const;
+
+  /// Utilization of `id` as of the last index refresh — bit-identical to
+  /// server(id).utilization() because every usage-sum mutation (attach/
+  /// detach/adjust/up-down) marks the server dirty and the refresh
+  /// recomputes it. Call only after a refreshing query in the same
+  /// mutation-free window (underloaded_index performs one).
+  const ResourceVector& cached_utilization(ServerId id) const { return index_util_[id]; }
+
+  /// Least-loaded GPU of `id` (and its load) as of the last index refresh —
+  /// same argmin and first-wins tie-break as Server::least_loaded_gpu, so on
+  /// a clean server these are bit-identical to the live computation. The
+  /// placement hot path uses them for its common-case feasibility check.
+  int cached_least_gpu(ServerId id) const { return index_least_gpu_[id]; }
+  double cached_least_gpu_load(ServerId id) const { return index_least_load_[id]; }
+
+  /// Monotone counter bumped by every placement mutation (place/unplace/
+  /// move). Round-scoped caches key on it: an unchanged epoch guarantees no
+  /// task changed servers, so derived per-placement quantities (e.g. task↔
+  /// server communication volumes) are still valid.
+  std::uint64_t placement_epoch() const { return placement_epoch_; }
+
+  /// Instrumentation counters of the incremental load index (zeros while
+  /// `ClusterConfig::incremental_load_index` is off).
+  const LoadIndexStats& load_index_stats() const { return index_stats_; }
 
   /// Cluster overload degree O_c = mean_s ||U_s|| over up servers (§3.5).
   double overload_degree() const;
@@ -128,6 +172,16 @@ class Cluster {
   std::size_t transfer_count() const { return transfer_count_; }
 
  private:
+  /// Marks a server's load-index entry stale. Every mutation that can move
+  /// a server across the overload threshold or change its GPU headroom
+  /// funnels through here (attach/detach/usage/up-down).
+  void touch_server(ServerId id) const;
+  /// Brings the index up to date for (hr, typical_demand): re-evaluates
+  /// only dirty servers, or the whole fleet when the key changed.
+  void refresh_load_index(double hr, double typical_demand) const;
+  /// Free-slot contribution of one up server (same arithmetic as the scan).
+  static int server_slot_estimate(const Server& s, double hr, double typical_demand);
+
   ClusterConfig config_;
   std::vector<Server> servers_;
   std::vector<Task> tasks_;
@@ -135,6 +189,24 @@ class Cluster {
   double total_bandwidth_mb_ = 0.0;
   double inter_rack_bandwidth_mb_ = 0.0;
   std::size_t transfer_count_ = 0;
+  std::uint64_t placement_epoch_ = 0;
+
+  // --- incremental load index (lazy; mutable because queries are const) ---
+  mutable bool index_valid_ = false;
+  mutable double index_hr_ = -1.0;
+  mutable double index_demand_ = 0.45;  ///< estimate_free_worker_slots default
+  mutable std::vector<char> index_dirty_;
+  mutable std::vector<ServerId> index_dirty_ids_;
+  mutable std::vector<char> index_overloaded_;   ///< up && overloaded(hr)
+  mutable std::vector<char> index_underloaded_;  ///< up && !overloaded(hr)
+  mutable std::vector<int> index_slots_;
+  mutable std::vector<ResourceVector> index_util_;  ///< utilization at last refresh
+  mutable std::vector<int> index_least_gpu_;        ///< least_loaded_gpu at last refresh
+  mutable std::vector<double> index_least_load_;    ///< its gpu_load at last refresh
+  mutable long long index_total_slots_ = 0;
+  mutable std::vector<ServerId> underloaded_ids_;  ///< sorted ascending
+  mutable std::vector<ServerId> overloaded_ids_;   ///< sorted ascending
+  mutable LoadIndexStats index_stats_;
 };
 
 }  // namespace mlfs

@@ -771,6 +771,15 @@ RunMetrics SimEngine::run() {
   m.bandwidth_tb = cluster_.total_bandwidth_mb() / 1e6;
   m.inter_rack_tb = cluster_.inter_rack_bandwidth_mb() / 1e6;
   m.sched_overhead_ms = sched_rounds_ > 0 ? sched_wall_ms_total_ / sched_rounds_ : 0.0;
+  m.sched_rounds = sched_rounds_;
+  const SchedStats sstats = scheduler_.sched_stats();
+  m.candidates_scanned = sstats.candidates_scanned;
+  m.comm_cache_hits = sstats.comm_cache_hits;
+  m.comm_cache_misses = sstats.comm_cache_misses;
+  const LoadIndexStats& lstats = cluster_.load_index_stats();
+  m.load_index_rebuilds = lstats.full_rebuilds;
+  m.load_index_refreshes = lstats.refreshes;
+  m.servers_reindexed = lstats.servers_reindexed;
   m.overload_occurrences = overload_occurrences_;
   m.migrations = migrations_;
   m.preemptions = preemptions_;

@@ -16,7 +16,19 @@ std::string RunMetrics::summary() const {
      << " acc=" << format_double(average_accuracy, 3)
      << " accOK=" << format_double(100.0 * accuracy_ratio, 1) << "%"
      << " bw=" << format_double(bandwidth_tb, 2) << "TB"
-     << " sched=" << format_double(sched_overhead_ms, 2) << "ms";
+     << " sched=" << format_double(sched_overhead_ms, 2) << "ms"
+     << " rounds=" << sched_rounds;
+  if (candidates_scanned > 0) {
+    os << " scans=" << candidates_scanned;
+    const std::size_t lookups = comm_cache_hits + comm_cache_misses;
+    if (lookups > 0) {
+      os << " commHit="
+         << format_double(100.0 * static_cast<double>(comm_cache_hits) /
+                              static_cast<double>(lookups),
+                          1)
+         << "%";
+    }
+  }
   if (server_failures > 0 || task_kills > 0) {
     os << " failures=" << server_failures << " kills=" << task_kills
        << " goodput=" << format_double(goodput, 3)

@@ -46,6 +46,15 @@ struct RunMetrics {
   /// fault-free run; lost work = rollbacks + discarded in-flight fractions).
   double goodput = 1.0;
 
+  // -- scheduler hot-path instrumentation (see DESIGN.md) --
+  std::size_t sched_rounds = 0;           ///< scheduling rounds executed
+  std::size_t candidates_scanned = 0;     ///< servers examined during host choice
+  std::size_t comm_cache_hits = 0;        ///< per-(task, server) comm-memo hits
+  std::size_t comm_cache_misses = 0;      ///< comm-memo rebuilds
+  std::size_t load_index_rebuilds = 0;    ///< whole-fleet load-index rebuilds
+  std::size_t load_index_refreshes = 0;   ///< incremental load-index refresh passes
+  std::size_t servers_reindexed = 0;      ///< per-server load re-evaluations
+
   double average_jct_minutes() const { return jct_minutes.mean(); }
   double average_waiting_seconds() const { return waiting_seconds.mean(); }
 

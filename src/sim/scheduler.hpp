@@ -58,11 +58,22 @@ struct SchedulerContext {
   JobId protected_job = kInvalidJob;
 };
 
+/// Hot-path instrumentation accumulated over a run (see DESIGN.md,
+/// "Scheduler hot path"). Schedulers that do not track these return zeros.
+struct SchedStats {
+  std::size_t candidates_scanned = 0;  ///< servers examined during host choice
+  std::size_t comm_cache_hits = 0;     ///< per-(task, server) comm-volume memo hits
+  std::size_t comm_cache_misses = 0;   ///< memo rebuilds (one per task per epoch)
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   virtual std::string name() const = 0;
+
+  /// Hot-path counters for the perf trajectory (RunMetrics surfaces them).
+  virtual SchedStats sched_stats() const { return {}; }
 
   /// One scheduling round: place waiting tasks, handle overloaded servers.
   virtual void schedule(SchedulerContext& ctx) = 0;

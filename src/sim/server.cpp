@@ -79,6 +79,24 @@ int Server::least_loaded_gpu() const {
   return best;
 }
 
+int Server::best_fitting_gpu(const Task& task, double hr) const {
+  return best_fitting_gpu_for_usage(task.demand * task.usage_factor, hr);
+}
+
+int Server::best_fitting_gpu_for_usage(const ResourceVector& usage, double hr) const {
+  const int least = least_loaded_gpu();
+  if (fits_usage_without_overload(usage, least, hr)) return least;
+  int best = kNoGpu;
+  for (int g = 0; g < gpu_count_; ++g) {
+    if (g == least || !fits_usage_without_overload(usage, g, hr)) continue;
+    if (best == kNoGpu || gpu_sums_[static_cast<std::size_t>(g)] <
+                              gpu_sums_[static_cast<std::size_t>(best)]) {
+      best = g;
+    }
+  }
+  return best;
+}
+
 bool Server::overloaded(double hr) const {
   if (cpu_sum_ > hr || mem_sum_ > hr || net_sum_ > hr) return true;
   for (const double g : gpu_sums_) {
@@ -88,9 +106,12 @@ bool Server::overloaded(double hr) const {
 }
 
 bool Server::fits_without_overload(const Task& task, int gpu, double hr) const {
+  return fits_usage_without_overload(task.demand * task.usage_factor, gpu, hr);
+}
+
+bool Server::fits_usage_without_overload(const ResourceVector& usage, int gpu, double hr) const {
   MLFS_EXPECT(gpu >= 0 && gpu < gpu_count_);
   if (!up_) return false;
-  const ResourceVector usage = task.demand * task.usage_factor;
   if (cpu_sum_ + usage[Resource::Cpu] > hr) return false;
   if (mem_sum_ + usage[Resource::Mem] > hr) return false;
   if (net_sum_ + usage[Resource::Net] > hr) return false;

@@ -57,6 +57,21 @@ class Server {
   /// Index of the least-loaded GPU.
   int least_loaded_gpu() const;
 
+  /// GPU the task should land on: the least-loaded GPU when it fits under
+  /// `hr`, otherwise the least-loaded *fitting* GPU (guards placement
+  /// against least-loaded-only probing when per-GPU feasibility diverges),
+  /// or kNoGpu when no GPU fits.
+  int best_fitting_gpu(const Task& task, double hr) const;
+
+  /// `best_fitting_gpu` / `fits_without_overload` with the task's usage
+  /// vector (demand × usage_factor) precomputed by the caller. The
+  /// placement hot loop evaluates every underloaded server for the same
+  /// task, so hoisting the multiply out of the per-candidate checks saves
+  /// one ResourceVector product per candidate; the arithmetic — and hence
+  /// every decision — is unchanged. The Task overloads delegate here.
+  int best_fitting_gpu_for_usage(const ResourceVector& usage, double hr) const;
+  bool fits_usage_without_overload(const ResourceVector& usage, int gpu, double hr) const;
+
   /// True iff any resource utilization or any GPU load exceeds `hr`.
   bool overloaded(double hr) const;
 

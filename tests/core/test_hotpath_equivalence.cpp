@@ -1,0 +1,114 @@
+// Decision equivalence of the scheduler hot path (DESIGN.md, "Scheduler
+// hot path"): the indexed implementation — incremental load index,
+// epoch-keyed comm-volume memo, decorate-sort-undecorate queue ordering —
+// must reproduce the reference full-scan scheduler's JSONL event stream
+// byte for byte, fault-free and under churn, flat and rack topologies.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/mlf_h.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_log.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs::core {
+namespace {
+
+struct RunResult {
+  std::string events;
+  RunMetrics metrics;
+};
+
+struct Variant {
+  bool legacy = false;
+  FaultConfig fault;
+  int servers_per_rack = 0;
+  bool use_topology = false;
+};
+
+RunResult run(const Variant& v) {
+  ClusterConfig cluster;
+  cluster.server_count = 8;
+  cluster.gpus_per_server = 4;
+  cluster.servers_per_rack = v.servers_per_rack;
+  cluster.incremental_load_index = !v.legacy;
+
+  MlfsConfig config;
+  config.heuristic_only = true;
+  config.legacy_hot_path = v.legacy;
+  config.placement.use_topology = v.use_topology;
+
+  TraceConfig trace;
+  trace.num_jobs = 80;
+  trace.duration_hours = 8.0;
+  trace.seed = 21;
+  trace.max_gpu_request = 12;
+
+  EngineConfig engine_config;
+  engine_config.seed = 77;
+  engine_config.fault = v.fault;
+
+  MlfH scheduler{config};
+  SimEngine engine(cluster, engine_config, PhillyTraceGenerator(trace).generate(), scheduler);
+  std::ostringstream os;
+  JsonlEventLog log(os);
+  engine.set_observer(&log);
+  RunResult r;
+  r.metrics = engine.run();
+  r.events = os.str();
+  return r;
+}
+
+void expect_equivalent(const RunResult& legacy, const RunResult& indexed) {
+  // The whole point of the hot-path work: not one decision may move.
+  ASSERT_FALSE(indexed.events.empty());
+  EXPECT_EQ(legacy.events, indexed.events);
+  // Exact (not approximate) agreement on every decision-derived metric.
+  EXPECT_EQ(legacy.metrics.average_jct_minutes(), indexed.metrics.average_jct_minutes());
+  EXPECT_EQ(legacy.metrics.makespan_hours, indexed.metrics.makespan_hours);
+  EXPECT_EQ(legacy.metrics.deadline_ratio, indexed.metrics.deadline_ratio);
+  EXPECT_EQ(legacy.metrics.bandwidth_tb, indexed.metrics.bandwidth_tb);
+  EXPECT_EQ(legacy.metrics.migrations, indexed.metrics.migrations);
+  EXPECT_EQ(legacy.metrics.preemptions, indexed.metrics.preemptions);
+  EXPECT_EQ(legacy.metrics.iterations_run, indexed.metrics.iterations_run);
+  // And the two runs really took the two different code paths.
+  EXPECT_EQ(legacy.metrics.servers_reindexed, 0u);
+  EXPECT_EQ(legacy.metrics.comm_cache_misses, 0u);
+  EXPECT_GT(indexed.metrics.servers_reindexed, 0u);
+  EXPECT_GT(indexed.metrics.comm_cache_misses, 0u);
+}
+
+TEST(HotPathEquivalence, FaultFreeFlatNetwork) {
+  Variant legacy;
+  legacy.legacy = true;
+  Variant indexed;
+  expect_equivalent(run(legacy), run(indexed));
+}
+
+TEST(HotPathEquivalence, UnderServerChurnAndTaskKills) {
+  FaultConfig fault;
+  fault.server_mtbf_hours = 6.0;
+  fault.server_mttr_hours = 0.5;
+  fault.task_kill_probability = 0.002;
+  Variant legacy;
+  legacy.legacy = true;
+  legacy.fault = fault;
+  Variant indexed;
+  indexed.fault = fault;
+  expect_equivalent(run(legacy), run(indexed));
+}
+
+TEST(HotPathEquivalence, RackTopologyWithAffinityPlacement) {
+  Variant legacy;
+  legacy.legacy = true;
+  legacy.servers_per_rack = 4;
+  legacy.use_topology = true;
+  Variant indexed;
+  indexed.servers_per_rack = 4;
+  indexed.use_topology = true;
+  expect_equivalent(run(legacy), run(indexed));
+}
+
+}  // namespace
+}  // namespace mlfs::core

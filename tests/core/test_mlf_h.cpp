@@ -46,6 +46,29 @@ TEST(MlfH, OrderedQueueIsPriorityDescending) {
   SUCCEED();
 }
 
+TEST(MlfH, PriorityCacheEvictedAsJobsComplete) {
+  // The per-job priority cache must not grow without bound: every job that
+  // completes must have its entry erased (a long-lived scheduler otherwise
+  // accumulates one entry per job ever seen).
+  MlfH scheduler{MlfsConfig{}};
+  SimEngine engine(small_cluster(), {}, trace(30, 3), scheduler);
+  (void)engine.run();
+  for (const Job& job : engine.cluster().jobs()) ASSERT_TRUE(job.done());
+  EXPECT_EQ(scheduler.priority_cache_size(), 0u);
+}
+
+TEST(MlfH, ReportsHotPathStats) {
+  MlfH scheduler{MlfsConfig{}};
+  SimEngine engine(small_cluster(), {}, trace(30, 3), scheduler);
+  const RunMetrics m = engine.run();
+  EXPECT_GT(m.sched_rounds, 0u);
+  EXPECT_GT(m.candidates_scanned, 0u);
+  EXPECT_EQ(m.candidates_scanned, scheduler.sched_stats().candidates_scanned);
+  // Default cluster config runs the incremental index.
+  EXPECT_GT(m.servers_reindexed, 0u);
+  EXPECT_GT(m.load_index_rebuilds, 0u);
+}
+
 TEST(MlfH, MigrationDisabledProducesNoMigrations) {
   MlfsConfig config;
   config.migration.enabled = false;  // Fig. 8 ablation switch

@@ -17,9 +17,12 @@ struct NoopOps : SchedulerOps {
 };
 
 struct Fixture {
-  Cluster cluster{ClusterConfig{3, 2, 1000.0}};
+  Cluster cluster;
   NoopOps ops;
   std::vector<TaskId> queue;
+
+  Fixture() : Fixture(ClusterConfig{3, 2, 1000.0}) {}
+  explicit Fixture(const ClusterConfig& config) : cluster(config) {}
 
   SchedulerContext ctx() {
     return SchedulerContext{cluster, queue, ops, 0.0, 0.9, nullptr, kInvalidJob};
@@ -133,6 +136,109 @@ TEST(Placement, MigratingExcludesCurrentServer) {
     const auto host = placement.choose_host(ctx, f.cluster.task(tid), /*migrating=*/true);
     ASSERT_TRUE(host.has_value());
     EXPECT_NE(host->server, 1u);
+  }
+}
+
+TEST(Placement, BestFittingGpuPrefersLeastLoadedWhenItFits) {
+  Server server{0, 2};
+  Task resident{};
+  resident.id = 0;
+  resident.demand[Resource::Gpu] = 0.5;
+  server.attach_task(resident, 0);  // GPU 0 at 0.5, GPU 1 idle
+
+  Task incoming{};
+  incoming.id = 1;
+  incoming.demand[Resource::Gpu] = 0.3;
+  EXPECT_EQ(server.best_fitting_gpu(incoming, 0.9), 1);  // least-loaded fits
+}
+
+TEST(Placement, BestFittingGpuFallsBackAcrossGpusOrRejects) {
+  Server server{0, 3};
+  Task heavy{};
+  heavy.id = 0;
+  heavy.demand[Resource::Gpu] = 0.6;
+  server.attach_task(heavy, 0);
+  Task medium{};
+  medium.id = 1;
+  medium.demand[Resource::Gpu] = 0.4;
+  server.attach_task(medium, 1);  // loads: 0.6, 0.4, 0.0 -> least = 2
+
+  Task incoming{};
+  incoming.id = 2;
+  incoming.demand[Resource::Gpu] = 0.45;
+  // Fits on GPU 2 (0.45) and GPU 1 (0.85); least-loaded wins.
+  EXPECT_EQ(server.best_fitting_gpu(incoming, 0.9), 2);
+
+  Task oversized{};
+  oversized.id = 3;
+  oversized.demand[Resource::Gpu] = 0.95;
+  // No GPU can take 0.95 under hr = 0.9 — the guard must say so instead
+  // of returning an infeasible index.
+  EXPECT_EQ(server.best_fitting_gpu(oversized, 0.9), kNoGpu);
+}
+
+TEST(Placement, MigrationDegradationPrefersSameRackDestination) {
+  // 4 servers in 2 racks; a task on server 2 must move. All destinations
+  // are equally (un)loaded and share no comm peers, so only the movement-
+  // degradation term q differs: server 3 is one rack hop away while 0 and
+  // 1 cross the oversubscribed core. The destination-dependent q must pick
+  // the same-rack server — the pre-fix constant-q model always chose the
+  // lowest id (server 0).
+  ClusterConfig config{4, 2, 1000.0};
+  config.servers_per_rack = 2;
+  Fixture f{config};
+  const JobId id = f.add(MlAlgorithm::Svm, 1, 7);
+  const TaskId tid = f.cluster.job(id).task_at(0);
+  ASSERT_GT(f.cluster.task(tid).state_size_mb, 0.0);
+  f.cluster.place_task(tid, 2, 0);
+
+  auto ctx = f.ctx();
+  const MlfPlacement placement{PlacementParams{}};
+  const auto host = placement.choose_host(ctx, f.cluster.task(tid), /*migrating=*/true);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->server, 3u);
+}
+
+TEST(Placement, MemoizedCommVolumesMatchDirectComputation) {
+  // The epoch-keyed comm memo must not change a single choice, with and
+  // without the rack-affinity extension.
+  for (const bool topology : {false, true}) {
+    ClusterConfig config{4, 2, 1000.0};
+    config.servers_per_rack = 2;
+    Fixture f{config};
+    const JobId chain = f.add(MlAlgorithm::Mlp, 3, 11, CommStructure::ParameterServer);
+    const Job& job = f.cluster.job(chain);
+    f.cluster.place_task(job.task_at(0), 0, 0);
+    f.cluster.place_task(job.task_at(1), 2, 0);
+    const JobId ring = f.add(MlAlgorithm::ResNet, 3, 13, CommStructure::AllReduce);
+    f.cluster.place_task(f.cluster.job(ring).task_at(0), 1, 1);
+
+    PlacementParams direct_params;
+    direct_params.use_topology = topology;
+    direct_params.memoize_comm = false;
+    PlacementParams memo_params = direct_params;
+    memo_params.memoize_comm = true;
+    const MlfPlacement direct{direct_params};
+    const MlfPlacement memoized{memo_params};
+
+    auto ctx = f.ctx();
+    for (const Job& j : f.cluster.jobs()) {
+      for (const TaskId tid : j.tasks()) {
+        const Task& task = f.cluster.task(tid);
+        for (const bool migrating : {false, true}) {
+          if (migrating && !task.placed()) continue;
+          const auto a = direct.choose_host(ctx, task, migrating);
+          const auto b = memoized.choose_host(ctx, task, migrating);
+          ASSERT_EQ(a.has_value(), b.has_value());
+          if (a) {
+            EXPECT_EQ(a->server, b->server);
+            EXPECT_EQ(a->gpu, b->gpu);
+          }
+        }
+      }
+    }
+    EXPECT_GT(memoized.stats().comm_cache_hits + memoized.stats().comm_cache_misses, 0u);
+    EXPECT_EQ(direct.stats().comm_cache_hits + direct.stats().comm_cache_misses, 0u);
   }
 }
 

@@ -228,6 +228,32 @@ TEST(Priority, FinishedTasksHaveZeroBase) {
   EXPECT_GT(ml[1], 0.0);
 }
 
+TEST(Priority, LossShareClampedToUnitInterval) {
+  // Eq. 2's δl_{I-1} / Σ δl_j ratio must stay in [0, 1]: a loss *increase*
+  // (negative last delta) or a curve where the last delta exceeds the
+  // recorded cumulative sum would otherwise flip or inflate the sign of
+  // the whole ML priority term.
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(0.5, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(2.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(-0.3, 2.0), 0.0);  // loss went up
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(3.0, 2.0), 1.0);   // over-unity ratio
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(0.5, 0.0), 1.0);   // no history yet
+  EXPECT_DOUBLE_EQ(PriorityCalculator::loss_share(0.5, -1.0), 1.0);  // degenerate curve
+}
+
+TEST(Priority, MlPrioritiesStayNonNegativeOnAdversarialCurves) {
+  Fixture f;
+  JobSpec s = Fixture::spec(MlAlgorithm::Svm, 2, 5.0);
+  s.curve.noise_sigma = 0.8;  // wildly noisy loss curve
+  const JobId id = f.add(s);
+  Job& job = f.cluster.job(id);
+  const PriorityCalculator calc{PriorityParams{}};
+  for (int i = 0; i < 10; ++i) {
+    job.complete_iteration();
+    for (const double p : calc.ml_priorities(f.cluster, job)) EXPECT_GE(p, 0.0);
+  }
+}
+
 TEST(Priority, RejectsInvalidParams) {
   PriorityParams bad;
   bad.alpha = 1.5;

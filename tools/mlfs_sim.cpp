@@ -38,6 +38,7 @@ struct Options {
   double straggler_probability = 0.0;
   int straggler_replicas = 0;
   bool csv = false;
+  bool legacy_hotpath = false;
   std::string event_log_file;
 };
 
@@ -57,6 +58,8 @@ void print_usage() {
       "  --straggler P        per task-iteration straggler probability\n"
       "  --replicas N         straggler-mitigation replicas per task\n"
       "  --csv                emit one CSV row per run instead of prose\n"
+      "  --legacy-hotpath     disable the incremental load index + comm memo\n"
+      "                       (reference scan scheduler; same decisions)\n"
       "  --event-log FILE     write a JSONL event trace of the (last) run\n";
 }
 
@@ -122,6 +125,8 @@ bool parse(int argc, char** argv, Options& options) {
       options.straggler_replicas = std::stoi(v);
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--legacy-hotpath") {
+      options.legacy_hotpath = true;
     } else if (arg == "--event-log") {
       const char* v = next("--event-log");
       if (!v) return false;
@@ -163,6 +168,7 @@ int main(int argc, char** argv) {
     cluster.gpus_per_server = options.gpus_per_server;
     cluster.servers_per_rack = options.servers_per_rack;
     cluster.slow_server_fraction = options.slow_fraction;
+    cluster.incremental_load_index = !options.legacy_hotpath;
 
     EngineConfig engine_config;
     engine_config.seed = options.seed ^ 0xabc;
@@ -172,11 +178,14 @@ int main(int argc, char** argv) {
     if (options.csv) {
       std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
                    "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
-                   "sched_overhead_ms,migrations,preemptions\n";
+                   "sched_overhead_ms,migrations,preemptions,sched_rounds,"
+                   "candidates_scanned,comm_cache_hits\n";
     }
     for (const auto& name : options.schedulers) {
       auto workload = load_workload(options);
-      auto instance = exp::make_scheduler(name);
+      core::MlfsConfig mlfs_config;
+      mlfs_config.legacy_hot_path = options.legacy_hotpath;
+      auto instance = exp::make_scheduler(name, mlfs_config);
       SimEngine engine(cluster, engine_config, std::move(workload), *instance.scheduler,
                        instance.controller.get());
       std::ofstream event_out;
@@ -193,7 +202,9 @@ int main(int argc, char** argv) {
                   << m.jct_minutes.median() << ',' << m.makespan_hours << ',' << m.deadline_ratio
                   << ',' << m.average_waiting_seconds() << ',' << m.average_accuracy << ','
                   << m.accuracy_ratio << ',' << m.bandwidth_tb << ',' << m.inter_rack_tb << ','
-                  << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << "\n";
+                  << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << ','
+                  << m.sched_rounds << ',' << m.candidates_scanned << ','
+                  << m.comm_cache_hits << "\n";
       } else {
         std::cout << m.summary() << "\n";
       }
