@@ -7,7 +7,7 @@
 // ratio, goodput (useful / executed iteration work), work lost to
 // failures, and mean job recovery time.
 //
-// Usage: bench_fault_recovery [--quick] [--csv-dir DIR]
+// Usage: bench_fault_recovery [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario base = exp::testbed_scenario();
@@ -43,13 +46,29 @@ int main(int argc, char** argv) {
   Table recovery("Mean job recovery time (seconds) vs failure rate");
   for (Table* t : {&jct, &deadline, &goodput, &lost, &recovery}) t->set_header(header);
 
+  // Shared runner over the full (scheduler × failure-rate) grid; results
+  // land by index so the tables are identical for any --threads.
+  std::vector<exp::RunRequest> requests;
   for (const std::string& name : schedulers) {
-    std::vector<double> jct_row, dl_row, gp_row, lost_row, rec_row;
     for (const auto& pt : sweep) {
       exp::Scenario s = base;
       exp::set_failure_rate(s, pt.crashes_per_server_week);
-      const RunMetrics m = exp::run_experiment(s, name, jobs);
-      std::cout << "  [" << pt.label << "] " << m.summary() << '\n';
+      exp::RunRequest request = exp::make_request(s, name, jobs);
+      request.label = pt.label;
+      requests.push_back(std::move(request));
+    }
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  for (std::size_t si = 0; si < schedulers.size(); ++si) {
+    const std::string& name = schedulers[si];
+    std::vector<double> jct_row, dl_row, gp_row, lost_row, rec_row;
+    for (std::size_t pi = 0; pi < sweep.size(); ++pi) {
+      const RunMetrics& m = runs[si * sweep.size() + pi];
+      std::cout << "  [" << sweep[pi].label << "] " << m.summary() << '\n';
       jct_row.push_back(m.average_jct_minutes());
       dl_row.push_back(m.deadline_ratio);
       gp_row.push_back(m.goodput);

@@ -7,8 +7,10 @@
 // (b)-(h) sweep the job count. The §4.2.1 makespan numbers are printed as
 // an extra table.
 //
-// Usage: bench_fig4_overall [--quick] [--csv-dir DIR] [--seed N]
-//   --quick  runs only the {155, 620, 1860} points (shape check)
+// Usage: bench_fig4_overall [--quick] [--csv-dir DIR] [--seed N] [--threads N]
+//   --quick    runs only the {155, 620, 1860} points (shape check)
+//   --threads  concurrent runs (default 0 = hardware concurrency; the
+//              tables are identical for every N — see exp/runner.hpp)
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -35,10 +37,13 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string csv_dir;
   std::uint64_t seed = 42;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) seed = std::stoull(argv[++i]);
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::testbed_scenario(seed);
@@ -50,7 +55,9 @@ int main(int argc, char** argv) {
             << scenario.trace.num_jobs << " jobs\n\n";
 
   const auto schedulers = exp::paper_scheduler_names();
-  const auto results = exp::run_sweep(scenario, schedulers);
+  exp::RunOptions options;
+  options.threads = threads;
+  const auto results = exp::run_sweep(scenario, schedulers, {}, options);
   std::cout << '\n';
 
   // Panel (a): JCT CDF at the base (620-job) point.

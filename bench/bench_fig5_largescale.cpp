@@ -7,7 +7,7 @@
 // pass --scale to change the fraction (0.02 ~ 11 servers by default;
 // --scale 1.0 is the paper's full size).
 //
-// Usage: bench_fig5_largescale [--scale F] [--quick] [--csv-dir DIR]
+// Usage: bench_fig5_largescale [--scale F] [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -31,10 +31,13 @@ int main(int argc, char** argv) {
   double scale = 0.02;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) scale = std::stod(argv[++i]);
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::largescale_scenario(scale);
@@ -50,7 +53,9 @@ int main(int argc, char** argv) {
             << scenario.trace.duration_hours / 24.0 / 7.0 << " weeks\n\n";
 
   const auto schedulers = exp::paper_scheduler_names();
-  const auto results = exp::run_sweep(scenario, schedulers);
+  exp::RunOptions options;
+  options.threads = threads;
+  const auto results = exp::run_sweep(scenario, schedulers, {}, options);
   std::cout << '\n';
 
   const auto counts = exp::sweep_job_counts(scenario);

@@ -5,7 +5,7 @@
 // Right series: overall job deadline guarantee ratio with and without the
 // deadline term in Eq. 4. Both on the Fig. 4 testbed sweep with MLF-H.
 //
-// Usage: bench_fig6_urgency_deadline [--quick] [--csv-dir DIR]
+// Usage: bench_fig6_urgency_deadline [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -15,9 +15,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::testbed_scenario();
@@ -40,12 +43,25 @@ int main(int argc, char** argv) {
   urgent.set_header(header);
   overall.set_header(header);
 
-  std::vector<double> urgent_with, urgent_without, overall_with, overall_without;
+  // Shared runner: three ablation variants per sweep point, results placed
+  // by index (identical for any --threads).
+  std::vector<exp::RunRequest> requests;
   for (const std::size_t jobs : counts) {
-    const RunMetrics with_m = exp::run_experiment(scenario, "MLF-H", jobs, with_all);
-    const RunMetrics no_urg = exp::run_experiment(scenario, "MLF-H", jobs, no_urgency);
-    const RunMetrics no_ddl = exp::run_experiment(scenario, "MLF-H", jobs, no_deadline);
-    std::cout << "  [n=" << jobs << "] w/ all: " << with_m.summary() << '\n';
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, with_all));
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, no_urgency));
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, no_deadline));
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  std::vector<double> urgent_with, urgent_without, overall_with, overall_without;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const RunMetrics& with_m = runs[3 * i];
+    const RunMetrics& no_urg = runs[3 * i + 1];
+    const RunMetrics& no_ddl = runs[3 * i + 2];
+    std::cout << "  [n=" << counts[i] << "] w/ all: " << with_m.summary() << '\n';
     urgent_with.push_back(with_m.urgent_deadline_ratio);
     urgent_without.push_back(no_urg.urgent_deadline_ratio);
     overall_with.push_back(with_m.deadline_ratio);

@@ -4,7 +4,7 @@
 // communication-volume dimension u_BW,V in the ideal-virtual-server match
 // (§3.3.2), on the Fig. 4 testbed sweep with MLF-H.
 //
-// Usage: bench_fig7_bandwidth [--quick] [--csv-dir DIR]
+// Usage: bench_fig7_bandwidth [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -14,9 +14,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::testbed_scenario();
@@ -35,11 +38,22 @@ int main(int argc, char** argv) {
   for (const std::size_t n : counts) header.push_back(std::to_string(n) + " jobs");
   table.set_header(header);
 
-  std::vector<double> jct_with, jct_without, bw_with, bw_without;
+  // Shared runner: both ablation variants per sweep point, results by index.
+  std::vector<exp::RunRequest> requests;
   for (const std::size_t jobs : counts) {
-    const RunMetrics w = exp::run_experiment(scenario, "MLF-H", jobs, with_bw);
-    const RunMetrics wo = exp::run_experiment(scenario, "MLF-H", jobs, without_bw);
-    std::cout << "  [n=" << jobs << "] w/ bandwidth: " << w.summary() << '\n';
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, with_bw));
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, without_bw));
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  std::vector<double> jct_with, jct_without, bw_with, bw_without;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const RunMetrics& w = runs[2 * i];
+    const RunMetrics& wo = runs[2 * i + 1];
+    std::cout << "  [n=" << counts[i] << "] w/ bandwidth: " << w.summary() << '\n';
     jct_with.push_back(w.average_jct_minutes());
     jct_without.push_back(wo.average_jct_minutes());
     bw_with.push_back(w.bandwidth_tb);

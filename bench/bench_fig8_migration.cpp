@@ -5,7 +5,7 @@
 // each with and without MLF-H's task-migration component (§3.3.3), on the
 // Fig. 4 testbed sweep.
 //
-// Usage: bench_fig8_migration [--quick] [--csv-dir DIR]
+// Usage: bench_fig8_migration [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -15,9 +15,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::testbed_scenario();
@@ -38,11 +41,22 @@ int main(int argc, char** argv) {
   panel_a.set_header(header);
   panel_b.set_header(header);
 
-  std::vector<double> ovl_w, ovl_wo, bw_w, bw_wo, acc_w, acc_wo, jct_w, jct_wo;
+  // Shared runner: both ablation variants per sweep point, results by index.
+  std::vector<exp::RunRequest> requests;
   for (const std::size_t jobs : counts) {
-    const RunMetrics w = exp::run_experiment(scenario, "MLF-H", jobs, with_mig);
-    const RunMetrics wo = exp::run_experiment(scenario, "MLF-H", jobs, without_mig);
-    std::cout << "  [n=" << jobs << "] w/ migration: " << w.summary()
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, with_mig));
+    requests.push_back(exp::make_request(scenario, "MLF-H", jobs, without_mig));
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  std::vector<double> ovl_w, ovl_wo, bw_w, bw_wo, acc_w, acc_wo, jct_w, jct_wo;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const RunMetrics& w = runs[2 * i];
+    const RunMetrics& wo = runs[2 * i + 1];
+    std::cout << "  [n=" << counts[i] << "] w/ migration: " << w.summary()
               << " overload=" << w.overload_occurrences << " migrations=" << w.migrations
               << '\n';
     ovl_w.push_back(static_cast<double>(w.overload_occurrences));

@@ -4,7 +4,7 @@
 // on the Fig. 4 testbed sweep. "With" is full MLFS (MLF-RL + MLF-C);
 // "without" is the same scheduler with the load controller disabled.
 //
-// Usage: bench_fig9_loadcontrol [--quick] [--csv-dir DIR]
+// Usage: bench_fig9_loadcontrol [--quick] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -14,9 +14,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   bool quick = false;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   exp::Scenario scenario = exp::testbed_scenario();
@@ -30,11 +33,22 @@ int main(int argc, char** argv) {
   for (const std::size_t n : counts) header.push_back(std::to_string(n) + " jobs");
   table.set_header(header);
 
-  std::vector<double> acc_w, acc_wo, jct_w, jct_wo;
+  // Shared runner: MLFS vs MLF-RL per sweep point, results by index.
+  std::vector<exp::RunRequest> requests;
   for (const std::size_t jobs : counts) {
-    const RunMetrics with_c = exp::run_experiment(scenario, "MLFS", jobs);
-    const RunMetrics without_c = exp::run_experiment(scenario, "MLF-RL", jobs);
-    std::cout << "  [n=" << jobs << "] w/ MLF-C: " << with_c.summary()
+    requests.push_back(exp::make_request(scenario, "MLFS", jobs));
+    requests.push_back(exp::make_request(scenario, "MLF-RL", jobs));
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  std::vector<double> acc_w, acc_wo, jct_w, jct_wo;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const RunMetrics& with_c = runs[2 * i];
+    const RunMetrics& without_c = runs[2 * i + 1];
+    std::cout << "  [n=" << counts[i] << "] w/ MLF-C: " << with_c.summary()
               << " itersSaved=" << with_c.iterations_saved << '\n';
     acc_w.push_back(with_c.accuracy_ratio);
     acc_wo.push_back(without_c.accuracy_ratio);

@@ -2,18 +2,30 @@
 // Eq. 2-6 priority computation, RIAL host selection, migration-victim
 // selection, and the cluster utilization queries they lean on. These are
 // the per-round costs behind the Fig. 4(h)/5(h) scheduler-overhead curves.
+//
+// Usage: bench_micro_components [--threads N] [google-benchmark flags]
+// --threads feeds the shared-runner batch benchmark (0 = hardware).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/migration.hpp"
 #include "core/mlf_h.hpp"
 #include "core/placement.hpp"
 #include "core/priority.hpp"
+#include "exp/parallel.hpp"
+#include "exp/runner.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace.hpp"
 
 namespace {
 
 using namespace mlfs;
+
+/// Thread count for the shared-runner benchmark (set by main, 0 = hardware).
+unsigned g_threads = 0;
 
 struct NoopOps : SchedulerOps {
   bool place(TaskId, ServerId, int) override { return false; }
@@ -129,6 +141,43 @@ void BM_MlfHFullRound(benchmark::State& state) {
 }
 BENCHMARK(BM_MlfHFullRound)->Unit(benchmark::kMicrosecond);
 
+/// End-to-end cost of a small scheduler batch through the shared experiment
+/// runner — the unit the figure harnesses parallelize. Honors --threads.
+void BM_RunnerBatch(benchmark::State& state) {
+  exp::Scenario scenario = exp::smoke_scenario();
+  const std::vector<std::string> schedulers = {"MLF-H", "Tiresias", "SLAQ",
+                                               "TensorFlow"};
+  std::vector<exp::RunRequest> requests;
+  for (const std::string& name : schedulers) {
+    core::MlfsConfig config;
+    config.heuristic_only = true;
+    requests.push_back(exp::make_request(scenario, name, scenario.trace.num_jobs, config));
+  }
+  exp::RunOptions options;
+  options.threads = g_threads;
+  options.verbose = false;
+  for (auto _ : state) benchmark::DoNotOptimize(exp::run_batch(requests, options));
+  state.SetLabel(std::to_string(exp::resolve_threads(g_threads)) + " threads");
+}
+BENCHMARK(BM_RunnerBatch)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: consume --threads N before google-benchmark parses flags
+// (it rejects unknown arguments).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<unsigned>(std::stoul(argv[++i]));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,14 +1,26 @@
 // Micro-benchmarks of the DRL substrate: policy inference (the per-task
 // cost of MLF-RL decisions), REINFORCE updates, imitation steps, and the
 // learning-curve fit behind OptStop.
+//
+// Usage: bench_micro_rl [--threads N] [google-benchmark flags]
+// --threads feeds the shared-runner batch benchmark (0 = hardware).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "exp/runner.hpp"
 #include "predict/learning_curve.hpp"
 #include "rl/reinforce.hpp"
 
 namespace {
 
 using namespace mlfs;
+
+/// Thread count for the shared-runner benchmark (set by main, 0 = hardware).
+unsigned g_threads = 0;
 
 rl::ReinforceConfig agent_config() {
   rl::ReinforceConfig config;
@@ -74,6 +86,41 @@ void BM_LearningCurveFit(benchmark::State& state) {
 }
 BENCHMARK(BM_LearningCurveFit)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
 
+/// End-to-end MLF-RL smoke runs (policy inference + imitation inside a full
+/// simulation) through the shared experiment runner. Honors --threads.
+void BM_RunnerRlBatch(benchmark::State& state) {
+  exp::Scenario scenario = exp::smoke_scenario();
+  std::vector<exp::RunRequest> requests;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    exp::Scenario s = scenario;
+    s.engine.seed = seed;
+    requests.push_back(exp::make_request(s, "MLF-RL", s.trace.num_jobs));
+  }
+  exp::RunOptions options;
+  options.threads = g_threads;
+  options.verbose = false;
+  for (auto _ : state) benchmark::DoNotOptimize(exp::run_batch(requests, options));
+  state.SetLabel(std::to_string(exp::resolve_threads(g_threads)) + " threads");
+}
+BENCHMARK(BM_RunnerRlBatch)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: consume --threads N before google-benchmark parses flags
+// (it rejects unknown arguments).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<unsigned>(std::stoul(argv[++i]));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Parallel experiment-runner benchmark + determinism gate.
+//
+// Runs the Fig. 4-sized sweep (testbed scenario × the paper's scheduler
+// legend) twice through exp::run_batch — once serial (threads = 1), once
+// on the pool (--threads, default 4) — and checks every RunMetrics pair
+// with deterministic_equal: the parallel runner must be *bitwise*
+// identical to the serial loop on every simulation-derived field (only
+// sched_overhead_ms, a wall-clock measurement, is excluded; see
+// sim/metrics.hpp). Exits 1 on any divergence, so CI (including the TSan
+// job) can use this binary as the parallel==serial proof.
+//
+// Emits BENCH_parallel_runner.json with both wall-clocks, the speedup, and
+// the host's hardware concurrency (the speedup ceiling: a 2-core box tops
+// out near 2x no matter the pool width). The target is >= 2x at 4 threads
+// on a >= 4-core host.
+//
+// Usage: bench_parallel_runner [--smoke|--full] [--threads N] [--out FILE]
+//   --smoke    small smoke-scenario sweep (CI / TSan; seconds, not minutes)
+//   --full     all five Fig. 4 sweep points (default: the 155/310/620-job
+//              points — same shape, bounded wall-clock)
+//   --threads  pool width for the parallel pass (default 4; 0 = hardware)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlfs;
+  bool smoke = false;
+  bool full = false;
+  unsigned threads = 4;
+  std::string out_file = "BENCH_parallel_runner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_file = argv[++i];
+  }
+  const unsigned pool = exp::resolve_threads(threads);
+
+  // The Fig. 4 shape: sweep points outer, schedulers inner — exactly the
+  // request order run_sweep uses, so this times the real workload.
+  exp::Scenario scenario = smoke ? exp::smoke_scenario() : exp::testbed_scenario();
+  if (smoke) scenario.sweep_multipliers = {1.0, 2.0};
+  if (!smoke && !full) scenario.sweep_multipliers = {0.25, 0.5, 1.0};
+  const std::vector<std::string> schedulers =
+      smoke ? std::vector<std::string>{"MLFS", "MLF-H", "Tiresias", "SLAQ"}
+            : exp::paper_scheduler_names();
+  // Largest points first: the pool drains big runs while small ones fill
+  // the gaps, so the tail run does not serialize the whole pass. (Execution
+  // order is irrelevant to results — they land by index either way.)
+  std::vector<std::size_t> counts = exp::sweep_job_counts(scenario);
+  std::sort(counts.rbegin(), counts.rend());
+  std::vector<exp::RunRequest> requests;
+  for (const std::size_t jobs : counts) {
+    for (const std::string& name : schedulers) {
+      requests.push_back(exp::make_request(scenario, name, jobs));
+    }
+  }
+
+  std::cout << "=== Parallel runner: serial vs " << pool << " threads, "
+            << requests.size() << " runs (" << scenario.name << ") ===\n";
+
+  using Clock = std::chrono::steady_clock;
+  exp::RunOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.verbose = false;
+  const auto serial_start = Clock::now();
+  const std::vector<RunMetrics> serial = exp::run_batch(requests, serial_options);
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - serial_start).count();
+  std::cout << "  serial  : " << serial_ms << " ms\n";
+
+  exp::RunOptions parallel_options;
+  parallel_options.threads = threads;
+  parallel_options.verbose = false;
+  const auto parallel_start = Clock::now();
+  const std::vector<RunMetrics> parallel = exp::run_batch(requests, parallel_options);
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - parallel_start).count();
+  std::cout << "  parallel: " << parallel_ms << " ms (" << pool << " threads)\n";
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!deterministic_equal(serial[i], parallel[i])) {
+      ++mismatches;
+      std::cerr << "MISMATCH at run " << i << " (" << requests[i].scheduler << " @ "
+                << requests[i].label << ")\n";
+    }
+  }
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  std::cout << "  speedup : " << speedup << "x, deterministic="
+            << (mismatches == 0 ? "true" : "false") << '\n';
+
+  std::ofstream json(out_file);
+  json << "{\n  \"benchmark\": \"parallel_runner\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"runs\": " << requests.size() << ",\n"
+       << "  \"threads\": " << pool << ",\n"
+       << "  \"hardware_concurrency\": " << exp::resolve_threads(0) << ",\n"
+       << "  \"serial_ms\": " << serial_ms << ",\n"
+       << "  \"parallel_ms\": " << parallel_ms << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"deterministic\": " << (mismatches == 0 ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out_file << '\n';
+
+  if (mismatches != 0) {
+    std::cerr << "FAIL: parallel results diverged from serial on " << mismatches
+              << " of " << requests.size() << " runs\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,22 +9,29 @@
 // benchmark also *proves* the optimization changed no decision: the two
 // event streams must be byte-identical.
 //
+// All simulations execute through the shared experiment runner
+// (exp::execute_run). The hash-equivalence pass runs on the pool
+// (--threads; hashes are simulation-deterministic, so parallelism cannot
+// change them); the timing pass stays strictly serial so wall-clock
+// per-round numbers are never polluted by co-running simulations.
+//
 // Emits BENCH_sched_hotpath.json with per-point mean wall-clock per
 // scheduling round, the hot-path counters, the speedup, and the
 // decisions_identical verdict. CI runs `--smoke` and uploads the file.
 //
-// Usage: bench_sched_hotpath [--smoke] [--out FILE]
+// Usage: bench_sched_hotpath [--smoke] [--out FILE] [--threads N]
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
 #include <streambuf>
 #include <string>
 #include <vector>
 
-#include "core/mlf_h.hpp"
-#include "sim/engine.hpp"
+#include "exp/parallel.hpp"
+#include "exp/runner.hpp"
 #include "sim/event_log.hpp"
 #include "workload/trace.hpp"
 
@@ -63,50 +70,35 @@ struct SizePoint {
   std::size_t jobs;
 };
 
-struct ModeResult {
-  RunMetrics metrics;
-  std::uint64_t stream_hash = 0;
-  std::uint64_t stream_bytes = 0;
-};
-
-/// One full simulation. `hash_events` attaches the JSONL observer and
-/// hashes its stream; timing runs leave it off, because the observer
-/// serializes events *inside* the timed scheduler window (ops.place emits
-/// during schedule()) and would add the same constant to both modes,
-/// diluting the measured speedup.
-ModeResult run_mode(const SizePoint& pt, bool legacy, bool hash_events) {
-  ClusterConfig cluster;
-  cluster.server_count = pt.servers;
-  cluster.gpus_per_server = 4;
-  cluster.incremental_load_index = !legacy;
-
-  core::MlfsConfig config;
-  config.heuristic_only = true;
-  config.legacy_hot_path = legacy;
-
-  TraceConfig trace;
-  trace.num_jobs = pt.jobs;
-  trace.duration_hours = 12.0;
-  trace.seed = 42;
-  trace.max_gpu_request =
-      std::min<int>(32, static_cast<int>(pt.servers) * cluster.gpus_per_server / 2);
-
-  EngineConfig engine_config;
-  engine_config.seed = 42 ^ 0xabc;
-
-  core::MlfH scheduler{config};
-  SimEngine engine(cluster, engine_config, PhillyTraceGenerator(trace).generate(), scheduler);
-  HashStreamBuf sink;
-  std::ostream out(&sink);
-  JsonlEventLog log(out);
-  if (hash_events) engine.set_observer(&log);
-
-  ModeResult r;
-  r.metrics = engine.run();
-  r.stream_hash = sink.hash();
-  r.stream_bytes = sink.bytes();
-  return r;
+/// The shared-runner request for one (size, mode) simulation.
+exp::RunRequest hotpath_request(const SizePoint& pt, bool legacy) {
+  exp::RunRequest request;
+  request.label = std::string(legacy ? "legacy" : "indexed") + " " +
+                  std::to_string(pt.servers) + " servers";
+  request.cluster.server_count = pt.servers;
+  request.cluster.gpus_per_server = 4;
+  request.cluster.incremental_load_index = !legacy;
+  request.trace.num_jobs = pt.jobs;
+  request.trace.duration_hours = 12.0;
+  request.trace.seed = 42;
+  request.trace.max_gpu_request =
+      std::min<int>(32, static_cast<int>(pt.servers) * request.cluster.gpus_per_server / 2);
+  request.engine.seed = 42 ^ 0xabc;
+  request.scheduler = "MLF-H";
+  request.mlfs_config.heuristic_only = true;
+  request.mlfs_config.legacy_hot_path = legacy;
+  return request;
 }
+
+/// Per-run hashing observer bundle with stable addresses for the batch.
+struct HashedRun {
+  HashStreamBuf sink;
+  std::unique_ptr<std::ostream> out;
+  std::unique_ptr<JsonlEventLog> log;
+
+  HashedRun() : out(std::make_unique<std::ostream>(&sink)),
+                log(std::make_unique<JsonlEventLog>(*out)) {}
+};
 
 void emit_counters(std::ostream& os, const RunMetrics& m) {
   os << "{\"ms_per_round\": " << m.sched_overhead_ms << ", \"rounds\": " << m.sched_rounds
@@ -123,9 +115,12 @@ void emit_counters(std::ostream& os, const RunMetrics& m) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_file = "BENCH_sched_hotpath.json";
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_file = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   const std::vector<SizePoint> points =
@@ -137,6 +132,26 @@ int main(int argc, char** argv) {
     std::cerr << "cannot open " << out_file << "\n";
     return 1;
   }
+
+  // Equivalence pass on the pool: legacy + indexed per point, each hashing
+  // its own event stream. Results (and hashes) land by request index.
+  std::vector<exp::RunRequest> hash_requests;
+  std::vector<std::unique_ptr<HashedRun>> hashers;
+  for (const SizePoint& pt : points) {
+    for (const bool legacy : {true, false}) {
+      hashers.push_back(std::make_unique<HashedRun>());
+      exp::RunRequest request = hotpath_request(pt, legacy);
+      request.observer = hashers.back()->log.get();
+      hash_requests.push_back(std::move(request));
+    }
+  }
+  exp::RunOptions hash_options;
+  hash_options.threads = threads;
+  hash_options.verbose = false;
+  std::cout << "equivalence pass: " << hash_requests.size() << " hashed runs ("
+            << exp::resolve_threads(threads) << " threads)\n";
+  exp::run_batch(hash_requests, hash_options);
+
   json << "{\n  \"benchmark\": \"sched_hotpath\",\n  \"smoke\": "
        << (smoke ? "true" : "false") << ",\n  \"points\": [\n";
 
@@ -145,36 +160,34 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SizePoint& pt = points[i];
     std::cout << "=== " << pt.servers << " servers / " << pt.jobs << " jobs ===\n";
-    // Equivalence pass: hash both event streams.
-    const ModeResult legacy_hashed = run_mode(pt, /*legacy=*/true, /*hash_events=*/true);
-    const ModeResult indexed_hashed = run_mode(pt, /*legacy=*/false, /*hash_events=*/true);
-    // Timing pass: observer off, scheduler wall-clock only.
-    const ModeResult legacy = run_mode(pt, /*legacy=*/true, /*hash_events=*/false);
-    std::cout << "  legacy : " << legacy.metrics.summary() << "\n";
-    const ModeResult indexed = run_mode(pt, /*legacy=*/false, /*hash_events=*/false);
-    std::cout << "  indexed: " << indexed.metrics.summary() << "\n";
+    const HashedRun& legacy_hashed = *hashers[2 * i];
+    const HashedRun& indexed_hashed = *hashers[2 * i + 1];
+    // Timing pass: observer off, strictly serial, scheduler wall-clock only.
+    const RunMetrics legacy = exp::execute_run(hotpath_request(pt, /*legacy=*/true));
+    std::cout << "  legacy : " << legacy.summary() << "\n";
+    const RunMetrics indexed = exp::execute_run(hotpath_request(pt, /*legacy=*/false));
+    std::cout << "  indexed: " << indexed.summary() << "\n";
 
-    const bool identical = legacy_hashed.stream_hash == indexed_hashed.stream_hash &&
-                           legacy_hashed.stream_bytes == indexed_hashed.stream_bytes &&
-                           indexed_hashed.stream_bytes > 0;
+    const bool identical = legacy_hashed.sink.hash() == indexed_hashed.sink.hash() &&
+                           legacy_hashed.sink.bytes() == indexed_hashed.sink.bytes() &&
+                           indexed_hashed.sink.bytes() > 0;
     all_identical = all_identical && identical;
-    const double speedup = indexed.metrics.sched_overhead_ms > 0.0
-                               ? legacy.metrics.sched_overhead_ms /
-                                     indexed.metrics.sched_overhead_ms
+    const double speedup = indexed.sched_overhead_ms > 0.0
+                               ? legacy.sched_overhead_ms / indexed.sched_overhead_ms
                                : 0.0;
     largest_speedup = speedup;  // points are ordered smallest -> largest
     std::cout << "  decisions_identical=" << (identical ? "true" : "false")
               << " speedup=" << speedup << "x ("
-              << legacy.metrics.sched_overhead_ms << "ms -> "
-              << indexed.metrics.sched_overhead_ms << "ms per round)\n";
+              << legacy.sched_overhead_ms << "ms -> "
+              << indexed.sched_overhead_ms << "ms per round)\n";
 
     json << "    {\"servers\": " << pt.servers << ", \"jobs\": " << pt.jobs
          << ", \"decisions_identical\": " << (identical ? "true" : "false")
-         << ", \"event_stream_bytes\": " << indexed_hashed.stream_bytes
+         << ", \"event_stream_bytes\": " << indexed_hashed.sink.bytes()
          << ", \"speedup\": " << speedup << ",\n     \"legacy\": ";
-    emit_counters(json, legacy.metrics);
+    emit_counters(json, legacy);
     json << ",\n     \"indexed\": ";
-    emit_counters(json, indexed.metrics);
+    emit_counters(json, indexed);
     json << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"largest_point_speedup\": " << largest_speedup

@@ -1,22 +1,20 @@
 // Parameter-sensitivity study — the paper's §6 lists "the sensitivity of
 // the parameters in MLFS" as future work; DESIGN.md calls out the design
 // choices this sweeps. One table per knob, each row a value, columns the
-// paper's §4.1 metrics, on a single loaded testbed point.
+// paper's §4.1 metrics, on a single loaded testbed point. All runs go
+// through the shared experiment runner (one batch across every knob), so
+// --threads parallelizes the whole study without changing any table.
 //
-// Usage: bench_sensitivity [--jobs N] [--csv-dir DIR]
+// Usage: bench_sensitivity [--jobs N] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
+#include <utility>
 
 #include "exp/runner.hpp"
 
 namespace {
 
 using namespace mlfs;
-
-RunMetrics run_config(const exp::Scenario& scenario, std::size_t jobs,
-                      const core::MlfsConfig& config) {
-  return exp::run_experiment(scenario, "MLFS", jobs, config);
-}
 
 void emit(Table& table, const std::string& label, const RunMetrics& m) {
   table.add_row(label, {m.average_jct_minutes(), m.deadline_ratio, m.average_accuracy,
@@ -29,66 +27,90 @@ std::vector<std::string> header() {
           "bandwidth (TB)"};
 }
 
+/// One knob: a titled group of (row label, config) cases.
+struct Study {
+  std::string title;
+  std::string csv;
+  std::vector<std::pair<std::string, core::MlfsConfig>> cases;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mlfs;
   std::size_t jobs = 1240;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::stoul(argv[++i]);
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
   const exp::Scenario scenario = exp::testbed_scenario();
   std::cout << "=== Parameter sensitivity (MLFS, " << jobs << " jobs, 80 GPUs) ===\n\n";
 
+  std::vector<Study> studies;
   {
-    Table t("alpha — ML-feature vs computation-feature blend (Eq. 6)");
-    t.set_header(header());
+    Study s{"alpha — ML-feature vs computation-feature blend (Eq. 6)",
+            "sensitivity_alpha.csv", {}};
     for (const double alpha : {0.0, 0.15, 0.3, 0.6, 1.0}) {
       core::MlfsConfig config;
       config.priority.alpha = alpha;
-      emit(t, "alpha=" + format_double(alpha, 2), run_config(scenario, jobs, config));
+      s.cases.emplace_back("alpha=" + format_double(alpha, 2), config);
     }
-    t.render(std::cout);
-    std::cout << '\n';
-    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_alpha.csv");
+    studies.push_back(std::move(s));
   }
   {
-    Table t("gamma — dependency discount (Eqs. 3/5)");
-    t.set_header(header());
+    Study s{"gamma — dependency discount (Eqs. 3/5)", "sensitivity_gamma.csv", {}};
     for (const double gamma : {0.2, 0.5, 0.8, 0.95}) {
       core::MlfsConfig config;
       config.priority.gamma = gamma;
-      emit(t, "gamma=" + format_double(gamma, 2), run_config(scenario, jobs, config));
+      s.cases.emplace_back("gamma=" + format_double(gamma, 2), config);
     }
-    t.render(std::cout);
-    std::cout << '\n';
-    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_gamma.csv");
+    studies.push_back(std::move(s));
   }
   {
-    Table t("p_s — migration-candidate fraction (§3.3.3)");
-    t.set_header(header());
+    Study s{"p_s — migration-candidate fraction (§3.3.3)", "sensitivity_ps.csv", {}};
     for (const double ps : {0.05, 0.10, 0.30, 1.0}) {
       core::MlfsConfig config;
       config.migration.ps = ps;
-      emit(t, "ps=" + format_double(ps, 2), run_config(scenario, jobs, config));
+      s.cases.emplace_back("ps=" + format_double(ps, 2), config);
     }
-    t.render(std::cout);
-    std::cout << '\n';
-    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_ps.csv");
+    studies.push_back(std::move(s));
   }
   {
-    Table t("h_s — cluster overload threshold for MLF-C (§3.5)");
-    t.set_header(header());
+    Study s{"h_s — cluster overload threshold for MLF-C (§3.5)", "sensitivity_hs.csv", {}};
     for (const double hs : {0.5, 0.7, 0.9, 1.1}) {
       core::MlfsConfig config;
       config.load_control.hs = hs;
-      emit(t, "hs=" + format_double(hs, 2), run_config(scenario, jobs, config));
+      s.cases.emplace_back("hs=" + format_double(hs, 2), config);
     }
+    studies.push_back(std::move(s));
+  }
+
+  // One batch over every knob value; results land by index.
+  std::vector<exp::RunRequest> requests;
+  for (const Study& s : studies) {
+    for (const auto& [label, config] : s.cases) {
+      exp::RunRequest request = exp::make_request(scenario, "MLFS", jobs, config);
+      request.label = label;
+      requests.push_back(std::move(request));
+    }
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  std::size_t index = 0;
+  for (const Study& s : studies) {
+    Table t(s.title);
+    t.set_header(header());
+    for (const auto& [label, config] : s.cases) emit(t, label, runs[index++]);
     t.render(std::cout);
     std::cout << '\n';
-    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/sensitivity_hs.csv");
+    if (!csv_dir.empty()) exp::write_csv(t, csv_dir + "/" + s.csv);
   }
 
   std::cout << "interpretation: MLFS is robust across alpha/gamma (priorities reorder\n"

@@ -3,7 +3,7 @@
 // without the topology-aware placement term. Reports JCT, total and
 // inter-rack bandwidth.
 //
-// Usage: bench_topology [--jobs N] [--csv-dir DIR]
+// Usage: bench_topology [--jobs N] [--csv-dir DIR] [--threads N]
 #include <cstring>
 #include <iostream>
 
@@ -13,9 +13,12 @@ int main(int argc, char** argv) {
   using namespace mlfs;
   std::size_t jobs = 1240;
   std::string csv_dir;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::stoul(argv[++i]);
     if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc) csv_dir = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
   }
 
   std::cout << "=== Topology extension: MLF-H under rack oversubscription ===\n\n";
@@ -35,13 +38,26 @@ int main(int argc, char** argv) {
       {"racked, topology-blind placement", 4, false},
       {"racked, topology-aware placement", 4, true},
   };
+  // Shared runner: all three network cases in one batch, results by index.
+  std::vector<exp::RunRequest> requests;
   for (const Case& c : cases) {
     exp::Scenario scenario = exp::testbed_scenario();
     scenario.cluster.servers_per_rack = c.servers_per_rack;
     core::MlfsConfig config;
     config.heuristic_only = true;
     config.placement.use_topology = c.topology_aware;
-    const RunMetrics m = exp::run_experiment(scenario, "MLF-H", jobs, config);
+    exp::RunRequest request = exp::make_request(scenario, "MLF-H", jobs, config);
+    request.label = c.label;
+    requests.push_back(std::move(request));
+  }
+  exp::RunOptions options;
+  options.threads = threads;
+  options.verbose = false;
+  const std::vector<RunMetrics> runs = exp::run_batch(requests, options);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Case& c = cases[i];
+    const RunMetrics& m = runs[i];
     std::cout << "  " << c.label << ": " << m.summary() << '\n';
     table.add_row(c.label, {m.average_jct_minutes(), m.deadline_ratio, m.bandwidth_tb,
                             m.inter_rack_tb},

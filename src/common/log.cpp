@@ -2,11 +2,22 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace mlfs {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Serializes sink writes; one whole line per acquisition so concurrent
+/// runs never tear each other's output.
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local std::string t_run_tag;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,9 +35,30 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+RunContext::RunContext(std::string tag) : previous_(std::move(t_run_tag)) {
+  t_run_tag = std::move(tag);
+}
+
+RunContext::~RunContext() { t_run_tag = std::move(previous_); }
+
+const std::string& RunContext::current() { return t_run_tag; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::cerr << "[mlfs:" << level_name(level) << "] " << message << '\n';
+  // Assemble the full line first so the critical section is one write.
+  std::string line;
+  line.reserve(message.size() + t_run_tag.size() + 16);
+  line += "[mlfs:";
+  line += level_name(level);
+  if (!t_run_tag.empty()) {
+    line += '|';
+    line += t_run_tag;
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(emit_mutex());
+  std::cerr << line;
 }
 }  // namespace detail
 

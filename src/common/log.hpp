@@ -1,5 +1,12 @@
 // Minimal leveled logger. Single global sink (stderr by default), cheap
 // enough to leave statements in library code; benches run at Warn.
+//
+// Re-entrancy contract: the level is an atomic (readable from any thread
+// without synchronization) and detail::log_emit serializes whole lines
+// under a mutex, so concurrent simulation runs may log freely without
+// tearing each other's output. A thread that is executing one run of a
+// batch can tag its lines with a RunContext so interleaved output stays
+// attributable to the run that produced it.
 #pragma once
 
 #include <sstream>
@@ -10,10 +17,30 @@ namespace mlfs {
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 /// Global minimum level; messages below it are dropped before formatting.
+/// Atomic: safe to call from any thread.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// RAII per-thread run tag. While alive, every line the *current thread*
+/// emits is prefixed "[mlfs:LEVEL|tag]" instead of "[mlfs:LEVEL]", so the
+/// interleaved output of a parallel sweep remains attributable. Scopes
+/// nest; destruction restores the previous tag.
+class RunContext {
+ public:
+  explicit RunContext(std::string tag);
+  ~RunContext();
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// The calling thread's active tag ("" when untagged).
+  static const std::string& current();
+
+ private:
+  std::string previous_;
+};
+
 namespace detail {
+/// Formats and writes one line to the sink while holding the log mutex.
 void log_emit(LogLevel level, const std::string& message);
 }
 

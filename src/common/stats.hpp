@@ -59,6 +59,15 @@ class SampleSet {
   /// Sorted copy of the samples.
   std::vector<double> sorted() const;
 
+  /// Samples in insertion order (the simulator's completion order).
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Bitwise equality of the sample sequences — the determinism check the
+  /// parallel experiment runner is held to (no tolerance, no reordering).
+  friend bool operator==(const SampleSet& a, const SampleSet& b) {
+    return a.samples_ == b.samples_;
+  }
+
  private:
   void ensure_sorted() const;
 

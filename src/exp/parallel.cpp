@@ -1,0 +1,60 @@
+#include "exp/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlfs::exp {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ParallelRunner::ParallelRunner(unsigned threads) : threads_(resolve_threads(threads)) {}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  if (threads_ <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Drain the queue so every worker winds down promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const unsigned spawned = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, count) - 1);  // calling thread participates
+  std::vector<std::thread> pool;
+  pool.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mlfs::exp

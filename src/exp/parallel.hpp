@@ -1,0 +1,40 @@
+// Work-stealing thread-pool executor for independent simulation runs.
+//
+// The unit of work is coarse (one whole SimEngine run, milliseconds to
+// minutes), so the pool keeps scheduling trivial and deterministic: tasks
+// live in one shared sequence and every idle worker steals the next
+// unclaimed index via an atomic cursor. Callers place results by task
+// index, never by completion order, which is what makes batch output
+// independent of the thread count (see exp::run_batch).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mlfs::exp {
+
+/// Resolves a requested thread count: 0 means std::thread::hardware_
+/// concurrency() (minimum 1); anything else is taken as-is.
+unsigned resolve_threads(unsigned requested);
+
+class ParallelRunner {
+ public:
+  /// `threads` as in resolve_threads(). The pool is created per run() call;
+  /// for whole-simulation tasks the spawn cost is noise.
+  explicit ParallelRunner(unsigned threads = 0);
+
+  unsigned thread_count() const { return threads_; }
+
+  /// Executes fn(0), ..., fn(count - 1), each exactly once, distributed
+  /// over the workers; blocks until all complete. With thread_count() == 1
+  /// (or count < 2) everything runs inline on the calling thread in index
+  /// order — byte-identical to a hand-written serial loop. If any task
+  /// throws, remaining unclaimed tasks are abandoned and the first
+  /// exception is rethrown here after all workers have stopped.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace mlfs::exp

@@ -1,5 +1,7 @@
 #include "exp/registry.hpp"
 
+#include <algorithm>
+
 #include "common/expect.hpp"
 #include "core/mlf_c.hpp"
 #include "core/mlfs.hpp"
@@ -62,6 +64,17 @@ std::vector<std::string> extended_scheduler_names() {
   auto names = paper_scheduler_names();
   names.push_back("Optimus");
   return names;
+}
+
+std::vector<std::string> registered_scheduler_names() {
+  // make_scheduler accepts exactly the extended set; keep these coupled so
+  // a newly registered scheduler shows up in every listing automatically.
+  return extended_scheduler_names();
+}
+
+bool is_registered_scheduler(const std::string& name) {
+  const auto names = registered_scheduler_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 std::vector<FaultSweepPoint> failure_rate_sweep() {

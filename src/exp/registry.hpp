@@ -33,6 +33,14 @@ std::vector<std::string> mlfs_family_names();
 /// Paper set plus the extension baselines (currently Optimus [42]).
 std::vector<std::string> extended_scheduler_names();
 
+/// Every name make_scheduler accepts — the single source of truth for CLI
+/// listings (mlfs_sim --list-schedulers) so scenario scripts never
+/// hard-code name lists.
+std::vector<std::string> registered_scheduler_names();
+
+/// True iff `name` is accepted by make_scheduler.
+bool is_registered_scheduler(const std::string& name);
+
 /// One point of the failure-rate sweep used by bench_fault_recovery and
 /// the robustness tests: a label plus the crashes-per-server-week rate
 /// fed to exp::set_failure_rate.

@@ -1,33 +1,96 @@
 #include "exp/runner.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 
 #include "common/log.hpp"
+#include "exp/parallel.hpp"
 
 namespace mlfs::exp {
 
-RunMetrics run_experiment(const Scenario& scenario, const std::string& scheduler_name,
-                          std::size_t num_jobs, const core::MlfsConfig& mlfs_config) {
-  TraceConfig trace = scenario.trace;
-  trace.num_jobs = num_jobs;
-  PhillyTraceGenerator generator(trace);
-  auto specs = generator.generate();
+RunMetrics execute_run(const RunRequest& request) {
+  std::vector<JobSpec> specs =
+      request.workload ? *request.workload : PhillyTraceGenerator(request.trace).generate();
 
-  SchedulerInstance instance = make_scheduler(scheduler_name, mlfs_config);
-  SimEngine engine(scenario.cluster, scenario.engine, std::move(specs), *instance.scheduler,
+  SchedulerInstance instance = make_scheduler(request.scheduler, request.mlfs_config);
+  SimEngine engine(request.cluster, request.engine, std::move(specs), *instance.scheduler,
                    instance.controller.get());
+  if (request.observer != nullptr) engine.set_observer(request.observer);
   return engine.run();
 }
 
+RunRequest make_request(const Scenario& scenario, const std::string& scheduler_name,
+                        std::size_t num_jobs, const core::MlfsConfig& mlfs_config) {
+  RunRequest request;
+  request.label = scenario.name + " n=" + std::to_string(num_jobs);
+  request.cluster = scenario.cluster;
+  request.engine = scenario.engine;
+  request.trace = scenario.trace;
+  request.trace.num_jobs = num_jobs;
+  request.scheduler = scheduler_name;
+  request.mlfs_config = mlfs_config;
+  return request;
+}
+
+RunMetrics run_experiment(const Scenario& scenario, const std::string& scheduler_name,
+                          std::size_t num_jobs, const core::MlfsConfig& mlfs_config) {
+  return execute_run(make_request(scenario, scheduler_name, num_jobs, mlfs_config));
+}
+
+std::vector<RunMetrics> run_batch(const std::vector<RunRequest>& requests,
+                                  const RunOptions& options) {
+  std::vector<RunMetrics> results(requests.size());
+  std::mutex progress_mutex;
+
+  const auto report = [&](std::size_t index) {
+    if (!options.progress && !options.verbose) return;
+    RunProgress event;
+    event.index = index;
+    event.total = requests.size();
+    event.request = &requests[index];
+    event.metrics = &results[index];
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    if (options.progress) {
+      options.progress(event);
+    } else {
+      std::cout << "  [" << requests[index].label << "] " << results[index].summary() << '\n';
+    }
+  };
+
+  ParallelRunner pool(options.threads);
+  pool.run(requests.size(), [&](std::size_t i) {
+    const RunContext log_tag(requests[i].scheduler + "@" + requests[i].label);
+    results[i] = execute_run(requests[i]);
+    report(i);
+  });
+  return results;
+}
+
 SweepResults run_sweep(const Scenario& scenario, const std::vector<std::string>& schedulers,
-                       const core::MlfsConfig& mlfs_config, bool verbose) {
-  SweepResults results;
-  for (const std::size_t jobs : sweep_job_counts(scenario)) {
+                       const core::MlfsConfig& mlfs_config, const RunOptions& options) {
+  // Requests in the historical serial order (job counts outer, schedulers
+  // inner) so threads == 1 reproduces the legacy runner's stdout exactly.
+  const std::vector<std::size_t> counts = sweep_job_counts(scenario);
+  std::vector<RunRequest> requests;
+  requests.reserve(counts.size() * schedulers.size());
+  for (const std::size_t jobs : counts) {
     for (const std::string& name : schedulers) {
-      RunMetrics m = run_experiment(scenario, name, jobs, mlfs_config);
-      if (verbose) std::cout << "  [" << scenario.name << " n=" << jobs << "] " << m.summary() << '\n';
-      results[name].push_back(std::move(m));
+      requests.push_back(make_request(scenario, name, jobs, mlfs_config));
+    }
+  }
+
+  const std::vector<RunMetrics> batch = run_batch(requests, options);
+
+  // Deterministic placement: results land by request index, so the map is
+  // bitwise independent of completion order and thread count.
+  SweepResults results;
+  for (std::size_t s = 0; s < schedulers.size(); ++s) {
+    std::vector<RunMetrics>& runs = results[schedulers[s]];
+    runs.reserve(counts.size());
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      runs.push_back(batch[j * schedulers.size() + s]);
     }
   }
   return results;
@@ -75,12 +138,24 @@ Table cdf_table(const std::string& title, const std::vector<std::string>& schedu
 }
 
 void write_csv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      MLFS_WARN("could not create directory " << target.parent_path().string() << " for CSV "
+                                              << path << ": " << ec.message());
+      return;
+    }
+  }
+  std::ofstream out(target);
   if (!out) {
-    MLFS_WARN("could not write CSV to " << path);
+    MLFS_WARN("could not write CSV to " << fs::absolute(target, ec).string());
     return;
   }
   out << table.to_csv();
+  MLFS_INFO("wrote CSV " << fs::absolute(target, ec).string());
 }
 
 }  // namespace mlfs::exp

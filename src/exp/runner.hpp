@@ -1,9 +1,21 @@
 // Experiment runner: one (scenario, scheduler, job-count) run and full
 // sweeps over job counts × schedulers, plus the figure-table builders the
 // bench binaries share.
+//
+// The execution core is a pure function: a fully-specified RunRequest in,
+// RunMetrics out, with no state shared between runs (each run owns its
+// RNG streams, cluster, scheduler instance, and metrics). That is what
+// lets run_batch execute requests on a work-stealing thread pool while
+// staying bitwise identical to the serial path: results are placed by
+// request index, never by completion order, so the output of any batch or
+// sweep is independent of the thread count, and threads == 1 reproduces
+// the historical serial runner exactly (same order, same stdout).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
+#include <memory>
 
 #include "common/table.hpp"
 #include "exp/registry.hpp"
@@ -12,16 +24,69 @@
 
 namespace mlfs::exp {
 
-/// Runs `scheduler_name` on the scenario with `num_jobs` trace jobs.
+/// Everything one simulation needs, by value: configs, scheduler name and
+/// workload source. Self-contained on purpose — two requests never share
+/// mutable state, so any subset may execute concurrently.
+struct RunRequest {
+  std::string label;          ///< progress/log tag, e.g. "testbed-80gpu n=620"
+  ClusterConfig cluster;
+  EngineConfig engine;
+  TraceConfig trace;          ///< workload generator config (used when !workload)
+  std::string scheduler;      ///< registry name, see make_scheduler()
+  core::MlfsConfig mlfs_config;
+  /// Optional explicit job list (trace replay); overrides `trace` when set.
+  /// Shared, not copied: requests of a batch may point at the same specs.
+  std::shared_ptr<const std::vector<JobSpec>> workload;
+  /// Optional per-run observer (event logs, hashers). Must be distinct per
+  /// request within a batch — observers are stateful and not synchronized.
+  EngineObserver* observer = nullptr;
+};
+
+/// The pure execution core: builds the workload, scheduler and engine from
+/// the request and runs it to completion. Thread-safe by construction.
+RunMetrics execute_run(const RunRequest& request);
+
+/// A scenario point as a RunRequest (scheduler run on `num_jobs` trace jobs).
+RunRequest make_request(const Scenario& scenario, const std::string& scheduler_name,
+                        std::size_t num_jobs, const core::MlfsConfig& mlfs_config = {});
+
+/// Convenience wrapper: make_request + execute_run.
 RunMetrics run_experiment(const Scenario& scenario, const std::string& scheduler_name,
                           std::size_t num_jobs, const core::MlfsConfig& mlfs_config = {});
+
+/// Progress event, delivered as each run completes (completion order).
+struct RunProgress {
+  std::size_t index = 0;  ///< position in the request batch
+  std::size_t total = 0;
+  const RunRequest* request = nullptr;
+  const RunMetrics* metrics = nullptr;
+};
+
+struct RunOptions {
+  /// Worker threads: 1 = serial on the calling thread (the historical
+  /// behavior, byte-identical output), 0 = hardware concurrency.
+  unsigned threads = 1;
+  /// Print the default "  [label] summary" progress line per finished run.
+  bool verbose = true;
+  /// Custom progress sink; replaces the default printing when set. Calls
+  /// are serialized (never concurrent), but arrive in completion order —
+  /// use RunProgress::index for deterministic placement.
+  std::function<void(const RunProgress&)> progress;
+};
+
+/// Runs every request (serially or on the pool, per options.threads) and
+/// returns metrics with results[i] belonging to requests[i], regardless of
+/// completion order or thread count.
+std::vector<RunMetrics> run_batch(const std::vector<RunRequest>& requests,
+                                  const RunOptions& options = {});
 
 /// metrics[scheduler][sweep-point]; every scheduler sees the identical
 /// trace at each sweep point (same trace seed).
 using SweepResults = std::map<std::string, std::vector<RunMetrics>>;
 
 SweepResults run_sweep(const Scenario& scenario, const std::vector<std::string>& schedulers,
-                       const core::MlfsConfig& mlfs_config = {}, bool verbose = true);
+                       const core::MlfsConfig& mlfs_config = {},
+                       const RunOptions& options = {});
 
 /// One figure panel: rows = schedulers (legend order), columns = sweep
 /// job counts, cells = `extract(metrics)`.
@@ -35,8 +100,9 @@ Table cdf_table(const std::string& title, const std::vector<std::string>& schedu
                 const SweepResults& results, std::size_t sweep_index,
                 const std::vector<double>& breakpoints_minutes);
 
-/// Writes a table's CSV next to the bench outputs (best effort; logs on
-/// failure instead of throwing).
+/// Writes a table's CSV, creating missing parent directories, and logs the
+/// absolute path it wrote (best effort; logs on failure instead of
+/// throwing).
 void write_csv(const Table& table, const std::string& path);
 
 }  // namespace mlfs::exp

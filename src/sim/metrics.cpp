@@ -38,4 +38,27 @@ std::string RunMetrics::summary() const {
   return os.str();
 }
 
+bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
+  return a.scheduler == b.scheduler && a.job_count == b.job_count &&
+         a.jct_minutes == b.jct_minutes && a.makespan_hours == b.makespan_hours &&
+         a.deadline_ratio == b.deadline_ratio && a.waiting_seconds == b.waiting_seconds &&
+         a.average_accuracy == b.average_accuracy && a.accuracy_ratio == b.accuracy_ratio &&
+         a.bandwidth_tb == b.bandwidth_tb && a.inter_rack_tb == b.inter_rack_tb &&
+         a.overload_occurrences == b.overload_occurrences && a.migrations == b.migrations &&
+         a.preemptions == b.preemptions && a.partial_releases == b.partial_releases &&
+         a.watchdog_evictions == b.watchdog_evictions && a.iterations_run == b.iterations_run &&
+         a.iterations_saved == b.iterations_saved &&
+         a.urgent_deadline_ratio == b.urgent_deadline_ratio &&
+         a.server_failures == b.server_failures && a.rack_outages == b.rack_outages &&
+         a.task_kills == b.task_kills && a.crash_evictions == b.crash_evictions &&
+         a.iterations_rolled_back == b.iterations_rolled_back &&
+         a.work_lost_gpu_seconds == b.work_lost_gpu_seconds &&
+         a.mean_recovery_seconds == b.mean_recovery_seconds && a.goodput == b.goodput &&
+         a.sched_rounds == b.sched_rounds && a.candidates_scanned == b.candidates_scanned &&
+         a.comm_cache_hits == b.comm_cache_hits && a.comm_cache_misses == b.comm_cache_misses &&
+         a.load_index_rebuilds == b.load_index_rebuilds &&
+         a.load_index_refreshes == b.load_index_refreshes &&
+         a.servers_reindexed == b.servers_reindexed;
+}
+
 }  // namespace mlfs

@@ -62,4 +62,11 @@ struct RunMetrics {
   std::string summary() const;
 };
 
+/// Bitwise equality over every simulation-derived field — the determinism
+/// contract the parallel experiment runner is held to (a run must not
+/// depend on what else executes concurrently). The single exclusion is
+/// sched_overhead_ms: it is measured with a real clock, so it is not
+/// reproducible even between two serial runs of the same seed.
+bool deterministic_equal(const RunMetrics& a, const RunMetrics& b);
+
 }  // namespace mlfs

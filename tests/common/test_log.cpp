@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace mlfs {
 namespace {
 
@@ -37,6 +39,44 @@ TEST(Log, AtOrAboveThresholdEmits) {
   EXPECT_NE(err.find("[mlfs:WARN] warn-42"), std::string::npos);
   EXPECT_EQ(err.find("info-should-be-dropped"), std::string::npos);
   set_log_level(before);
+}
+
+TEST(Log, RunContextTagsScopeAndNest) {
+  EXPECT_EQ(RunContext::current(), "");
+  {
+    RunContext outer("MLF-H@smoke");
+    EXPECT_EQ(RunContext::current(), "MLF-H@smoke");
+    {
+      RunContext inner("SLAQ@smoke");
+      EXPECT_EQ(RunContext::current(), "SLAQ@smoke");
+    }
+    EXPECT_EQ(RunContext::current(), "MLF-H@smoke");  // restored on scope exit
+  }
+  EXPECT_EQ(RunContext::current(), "");
+}
+
+TEST(Log, RunContextTagAppearsInEmittedLine) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  {
+    RunContext tag("run-7");
+    MLFS_WARN("tagged");
+  }
+  MLFS_WARN("untagged");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[mlfs:WARN|run-7] tagged"), std::string::npos);
+  EXPECT_NE(err.find("[mlfs:WARN] untagged"), std::string::npos);
+  set_log_level(before);
+}
+
+TEST(Log, RunContextIsThreadLocal) {
+  RunContext tag("main-thread");
+  std::string seen = "unset";
+  std::thread worker([&seen] { seen = RunContext::current(); });
+  worker.join();
+  EXPECT_EQ(seen, "");  // worker thread starts untagged
+  EXPECT_EQ(RunContext::current(), "main-thread");
 }
 
 }  // namespace

@@ -1,10 +1,20 @@
 // Experiment-harness tests: scenarios, sweep bookkeeping, figure tables.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "exp/runner.hpp"
 
 namespace mlfs::exp {
 namespace {
+
+/// Serial, non-printing sweep options for tests.
+RunOptions quiet() {
+  RunOptions options;
+  options.verbose = false;
+  return options;
+}
 
 TEST(Scenario, TestbedMatchesPaperSetup) {
   const Scenario s = testbed_scenario();
@@ -49,7 +59,7 @@ TEST(Runner, RunExperimentProducesNamedMetrics) {
 TEST(Runner, SweepCoversAllSchedulersAndPoints) {
   Scenario s = smoke_scenario(15, 5);
   s.sweep_multipliers = {0.5, 1.0};
-  const auto results = run_sweep(s, {"Gandiva", "SLAQ"}, {}, /*verbose=*/false);
+  const auto results = run_sweep(s, {"Gandiva", "SLAQ"}, {}, quiet());
   ASSERT_EQ(results.size(), 2u);
   for (const auto& [name, runs] : results) {
     EXPECT_EQ(runs.size(), 2u) << name;
@@ -61,7 +71,7 @@ TEST(Runner, SweepCoversAllSchedulersAndPoints) {
 TEST(Runner, PanelTableLaysOutSchedulersBySweep) {
   Scenario s = smoke_scenario(12, 7);
   s.sweep_multipliers = {1.0};
-  const auto results = run_sweep(s, {"Gandiva"}, {}, false);
+  const auto results = run_sweep(s, {"Gandiva"}, {}, quiet());
   const Table t = panel_table("demo", s, {"Gandiva"}, results,
                               [](const RunMetrics& m) { return m.deadline_ratio; }, 3);
   const std::string csv = t.to_csv();
@@ -72,7 +82,7 @@ TEST(Runner, PanelTableLaysOutSchedulersBySweep) {
 TEST(Runner, CdfTableHasBreakpointColumns) {
   Scenario s = smoke_scenario(12, 9);
   s.sweep_multipliers = {1.0};
-  const auto results = run_sweep(s, {"Gandiva"}, {}, false);
+  const auto results = run_sweep(s, {"Gandiva"}, {}, quiet());
   const Table t = cdf_table("cdf", {"Gandiva"}, results, 0, {10.0, 100.0, 100000.0});
   const std::string csv = t.to_csv();
   EXPECT_NE(csv.find("<=10min"), std::string::npos);
@@ -87,6 +97,23 @@ TEST(Registry, ExtendedSetSupersetOfPaperSet) {
   for (const auto& name : extended) {
     EXPECT_NO_THROW(make_scheduler(name)) << name;
   }
+}
+
+TEST(Runner, WriteCsvCreatesMissingParentDirectories) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "mlfs_write_csv_test";
+  fs::remove_all(root);
+  const fs::path target = root / "nested" / "deep" / "table.csv";
+  Table t("csv-dir demo");
+  t.set_header({"k", "v"});
+  t.add_row("a", {1.0}, 0);
+  write_csv(t, target.string());
+  ASSERT_TRUE(fs::exists(target));
+  std::ifstream in(target);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "k,v");
+  fs::remove_all(root);
 }
 
 TEST(Metrics, SummaryMentionsKeyNumbers) {

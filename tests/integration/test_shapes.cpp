@@ -19,8 +19,13 @@ class ShapeTest : public ::testing::Test {
     scenario.trace.num_jobs = 600;      // ~x3 load for a 32-GPU fleet
     scenario.trace.max_gpu_request = 16;
     scenario.sweep_multipliers = {1.0};
+    // The fixture is the suite's hot spot: run the 10-scheduler sweep on
+    // the pool (deterministic regardless of thread count, see runner.hpp).
+    exp::RunOptions options;
+    options.threads = 0;  // hardware concurrency
+    options.verbose = false;
     results_ = new exp::SweepResults(
-        exp::run_sweep(scenario, exp::paper_scheduler_names(), {}, /*verbose=*/false));
+        exp::run_sweep(scenario, exp::paper_scheduler_names(), {}, options));
   }
   static void TearDownTestSuite() {
     delete results_;

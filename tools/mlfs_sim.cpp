@@ -4,11 +4,15 @@
 // optionally as CSV. The one binary a downstream user needs to evaluate a
 // scheduling idea against the MLFS family.
 //
+// Multiple --scheduler runs execute on the shared experiment runner
+// (exp::run_batch): concurrently up to --threads, with output always in
+// the order the schedulers were given.
+//
 // Usage:
 //   mlfs_sim [--scheduler NAME]... [--jobs N] [--hours H] [--seed S]
 //            [--servers N] [--gpus-per-server N] [--trace FILE]
 //            [--servers-per-rack N] [--slow-fraction F] [--straggler P]
-//            [--replicas N] [--csv] [--list]
+//            [--replicas N] [--threads N] [--csv] [--list-schedulers]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "exp/registry.hpp"
+#include "exp/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_log.hpp"
 #include "workload/trace.hpp"
@@ -37,6 +42,7 @@ struct Options {
   double slow_fraction = 0.0;
   double straggler_probability = 0.0;
   int straggler_replicas = 0;
+  unsigned threads = 0;  // 0 = hardware concurrency
   bool csv = false;
   bool legacy_hotpath = false;
   std::string event_log_file;
@@ -46,7 +52,7 @@ void print_usage() {
   std::cout <<
       "mlfs_sim — run ML-cluster scheduling experiments\n\n"
       "  --scheduler NAME     scheduler to run (repeatable; default: MLFS)\n"
-      "  --list               list registered schedulers and exit\n"
+      "  --list-schedulers    list registered schedulers and exit (alias: --list)\n"
       "  --jobs N             synthetic jobs to generate (default 200)\n"
       "  --hours H            arrival window in hours (default 24)\n"
       "  --seed S             trace + engine seed (default 42)\n"
@@ -57,10 +63,13 @@ void print_usage() {
       "  --slow-fraction F    fraction of servers on the slow GPU tier\n"
       "  --straggler P        per task-iteration straggler probability\n"
       "  --replicas N         straggler-mitigation replicas per task\n"
+      "  --threads N          concurrent runs (default 0 = hardware concurrency;\n"
+      "                       results and output order do not depend on N)\n"
       "  --csv                emit one CSV row per run instead of prose\n"
       "  --legacy-hotpath     disable the incremental load index + comm memo\n"
       "                       (reference scan scheduler; same decisions)\n"
-      "  --event-log FILE     write a JSONL event trace of the (last) run\n";
+      "  --event-log FILE     write a JSONL event trace of the (last) run;\n"
+      "                       forces --threads 1\n";
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -76,8 +85,8 @@ bool parse(int argc, char** argv, Options& options) {
     if (arg == "--help" || arg == "-h") {
       print_usage();
       return false;
-    } else if (arg == "--list") {
-      for (const auto& name : exp::extended_scheduler_names()) std::cout << name << "\n";
+    } else if (arg == "--list" || arg == "--list-schedulers") {
+      for (const auto& name : exp::registered_scheduler_names()) std::cout << name << "\n";
       return false;
     } else if (arg == "--scheduler") {
       const char* v = next("--scheduler");
@@ -123,6 +132,10 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--replicas");
       if (!v) return false;
       options.straggler_replicas = std::stoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      options.threads = static_cast<unsigned>(std::stoul(v));
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--legacy-hotpath") {
@@ -138,22 +151,30 @@ bool parse(int argc, char** argv, Options& options) {
     }
   }
   if (options.schedulers.empty()) options.schedulers = {"MLFS"};
+  for (const auto& name : options.schedulers) {
+    if (!exp::is_registered_scheduler(name)) {
+      std::cerr << "unknown scheduler: " << name << " (see --list-schedulers)\n";
+      return false;
+    }
+  }
   return true;
 }
 
-std::vector<JobSpec> load_workload(const Options& options) {
-  if (!options.trace_file.empty()) {
-    std::ifstream in(options.trace_file);
-    if (!in) throw ContractViolation("cannot open trace file: " + options.trace_file);
-    return read_trace_csv(in);
-  }
-  TraceConfig config;
-  config.num_jobs = options.jobs;
-  config.duration_hours = options.hours;
-  config.seed = options.seed;
-  config.max_gpu_request =
-      std::min<int>(32, static_cast<int>(options.servers) * options.gpus_per_server / 2);
-  return PhillyTraceGenerator(config).generate();
+std::shared_ptr<const std::vector<JobSpec>> load_trace_workload(const Options& options) {
+  if (options.trace_file.empty()) return nullptr;
+  std::ifstream in(options.trace_file);
+  if (!in) throw ContractViolation("cannot open trace file: " + options.trace_file);
+  return std::make_shared<const std::vector<JobSpec>>(read_trace_csv(in));
+}
+
+void print_csv_row(const RunMetrics& m) {
+  std::cout << m.scheduler << ',' << m.job_count << ',' << m.average_jct_minutes() << ','
+            << m.jct_minutes.median() << ',' << m.makespan_hours << ',' << m.deadline_ratio
+            << ',' << m.average_waiting_seconds() << ',' << m.average_accuracy << ','
+            << m.accuracy_ratio << ',' << m.bandwidth_tb << ',' << m.inter_rack_tb << ','
+            << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << ','
+            << m.sched_rounds << ',' << m.candidates_scanned << ','
+            << m.comm_cache_hits << "\n";
 }
 
 }  // namespace
@@ -175,39 +196,64 @@ int main(int argc, char** argv) {
     engine_config.straggler_probability = options.straggler_probability;
     engine_config.straggler_replicas = options.straggler_replicas;
 
+    TraceConfig trace;
+    trace.num_jobs = options.jobs;
+    trace.duration_hours = options.hours;
+    trace.seed = options.seed;
+    trace.max_gpu_request =
+        std::min<int>(32, static_cast<int>(options.servers) * options.gpus_per_server / 2);
+
+    core::MlfsConfig mlfs_config;
+    mlfs_config.legacy_hot_path = options.legacy_hotpath;
+
+    const auto shared_workload = load_trace_workload(options);
+
+    // The JSONL observer writes to one file; attaching it to concurrent
+    // runs would interleave streams, so the event log forces serial runs
+    // (each run overwrites the file — the last scheduler's trace remains,
+    // as before).
+    const bool want_event_log = !options.event_log_file.empty();
+    if (want_event_log && options.threads != 1) {
+      std::cerr << "note: --event-log forces --threads 1\n";
+      options.threads = 1;
+    }
+
+    std::vector<exp::RunRequest> requests;
+    requests.reserve(options.schedulers.size());
+    for (const auto& name : options.schedulers) {
+      exp::RunRequest request;
+      request.label = name;
+      request.cluster = cluster;
+      request.engine = engine_config;
+      request.trace = trace;
+      request.scheduler = name;
+      request.mlfs_config = mlfs_config;
+      request.workload = shared_workload;
+      requests.push_back(std::move(request));
+    }
+
+    std::ofstream event_out;
+    std::unique_ptr<JsonlEventLog> event_log;
+    if (want_event_log) {
+      event_out.open(options.event_log_file);
+      if (!event_out) throw ContractViolation("cannot open " + options.event_log_file);
+      event_log = std::make_unique<JsonlEventLog>(event_out);
+      requests.back().observer = event_log.get();
+    }
+
+    exp::RunOptions run_options;
+    run_options.threads = options.threads;
+    run_options.verbose = false;  // rows are printed in scheduler order below
+    const std::vector<RunMetrics> results = exp::run_batch(requests, run_options);
+
     if (options.csv) {
       std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
                    "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
                    "sched_overhead_ms,migrations,preemptions,sched_rounds,"
                    "candidates_scanned,comm_cache_hits\n";
-    }
-    for (const auto& name : options.schedulers) {
-      auto workload = load_workload(options);
-      core::MlfsConfig mlfs_config;
-      mlfs_config.legacy_hot_path = options.legacy_hotpath;
-      auto instance = exp::make_scheduler(name, mlfs_config);
-      SimEngine engine(cluster, engine_config, std::move(workload), *instance.scheduler,
-                       instance.controller.get());
-      std::ofstream event_out;
-      std::unique_ptr<JsonlEventLog> event_log;
-      if (!options.event_log_file.empty()) {
-        event_out.open(options.event_log_file);
-        if (!event_out) throw ContractViolation("cannot open " + options.event_log_file);
-        event_log = std::make_unique<JsonlEventLog>(event_out);
-        engine.set_observer(event_log.get());
-      }
-      const RunMetrics m = engine.run();
-      if (options.csv) {
-        std::cout << m.scheduler << ',' << m.job_count << ',' << m.average_jct_minutes() << ','
-                  << m.jct_minutes.median() << ',' << m.makespan_hours << ',' << m.deadline_ratio
-                  << ',' << m.average_waiting_seconds() << ',' << m.average_accuracy << ','
-                  << m.accuracy_ratio << ',' << m.bandwidth_tb << ',' << m.inter_rack_tb << ','
-                  << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << ','
-                  << m.sched_rounds << ',' << m.candidates_scanned << ','
-                  << m.comm_cache_hits << "\n";
-      } else {
-        std::cout << m.summary() << "\n";
-      }
+      for (const RunMetrics& m : results) print_csv_row(m);
+    } else {
+      for (const RunMetrics& m : results) std::cout << m.summary() << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
