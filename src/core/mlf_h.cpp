@@ -1,7 +1,10 @@
 #include "core/mlf_h.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "sim/audit.hpp"
 
 namespace mlfs::core {
 
@@ -69,6 +72,35 @@ std::vector<TaskId> MlfH::ordered_queue(SchedulerContext& ctx) {
 void MlfH::on_job_complete(const Job& job, SimTime now) {
   (void)now;
   cache_.erase(job.id());
+}
+
+void MlfH::audit_invariants(const Cluster& cluster, SimTime now) const {
+  const auto fail = [now](const std::string& detail) {
+    throw AuditViolation(AuditReport{"mlfh-priority-cache", detail, "scheduler-audit", now, 0});
+  };
+  for (const auto& [job_id, entry] : cache_) {
+    if (job_id >= cluster.job_count()) {
+      fail("cache entry for unknown job " + std::to_string(job_id));
+    }
+    const Job& job = cluster.job(job_id);
+    if (job.done()) {
+      fail("stale cache entry for completed job " + std::to_string(job_id));
+    }
+    if (entry.computed_at > now) {
+      fail("cache entry for job " + std::to_string(job_id) + " computed in the future");
+    }
+    if (entry.computed_at >= 0.0 && entry.priorities.size() != job.task_count()) {
+      fail("priority vector of job " + std::to_string(job_id) + " has " +
+           std::to_string(entry.priorities.size()) + " entries for " +
+           std::to_string(job.task_count()) + " tasks");
+    }
+    for (const double p : entry.priorities) {
+      if (!std::isfinite(p) || p < 0.0) {
+        fail("non-finite or negative priority " + std::to_string(p) + " cached for job " +
+             std::to_string(job_id));
+      }
+    }
+  }
 }
 
 void MlfH::place_queued_tasks(SchedulerContext& ctx) {

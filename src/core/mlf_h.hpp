@@ -27,6 +27,11 @@ class MlfH : public Scheduler {
   /// without bound over a long run (one entry per job ever seen).
   void on_job_complete(const Job& job, SimTime now) override;
 
+  /// Priority-cache consistency for SimAuditor: no entry for a completed
+  /// or unknown job, no future timestamps, priority vector sized to the
+  /// job's tasks with finite non-negative values.
+  void audit_invariants(const Cluster& cluster, SimTime now) const override;
+
   /// Hot-path counters (candidate scans + comm-memo hit rate).
   SchedStats sched_stats() const override { return placement_.stats(); }
 

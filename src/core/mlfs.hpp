@@ -33,6 +33,9 @@ class MlfsScheduler : public Scheduler {
   void schedule(SchedulerContext& ctx) override;
   void on_job_complete(const Job& job, SimTime now) override;
   SchedStats sched_stats() const override { return heuristic_.sched_stats(); }
+  void audit_invariants(const Cluster& cluster, SimTime now) const override {
+    heuristic_.audit_invariants(cluster, now);
+  }
 
   bool rl_active() const { return rl_active_; }
   std::size_t imitation_samples() const { return imitation_.size(); }

@@ -1,0 +1,318 @@
+#include "exp/fuzz.hpp"
+
+#include <atomic>
+#include <istream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "exp/registry.hpp"
+#include "sim/audit.hpp"
+
+namespace mlfs::exp {
+
+namespace {
+
+/// Keeps the GPU request satisfiable after topology shrinks: a request
+/// larger than the fleet could never gang-place and the case would only
+/// measure censoring.
+void clamp_gpu_request(FuzzCase& c) {
+  const int total = static_cast<int>(c.servers) * c.gpus_per_server;
+  c.max_gpu_request = std::max(1, std::min(c.max_gpu_request, total));
+}
+
+}  // namespace
+
+FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
+                       const std::vector<std::string>& schedulers) {
+  MLFS_EXPECT(!schedulers.empty());
+  Rng rng(master_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  FuzzCase c;
+  c.master_seed = master_seed;
+  c.index = index;
+  c.scheduler = schedulers[static_cast<std::size_t>(index) % schedulers.size()];
+  c.trace_seed = rng.next_u64();
+  c.engine_seed = rng.next_u64();
+
+  c.servers = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  c.gpus_per_server = static_cast<int>(rng.uniform_int(1, 8));
+  if (rng.bernoulli(0.4)) c.servers_per_rack = static_cast<int>(rng.uniform_int(2, 4));
+  if (rng.bernoulli(0.3)) c.slow_fraction = rng.uniform(0.1, 0.6);
+
+  c.num_jobs = static_cast<std::size_t>(rng.uniform_int(4, 48));
+  c.duration_hours = rng.uniform(0.5, 8.0);
+  // Mostly generous horizons; sometimes tight, to exercise censoring.
+  c.max_sim_hours = rng.bernoulli(0.15) ? rng.uniform(2.0, 12.0) : rng.uniform(24.0, 24.0 * 7);
+  const int total_gpus = static_cast<int>(c.servers) * c.gpus_per_server;
+  c.max_gpu_request = std::max(1, std::min(16, total_gpus / 2));
+
+  if (rng.bernoulli(0.3)) {
+    c.straggler_probability = rng.uniform(0.005, 0.05);
+    c.straggler_replicas = static_cast<int>(rng.uniform_int(0, 2));
+  }
+  if (rng.bernoulli(0.5)) {
+    c.server_mtbf_hours = rng.uniform(6.0, 72.0);
+    c.server_mttr_hours = rng.uniform(0.1, 1.0);
+  }
+  if (rng.bernoulli(0.3)) c.task_kill_probability = rng.uniform(5e-5, 5e-4);
+  if (c.servers_per_rack > 0 && rng.bernoulli(0.25)) {
+    c.rack_mtbf_hours = rng.uniform(24.0, 200.0);
+    c.rack_mttr_hours = rng.uniform(0.05, 0.5);
+  }
+  c.checkpoint_interval = static_cast<int>(rng.uniform_int(1, 8));
+
+  c.incremental_load_index = !rng.bernoulli(0.15);
+  c.legacy_hot_path = rng.bernoulli(0.15);
+  // Sometimes let the RL-backed schedulers actually switch to the policy
+  // on a small case (the default warm-up never triggers at fuzz sizes).
+  if (rng.bernoulli(0.3)) {
+    c.rl_warmup_samples = static_cast<std::size_t>(rng.uniform_int(50, 400));
+  }
+  return c;
+}
+
+RunRequest to_request(const FuzzCase& c) {
+  RunRequest r;
+  r.label = "fuzz-" + std::to_string(c.master_seed) + "-" + std::to_string(c.index);
+  r.cluster.server_count = c.servers;
+  r.cluster.gpus_per_server = c.gpus_per_server;
+  r.cluster.servers_per_rack = c.servers_per_rack;
+  r.cluster.slow_server_fraction = c.slow_fraction;
+  r.cluster.incremental_load_index = c.incremental_load_index;
+  r.cluster.debug_slot_leak = c.inject_slot_leak;
+  r.engine.seed = c.engine_seed;
+  r.engine.max_sim_time = hours(c.max_sim_hours);
+  r.engine.straggler_probability = c.straggler_probability;
+  r.engine.straggler_replicas = c.straggler_replicas;
+  r.engine.fault.server_mtbf_hours = c.server_mtbf_hours;
+  r.engine.fault.server_mttr_hours = c.server_mttr_hours;
+  r.engine.fault.task_kill_probability = c.task_kill_probability;
+  r.engine.fault.rack_mtbf_hours = c.rack_mtbf_hours;
+  r.engine.fault.rack_mttr_hours = c.rack_mttr_hours;
+  r.engine.fault.checkpoint_interval_iterations = c.checkpoint_interval;
+  r.engine.audit.enabled = true;
+  r.engine.audit.stride = c.audit_stride;
+  r.trace.num_jobs = c.num_jobs;
+  r.trace.duration_hours = c.duration_hours;
+  r.trace.seed = c.trace_seed;
+  r.trace.max_gpu_request = c.max_gpu_request;
+  r.scheduler = c.scheduler;
+  r.mlfs_config.legacy_hot_path = c.legacy_hot_path;
+  r.mlfs_config.rl.warmup_samples = c.rl_warmup_samples;
+  return r;
+}
+
+std::string describe(const FuzzCase& c) {
+  std::ostringstream out;
+  out << "case " << c.master_seed << "/" << c.index << ": " << c.scheduler << ", "
+      << c.num_jobs << " jobs over " << c.duration_hours << "h, " << c.servers << "x"
+      << c.gpus_per_server << " GPUs";
+  if (c.servers_per_rack > 0) out << ", " << c.servers_per_rack << "/rack";
+  if (c.slow_fraction > 0.0) out << ", slow=" << c.slow_fraction;
+  if (c.server_mtbf_hours > 0.0) out << ", crash-mtbf=" << c.server_mtbf_hours << "h";
+  if (c.task_kill_probability > 0.0) out << ", kills=" << c.task_kill_probability;
+  if (c.rack_mtbf_hours > 0.0) out << ", rack-mtbf=" << c.rack_mtbf_hours << "h";
+  if (c.straggler_probability > 0.0) out << ", stragglers=" << c.straggler_probability;
+  if (c.legacy_hot_path) out << ", legacy-hotpath";
+  if (!c.incremental_load_index) out << ", scan-index";
+  if (c.inject_slot_leak) out << ", SLOT-LEAK";
+  return out.str();
+}
+
+std::string serialize(const FuzzCase& c) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "master_seed=" << c.master_seed << "\n"
+      << "index=" << c.index << "\n"
+      << "trace_seed=" << c.trace_seed << "\n"
+      << "engine_seed=" << c.engine_seed << "\n"
+      << "scheduler=" << c.scheduler << "\n"
+      << "servers=" << c.servers << "\n"
+      << "gpus_per_server=" << c.gpus_per_server << "\n"
+      << "servers_per_rack=" << c.servers_per_rack << "\n"
+      << "slow_fraction=" << c.slow_fraction << "\n"
+      << "num_jobs=" << c.num_jobs << "\n"
+      << "duration_hours=" << c.duration_hours << "\n"
+      << "max_sim_hours=" << c.max_sim_hours << "\n"
+      << "max_gpu_request=" << c.max_gpu_request << "\n"
+      << "straggler_probability=" << c.straggler_probability << "\n"
+      << "straggler_replicas=" << c.straggler_replicas << "\n"
+      << "server_mtbf_hours=" << c.server_mtbf_hours << "\n"
+      << "server_mttr_hours=" << c.server_mttr_hours << "\n"
+      << "task_kill_probability=" << c.task_kill_probability << "\n"
+      << "rack_mtbf_hours=" << c.rack_mtbf_hours << "\n"
+      << "rack_mttr_hours=" << c.rack_mttr_hours << "\n"
+      << "checkpoint_interval=" << c.checkpoint_interval << "\n"
+      << "incremental_load_index=" << (c.incremental_load_index ? 1 : 0) << "\n"
+      << "legacy_hot_path=" << (c.legacy_hot_path ? 1 : 0) << "\n"
+      << "rl_warmup_samples=" << c.rl_warmup_samples << "\n"
+      << "audit_stride=" << c.audit_stride << "\n"
+      << "inject_slot_leak=" << (c.inject_slot_leak ? 1 : 0) << "\n";
+  return out.str();
+}
+
+FuzzCase parse_fuzz_case(std::istream& in) {
+  FuzzCase c;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ContractViolation("fuzz case: malformed line (no '='): " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    const auto u64 = [&] { return std::stoull(value); };
+    const auto num = [&] { return std::stod(value); };
+    const auto flag = [&] { return value == "1" || value == "true"; };
+    if (key == "master_seed") c.master_seed = u64();
+    else if (key == "index") c.index = u64();
+    else if (key == "trace_seed") c.trace_seed = u64();
+    else if (key == "engine_seed") c.engine_seed = u64();
+    else if (key == "scheduler") c.scheduler = value;
+    else if (key == "servers") c.servers = static_cast<std::size_t>(u64());
+    else if (key == "gpus_per_server") c.gpus_per_server = static_cast<int>(u64());
+    else if (key == "servers_per_rack") c.servers_per_rack = static_cast<int>(u64());
+    else if (key == "slow_fraction") c.slow_fraction = num();
+    else if (key == "num_jobs") c.num_jobs = static_cast<std::size_t>(u64());
+    else if (key == "duration_hours") c.duration_hours = num();
+    else if (key == "max_sim_hours") c.max_sim_hours = num();
+    else if (key == "max_gpu_request") c.max_gpu_request = static_cast<int>(u64());
+    else if (key == "straggler_probability") c.straggler_probability = num();
+    else if (key == "straggler_replicas") c.straggler_replicas = static_cast<int>(u64());
+    else if (key == "server_mtbf_hours") c.server_mtbf_hours = num();
+    else if (key == "server_mttr_hours") c.server_mttr_hours = num();
+    else if (key == "task_kill_probability") c.task_kill_probability = num();
+    else if (key == "rack_mtbf_hours") c.rack_mtbf_hours = num();
+    else if (key == "rack_mttr_hours") c.rack_mttr_hours = num();
+    else if (key == "checkpoint_interval") c.checkpoint_interval = static_cast<int>(u64());
+    else if (key == "incremental_load_index") c.incremental_load_index = flag();
+    else if (key == "legacy_hot_path") c.legacy_hot_path = flag();
+    else if (key == "rl_warmup_samples") c.rl_warmup_samples = static_cast<std::size_t>(u64());
+    else if (key == "audit_stride") c.audit_stride = static_cast<int>(u64());
+    else if (key == "inject_slot_leak") c.inject_slot_leak = flag();
+    else throw ContractViolation("fuzz case: unknown key: " + key);
+  }
+  return c;
+}
+
+std::optional<FuzzFailure> run_fuzz_case(const FuzzCase& c, bool check_determinism) {
+  const RunRequest request = to_request(c);
+  try {
+    const RunMetrics first = execute_run(request);
+    if (check_determinism) {
+      const RunMetrics second = execute_run(request);
+      if (!deterministic_equal(first, second)) {
+        return FuzzFailure{c, "determinism",
+                           "two runs of the same request produced different RunMetrics"};
+      }
+    }
+  } catch (const AuditViolation& v) {
+    return FuzzFailure{c, v.report().invariant, v.what()};
+  } catch (const std::exception& e) {
+    return FuzzFailure{c, "", e.what()};
+  }
+  return std::nullopt;
+}
+
+ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_failure,
+                         int max_rounds) {
+  using Transform = void (*)(FuzzCase&);
+  static constexpr Transform kTransforms[] = {
+      [](FuzzCase& c) { c.num_jobs = std::max<std::size_t>(1, c.num_jobs / 2); },
+      [](FuzzCase& c) { if (c.num_jobs > 1) --c.num_jobs; },
+      [](FuzzCase& c) {
+        c.servers = std::max<std::size_t>(1, c.servers / 2);
+        clamp_gpu_request(c);
+      },
+      [](FuzzCase& c) {
+        c.gpus_per_server = std::max(1, c.gpus_per_server / 2);
+        clamp_gpu_request(c);
+      },
+      [](FuzzCase& c) { c.server_mtbf_hours = 0.0; },
+      [](FuzzCase& c) { c.task_kill_probability = 0.0; },
+      [](FuzzCase& c) { c.rack_mtbf_hours = 0.0; },
+      [](FuzzCase& c) { c.servers_per_rack = 0; c.rack_mtbf_hours = 0.0; },
+      [](FuzzCase& c) { c.straggler_probability = 0.0; c.straggler_replicas = 0; },
+      [](FuzzCase& c) { c.slow_fraction = 0.0; },
+      [](FuzzCase& c) { c.checkpoint_interval = 1; },
+      [](FuzzCase& c) { c.duration_hours = std::max(0.05, c.duration_hours / 2.0); },
+      [](FuzzCase& c) { c.max_sim_hours = std::max(1.0, c.max_sim_hours / 2.0); },
+      [](FuzzCase& c) { c.legacy_hot_path = false; c.incremental_load_index = true; },
+  };
+  ShrinkResult result{original, original_failure, 0, 0};
+  const std::string target = original_failure.invariant;
+  const bool check_determinism = target == "determinism";
+  for (int round = 0; round < max_rounds; ++round) {
+    bool accepted_this_round = false;
+    for (const Transform transform : kTransforms) {
+      FuzzCase candidate = result.minimal;
+      transform(candidate);
+      if (serialize(candidate) == serialize(result.minimal)) continue;  // no-op transform
+      ++result.attempts;
+      const std::optional<FuzzFailure> failure = run_fuzz_case(candidate, check_determinism);
+      // Accept only when the *same* invariant still fails — shrinking must
+      // not wander onto an unrelated bug.
+      if (failure && (target.empty() || failure->invariant == target)) {
+        result.minimal = candidate;
+        result.failure = *failure;
+        ++result.accepted;
+        accepted_this_round = true;
+      }
+    }
+    if (!accepted_this_round) break;
+  }
+  return result;
+}
+
+FuzzSweepOutcome run_fuzz_sweep(const FuzzSweepOptions& options) {
+  const std::vector<std::string> schedulers =
+      options.schedulers.empty() ? registered_scheduler_names() : options.schedulers;
+  for (const std::string& name : schedulers) {
+    MLFS_EXPECT(is_registered_scheduler(name));
+  }
+  std::vector<FuzzCase> cases(options.runs);
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    cases[i] = generate_case(options.seed, i, schedulers);
+    cases[i].inject_slot_leak = options.inject_slot_leak;
+  }
+
+  // Cases run concurrently; results land by index, so the outcome (and the
+  // shrink phase below) is independent of the thread count.
+  std::vector<std::optional<FuzzFailure>> failures(options.runs);
+  std::atomic<std::size_t> cursor{0};
+  std::mutex progress_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= options.runs) return;
+      failures[i] = run_fuzz_case(cases[i], options.check_determinism);
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(i, cases[i], failures[i].has_value());
+      }
+    }
+  };
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned threads = std::max(
+      1u, std::min(options.threads == 0 ? (hw == 0 ? 4u : hw) : options.threads,
+                   static_cast<unsigned>(options.runs)));
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  FuzzSweepOutcome outcome;
+  outcome.runs = options.runs;
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    if (!failures[i]) continue;
+    outcome.failures.push_back(shrink_case(cases[i], *failures[i], options.shrink_rounds));
+    if (outcome.failures.size() >= options.max_failures) break;
+  }
+  return outcome;
+}
+
+}  // namespace mlfs::exp

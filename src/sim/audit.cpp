@@ -1,0 +1,560 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace mlfs {
+
+namespace {
+
+/// Tolerance for incrementally-maintained usage sums vs a full recompute:
+/// detach clamps at zero, so sums can carry float rounding from the
+/// attach/detach history (same bound Cluster::validate uses). Real leaks —
+/// a whole task's usage — are orders of magnitude larger.
+constexpr double kUsageTol = 1e-6;
+/// Relative tolerance for end-of-run mean reconciliation (the metrics and
+/// the auditor may sum in different orders).
+constexpr double kMeanTol = 1e-9;
+
+bool close(double a, double b, double tol) { return std::abs(a - b) < tol; }
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::ostringstream out;
+  out << "invariant violated: " << invariant << "\n  at sim_time=" << sim_time
+      << "s event=" << event << " (event #" << event_index << ")\n  " << detail;
+  return out.str();
+}
+
+AuditViolation::AuditViolation(AuditReport report)
+    : ContractViolation(report.to_string()), report_(std::move(report)) {}
+
+SimAuditor::SimAuditor(const SimEngine& engine)
+    : engine_(engine), arrived_(engine.cluster_.job_count(), 0) {}
+
+void SimAuditor::fail(const char* invariant, const std::string& detail) const {
+  throw AuditViolation(AuditReport{invariant, detail, current_event_, engine_.now_,
+                                   events_seen_});
+}
+
+void SimAuditor::on_sim_start() {
+  current_event_ = "sim-start";
+  check_dag_structure();
+  check_now("sim-start");
+}
+
+void SimAuditor::after_event(const char* event, JobId subject) {
+  ++events_seen_;
+  // Arrival tracking must see every event (the queue-coverage invariant
+  // only applies to jobs whose arrival has actually been processed; the
+  // spec's arrival time alone is ambiguous at equal-time event ties).
+  if (std::strcmp(event, "arrival") == 0 && subject < arrived_.size()) arrived_[subject] = 1;
+  const int stride = std::max(1, engine_.config_.audit.stride);
+  if (events_seen_ % static_cast<std::uint64_t>(stride) != 0) return;
+  check_now(event);
+}
+
+void SimAuditor::check_now(const char* context) {
+  current_event_ = context;
+  ++audits_;
+  check_servers_and_tasks();
+  check_load_index();
+  check_queue();
+  check_jobs();
+  check_accounting();
+  engine_.scheduler_.audit_invariants(engine_.cluster_, engine_.now_);
+}
+
+// ------------------------------------------------------------ DAG
+
+void SimAuditor::check_dag_structure() const {
+  const Cluster& cluster = engine_.cluster_;
+  for (const Job& job : cluster.jobs()) {
+    const Dag& dag = job.dag();
+    if (dag.node_count() != job.task_count()) {
+      fail("dag-structure", "job " + std::to_string(job.id()) + ": dag has " +
+                                std::to_string(dag.node_count()) + " nodes but " +
+                                std::to_string(job.task_count()) + " tasks");
+    }
+    if (!dag.is_acyclic()) {
+      fail("dag-structure", "job " + std::to_string(job.id()) + ": dag is cyclic");
+    }
+    // Topological order covers every node once, parents strictly first.
+    const std::vector<std::size_t> order = dag.topological_order();
+    std::vector<std::size_t> position(dag.node_count(), dag.node_count());
+    if (order.size() != dag.node_count()) {
+      fail("dag-structure",
+           "job " + std::to_string(job.id()) + ": topological order has " +
+               std::to_string(order.size()) + " of " + std::to_string(dag.node_count()) +
+               " nodes");
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] >= dag.node_count() || position[order[i]] != dag.node_count()) {
+        fail("dag-structure", "job " + std::to_string(job.id()) +
+                                  ": topological order repeats or exceeds node ids");
+      }
+      position[order[i]] = i;
+    }
+    for (std::size_t u = 0; u < dag.node_count(); ++u) {
+      for (const std::size_t v : dag.children(u)) {
+        if (v >= dag.node_count() || position[u] >= position[v]) {
+          fail("dag-structure", "job " + std::to_string(job.id()) + ": edge " +
+                                    std::to_string(u) + "->" + std::to_string(v) +
+                                    " violates topological order");
+        }
+        // Adjacency mirrors: every child edge has the matching parent edge.
+        const auto& ps = dag.parents(v);
+        if (std::find(ps.begin(), ps.end(), u) == ps.end()) {
+          fail("dag-structure", "job " + std::to_string(job.id()) + ": edge " +
+                                    std::to_string(u) + "->" + std::to_string(v) +
+                                    " missing from parents list");
+        }
+      }
+    }
+    // Static spec sanity used throughout the engine's arithmetic.
+    if (job.deadline() < job.spec().arrival) {
+      fail("dag-structure",
+           "job " + std::to_string(job.id()) + ": deadline precedes arrival");
+    }
+    for (const TaskId tid : job.tasks()) {
+      if (tid >= cluster.task_count() || cluster.task(tid).job != job.id()) {
+        fail("dag-structure", "job " + std::to_string(job.id()) + ": task id " +
+                                  std::to_string(tid) + " invalid or owned by another job");
+      }
+    }
+  }
+}
+
+// --------------------------------------------- servers & placement
+
+void SimAuditor::check_servers_and_tasks() const {
+  const Cluster& cluster = engine_.cluster_;
+  std::vector<char> placed_somewhere(cluster.task_count(), 0);
+  for (const Server& s : cluster.servers()) {
+    if (!s.up()) {
+      if (s.task_count() != 0) {
+        fail("task-on-down-server", "server " + std::to_string(s.id()) + " is down but hosts " +
+                                        std::to_string(s.task_count()) + " tasks");
+      }
+      const ResourceVector idle = s.utilization();
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        if (idle.at(r) >= 1e-9) {
+          fail("server-usage", "down server " + std::to_string(s.id()) +
+                                   " has residual utilization " + std::to_string(idle.at(r)) +
+                                   " on resource " + std::to_string(r));
+        }
+      }
+    }
+    // GPU slot conservation: the per-GPU lists partition the server's task
+    // list, and the incremental usage sums match a recompute from the task
+    // pool (a mismatch is exactly a leaked / double-counted slot).
+    ResourceVector recomputed;
+    std::vector<double> gpu_sums(static_cast<std::size_t>(s.gpu_count()), 0.0);
+    std::size_t counted = 0;
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      for (const TaskId tid : s.tasks_on_gpu(g)) {
+        const Task& t = cluster.task(tid);
+        if (t.server != s.id() || t.gpu != g || t.state != TaskState::Running) {
+          fail("slot-conservation",
+               "task " + std::to_string(tid) + " listed on server " + std::to_string(s.id()) +
+                   " gpu " + std::to_string(g) + " but records server=" +
+                   std::to_string(t.server) + " gpu=" + std::to_string(t.gpu));
+        }
+        if (placed_somewhere[tid]) {
+          fail("slot-conservation",
+               "task " + std::to_string(tid) + " appears on more than one GPU slot");
+        }
+        placed_somewhere[tid] = 1;
+        const ResourceVector usage = t.demand * t.usage_factor;
+        recomputed[Resource::Cpu] += usage[Resource::Cpu];
+        recomputed[Resource::Mem] += usage[Resource::Mem];
+        recomputed[Resource::Net] += usage[Resource::Net];
+        gpu_sums[static_cast<std::size_t>(g)] += usage[Resource::Gpu];
+        ++counted;
+      }
+    }
+    if (counted != s.task_count()) {
+      fail("slot-conservation", "server " + std::to_string(s.id()) + ": gpu lists hold " +
+                                    std::to_string(counted) + " tasks but task list holds " +
+                                    std::to_string(s.task_count()));
+    }
+    const ResourceVector cached = s.utilization();
+    for (const Resource r : {Resource::Cpu, Resource::Mem, Resource::Net}) {
+      if (!close(cached[r], recomputed[r], kUsageTol)) {
+        std::ostringstream out;
+        out << "server " << s.id() << " resource " << static_cast<int>(r)
+            << ": cached usage sum " << cached[r] << " != recomputed " << recomputed[r]
+            << " (leaked or double-counted slot)";
+        fail("server-usage", out.str());
+      }
+    }
+    for (int g = 0; g < s.gpu_count(); ++g) {
+      if (!close(s.gpu_load(g), gpu_sums[static_cast<std::size_t>(g)], kUsageTol)) {
+        std::ostringstream out;
+        out << "server " << s.id() << " gpu " << g << ": cached load " << s.gpu_load(g)
+            << " != recomputed " << gpu_sums[static_cast<std::size_t>(g)]
+            << " (leaked or double-counted slot)";
+        fail("server-usage", out.str());
+      }
+    }
+  }
+  for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
+    const Task& t = cluster.task(tid);
+    if (t.placed() != (t.state == TaskState::Running)) {
+      fail("task-state", "task " + std::to_string(tid) + ": placed=" +
+                             std::to_string(t.placed()) + " inconsistent with state " +
+                             std::to_string(static_cast<int>(t.state)));
+    }
+    if (t.placed()) {
+      if (t.server >= cluster.server_count()) {
+        fail("task-state",
+             "task " + std::to_string(tid) + " placed on invalid server " +
+                 std::to_string(t.server));
+      }
+      if (!cluster.server(t.server).up()) {
+        fail("task-on-down-server", "task " + std::to_string(tid) + " resident on down server " +
+                                        std::to_string(t.server));
+      }
+      if (!placed_somewhere[tid]) {
+        fail("slot-conservation", "task " + std::to_string(tid) + " records server " +
+                                      std::to_string(t.server) +
+                                      " but is missing from its GPU lists");
+      }
+    } else if (placed_somewhere[tid]) {
+      fail("slot-conservation",
+           "task " + std::to_string(tid) + " is unplaced but still on a server task list");
+    }
+    if (t.state == TaskState::Finished && !cluster.job(t.job).done()) {
+      fail("task-state", "task " + std::to_string(tid) + " finished but job " +
+                             std::to_string(t.job) + " is not done");
+    }
+  }
+}
+
+// ----------------------------------------------------- load index
+
+void SimAuditor::check_load_index() const {
+  const Cluster& cluster = engine_.cluster_;
+  if (!cluster.config().incremental_load_index || !cluster.index_valid_) return;
+  const std::size_t n = cluster.server_count();
+  if (cluster.index_overloaded_.size() != n || cluster.index_underloaded_.size() != n ||
+      cluster.index_slots_.size() != n || cluster.index_dirty_.size() != n) {
+    fail("load-index", "index arrays not sized to the fleet");
+  }
+  // Partition id vectors: sorted ascending, mirror the flag arrays.
+  for (const auto* ids : {&cluster.underloaded_ids_, &cluster.overloaded_ids_}) {
+    for (std::size_t i = 0; i + 1 < ids->size(); ++i) {
+      if ((*ids)[i] >= (*ids)[i + 1]) {
+        fail("load-index", "partition id vector not strictly ascending");
+      }
+    }
+  }
+  std::vector<char> in_under(n, 0);
+  std::vector<char> in_over(n, 0);
+  for (const ServerId id : cluster.underloaded_ids_) {
+    if (id >= n) fail("load-index", "underloaded id out of range");
+    in_under[id] = 1;
+  }
+  for (const ServerId id : cluster.overloaded_ids_) {
+    if (id >= n) fail("load-index", "overloaded id out of range");
+    in_over[id] = 1;
+  }
+  long long total_slots = 0;
+  std::vector<char> dirty_listed(n, 0);
+  for (const ServerId id : cluster.index_dirty_ids_) {
+    if (id >= n) fail("load-index", "dirty id out of range");
+    dirty_listed[id] = 1;
+  }
+  for (ServerId id = 0; id < n; ++id) {
+    const bool flag_over = cluster.index_overloaded_[id] != 0;
+    const bool flag_under = cluster.index_underloaded_[id] != 0;
+    if (flag_over != (in_over[id] != 0) || flag_under != (in_under[id] != 0)) {
+      fail("load-index", "server " + std::to_string(id) +
+                             ": partition flags disagree with the sorted id vectors");
+    }
+    if (flag_over && flag_under) {
+      fail("load-index",
+           "server " + std::to_string(id) + " is both overloaded and underloaded");
+    }
+    if ((cluster.index_dirty_[id] != 0) != (dirty_listed[id] != 0)) {
+      fail("load-index", "server " + std::to_string(id) +
+                             ": dirty flag disagrees with the dirty id list");
+    }
+    total_slots += cluster.index_slots_[id];
+    if (cluster.index_dirty_[id] != 0) continue;  // stale by design until next refresh
+    // Clean server: every cached quantity must equal a live recompute.
+    // This is the incremental-index == full-rescan ground-truth oracle; it
+    // must NOT go through the refreshing query API (that would bump the
+    // LoadIndexStats counters surfaced in RunMetrics and break
+    // audited == unaudited determinism).
+    const Server& s = cluster.server(id);
+    const bool over = s.up() && s.overloaded(cluster.index_hr_);
+    const bool under = s.up() && !over;
+    if (over != flag_over || under != flag_under) {
+      std::ostringstream out;
+      out << "server " << id << " is clean but cached partition (over=" << flag_over
+          << ", under=" << flag_under << ") != rescan (over=" << over << ", under=" << under
+          << ") at hr=" << cluster.index_hr_;
+      fail("load-index", out.str());
+    }
+    const int slots =
+        s.up() ? Cluster::server_slot_estimate(s, cluster.index_hr_, cluster.index_demand_) : 0;
+    if (slots != cluster.index_slots_[id]) {
+      fail("load-index", "server " + std::to_string(id) + ": cached slot estimate " +
+                             std::to_string(cluster.index_slots_[id]) + " != rescan " +
+                             std::to_string(slots));
+    }
+    const ResourceVector live = s.utilization();
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      if (live.at(r) != cluster.index_util_[id].at(r)) {
+        fail("load-index", "server " + std::to_string(id) +
+                               ": cached utilization diverged from live on clean server");
+      }
+    }
+    const int least = s.least_loaded_gpu();
+    if (least != cluster.index_least_gpu_[id] ||
+        s.gpu_load(least) != cluster.index_least_load_[id]) {
+      fail("load-index", "server " + std::to_string(id) +
+                             ": cached least-loaded GPU diverged from live on clean server");
+    }
+  }
+  if (total_slots != cluster.index_total_slots_) {
+    fail("load-index", "free-slot aggregate " + std::to_string(cluster.index_total_slots_) +
+                           " != sum of per-server estimates " + std::to_string(total_slots));
+  }
+}
+
+// ---------------------------------------------------------- queue
+
+void SimAuditor::check_queue() const {
+  const Cluster& cluster = engine_.cluster_;
+  std::vector<char> in_queue(cluster.task_count(), 0);
+  for (const TaskId tid : engine_.queue_) {
+    if (tid >= cluster.task_count()) {
+      fail("queue-consistency", "queue holds invalid task id " + std::to_string(tid));
+    }
+    const Task& t = cluster.task(tid);
+    if (t.state == TaskState::Running) {
+      fail("queue-consistency",
+           "task " + std::to_string(tid) + " is running but still has a queue entry");
+    }
+    // Entries for finished tasks of completed jobs are tolerated until the
+    // next compaction; anything else non-queued is a leak.
+    if (t.state != TaskState::Queued && !cluster.job(t.job).done()) {
+      fail("queue-consistency", "queue entry for task " + std::to_string(tid) +
+                                    " in state " + std::to_string(static_cast<int>(t.state)) +
+                                    " of an unfinished job");
+    }
+    in_queue[tid] = 1;
+  }
+  // Coverage: every queued task of an arrived, unfinished job must be
+  // reachable by the scheduler (gang placement cannot complete otherwise).
+  for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
+    const Task& t = cluster.task(tid);
+    if (t.state != TaskState::Queued || in_queue[tid]) continue;
+    const Job& job = cluster.job(t.job);
+    if (job.done() || t.job >= arrived_.size() || !arrived_[t.job]) continue;
+    fail("queue-consistency", "task " + std::to_string(tid) + " of arrived job " +
+                                  std::to_string(t.job) +
+                                  " is queued but missing from the scheduler queue");
+  }
+}
+
+// ----------------------------------------------------------- jobs
+
+void SimAuditor::check_jobs() const {
+  const Cluster& cluster = engine_.cluster_;
+  const SimTime now = engine_.now_;
+  for (const Job& job : cluster.jobs()) {
+    const JobId id = job.id();
+    const bool arrived = id < arrived_.size() && arrived_[id] != 0;
+    if ((job.state() == JobState::Completed) != job.done()) {
+      fail("job-state", "job " + std::to_string(id) + ": state/done() disagree");
+    }
+    if (!arrived) {
+      // Nothing may touch a job before its arrival event.
+      if (job.state() != JobState::Waiting || job.completed_iterations() != 0) {
+        fail("job-state",
+             "job " + std::to_string(id) + " progressed before its arrival event");
+      }
+      for (const TaskId tid : job.tasks()) {
+        if (cluster.task(tid).placed()) {
+          fail("job-state", "task " + std::to_string(tid) + " of job " + std::to_string(id) +
+                                " placed before arrival");
+        }
+      }
+      continue;
+    }
+    switch (job.state()) {
+      case JobState::Running: {
+        // Gang execution: a running job has every live task resident — no
+        // task iterates before its DAG parents are placed alongside it.
+        if (!cluster.job_fully_placed(job)) {
+          fail("gang-execution",
+               "job " + std::to_string(id) + " is running but not fully placed");
+        }
+        if (engine_.iter_duration_[id] <= 0.0) {
+          fail("job-state", "job " + std::to_string(id) +
+                                " is running with no in-flight iteration");
+        }
+        if (engine_.iter_started_[id] > now + 1e-9) {
+          fail("job-state",
+               "job " + std::to_string(id) + " iteration started in the future");
+        }
+        break;
+      }
+      case JobState::Completed: {
+        for (const TaskId tid : job.tasks()) {
+          const Task& t = cluster.task(tid);
+          if (t.state != TaskState::Finished || t.placed()) {
+            fail("job-state", "completed job " + std::to_string(id) + " still owns task " +
+                                  std::to_string(tid) + " in state " +
+                                  std::to_string(static_cast<int>(t.state)));
+          }
+        }
+        if (job.completion_time() < job.spec().arrival) {
+          fail("job-state",
+               "job " + std::to_string(id) + " completed before it arrived");
+        }
+        break;
+      }
+      case JobState::Waiting: {
+        if (engine_.waiting_since_[id] > now + 1e-9) {
+          fail("job-state", "job " + std::to_string(id) + " waiting_since in the future");
+        }
+        break;
+      }
+    }
+    if (engine_.resume_credit_[id] < 0.0 || engine_.resume_credit_[id] > 0.95 + 1e-12) {
+      fail("job-state", "job " + std::to_string(id) + " resume credit " +
+                            std::to_string(engine_.resume_credit_[id]) + " outside [0, 0.95]");
+    }
+    if (engine_.partial_since_[id] >= 0.0 && engine_.partial_since_[id] > now + 1e-9) {
+      fail("job-state", "job " + std::to_string(id) + " partial_since in the future");
+    }
+    if (engine_.fault_stopped_since_[id] >= 0.0 &&
+        engine_.fault_stopped_since_[id] > now + 1e-9) {
+      fail("job-state", "job " + std::to_string(id) + " fault_stopped_since in the future");
+    }
+  }
+}
+
+// ----------------------------------------------------- accounting
+
+void SimAuditor::check_accounting() {
+  const Cluster& cluster = engine_.cluster_;
+  std::size_t done = 0;
+  long long completed_iterations = 0;
+  long long task_migrations = 0;
+  for (const Job& job : cluster.jobs()) {
+    if (job.done()) ++done;
+    completed_iterations += job.completed_iterations();
+  }
+  for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
+    task_migrations += cluster.task(tid).migrations;
+  }
+  if (done != engine_.jobs_completed_) {
+    fail("accounting", "jobs_completed counter " + std::to_string(engine_.jobs_completed_) +
+                           " != completed jobs " + std::to_string(done));
+  }
+  if (task_migrations != static_cast<long long>(engine_.migrations_)) {
+    fail("accounting", "migration counter " + std::to_string(engine_.migrations_) +
+                           " != sum of per-task migrations " + std::to_string(task_migrations));
+  }
+  // Iteration ledger: every completed iteration was executed, and every
+  // rolled-back iteration was both executed and popped from its job.
+  const long long net = static_cast<long long>(engine_.iterations_run_) -
+                        static_cast<long long>(engine_.iterations_rolled_back_);
+  if (completed_iterations != net) {
+    fail("accounting", "sum of per-job completed iterations " +
+                           std::to_string(completed_iterations) + " != iterations_run - rolled_back = " +
+                           std::to_string(net));
+  }
+  if (engine_.inflight_work_lost_iterations_ < -1e-12 || engine_.work_lost_gpu_seconds_ < -1e-9) {
+    fail("accounting", "negative lost-work accumulators");
+  }
+  // Monotonicity vs the previous sweep (counters and ledgers only grow).
+  if (engine_.now_ + 1e-9 < last_now_ || engine_.iterations_run_ < last_iterations_run_ ||
+      engine_.migrations_ < last_migrations_ || engine_.preemptions_ < last_preemptions_ ||
+      engine_.jobs_completed_ < last_jobs_completed_ ||
+      engine_.server_failures_ < last_server_failures_ ||
+      engine_.task_kills_ < last_task_kills_ ||
+      cluster.total_bandwidth_mb() + 1e-9 < last_bandwidth_mb_ ||
+      cluster.inter_rack_bandwidth_mb() + 1e-9 < last_inter_rack_mb_) {
+    fail("accounting", "a monotone counter decreased since the previous audit");
+  }
+  if (cluster.inter_rack_bandwidth_mb() > cluster.total_bandwidth_mb() + 1e-6) {
+    fail("accounting", "inter-rack bandwidth exceeds the total ledger");
+  }
+  last_now_ = engine_.now_;
+  last_iterations_run_ = engine_.iterations_run_;
+  last_migrations_ = engine_.migrations_;
+  last_preemptions_ = engine_.preemptions_;
+  last_jobs_completed_ = engine_.jobs_completed_;
+  last_server_failures_ = engine_.server_failures_;
+  last_task_kills_ = engine_.task_kills_;
+  last_bandwidth_mb_ = cluster.total_bandwidth_mb();
+  last_inter_rack_mb_ = cluster.inter_rack_bandwidth_mb();
+}
+
+// -------------------------------------------------------- metrics
+
+void SimAuditor::check_metrics(const RunMetrics& m) const {
+  const Cluster& cluster = engine_.cluster_;
+  const auto fail_m = [this](const std::string& detail) {
+    throw AuditViolation(
+        AuditReport{"metrics-accounting", detail, "end-of-run", engine_.now_, events_seen_});
+  };
+  const std::size_t n = cluster.job_count();
+  if (m.job_count != n || m.jct_minutes.count() != n || m.waiting_seconds.count() != n) {
+    fail_m("per-job sample counts do not cover every job");
+  }
+  double jct_sum_minutes = 0.0;
+  std::size_t deadline_met = 0;
+  std::size_t accuracy_met = 0;
+  std::size_t migrations = 0;
+  for (const Job& job : cluster.jobs()) {
+    jct_sum_minutes += to_minutes(job.completion_time() - job.spec().arrival);
+    if (job.done() && job.completion_time() <= job.deadline()) ++deadline_met;
+    if (job.accuracy_by_deadline() >= job.spec().accuracy_requirement) ++accuracy_met;
+  }
+  for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
+    migrations += static_cast<std::size_t>(cluster.task(tid).migrations);
+  }
+  const double dn = static_cast<double>(n);
+  const double mean_jct = n > 0 ? jct_sum_minutes / dn : 0.0;
+  if (!close(m.average_jct_minutes(), mean_jct,
+             kMeanTol * std::max(1.0, std::abs(mean_jct)))) {
+    fail_m("average JCT " + std::to_string(m.average_jct_minutes()) +
+           " does not reconcile with per-job completion times (expected " +
+           std::to_string(mean_jct) + ")");
+  }
+  if (n > 0 && m.deadline_ratio != static_cast<double>(deadline_met) / dn) {
+    fail_m("deadline ratio does not reconcile with per-job deadlines");
+  }
+  if (n > 0 && m.accuracy_ratio != static_cast<double>(accuracy_met) / dn) {
+    fail_m("accuracy ratio does not reconcile with per-job accuracy");
+  }
+  if (m.bandwidth_tb != cluster.total_bandwidth_mb() / 1e6 ||
+      m.inter_rack_tb != cluster.inter_rack_bandwidth_mb() / 1e6) {
+    fail_m("bandwidth metrics do not reconcile with the cluster ledger");
+  }
+  if (m.inter_rack_tb > m.bandwidth_tb + 1e-12) {
+    fail_m("inter-rack traffic exceeds total traffic");
+  }
+  if (m.iterations_run != engine_.iterations_run_ || m.migrations != migrations ||
+      m.preemptions != engine_.preemptions_ || m.sched_rounds != engine_.sched_rounds_) {
+    fail_m("engine counters do not reconcile with RunMetrics");
+  }
+  if (m.goodput < 0.0 || m.goodput > 1.0 + 1e-12) {
+    fail_m("goodput " + std::to_string(m.goodput) + " outside [0, 1]");
+  }
+}
+
+}  // namespace mlfs

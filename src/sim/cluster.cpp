@@ -239,6 +239,11 @@ void Cluster::unplace_task(TaskId id) {
   Task& t = task(id);
   MLFS_EXPECT(t.placed());
   server(t.server).detach_task(t, t.gpu);
+  if (config_.debug_slot_leak && (++debug_unplace_count_ % 7) == 0) {
+    // Self-test bug (see ClusterConfig::debug_slot_leak): re-add the usage
+    // the detach just removed, leaving a phantom slot on the server.
+    server(t.server).adjust_usage(t, 0.0, t.usage_factor);
+  }
   touch_server(t.server);
   ++placement_epoch_;
   t.server = kInvalidServer;

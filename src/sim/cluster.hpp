@@ -45,6 +45,15 @@ struct ClusterConfig {
   /// are identical either way; `false` keeps the reference scan
   /// implementation for equivalence tests and the hot-path benchmark.
   bool incremental_load_index = true;
+
+  /// Deliberate slot-conservation bug for auditor self-tests: every 7th
+  /// unplace leaks the departing task's usage back onto its server, so the
+  /// cached usage sums drift from the task pool exactly the way a real
+  /// bookkeeping bug would. The run still completes without auditing; with
+  /// EngineConfig::audit on, SimAuditor must catch it ("server-usage") and
+  /// the fuzz harness must shrink it (see tests/prop). Never enable
+  /// outside tests.
+  bool debug_slot_leak = false;
 };
 
 /// Load-index bookkeeping counters (perf-trajectory instrumentation).
@@ -172,6 +181,8 @@ class Cluster {
   std::size_t transfer_count() const { return transfer_count_; }
 
  private:
+  friend class SimAuditor;  // reads raw index state without refreshing it
+
   /// Marks a server's load-index entry stale. Every mutation that can move
   /// a server across the overload threshold or change its GPU headroom
   /// funnels through here (attach/detach/usage/up-down).
@@ -190,6 +201,7 @@ class Cluster {
   double inter_rack_bandwidth_mb_ = 0.0;
   std::size_t transfer_count_ = 0;
   std::uint64_t placement_epoch_ = 0;
+  std::size_t debug_unplace_count_ = 0;  ///< drives ClusterConfig::debug_slot_leak
 
   // --- incremental load index (lazy; mutable because queries are const) ---
   mutable bool index_valid_ = false;

@@ -53,6 +53,10 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
     const int racks = cluster_.rack_of(static_cast<ServerId>(cluster_.server_count() - 1)) + 1;
     for (int r = 0; r < racks; ++r) schedule_rack_outage(r);
   }
+  if (config_.audit.enabled) {
+    auditor_ = std::make_unique<SimAuditor>(*this);
+    auditor_->on_sim_start();
+  }
 }
 
 void SimEngine::push_event(SimTime time, EventType type, JobId job, std::uint64_t epoch) {
@@ -710,15 +714,26 @@ RunMetrics SimEngine::run() {
     if (ev.time > config_.max_sim_time) break;
     MLFS_EXPECT(ev.time + 1e-9 >= now_);
     now_ = std::max(now_, ev.time);
+    const char* name = "";
     switch (ev.type) {
-      case EventType::Arrival: handle_arrival(ev.job); break;
-      case EventType::Tick: handle_tick(); break;
-      case EventType::IterationDone: handle_iteration_done(ev.job, ev.epoch); break;
-      case EventType::Deadline: handle_deadline(ev.job); break;
-      case EventType::ServerDown: handle_server_down(ev.job, ev.epoch); break;
-      case EventType::ServerUp: handle_server_up(ev.job, ev.epoch); break;
-      case EventType::RackOutage: handle_rack_outage(static_cast<int>(ev.job)); break;
+      case EventType::Arrival: name = "arrival"; handle_arrival(ev.job); break;
+      case EventType::Tick: name = "tick"; handle_tick(); break;
+      case EventType::IterationDone:
+        name = "iteration-done";
+        handle_iteration_done(ev.job, ev.epoch);
+        break;
+      case EventType::Deadline: name = "deadline"; handle_deadline(ev.job); break;
+      case EventType::ServerDown:
+        name = "server-down";
+        handle_server_down(ev.job, ev.epoch);
+        break;
+      case EventType::ServerUp: name = "server-up"; handle_server_up(ev.job, ev.epoch); break;
+      case EventType::RackOutage:
+        name = "rack-outage";
+        handle_rack_outage(static_cast<int>(ev.job));
+        break;
     }
+    if (auditor_) auditor_->after_event(name, ev.job);
     if (jobs_completed_ == cluster_.job_count()) break;
   }
   if (jobs_completed_ < cluster_.job_count()) {
@@ -805,6 +820,10 @@ RunMetrics SimEngine::run() {
   const double executed =
       static_cast<double>(iterations_run_) + inflight_work_lost_iterations_;
   m.goodput = executed > 0.0 ? useful / executed : 1.0;
+  if (auditor_) {
+    auditor_->check_now("end-of-run");
+    auditor_->check_metrics(m);
+  }
   return m;
 }
 

@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "predict/learning_curve.hpp"
 #include "predict/runtime_predictor.hpp"
+#include "sim/audit.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
 #include "sim/metrics.hpp"
@@ -103,6 +104,12 @@ struct EngineConfig {
   /// Failure model (crashes, recoveries, transient kills); all rates
   /// default to zero = the historical fault-free simulation.
   FaultConfig fault;
+
+  /// Invariant auditing (see sim/audit.hpp): when enabled the engine
+  /// re-validates the cluster-wide invariants after every processed event
+  /// and throws AuditViolation on the first divergence. Pure observer —
+  /// results are bit-identical to an unaudited run.
+  AuditConfig audit;
 };
 
 /// Hook for MLF-C (§3.5): invoked every tick before the scheduler so it can
@@ -143,6 +150,8 @@ class SimEngine final : private SchedulerOps {
   void inject_server_failure(ServerId server, SimTime at);
 
  private:
+  friend class SimAuditor;  // reads raw engine state; mutates nothing
+
   // -- SchedulerOps --
   bool place(TaskId task, ServerId server, int gpu) override;
   void preempt_to_queue(TaskId task) override;
@@ -220,6 +229,7 @@ class SimEngine final : private SchedulerOps {
   Rng fault_rng_;
   RuntimePredictor runtime_predictor_;
   LearningCurvePredictor curve_predictor_;
+  std::unique_ptr<SimAuditor> auditor_;  ///< non-null iff config_.audit.enabled
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t event_seq_ = 0;

@@ -87,6 +87,15 @@ class Scheduler {
     (void)job;
     (void)now;
   }
+
+  /// Scheduler-internal consistency check, called by SimAuditor after
+  /// every audited event. Implementations validate their private caches
+  /// against the cluster ground truth (e.g. MlfH's priority cache) and
+  /// throw AuditViolation on divergence. Must not mutate anything.
+  virtual void audit_invariants(const Cluster& cluster, SimTime now) const {
+    (void)cluster;
+    (void)now;
+  }
 };
 
 }  // namespace mlfs

@@ -32,6 +32,14 @@ std::vector<JobSpec> trace(std::size_t jobs, std::uint64_t seed) {
   return PhillyTraceGenerator(config).generate();
 }
 
+/// Every property sweep runs under the invariant auditor (sim/audit.hpp):
+/// the checks below then only need to assert the test-specific claims.
+EngineConfig audited_engine() {
+  EngineConfig e;
+  e.audit.enabled = true;
+  return e;
+}
+
 // ---------------------------------------------------------------- seeds
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -41,7 +49,7 @@ TEST_P(SeedSweep, EngineInvariantsHoldEndToEnd) {
   config.rl.warmup_samples = 100;
   core::MlfsScheduler scheduler(config, "MLFS");
   core::MlfC controller(config.load_control);
-  SimEngine engine(cluster_config(), {}, trace(40, GetParam()), scheduler, &controller);
+  SimEngine engine(cluster_config(), audited_engine(), trace(40, GetParam()), scheduler, &controller);
   const RunMetrics m = engine.run();
 
   // The incremental utilization bookkeeping must match a from-scratch
@@ -75,7 +83,7 @@ TEST_P(SeedSweep, DeterministicReplay) {
     config.rl.warmup_samples = 100;
     core::MlfsScheduler scheduler(config, "MLFS");
     core::MlfC controller(config.load_control);
-    SimEngine engine(cluster_config(), {}, trace(30, GetParam()), scheduler, &controller);
+    SimEngine engine(cluster_config(), audited_engine(), trace(30, GetParam()), scheduler, &controller);
     return engine.run();
   };
   const RunMetrics a = run_once();
@@ -188,7 +196,7 @@ TEST_P(CurveSweep, OptStopNeverStopsBelowRequirementWhenReachable) {
     spec.max_iterations = 300;
   }
   auto instance = exp::make_scheduler("MLF-H");
-  SimEngine engine(cluster_config(), {}, specs, *instance.scheduler);
+  SimEngine engine(cluster_config(), audited_engine(), specs, *instance.scheduler);
   (void)engine.run();
   for (const Job& job : engine.cluster().jobs()) {
     const double best = job.curve().accuracy_at(job.spec().max_iterations);

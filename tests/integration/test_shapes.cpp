@@ -19,6 +19,11 @@ class ShapeTest : public ::testing::Test {
     scenario.trace.num_jobs = 600;      // ~x3 load for a 32-GPU fleet
     scenario.trace.max_gpu_request = 16;
     scenario.sweep_multipliers = {1.0};
+    // Run the whole sweep under the invariant auditor (pure observer, so
+    // the shape assertions see identical metrics); strided to keep the
+    // fixture cheap at this event volume.
+    scenario.engine.audit.enabled = true;
+    scenario.engine.audit.stride = 64;
     // The fixture is the suite's hot spot: run the 10-scheduler sweep on
     // the pool (deterministic regardless of thread count, see runner.hpp).
     exp::RunOptions options;

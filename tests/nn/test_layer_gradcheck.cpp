@@ -1,0 +1,141 @@
+// Per-layer finite-difference checks, complementing the whole-network
+// checks in test_gradcheck.cpp: each Layer's backward() must return the
+// exact dLoss/dInput (not just accumulate parameter grads), and each loss
+// head's grad_logits must match central differences on its own inputs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+
+namespace mlfs::nn {
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr double kTol = 1e-5;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng, double lo = -1.0,
+                     double hi = 1.0) {
+  Matrix m(rows, cols);
+  for (auto& v : m.raw()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+double weighted_sum(const Matrix& out, const Matrix& weights) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) total += out.raw()[i] * weights.raw()[i];
+  return total;
+}
+
+/// Checks dLoss/dInput of `layer` under the scalar loss L = sum(W ⊙ out),
+/// whose exact gradient w.r.t. the output is W itself.
+void check_input_gradient(Layer& layer, Matrix input, const Matrix& loss_weights) {
+  const Matrix out = layer.forward(input);
+  const Matrix analytic = layer.backward(loss_weights);
+  ASSERT_EQ(analytic.rows(), input.rows());
+  ASSERT_EQ(analytic.cols(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double saved = input.raw()[i];
+    input.raw()[i] = saved + kEps;
+    const double plus = weighted_sum(layer.forward(input), loss_weights);
+    input.raw()[i] = saved - kEps;
+    const double minus = weighted_sum(layer.forward(input), loss_weights);
+    input.raw()[i] = saved;
+    EXPECT_NEAR(analytic.raw()[i], (plus - minus) / (2.0 * kEps), kTol) << "input element " << i;
+  }
+  layer.forward(input);  // leave the layer's cache consistent
+}
+
+TEST(LayerGradCheck, DenseInputGradient) {
+  Rng rng(51);
+  Dense dense(4, 3, rng);
+  check_input_gradient(dense, random_matrix(2, 4, rng), random_matrix(2, 3, rng));
+}
+
+TEST(LayerGradCheck, DenseParameterGradients) {
+  Rng rng(53);
+  Dense dense(3, 2, rng);
+  Matrix input = random_matrix(4, 3, rng);
+  const Matrix loss_weights = random_matrix(4, 2, rng);
+
+  dense.zero_grads();
+  (void)dense.forward(input);
+  (void)dense.backward(loss_weights);
+  const auto params = dense.params();
+  const auto grads = dense.grads();
+  ASSERT_EQ(params.size(), 2u);  // weights, bias
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Matrix& param = *params[p];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      const double saved = param.raw()[i];
+      param.raw()[i] = saved + kEps;
+      const double plus = weighted_sum(dense.forward(input), loss_weights);
+      param.raw()[i] = saved - kEps;
+      const double minus = weighted_sum(dense.forward(input), loss_weights);
+      param.raw()[i] = saved;
+      EXPECT_NEAR(grads[p]->raw()[i], (plus - minus) / (2.0 * kEps), kTol)
+          << "param block " << p << " element " << i;
+    }
+  }
+}
+
+TEST(LayerGradCheck, ReluInputGradient) {
+  Rng rng(57);
+  Relu relu;
+  // Keep inputs away from the kink at 0, where the FD quotient straddles
+  // the subgradient and the comparison is meaningless.
+  Matrix input = random_matrix(3, 5, rng);
+  for (auto& v : input.raw()) v += (v >= 0.0 ? 0.1 : -0.1);
+  check_input_gradient(relu, input, random_matrix(3, 5, rng));
+}
+
+TEST(LayerGradCheck, TanhInputGradient) {
+  Rng rng(59);
+  Tanh tanh_layer;
+  check_input_gradient(tanh_layer, random_matrix(3, 5, rng, -2.0, 2.0),
+                       random_matrix(3, 5, rng));
+}
+
+/// FD check of a loss head's grad_logits against the head's own scalar loss.
+void check_loss_head(Matrix logits, const std::function<LossResult(const Matrix&)>& head) {
+  const Matrix analytic = head(logits).grad_logits;
+  ASSERT_EQ(analytic.rows(), logits.rows());
+  ASSERT_EQ(analytic.cols(), logits.cols());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double saved = logits.raw()[i];
+    logits.raw()[i] = saved + kEps;
+    const double plus = head(logits).loss;
+    logits.raw()[i] = saved - kEps;
+    const double minus = head(logits).loss;
+    logits.raw()[i] = saved;
+    EXPECT_NEAR(analytic.raw()[i], (plus - minus) / (2.0 * kEps), kTol) << "logit " << i;
+  }
+}
+
+TEST(LossGradCheck, CrossEntropyGradLogits) {
+  Rng rng(61);
+  const std::vector<int> targets = {2, 0, 1};
+  check_loss_head(random_matrix(3, 4, rng, -2.0, 2.0),
+                  [&](const Matrix& l) { return cross_entropy(l, targets); });
+}
+
+TEST(LossGradCheck, MseGradPredictions) {
+  Rng rng(67);
+  const std::vector<double> targets = {0.25, -0.5, 1.5, 0.0};
+  check_loss_head(random_matrix(4, 1, rng),
+                  [&](const Matrix& l) { return mse(l, targets); });
+}
+
+TEST(LossGradCheck, PolicyGradientGradLogits) {
+  Rng rng(71);
+  const std::vector<int> actions = {3, 1, 0};
+  const std::vector<double> advantages = {1.5, -0.75, 0.25};
+  check_loss_head(random_matrix(3, 4, rng, -1.5, 1.5),
+                  [&](const Matrix& l) { return policy_gradient(l, actions, advantages); });
+}
+
+}  // namespace
+}  // namespace mlfs::nn

@@ -45,6 +45,7 @@ struct Options {
   unsigned threads = 0;  // 0 = hardware concurrency
   bool csv = false;
   bool legacy_hotpath = false;
+  bool audit = false;
   std::string event_log_file;
 };
 
@@ -68,6 +69,9 @@ void print_usage() {
       "  --csv                emit one CSV row per run instead of prose\n"
       "  --legacy-hotpath     disable the incremental load index + comm memo\n"
       "                       (reference scan scheduler; same decisions)\n"
+      "  --audit              validate simulation invariants after every\n"
+      "                       event (sim/audit.hpp); results are identical,\n"
+      "                       violations abort the run with a diagnostic\n"
       "  --event-log FILE     write a JSONL event trace of the (last) run;\n"
       "                       forces --threads 1\n";
 }
@@ -140,6 +144,8 @@ bool parse(int argc, char** argv, Options& options) {
       options.csv = true;
     } else if (arg == "--legacy-hotpath") {
       options.legacy_hotpath = true;
+    } else if (arg == "--audit") {
+      options.audit = true;
     } else if (arg == "--event-log") {
       const char* v = next("--event-log");
       if (!v) return false;
@@ -195,6 +201,7 @@ int main(int argc, char** argv) {
     engine_config.seed = options.seed ^ 0xabc;
     engine_config.straggler_probability = options.straggler_probability;
     engine_config.straggler_replicas = options.straggler_replicas;
+    engine_config.audit.enabled = options.audit;
 
     TraceConfig trace;
     trace.num_jobs = options.jobs;
