@@ -45,6 +45,16 @@ struct PlacementParams {
   /// "Scheduler hot path"). Bit-exact with the direct computation; `false`
   /// keeps the reference path for equivalence tests and benchmarks.
   bool memoize_comm = true;
+
+  /// Fault-domain awareness (recovery policies, DESIGN.md "Recovery
+  /// policies"): add a rack-spread dimension to the ideal-virtual-server
+  /// distance — the fraction of the task's already-placed job peers in the
+  /// candidate's rack, weighted by `spread_penalty` (ideal = 0, no peers
+  /// co-racked). Pulls gangs across fault domains so one rack outage
+  /// cannot erase a whole job. On a flat cluster every candidate shares
+  /// rack 0, so the term is a constant shift and no decision changes.
+  bool spread_racks = false;
+  double spread_penalty = 0.5;
 };
 
 struct MigrationParams {

@@ -43,6 +43,33 @@ double weighted_comm_volume(const Cluster& cluster, const Task& task, const Weig
   });
   return volume;
 }
+
+/// Rack-spread dimension (PlacementParams::spread_racks): fraction of the
+/// task's already-placed job siblings that sit in `rack`. The ideal host
+/// has none co-racked, so the distance term is the fraction itself. One
+/// walk fills the count for every rack so the candidate loop is O(1) per
+/// candidate.
+std::vector<double> rack_peer_fractions(const Cluster& cluster, const Task& task) {
+  int max_rack = 0;
+  for (ServerId sid = 0; sid < cluster.server_count(); ++sid) {
+    max_rack = std::max(max_rack, cluster.rack_of(sid));
+  }
+  std::vector<double> frac(static_cast<std::size_t>(max_rack) + 1, 0.0);
+  const Job& job = cluster.job(task.job);
+  if (job.task_count() <= 1) return frac;
+  int placed_peers = 0;
+  for (const TaskId tid : job.tasks()) {
+    if (tid == task.id) continue;
+    const Task& other = cluster.task(tid);
+    if (!other.placed()) continue;
+    ++placed_peers;
+    frac[static_cast<std::size_t>(cluster.rack_of(other.server))] += 1.0;
+  }
+  if (placed_peers > 0) {
+    for (double& f : frac) f /= static_cast<double>(placed_peers);
+  }
+  return frac;
+}
 }  // namespace
 
 double MlfPlacement::comm_volume_with_server(const Cluster& cluster, const Task& task,
@@ -146,6 +173,9 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
     }
   }
 
+  std::vector<double> spread;
+  if (params_.spread_racks) spread = rack_peer_fractions(cluster, task);
+
   const Candidate* best = nullptr;
   double best_distance = 0.0;
   for (const Candidate& c : candidates) {
@@ -157,6 +187,11 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
     if (params_.use_bandwidth && max_comm > 0.0) {
       const double d = c.comm / max_comm - 1.0;  // ideal = the max
       sq += d * d;
+    }
+    if (params_.spread_racks) {
+      const double d =
+          params_.spread_penalty * spread[static_cast<std::size_t>(cluster.rack_of(c.server))];
+      sq += d * d;  // ideal = no job siblings in this fault domain
     }
     if (migrating) {
       // Movement degradation q ([10]'s model): minutes of disruption to
@@ -259,6 +294,8 @@ std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext&
 
   // Pass 2: identical distance arithmetic to the legacy body, reading the
   // per-candidate inputs back from the caches instead of a Candidate array.
+  std::vector<double> spread;
+  if (params_.spread_racks) spread = rack_peer_fractions(cluster, task);
   ServerId best_server = feasible_.front().first;
   int best_gpu = feasible_.front().second;
   double best_distance = 0.0;
@@ -273,6 +310,11 @@ std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext&
     if (params_.use_bandwidth && max_comm > 0.0) {
       const double d = comm[sid] / max_comm - 1.0;  // ideal = the max
       sq += d * d;
+    }
+    if (params_.spread_racks) {
+      const double d =
+          params_.spread_penalty * spread[static_cast<std::size_t>(cluster.rack_of(sid))];
+      sq += d * d;  // ideal = no job siblings in this fault domain
     }
     if (migrating) {
       const double q =

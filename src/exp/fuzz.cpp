@@ -70,6 +70,16 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
   if (rng.bernoulli(0.3)) {
     c.rl_warmup_samples = static_cast<std::size_t>(rng.uniform_int(50, 400));
   }
+  // Recovery policies: drawn last so cases from older sweeps keep their
+  // prefix of draws (and so legacy seeds stay replayable up to this block).
+  if (rng.bernoulli(0.35)) {
+    c.recovery = true;
+    c.quarantine = rng.bernoulli(0.7);
+    if (rng.bernoulli(0.5)) c.retry_budget = static_cast<int>(rng.uniform_int(1, 6));
+    c.adaptive_checkpoint = rng.bernoulli(0.5);
+    c.spread_placement = rng.bernoulli(0.5);
+    if (rng.bernoulli(0.4)) c.flaky_fraction = rng.uniform(0.1, 0.5);
+  }
   return c;
 }
 
@@ -92,6 +102,12 @@ RunRequest to_request(const FuzzCase& c) {
   r.engine.fault.rack_mtbf_hours = c.rack_mtbf_hours;
   r.engine.fault.rack_mttr_hours = c.rack_mttr_hours;
   r.engine.fault.checkpoint_interval_iterations = c.checkpoint_interval;
+  r.engine.fault.flaky_server_fraction = c.flaky_fraction;
+  r.engine.recovery.enabled = c.recovery;
+  r.engine.recovery.quarantine_enabled = c.quarantine;
+  r.engine.recovery.retry_budget = c.retry_budget;
+  r.engine.recovery.adaptive_checkpoint = c.adaptive_checkpoint;
+  r.engine.recovery.spread_placement = c.spread_placement;
   r.engine.audit.enabled = true;
   r.engine.audit.stride = c.audit_stride;
   r.trace.num_jobs = c.num_jobs;
@@ -115,6 +131,14 @@ std::string describe(const FuzzCase& c) {
   if (c.task_kill_probability > 0.0) out << ", kills=" << c.task_kill_probability;
   if (c.rack_mtbf_hours > 0.0) out << ", rack-mtbf=" << c.rack_mtbf_hours << "h";
   if (c.straggler_probability > 0.0) out << ", stragglers=" << c.straggler_probability;
+  if (c.flaky_fraction > 0.0) out << ", flaky=" << c.flaky_fraction;
+  if (c.recovery) {
+    out << ", recovery";
+    if (!c.quarantine) out << "(no-quarantine)";
+    if (c.retry_budget > 0) out << ", retries=" << c.retry_budget;
+    if (c.adaptive_checkpoint) out << ", adaptive-ckpt";
+    if (c.spread_placement) out << ", spread";
+  }
   if (c.legacy_hot_path) out << ", legacy-hotpath";
   if (!c.incremental_load_index) out << ", scan-index";
   if (c.inject_slot_leak) out << ", SLOT-LEAK";
@@ -145,6 +169,12 @@ std::string serialize(const FuzzCase& c) {
       << "rack_mtbf_hours=" << c.rack_mtbf_hours << "\n"
       << "rack_mttr_hours=" << c.rack_mttr_hours << "\n"
       << "checkpoint_interval=" << c.checkpoint_interval << "\n"
+      << "flaky_fraction=" << c.flaky_fraction << "\n"
+      << "recovery=" << (c.recovery ? 1 : 0) << "\n"
+      << "quarantine=" << (c.quarantine ? 1 : 0) << "\n"
+      << "retry_budget=" << c.retry_budget << "\n"
+      << "adaptive_checkpoint=" << (c.adaptive_checkpoint ? 1 : 0) << "\n"
+      << "spread_placement=" << (c.spread_placement ? 1 : 0) << "\n"
       << "incremental_load_index=" << (c.incremental_load_index ? 1 : 0) << "\n"
       << "legacy_hot_path=" << (c.legacy_hot_path ? 1 : 0) << "\n"
       << "rl_warmup_samples=" << c.rl_warmup_samples << "\n"
@@ -188,6 +218,12 @@ FuzzCase parse_fuzz_case(std::istream& in) {
     else if (key == "rack_mtbf_hours") c.rack_mtbf_hours = num();
     else if (key == "rack_mttr_hours") c.rack_mttr_hours = num();
     else if (key == "checkpoint_interval") c.checkpoint_interval = static_cast<int>(u64());
+    else if (key == "flaky_fraction") c.flaky_fraction = num();
+    else if (key == "recovery") c.recovery = flag();
+    else if (key == "quarantine") c.quarantine = flag();
+    else if (key == "retry_budget") c.retry_budget = static_cast<int>(u64());
+    else if (key == "adaptive_checkpoint") c.adaptive_checkpoint = flag();
+    else if (key == "spread_placement") c.spread_placement = flag();
     else if (key == "incremental_load_index") c.incremental_load_index = flag();
     else if (key == "legacy_hot_path") c.legacy_hot_path = flag();
     else if (key == "rl_warmup_samples") c.rl_warmup_samples = static_cast<std::size_t>(u64());
@@ -233,6 +269,17 @@ ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_f
       },
       [](FuzzCase& c) { c.server_mtbf_hours = 0.0; },
       [](FuzzCase& c) { c.task_kill_probability = 0.0; },
+      [](FuzzCase& c) {
+        c.recovery = false;
+        c.retry_budget = 0;
+        c.adaptive_checkpoint = false;
+        c.spread_placement = false;
+      },
+      [](FuzzCase& c) { c.quarantine = false; },
+      [](FuzzCase& c) { c.retry_budget = 0; },
+      [](FuzzCase& c) { c.adaptive_checkpoint = false; },
+      [](FuzzCase& c) { c.spread_placement = false; },
+      [](FuzzCase& c) { c.flaky_fraction = 0.0; },
       [](FuzzCase& c) { c.rack_mtbf_hours = 0.0; },
       [](FuzzCase& c) { c.servers_per_rack = 0; c.rack_mtbf_hours = 0.0; },
       [](FuzzCase& c) { c.straggler_probability = 0.0; c.straggler_replicas = 0; },

@@ -53,6 +53,14 @@ struct FuzzCase {
   double rack_mtbf_hours = 0.0;
   double rack_mttr_hours = 0.25;
   int checkpoint_interval = 1;
+  double flaky_fraction = 0.0;
+
+  // Recovery policies (sim/health.hpp) — default off, like EngineConfig.
+  bool recovery = false;
+  bool quarantine = true;
+  int retry_budget = 0;  ///< 0 = unlimited
+  bool adaptive_checkpoint = false;
+  bool spread_placement = false;
 
   // Implementation switches (both paths must uphold the invariants).
   bool incremental_load_index = true;

@@ -14,7 +14,14 @@ RunMetrics execute_run(const RunRequest& request) {
   std::vector<JobSpec> specs =
       request.workload ? *request.workload : PhillyTraceGenerator(request.trace).generate();
 
-  SchedulerInstance instance = make_scheduler(request.scheduler, request.mlfs_config);
+  // Recovery policies own the fault-domain placement switch: the engine
+  // config is the single opt-in surface, so thread it into the scheduler's
+  // placement params here rather than asking callers to set both.
+  core::MlfsConfig mlfs_config = request.mlfs_config;
+  if (request.engine.recovery.enabled && request.engine.recovery.spread_placement) {
+    mlfs_config.placement.spread_racks = true;
+  }
+  SchedulerInstance instance = make_scheduler(request.scheduler, mlfs_config);
   SimEngine engine(request.cluster, request.engine, std::move(specs), *instance.scheduler,
                    instance.controller.get());
   if (request.observer != nullptr) engine.set_observer(request.observer);

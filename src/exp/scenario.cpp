@@ -91,6 +91,23 @@ Scenario chaos_scenario(std::size_t num_jobs, std::uint64_t seed) {
   return s;
 }
 
+void set_recovery_policies(Scenario& scenario, int retry_budget, bool adaptive_checkpoint,
+                           bool spread_placement) {
+  MLFS_EXPECT(retry_budget >= 0);
+  RecoveryConfig& recovery = scenario.engine.recovery;
+  recovery.enabled = true;
+  recovery.retry_budget = retry_budget;
+  recovery.adaptive_checkpoint = adaptive_checkpoint;
+  recovery.spread_placement = spread_placement;
+}
+
+void set_flaky_servers(Scenario& scenario, double fraction, double multiplier) {
+  MLFS_EXPECT(fraction >= 0.0 && fraction <= 1.0);
+  MLFS_EXPECT(fraction == 0.0 || multiplier >= 1.0);
+  scenario.engine.fault.flaky_server_fraction = fraction;
+  scenario.engine.fault.flaky_rate_multiplier = multiplier;
+}
+
 std::vector<std::size_t> sweep_job_counts(const Scenario& scenario) {
   std::vector<std::size_t> counts;
   counts.reserve(scenario.sweep_multipliers.size());

@@ -53,4 +53,17 @@ void set_failure_rate(Scenario& scenario, double crashes_per_server_week,
 /// — the canonical chaos demo/test configuration.
 Scenario chaos_scenario(std::size_t num_jobs = 40, std::uint64_t seed = 5);
 
+/// Turns on the failure-aware recovery policies (sim/health.hpp) with the
+/// given retry budget (0 = unlimited) and the adaptive-checkpoint /
+/// rack-spread switches. Leaves the individual thresholds at their
+/// RecoveryConfig defaults; callers needing finer control can edit
+/// scenario.engine.recovery afterwards.
+void set_recovery_policies(Scenario& scenario, int retry_budget = 0,
+                           bool adaptive_checkpoint = true, bool spread_placement = true);
+
+/// Makes the last `fraction` of the fleet crash/kill-prone at `multiplier`
+/// × the base fault rates (FaultConfig::flaky_server_fraction) — the
+/// heterogeneous-reliability workload that quarantining pays off on.
+void set_flaky_servers(Scenario& scenario, double fraction, double multiplier = 8.0);
+
 }  // namespace mlfs::exp

@@ -295,7 +295,7 @@ void SimAuditor::check_load_index() const {
     // audited == unaudited determinism).
     const Server& s = cluster.server(id);
     const bool over = s.up() && s.overloaded(cluster.index_hr_);
-    const bool under = s.up() && !over;
+    const bool under = s.accepts_placements() && !over;
     if (over != flag_over || under != flag_under) {
       std::ostringstream out;
       out << "server " << id << " is clean but cached partition (over=" << flag_over
@@ -352,12 +352,24 @@ void SimAuditor::check_queue() const {
                                     " of an unfinished job");
     }
     in_queue[tid] = 1;
+    if (tid < engine_.task_in_backoff_.size() && engine_.task_in_backoff_[tid]) {
+      fail("queue-consistency", "task " + std::to_string(tid) +
+                                    " is in retry backoff but still has a queue entry");
+    }
   }
   // Coverage: every queued task of an arrived, unfinished job must be
-  // reachable by the scheduler (gang placement cannot complete otherwise).
+  // reachable by the scheduler (gang placement cannot complete otherwise)
+  // — unless it is parked in a retry-backoff window, in which case a
+  // pending RetryRelease event owns its re-admission instead.
   for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
     const Task& t = cluster.task(tid);
-    if (t.state != TaskState::Queued || in_queue[tid]) continue;
+    const bool in_backoff =
+        tid < engine_.task_in_backoff_.size() && engine_.task_in_backoff_[tid] != 0;
+    if (in_backoff && t.state != TaskState::Queued) {
+      fail("queue-consistency", "task " + std::to_string(tid) + " is in retry backoff but in state " +
+                                    std::to_string(static_cast<int>(t.state)));
+    }
+    if (t.state != TaskState::Queued || in_queue[tid] || in_backoff) continue;
     const Job& job = cluster.job(t.job);
     if (job.done() || t.job >= arrived_.size() || !arrived_[t.job]) continue;
     fail("queue-consistency", "task " + std::to_string(tid) + " of arrived job " +
@@ -374,7 +386,9 @@ void SimAuditor::check_jobs() const {
   for (const Job& job : cluster.jobs()) {
     const JobId id = job.id();
     const bool arrived = id < arrived_.size() && arrived_[id] != 0;
-    if ((job.state() == JobState::Completed) != job.done()) {
+    const bool terminal =
+        job.state() == JobState::Completed || job.state() == JobState::Failed;
+    if (terminal != job.done()) {
       fail("job-state", "job " + std::to_string(id) + ": state/done() disagree");
     }
     if (!arrived) {
@@ -424,6 +438,27 @@ void SimAuditor::check_jobs() const {
         }
         break;
       }
+      case JobState::Failed: {
+        // Failed-permanent: every task is terminal and off the fleet
+        // (already-finished tasks stay Finished, the rest were removed),
+        // and the failure instant is recorded like a completion.
+        for (const TaskId tid : job.tasks()) {
+          const Task& t = cluster.task(tid);
+          if ((t.state != TaskState::Removed && t.state != TaskState::Finished) || t.placed()) {
+            fail("job-state", "failed job " + std::to_string(id) + " still owns task " +
+                                  std::to_string(tid) + " in state " +
+                                  std::to_string(static_cast<int>(t.state)));
+          }
+          if (tid < engine_.task_in_backoff_.size() && engine_.task_in_backoff_[tid]) {
+            fail("job-state", "failed job " + std::to_string(id) + " still has task " +
+                                  std::to_string(tid) + " in retry backoff");
+          }
+        }
+        if (job.completion_time() < job.spec().arrival) {
+          fail("job-state", "job " + std::to_string(id) + " failed before it arrived");
+        }
+        break;
+      }
       case JobState::Waiting: {
         if (engine_.waiting_since_[id] > now + 1e-9) {
           fail("job-state", "job " + std::to_string(id) + " waiting_since in the future");
@@ -449,19 +484,25 @@ void SimAuditor::check_jobs() const {
 
 void SimAuditor::check_accounting() {
   const Cluster& cluster = engine_.cluster_;
-  std::size_t done = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
   long long completed_iterations = 0;
   long long task_migrations = 0;
   for (const Job& job : cluster.jobs()) {
-    if (job.done()) ++done;
+    if (job.state() == JobState::Completed) ++completed;
+    if (job.state() == JobState::Failed) ++failed;
     completed_iterations += job.completed_iterations();
   }
   for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
     task_migrations += cluster.task(tid).migrations;
   }
-  if (done != engine_.jobs_completed_) {
+  if (completed != engine_.jobs_completed_) {
     fail("accounting", "jobs_completed counter " + std::to_string(engine_.jobs_completed_) +
-                           " != completed jobs " + std::to_string(done));
+                           " != completed jobs " + std::to_string(completed));
+  }
+  if (failed != engine_.jobs_failed_) {
+    fail("accounting", "jobs_failed counter " + std::to_string(engine_.jobs_failed_) +
+                           " != failed-permanent jobs " + std::to_string(failed));
   }
   if (task_migrations != static_cast<long long>(engine_.migrations_)) {
     fail("accounting", "migration counter " + std::to_string(engine_.migrations_) +
@@ -483,6 +524,8 @@ void SimAuditor::check_accounting() {
   if (engine_.now_ + 1e-9 < last_now_ || engine_.iterations_run_ < last_iterations_run_ ||
       engine_.migrations_ < last_migrations_ || engine_.preemptions_ < last_preemptions_ ||
       engine_.jobs_completed_ < last_jobs_completed_ ||
+      engine_.jobs_failed_ < last_jobs_failed_ ||
+      engine_.retry_backoffs_ < last_retry_backoffs_ ||
       engine_.server_failures_ < last_server_failures_ ||
       engine_.task_kills_ < last_task_kills_ ||
       cluster.total_bandwidth_mb() + 1e-9 < last_bandwidth_mb_ ||
@@ -497,6 +540,8 @@ void SimAuditor::check_accounting() {
   last_migrations_ = engine_.migrations_;
   last_preemptions_ = engine_.preemptions_;
   last_jobs_completed_ = engine_.jobs_completed_;
+  last_jobs_failed_ = engine_.jobs_failed_;
+  last_retry_backoffs_ = engine_.retry_backoffs_;
   last_server_failures_ = engine_.server_failures_;
   last_task_kills_ = engine_.task_kills_;
   last_bandwidth_mb_ = cluster.total_bandwidth_mb();
@@ -519,9 +564,15 @@ void SimAuditor::check_metrics(const RunMetrics& m) const {
   std::size_t deadline_met = 0;
   std::size_t accuracy_met = 0;
   std::size_t migrations = 0;
+  std::size_t failed_permanent = 0;
   for (const Job& job : cluster.jobs()) {
     jct_sum_minutes += to_minutes(job.completion_time() - job.spec().arrival);
-    if (job.done() && job.completion_time() <= job.deadline()) ++deadline_met;
+    // Failed-permanent jobs never meet their deadline, whatever instant
+    // they were abandoned at — success is conditional on Completed.
+    if (job.state() == JobState::Completed && job.completion_time() <= job.deadline()) {
+      ++deadline_met;
+    }
+    if (job.state() == JobState::Failed) ++failed_permanent;
     if (job.accuracy_by_deadline() >= job.spec().accuracy_requirement) ++accuracy_met;
   }
   for (TaskId tid = 0; tid < cluster.task_count(); ++tid) {
@@ -554,6 +605,25 @@ void SimAuditor::check_metrics(const RunMetrics& m) const {
   }
   if (m.goodput < 0.0 || m.goodput > 1.0 + 1e-12) {
     fail_m("goodput " + std::to_string(m.goodput) + " outside [0, 1]");
+  }
+  // Recovery-policy ledger: the failed-permanent count must match both the
+  // engine counter and the per-job terminal states, and the retry/quarantine
+  // counters must match the engine's accumulators (all zero when disabled).
+  if (m.jobs_failed_permanent != engine_.jobs_failed_ ||
+      m.jobs_failed_permanent != failed_permanent) {
+    fail_m("jobs_failed_permanent " + std::to_string(m.jobs_failed_permanent) +
+           " does not reconcile with engine counter " + std::to_string(engine_.jobs_failed_) +
+           " / per-job states " + std::to_string(failed_permanent));
+  }
+  if (m.task_retries != engine_.retry_backoffs_ ||
+      m.backoff_delay_seconds != engine_.backoff_delay_seconds_total_ ||
+      m.crashes_absorbed != engine_.crashes_absorbed_) {
+    fail_m("retry/backoff counters do not reconcile with RunMetrics");
+  }
+  if (!engine_.health_ &&
+      (m.quarantines != 0 || m.quarantine_valve_saves != 0 || m.task_retries != 0 ||
+       m.jobs_failed_permanent != 0 || m.crashes_absorbed != 0)) {
+    fail_m("recovery metrics are nonzero but recovery policies are disabled");
   }
 }
 

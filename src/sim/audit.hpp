@@ -111,6 +111,8 @@ class SimAuditor {
   std::size_t last_migrations_ = 0;
   std::size_t last_preemptions_ = 0;
   std::size_t last_jobs_completed_ = 0;
+  std::size_t last_jobs_failed_ = 0;
+  std::size_t last_retry_backoffs_ = 0;
   std::size_t last_server_failures_ = 0;
   std::size_t last_task_kills_ = 0;
   double last_bandwidth_mb_ = 0.0;

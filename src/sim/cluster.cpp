@@ -39,6 +39,14 @@ void Cluster::set_server_up(ServerId id, bool up) {
   touch_server(id);
 }
 
+void Cluster::set_placement_cap(ServerId id, int cap) {
+  Server& s = server(id);
+  MLFS_EXPECT(cap >= -1);
+  if (s.placement_cap_ == cap) return;
+  s.placement_cap_ = cap;
+  touch_server(id);
+}
+
 // ------------------------------------------------------ load index
 
 void Cluster::touch_server(ServerId id) const {
@@ -54,6 +62,12 @@ int Cluster::server_slot_estimate(const Server& s, double hr, double typical_dem
     if (headroom >= typical_demand) {
       slots += static_cast<int>(headroom / typical_demand);
     }
+  }
+  // Recovery-policy placement cap: a quarantined server (cap 0) offers no
+  // admission slots, a probation server at most its remaining headcount.
+  if (s.placement_cap() >= 0) {
+    slots = std::min(slots,
+                     std::max(0, s.placement_cap() - static_cast<int>(s.task_count())));
   }
   return slots;
 }
@@ -87,7 +101,7 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
     overloaded_ids_.clear();
     for (const Server& s : servers_) {
       const bool over = s.up() && s.overloaded(hr);
-      const bool under = s.up() && !over;
+      const bool under = s.accepts_placements() && !over;
       index_overloaded_[s.id()] = over ? 1 : 0;
       index_underloaded_[s.id()] = under ? 1 : 0;
       if (over) overloaded_ids_.push_back(s.id());
@@ -111,7 +125,7 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
     index_dirty_[id] = 0;
     const Server& s = servers_[id];
     const bool over = s.up() && s.overloaded(hr);
-    const bool under = s.up() && !over;
+    const bool under = s.accepts_placements() && !over;
     index_util_[id] = s.utilization();
     const int least = s.least_loaded_gpu();
     index_least_gpu_[id] = least;
@@ -148,7 +162,7 @@ std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
   }
   std::vector<ServerId> out;
   for (const Server& s : servers_) {
-    if (s.up() && !s.overloaded(hr)) out.push_back(s.id());
+    if (s.accepts_placements() && !s.overloaded(hr)) out.push_back(s.id());
   }
   return out;
 }

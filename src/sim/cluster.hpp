@@ -92,8 +92,18 @@ class Cluster {
   /// Servers currently up (== server_count() when faults are disabled).
   std::size_t up_server_count() const;
 
-  /// Up server ids currently not overloaded w.r.t. `hr`, ascending.
+  /// Sets a server's recovery-policy placement cap (-1 = unrestricted,
+  /// 0 = quarantined, k > 0 = probation; see sim/health.hpp). Existing
+  /// tasks are unaffected — the cap only gates new admissions via
+  /// Server::accepts_placements.
+  void set_placement_cap(ServerId id, int cap);
+
+  /// Placement-eligible (accepts_placements) server ids currently not
+  /// overloaded w.r.t. `hr`, ascending. With all placement caps at the
+  /// default -1 this is exactly "up and not overloaded".
   std::vector<ServerId> underloaded_servers(double hr) const;
+  /// Up server ids overloaded w.r.t. `hr`, ascending (quarantined servers
+  /// stay visible here: overload relief must still drain them).
   std::vector<ServerId> overloaded_servers(double hr) const;
 
   /// Reference view of the underloaded partition (same ids, same ascending
@@ -210,7 +220,7 @@ class Cluster {
   mutable std::vector<char> index_dirty_;
   mutable std::vector<ServerId> index_dirty_ids_;
   mutable std::vector<char> index_overloaded_;   ///< up && overloaded(hr)
-  mutable std::vector<char> index_underloaded_;  ///< up && !overloaded(hr)
+  mutable std::vector<char> index_underloaded_;  ///< accepts_placements && !overloaded(hr)
   mutable std::vector<int> index_slots_;
   mutable std::vector<ResourceVector> index_util_;  ///< utilization at last refresh
   mutable std::vector<int> index_least_gpu_;        ///< least_loaded_gpu at last refresh

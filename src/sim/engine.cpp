@@ -11,6 +11,48 @@
 
 namespace mlfs {
 
+double FaultConfig::rate_multiplier(ServerId id, std::size_t server_count) const {
+  if (flaky_server_fraction <= 0.0) return 1.0;
+  // Same assignment rule as ClusterConfig::slow_server_fraction: the last
+  // lround(fraction × N) servers are the flaky ones.
+  const auto flaky_from = static_cast<std::size_t>(std::lround(
+      static_cast<double>(server_count) * (1.0 - flaky_server_fraction)));
+  return id >= flaky_from ? flaky_rate_multiplier : 1.0;
+}
+
+void FaultConfig::validate(int servers_per_rack) const {
+  if (server_mtbf_hours < 0.0) {
+    throw ContractViolation("FaultConfig: server_mtbf_hours must be >= 0");
+  }
+  if (server_mttr_hours < 0.0) {
+    throw ContractViolation(
+        "FaultConfig: server_mttr_hours must be >= 0 (0 = crashes are permanent)");
+  }
+  if (task_kill_probability < 0.0 || task_kill_probability > 1.0) {
+    throw ContractViolation("FaultConfig: task_kill_probability must be in [0, 1]");
+  }
+  if (rack_mtbf_hours < 0.0) {
+    throw ContractViolation("FaultConfig: rack_mtbf_hours must be >= 0");
+  }
+  if (rack_mtbf_hours > 0.0 && servers_per_rack <= 0) {
+    throw ContractViolation(
+        "FaultConfig: rack_mtbf_hours > 0 requires ClusterConfig::servers_per_rack > 0 "
+        "(rack outages on a flat cluster would be silently disabled)");
+  }
+  if (rack_mttr_hours < 0.0) {
+    throw ContractViolation("FaultConfig: rack_mttr_hours must be >= 0");
+  }
+  if (checkpoint_interval_iterations < 1) {
+    throw ContractViolation("FaultConfig: checkpoint_interval_iterations must be >= 1");
+  }
+  if (flaky_server_fraction < 0.0 || flaky_server_fraction > 1.0) {
+    throw ContractViolation("FaultConfig: flaky_server_fraction must be in [0, 1]");
+  }
+  if (flaky_server_fraction > 0.0 && flaky_rate_multiplier < 1.0) {
+    throw ContractViolation("FaultConfig: flaky_rate_multiplier must be >= 1");
+  }
+}
+
 SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& engine_config,
                      std::vector<JobSpec> specs, Scheduler& scheduler,
                      LoadController* load_controller)
@@ -20,7 +62,14 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
       scheduler_(scheduler),
       load_controller_(load_controller),
       rng_(engine_config.seed),
-      fault_rng_(engine_config.seed ^ 0xfa17f5eedULL) {
+      fault_rng_(engine_config.seed ^ 0xfa17f5eedULL),
+      recovery_rng_(engine_config.seed ^ 0x4ec0fe41eadULL) {
+  config_.fault.validate(cluster_config_.servers_per_rack);
+  config_.recovery.validate();
+  if (config_.recovery.enabled) {
+    health_ = std::make_unique<ServerHealthTracker>(config_.recovery,
+                                                    cluster_config_.server_count);
+  }
   // Instantiate the whole trace up front; arrival events release jobs into
   // the queue at their trace times.
   std::sort(specs.begin(), specs.end(),
@@ -40,6 +89,8 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
   deadline_recorded_.assign(cluster_.job_count(), 0);
   fault_stopped_since_.assign(cluster_.job_count(), -1.0);
   server_epoch_.assign(cluster_.server_count(), 0);
+  task_in_backoff_.assign(cluster_.task_count(), 0);
+  retries_used_.assign(cluster_.job_count(), 0);
   for (const Job& job : cluster_.jobs()) {
     push_event(job.spec().arrival, EventType::Arrival, job.id());
     push_event(job.deadline(), EventType::Deadline, job.id());
@@ -49,7 +100,8 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
   if (config_.fault.server_mtbf_hours > 0.0) {
     for (ServerId s = 0; s < cluster_.server_count(); ++s) schedule_server_crash(s);
   }
-  if (config_.fault.rack_mtbf_hours > 0.0 && cluster_config_.servers_per_rack > 0) {
+  if (config_.fault.rack_mtbf_hours > 0.0) {
+    // validate() guaranteed servers_per_rack > 0.
     const int racks = cluster_.rack_of(static_cast<ServerId>(cluster_.server_count() - 1)) + 1;
     for (int r = 0; r < racks; ++r) schedule_rack_outage(r);
   }
@@ -67,10 +119,14 @@ void SimEngine::push_event(SimTime time, EventType type, JobId job, std::uint64_
 
 bool SimEngine::place(TaskId task_id, ServerId server, int gpu) {
   if (server >= cluster_.server_count()) return false;
-  if (!cluster_.server(server).up()) return false;
+  if (!cluster_.server(server).accepts_placements()) return false;
   if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
   Task& t = cluster_.task(task_id);
   if (t.state != TaskState::Queued) return false;
+  // A task parked in a retry-backoff window is queued but not admissible:
+  // its pending RetryRelease event owns re-admission (schedulers may still
+  // try via gang placement over a job's task list — refuse, don't assert).
+  if (task_id < task_in_backoff_.size() && task_in_backoff_[task_id]) return false;
   const Job& job = cluster_.job(t.job);
   if (job.done()) return false;
   t.total_waiting += now_ - t.queued_since;
@@ -97,7 +153,7 @@ void SimEngine::preempt_to_queue(TaskId task_id) {
 
 bool SimEngine::migrate(TaskId task_id, ServerId server, int gpu) {
   if (server >= cluster_.server_count()) return false;
-  if (!cluster_.server(server).up()) return false;
+  if (!cluster_.server(server).accepts_placements()) return false;
   if (gpu < 0 || gpu >= cluster_.server(server).gpu_count()) return false;
   Task& t = cluster_.task(task_id);
   if (t.state != TaskState::Running) return false;
@@ -231,7 +287,11 @@ void SimEngine::inject_server_failure(ServerId server, SimTime at) {
 }
 
 void SimEngine::schedule_server_crash(ServerId id) {
-  const double dt = fault_rng_.exponential(1.0 / hours(config_.fault.server_mtbf_hours));
+  // Flaky servers crash `rate_multiplier` times as often; the default
+  // multiplier of 1 leaves every draw value unchanged.
+  const double rate = config_.fault.rate_multiplier(id, cluster_.server_count()) /
+                      hours(config_.fault.server_mtbf_hours);
+  const double dt = fault_rng_.exponential(rate);
   push_event(now_ + dt, EventType::ServerDown, id, server_epoch_[id]);
 }
 
@@ -245,8 +305,29 @@ void SimEngine::evict_task_for_fault(TaskId tid) {
   MLFS_EXPECT(t.state == TaskState::Running);
   cluster_.unplace_task(tid);
   t.queued_since = now_;
-  queue_.push_back(tid);
+  if (health_ && config_.recovery.retry_backoff_enabled) {
+    // Held out of the queue for a jittered exponential backoff (retry k
+    // waits base·factor^k); waiting-time priority still accrues from
+    // queued_since, so backoff does not starve the job.
+    task_in_backoff_[tid] = 1;
+    const double delay = backoff_delay_seconds(config_.recovery, retries_used_[t.job],
+                                               recovery_rng_.uniform());
+    backoff_delay_seconds_total_ += delay;
+    ++retry_backoffs_;
+    push_event(now_ + delay, EventType::RetryRelease, static_cast<JobId>(tid));
+  } else {
+    queue_.push_back(tid);
+  }
   if (observer_ != nullptr) observer_->on_task_killed(now_, tid);
+}
+
+void SimEngine::handle_retry_release(TaskId tid) {
+  if (!task_in_backoff_[tid]) return;  // job completed/failed meanwhile
+  task_in_backoff_[tid] = 0;
+  Task& t = cluster_.task(tid);
+  MLFS_EXPECT(t.state == TaskState::Queued);
+  MLFS_EXPECT(!cluster_.job(t.job).done());
+  queue_.push_back(tid);
 }
 
 void SimEngine::fault_abort(Job& job) {
@@ -261,7 +342,7 @@ void SimEngine::fault_abort(Job& job) {
     lost_fraction = std::clamp(lost_fraction + (1.0 - lost_fraction) * elapsed, 0.0, 1.0);
   }
   resume_credit_[id] = 0.0;
-  const int interval = std::max(1, config_.fault.checkpoint_interval_iterations);
+  const int interval = checkpoint_interval_for(job);
   const int lost_iters = job.completed_iterations() % interval;
   job.rollback_iterations(lost_iters);
   iterations_rolled_back_ += static_cast<std::size_t>(lost_iters);
@@ -276,12 +357,65 @@ void SimEngine::fault_abort(Job& job) {
     job.set_state(JobState::Waiting);
     waiting_since_[id] = now_;
   }
+  if (health_ && config_.recovery.retry_backoff_enabled) {
+    ++retries_used_[id];
+    const int budget = config_.recovery.retry_budget;
+    if (budget > 0 && retries_used_[id] > budget) fail_job(job);
+  }
+}
+
+int SimEngine::checkpoint_interval_for(const Job& job) const {
+  const int fixed = config_.fault.checkpoint_interval_iterations;
+  if (!health_ || !config_.recovery.adaptive_checkpoint) return std::max(1, fixed);
+  const double server_mtbf =
+      health_->observed_mtbf_seconds(config_.fault.server_mtbf_hours);
+  if (server_mtbf <= 0.0) return std::max(1, fixed);
+  // A gang fails when any of its hosts does: the job-level MTBF shrinks
+  // with the task count.
+  const double job_mtbf =
+      server_mtbf / static_cast<double>(std::max<std::size_t>(1, job.task_count()));
+  return young_daly_checkpoint_iterations(job_mtbf, config_.recovery.checkpoint_cost_seconds,
+                                          job.ideal_iteration_seconds(),
+                                          config_.recovery.max_checkpoint_interval);
+}
+
+void SimEngine::fail_job(Job& job) {
+  MLFS_EXPECT(!job.done());
+  const JobId id = job.id();
+  abort_iteration(job);
+  resume_credit_[id] = 0.0;
+  if (job.state() == JobState::Waiting) {
+    job.add_waiting_time(now_ - waiting_since_[id]);
+  }
+  for (const TaskId tid : job.tasks()) {
+    Task& t = cluster_.task(tid);
+    if (t.state == TaskState::Running) cluster_.unplace_task(tid);
+    if (t.state != TaskState::Finished) t.state = TaskState::Removed;
+    task_in_backoff_[tid] = 0;  // pending RetryRelease events become stale
+  }
+  job.set_state(JobState::Failed);
+  job.set_completion_time(now_);
+  ++jobs_failed_;
+  fault_stopped_since_[id] = -1.0;
+  partial_since_[id] = -1.0;
+  // Schedulers treat this like a completion: caches are evicted, service
+  // accounting closes. The runtime predictor is *not* fed — a truncated
+  // run would poison its duration estimates.
+  scheduler_.on_job_complete(job, now_);
+  if (observer_ != nullptr) observer_->on_job_failed(now_, id);
 }
 
 bool SimEngine::crash_server(ServerId id, SimDuration repair_after) {
   Server& server = cluster_.server(id);
   if (!server.up()) return false;
   ++server_failures_;
+  if (health_) {
+    health_->record_crash(id, now_);
+    // A capped (quarantined/probation) server crashing empty is the
+    // policy working: the crash destroyed no work.
+    if (server.task_count() == 0 && server.placement_cap() >= 0) ++crashes_absorbed_;
+  }
+  if (server.task_count() > 0) ++victimful_crashes_;
   // Evict every hosted task first (requeued with accumulated waiting-time
   // priority intact), then apply one checkpoint-loss abort per affected
   // job — a job with several tasks on the dead server rolls back once.
@@ -319,9 +453,26 @@ void SimEngine::handle_server_up(ServerId id, std::uint64_t epoch) {
   MLFS_EXPECT(!cluster_.server(id).up());
   cluster_.set_server_up(id, true);
   ++server_epoch_[id];
+  if (health_) {
+    // Re-admission decision: a server with a bad recent record comes back
+    // quarantined (excluded from placements) instead of healthy.
+    health_->record_recovery(id, now_);
+    consider_quarantine(id);
+  }
   if (observer_ != nullptr) observer_->on_server_up(now_, id);
   // The repaired server re-enters the individual crash process.
   if (config_.fault.server_mtbf_hours > 0.0) schedule_server_crash(id);
+}
+
+void SimEngine::consider_quarantine(ServerId id) {
+  health_->try_quarantine(id, now_);
+  cluster_.set_placement_cap(id, health_->placement_cap_for(id));
+}
+
+void SimEngine::apply_health_transitions() {
+  for (const ServerHealthTracker::CapChange& change : health_->advance(now_)) {
+    cluster_.set_placement_cap(change.server, change.cap);
+  }
 }
 
 void SimEngine::handle_rack_outage(int rack) {
@@ -338,16 +489,26 @@ void SimEngine::handle_rack_outage(int rack) {
 
 void SimEngine::kill_random_tasks() {
   if (config_.fault.task_kill_probability <= 0.0) return;
-  // Draw victims first: evictions mutate the server task lists.
+  // Draw victims first: evictions mutate the server task lists. The
+  // per-server rate multiplier is 1.0 unless flaky servers are configured,
+  // in which case their tasks die proportionally more often.
   std::vector<TaskId> victims;
+  std::vector<ServerId> victim_hosts;
   for (const Server& s : cluster_.servers()) {
+    const double p = config_.fault.task_kill_probability *
+                     config_.fault.rate_multiplier(s.id(), cluster_.server_count());
     for (const TaskId tid : s.tasks()) {
-      if (fault_rng_.bernoulli(config_.fault.task_kill_probability)) victims.push_back(tid);
+      if (fault_rng_.bernoulli(p)) {
+        victims.push_back(tid);
+        victim_hosts.push_back(s.id());
+      }
     }
   }
   std::vector<JobId> affected;
-  for (const TaskId tid : victims) {
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const TaskId tid = victims[i];
     const JobId jid = cluster_.task(tid).job;
+    if (health_) health_->record_task_kill(victim_hosts[i], now_);
     evict_task_for_fault(tid);
     ++task_kills_;
     if (std::find(affected.begin(), affected.end(), jid) == affected.end()) {
@@ -358,11 +519,20 @@ void SimEngine::kill_random_tasks() {
     Job& job = cluster_.job(jid);
     if (!job.done()) fault_abort(job);
   }
+  if (health_) {
+    // A burst of kills can push a live server over the quarantine
+    // threshold without a crash; evaluate each struck host once.
+    std::vector<ServerId> hosts = victim_hosts;
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+    for (const ServerId host : hosts) consider_quarantine(host);
+  }
 }
 
 // --------------------------------------------------------------- tick
 
 void SimEngine::handle_tick() {
+  if (health_) apply_health_transitions();
   resample_usage();
   kill_random_tasks();
   overload_occurrences_ += cluster_.overloaded_servers(config_.hr).size();
@@ -394,7 +564,7 @@ void SimEngine::handle_tick() {
   run_watchdog();
 
   // Keep ticking while there is anything left to drive.
-  if (jobs_completed_ < cluster_.job_count() && now_ < config_.max_sim_time) {
+  if (jobs_completed_ + jobs_failed_ < cluster_.job_count() && now_ < config_.max_sim_time) {
     push_event(now_ + config_.tick_interval, EventType::Tick);
   } else {
     tick_armed_ = false;
@@ -578,6 +748,14 @@ void SimEngine::start_iteration(Job& job) {
   double duration = iteration_duration(job) * (1.0 - resume_credit_[job.id()]);
   resume_credit_[job.id()] = 0.0;
   duration = std::max(duration, 1e-3);
+  if (health_ && config_.recovery.adaptive_checkpoint && config_.fault.any_faults()) {
+    // Checkpointing is no longer free under the adaptive policy: the
+    // iteration that writes a checkpoint pays its cost. This is what the
+    // Young/Daly interval is trading off against the rollback loss.
+    if ((job.completed_iterations() + 1) % checkpoint_interval_for(job) == 0) {
+      duration += config_.recovery.checkpoint_cost_seconds;
+    }
+  }
   const std::uint64_t epoch = ++job_epoch_[job.id()];
   iter_started_[job.id()] = now_;
   iter_duration_[job.id()] = duration;
@@ -672,6 +850,7 @@ void SimEngine::complete_job(Job& job) {
     Task& t = cluster_.task(tid);
     if (t.state == TaskState::Running) cluster_.unplace_task(tid);
     t.state = TaskState::Finished;
+    task_in_backoff_[tid] = 0;  // pending RetryRelease events become stale
   }
   job.set_state(JobState::Completed);
   job.set_completion_time(now_);
@@ -732,13 +911,18 @@ RunMetrics SimEngine::run() {
         name = "rack-outage";
         handle_rack_outage(static_cast<int>(ev.job));
         break;
+      case EventType::RetryRelease:
+        name = "retry-release";
+        handle_retry_release(static_cast<TaskId>(ev.job));
+        break;
     }
     if (auditor_) auditor_->after_event(name, ev.job);
-    if (jobs_completed_ == cluster_.job_count()) break;
+    if (jobs_completed_ + jobs_failed_ == cluster_.job_count()) break;
   }
-  if (jobs_completed_ < cluster_.job_count()) {
-    MLFS_WARN("simulation hit max_sim_time with " << (cluster_.job_count() - jobs_completed_)
-                                                  << " jobs incomplete (censored)");
+  if (jobs_completed_ + jobs_failed_ < cluster_.job_count()) {
+    MLFS_WARN("simulation hit max_sim_time with "
+              << (cluster_.job_count() - jobs_completed_ - jobs_failed_)
+              << " jobs incomplete (censored)");
   }
 
   RunMetrics m;
@@ -766,7 +950,9 @@ RunMetrics SimEngine::run() {
     m.waiting_seconds.add(job.waiting_time());
     first_arrival = std::min(first_arrival, job.spec().arrival);
     last_completion = std::max(last_completion, job.completion_time());
-    const bool met_deadline = job.done() && job.completion_time() <= job.deadline();
+    // A failed-permanent job is done() but never "meets" its deadline.
+    const bool met_deadline =
+        job.state() == JobState::Completed && job.completion_time() <= job.deadline();
     if (met_deadline) ++deadline_met;
     if (job.spec().urgency > 8.0) {
       ++urgent_total;
@@ -812,6 +998,20 @@ RunMetrics SimEngine::run() {
   m.work_lost_gpu_seconds = work_lost_gpu_seconds_;
   m.mean_recovery_seconds =
       recoveries_ > 0 ? recovery_seconds_sum_ / static_cast<double>(recoveries_) : 0.0;
+  m.quarantines = health_ ? health_->quarantines() : 0;
+  m.quarantine_valve_saves = health_ ? health_->valve_saves() : 0;
+  m.task_retries = retry_backoffs_;
+  m.backoff_delay_seconds = backoff_delay_seconds_total_;
+  m.jobs_failed_permanent = jobs_failed_;
+  m.crashes_absorbed = crashes_absorbed_;
+  // Estimated wasted work the quarantine avoided: each crash absorbed by
+  // an empty capped server would, on average, have cost what a victimful
+  // crash cost in this run.
+  m.wasted_work_avoided_gpu_seconds =
+      victimful_crashes_ > 0
+          ? static_cast<double>(crashes_absorbed_) *
+                (work_lost_gpu_seconds_ / static_cast<double>(victimful_crashes_))
+          : 0.0;
   // Goodput: rolled-back iterations were executed (counted in
   // iterations_run_) but not useful; discarded in-flight fractions were
   // executed but never counted.

@@ -26,6 +26,7 @@
 #include "sim/audit.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
+#include "sim/health.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 
@@ -42,13 +43,15 @@ namespace mlfs {
 struct FaultConfig {
   /// Mean time between crashes per server, hours; 0 disables crashes.
   double server_mtbf_hours = 0.0;
-  /// Mean repair time, hours; <= 0 makes a crash permanent.
+  /// Mean repair time, hours; 0 makes a crash permanent (negative is
+  /// rejected by validate()).
   double server_mttr_hours = 0.5;
   /// Per running task, per tick: probability of a transient kill (process
   /// dies; server survives). 0 disables.
   double task_kill_probability = 0.0;
   /// Correlated outages per rack (requires ClusterConfig::servers_per_rack
-  /// > 0): mean time between outages per rack, hours; 0 disables.
+  /// > 0 — validate() rejects the combination otherwise): mean time
+  /// between outages per rack, hours; 0 disables.
   double rack_mtbf_hours = 0.0;
   double rack_mttr_hours = 0.25;
   /// Jobs checkpoint every k completed iterations; a fault rolls the job
@@ -56,11 +59,30 @@ struct FaultConfig {
   /// plus any in-flight iteration fraction (with k = 1 only the in-flight
   /// work is lost). Voluntary aborts (preemption/migration) still keep
   /// their resume credit — only faults destroy un-checkpointed state.
+  /// Overridden per job by RecoveryConfig::adaptive_checkpoint.
   int checkpoint_interval_iterations = 1;
+
+  /// Flaky-server heterogeneity: the *last* lround(fraction × N) servers
+  /// (mirroring ClusterConfig::slow_server_fraction's assignment) crash
+  /// and kill tasks `flaky_rate_multiplier` times as often. 0 keeps the
+  /// homogeneous failure process bit-identical (the multiplier is then
+  /// 1 everywhere and no draw changes); > 0 gives the health tracker a
+  /// real signal to find.
+  double flaky_server_fraction = 0.0;
+  double flaky_rate_multiplier = 8.0;
 
   bool any_faults() const {
     return server_mtbf_hours > 0.0 || task_kill_probability > 0.0 || rack_mtbf_hours > 0.0;
   }
+
+  /// Failure-rate multiplier of one server (1 unless it is flaky).
+  double rate_multiplier(ServerId id, std::size_t server_count) const;
+
+  /// Throws ContractViolation on invalid values — negative rates/MTTRs,
+  /// non-positive checkpoint interval, kill probability outside [0, 1],
+  /// or rack outages requested on a flat cluster (previously silently
+  /// disabled deep in the engine).
+  void validate(int servers_per_rack) const;
 };
 
 struct EngineConfig {
@@ -104,6 +126,10 @@ struct EngineConfig {
   /// Failure model (crashes, recoveries, transient kills); all rates
   /// default to zero = the historical fault-free simulation.
   FaultConfig fault;
+
+  /// Failure-aware recovery policies (sim/health.hpp); default-off keeps
+  /// the engine bitwise-identical to a recovery-naive run.
+  RecoveryConfig recovery;
 
   /// Invariant auditing (see sim/audit.hpp): when enabled the engine
   /// re-validates the cluster-wide invariants after every processed event
@@ -160,12 +186,12 @@ class SimEngine final : private SchedulerOps {
 
   // -- events --
   enum class EventType { Arrival, IterationDone, Deadline, Tick, ServerDown, ServerUp,
-                         RackOutage };
+                         RackOutage, RetryRelease };
   struct Event {
     SimTime time;
     std::uint64_t seq;  // FIFO tiebreak for equal times
     EventType type;
-    JobId job;  // ServerId for ServerDown/Up, rack index for RackOutage
+    JobId job;  // ServerId for ServerDown/Up, rack for RackOutage, TaskId for RetryRelease
     std::uint64_t epoch;  // abort guard for IterationDone / stale guard for ServerDown/Up
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
@@ -182,6 +208,8 @@ class SimEngine final : private SchedulerOps {
   void handle_server_down(ServerId id, std::uint64_t epoch);
   void handle_server_up(ServerId id, std::uint64_t epoch);
   void handle_rack_outage(int rack);
+  /// Re-admits a fault-killed task to the queue after its backoff delay.
+  void handle_retry_release(TaskId tid);
 
   // -- execution --
   void try_start_jobs();
@@ -212,9 +240,25 @@ class SimEngine final : private SchedulerOps {
   /// Fault-caused abort: unlike abort_iteration, progress since the last
   /// checkpoint — in-flight fraction, resume credit, and completed
   /// iterations past the checkpoint — is destroyed and accounted as lost.
+  /// Under a retry budget the rollback may exhaust it and fail the job.
   void fault_abort(Job& job);
-  /// Requeues a task evicted by a fault and notifies the observer.
+  /// Requeues a task evicted by a fault (immediately, or after a jittered
+  /// exponential backoff under the recovery policies) and notifies the
+  /// observer.
   void evict_task_for_fault(TaskId tid);
+
+  // -- recovery policies (sim/health.hpp; all no-ops while disabled) --
+  /// Marks a job failed-permanent: releases its placements, removes its
+  /// live tasks, and records the terminal state (JobState::Failed).
+  void fail_job(Job& job);
+  /// The job's effective checkpoint interval: Young/Daly from the live
+  /// MTBF estimate when adaptive checkpointing is on, else the validated
+  /// FaultConfig::checkpoint_interval_iterations.
+  int checkpoint_interval_for(const Job& job) const;
+  /// Applies the tracker's pending quarantine/probation cap transitions.
+  void apply_health_transitions();
+  /// Quarantine decision for one server; applies the placement cap.
+  void consider_quarantine(ServerId id);
 
   ClusterConfig cluster_config_;
   EngineConfig config_;
@@ -227,6 +271,12 @@ class SimEngine final : private SchedulerOps {
   /// perturb the usage/straggler streams, or a zero-rate FaultConfig
   /// would change unrelated results.
   Rng fault_rng_;
+  /// Dedicated stream for recovery-policy draws (backoff jitter); only
+  /// consumed while RecoveryConfig::enabled, so default-off runs remain
+  /// bit-identical.
+  Rng recovery_rng_;
+  /// Non-null iff config_.recovery.enabled.
+  std::unique_ptr<ServerHealthTracker> health_;
   RuntimePredictor runtime_predictor_;
   LearningCurvePredictor curve_predictor_;
   std::unique_ptr<SimAuditor> auditor_;  ///< non-null iff config_.audit.enabled
@@ -253,7 +303,14 @@ class SimEngine final : private SchedulerOps {
   std::vector<std::uint64_t> server_epoch_;
   std::vector<SimTime> fault_stopped_since_;
 
+  // Recovery-policy state: tasks currently held out of the queue by a
+  // backoff window (their RetryRelease event re-admits them), and the
+  // fault rollbacks each job has absorbed against its retry budget.
+  std::vector<char> task_in_backoff_;
+  std::vector<int> retries_used_;
+
   std::size_t jobs_completed_ = 0;
+  std::size_t jobs_failed_ = 0;
   std::size_t overload_occurrences_ = 0;
   std::size_t migrations_ = 0;
   std::size_t preemptions_ = 0;
@@ -264,6 +321,10 @@ class SimEngine final : private SchedulerOps {
   std::size_t rack_outages_ = 0;
   std::size_t task_kills_ = 0;
   std::size_t crash_evictions_ = 0;
+  std::size_t retry_backoffs_ = 0;
+  double backoff_delay_seconds_total_ = 0.0;
+  std::size_t crashes_absorbed_ = 0;   ///< crashes of capped servers with no victims
+  std::size_t victimful_crashes_ = 0;  ///< crashes that evicted at least one task
   std::size_t iterations_rolled_back_ = 0;
   double inflight_work_lost_iterations_ = 0.0;  ///< discarded partial-iteration fractions
   double work_lost_gpu_seconds_ = 0.0;

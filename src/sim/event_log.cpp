@@ -80,4 +80,10 @@ void JsonlEventLog::on_task_killed(SimTime now, TaskId task) {
   line(now, "task_killed", f.str());
 }
 
+void JsonlEventLog::on_job_failed(SimTime now, JobId job) {
+  std::ostringstream f;
+  f << "\"job\":" << job;
+  line(now, "job_failed", f.str());
+}
+
 }  // namespace mlfs

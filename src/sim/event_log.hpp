@@ -40,6 +40,10 @@ class EngineObserver {
   virtual void on_server_down(SimTime now, ServerId server) { (void)now, (void)server; }
   virtual void on_server_up(SimTime now, ServerId server) { (void)now, (void)server; }
   virtual void on_task_killed(SimTime now, TaskId task) { (void)now, (void)task; }
+
+  /// Recovery policies: the job exhausted its fault-retry budget and was
+  /// marked failed-permanent (terminal, like on_job_complete).
+  virtual void on_job_failed(SimTime now, JobId job) { (void)now, (void)job; }
 };
 
 /// Writes one JSON object per event to a stream:
@@ -62,6 +66,7 @@ class JsonlEventLog final : public EngineObserver {
   void on_server_down(SimTime now, ServerId server) override;
   void on_server_up(SimTime now, ServerId server) override;
   void on_task_killed(SimTime now, TaskId task) override;
+  void on_job_failed(SimTime now, JobId job) override;
 
   std::size_t events_written() const { return events_; }
 

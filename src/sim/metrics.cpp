@@ -35,6 +35,13 @@ std::string RunMetrics::summary() const {
        << " lost=" << format_double(work_lost_gpu_seconds, 0) << "gpu-s"
        << " recovery=" << format_double(mean_recovery_seconds, 0) << "s";
   }
+  if (quarantines > 0 || task_retries > 0 || jobs_failed_permanent > 0) {
+    os << " quarantines=" << quarantines << " retries=" << task_retries
+       << " backoff=" << format_double(backoff_delay_seconds, 0) << "s"
+       << " failedPerm=" << jobs_failed_permanent
+       << " absorbed=" << crashes_absorbed
+       << " avoided=" << format_double(wasted_work_avoided_gpu_seconds, 0) << "gpu-s";
+  }
   return os.str();
 }
 
@@ -54,6 +61,13 @@ bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
          a.iterations_rolled_back == b.iterations_rolled_back &&
          a.work_lost_gpu_seconds == b.work_lost_gpu_seconds &&
          a.mean_recovery_seconds == b.mean_recovery_seconds && a.goodput == b.goodput &&
+         a.quarantines == b.quarantines &&
+         a.quarantine_valve_saves == b.quarantine_valve_saves &&
+         a.task_retries == b.task_retries &&
+         a.backoff_delay_seconds == b.backoff_delay_seconds &&
+         a.jobs_failed_permanent == b.jobs_failed_permanent &&
+         a.crashes_absorbed == b.crashes_absorbed &&
+         a.wasted_work_avoided_gpu_seconds == b.wasted_work_avoided_gpu_seconds &&
          a.sched_rounds == b.sched_rounds && a.candidates_scanned == b.candidates_scanned &&
          a.comm_cache_hits == b.comm_cache_hits && a.comm_cache_misses == b.comm_cache_misses &&
          a.load_index_rebuilds == b.load_index_rebuilds &&

@@ -46,6 +46,15 @@ struct RunMetrics {
   /// fault-free run; lost work = rollbacks + discarded in-flight fractions).
   double goodput = 1.0;
 
+  // -- recovery policies (sim/health.hpp; all zero while disabled) --
+  std::size_t quarantines = 0;             ///< servers placed in quarantine
+  std::size_t quarantine_valve_saves = 0;  ///< quarantines vetoed by the capacity valve
+  std::size_t task_retries = 0;            ///< backoff re-admissions scheduled
+  double backoff_delay_seconds = 0.0;      ///< total backoff delay imposed
+  std::size_t jobs_failed_permanent = 0;   ///< jobs that exhausted their retry budget
+  std::size_t crashes_absorbed = 0;        ///< crashes of quarantined/capped empty servers
+  double wasted_work_avoided_gpu_seconds = 0.0;  ///< estimated loss those crashes skipped
+
   // -- scheduler hot-path instrumentation (see DESIGN.md) --
   std::size_t sched_rounds = 0;           ///< scheduling rounds executed
   std::size_t candidates_scanned = 0;     ///< servers examined during host choice

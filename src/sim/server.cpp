@@ -111,7 +111,7 @@ bool Server::fits_without_overload(const Task& task, int gpu, double hr) const {
 
 bool Server::fits_usage_without_overload(const ResourceVector& usage, int gpu, double hr) const {
   MLFS_EXPECT(gpu >= 0 && gpu < gpu_count_);
-  if (!up_) return false;
+  if (!accepts_placements()) return false;
   if (cpu_sum_ + usage[Resource::Cpu] > hr) return false;
   if (mem_sum_ + usage[Resource::Mem] > hr) return false;
   if (net_sum_ + usage[Resource::Net] > hr) return false;

@@ -36,6 +36,21 @@ class Server {
   /// only through Cluster::set_server_up so invariants stay centralized.
   bool up() const { return up_; }
 
+  /// Recovery-policy placement cap (sim/health.hpp): -1 = unrestricted,
+  /// 0 = quarantined (no new placements), k > 0 = probation (at most k
+  /// hosted tasks). Existing tasks are never evicted by the cap; it only
+  /// gates admission. Set only through Cluster::set_placement_cap.
+  int placement_cap() const { return placement_cap_; }
+
+  /// True iff the server may receive one more task: up, and under its
+  /// placement cap. This — not up() — is the placement-eligibility gate
+  /// every placement path funnels through; with the default cap of -1 it
+  /// is exactly up().
+  bool accepts_placements() const {
+    return up_ && (placement_cap_ < 0 ||
+                   static_cast<int>(tasks_.size()) < placement_cap_);
+  }
+
   const std::vector<TaskId>& tasks() const { return tasks_; }
   const std::vector<TaskId>& tasks_on_gpu(int gpu) const;
   std::size_t task_count() const { return tasks_.size(); }
@@ -85,12 +100,13 @@ class Server {
   bool fits_without_overload(const Task& task, int gpu, double hr) const;
 
  private:
-  friend class Cluster;  // sole writer of up_ (set_server_up)
+  friend class Cluster;  // sole writer of up_ / placement_cap_
 
   ServerId id_;
   int gpu_count_;
   double speed_;
   bool up_ = true;
+  int placement_cap_ = -1;
   std::vector<TaskId> tasks_;
   std::vector<std::vector<TaskId>> gpu_tasks_;
   // Incremental usage sums (see class comment).

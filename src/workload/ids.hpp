@@ -29,7 +29,10 @@ enum class StopPolicy { FixedIterations = 0, OptStop = 1, AccuracyOnly = 2 };
 
 enum class TaskState { Queued, Running, Finished, Removed };
 
-enum class JobState { Waiting, Running, Completed };
+/// Failed is terminal like Completed: a job that exhausted its fault-retry
+/// budget (sim/health.hpp) — it never completes and counts against JCT at
+/// the time it was abandoned.
+enum class JobState { Waiting, Running, Completed, Failed };
 
 std::string to_string(MlAlgorithm a);
 std::string to_string(CommStructure c);

@@ -140,7 +140,12 @@ class Job {
   /// "accuracy by job deadline" metric (§4.2.1, Figs. 4(e)/5(e)).
   double accuracy_by_deadline() const;
 
-  bool done() const { return state_ == JobState::Completed; }
+  /// Terminal: the job finished (Completed) or was abandoned after
+  /// exhausting its fault-retry budget (Failed). Success-conditional
+  /// metrics must test state() == JobState::Completed, not done().
+  bool done() const {
+    return state_ == JobState::Completed || state_ == JobState::Failed;
+  }
 
  private:
   JobSpec spec_;

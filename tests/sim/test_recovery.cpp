@@ -1,0 +1,410 @@
+// Failure-aware recovery policies (sim/health.hpp): the backoff schedule
+// and Young/Daly math as pure functions, the quarantine -> probation ->
+// healthy state machine with its capacity safety valve, config validation,
+// retry-budget exhaustion producing failed-permanent jobs under audit, and
+// the master determinism gate — a default-off RecoveryConfig leaves every
+// registered scheduler's event stream byte-identical to the seed build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "sched/util.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_log.hpp"
+#include "sim/health.hpp"
+#include "workload/trace.hpp"
+
+namespace mlfs {
+namespace {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-test"; }
+  void schedule(SchedulerContext& ctx) override {
+    for (const TaskId tid : sched::live_queue(ctx)) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      sched::place_job_gang(ctx, tid, sched::least_loaded_placement);
+    }
+  }
+};
+
+ClusterConfig four_by_four() {
+  ClusterConfig c;
+  c.server_count = 4;
+  c.gpus_per_server = 4;
+  return c;
+}
+
+std::vector<JobSpec> small_trace(std::size_t jobs, std::uint64_t seed = 21) {
+  TraceConfig config;
+  config.num_jobs = jobs;
+  config.duration_hours = 6.0;
+  config.seed = seed;
+  config.max_gpu_request = 8;
+  config.max_iterations = 40;
+  return PhillyTraceGenerator(config).generate();
+}
+
+// ------------------------------------------------------------ pure math
+
+TEST(RecoveryMath, BackoffScheduleDoublesAndCaps) {
+  RecoveryConfig c;
+  c.backoff_base_seconds = 30.0;
+  c.backoff_factor = 2.0;
+  c.backoff_max_seconds = 1800.0;
+  c.backoff_jitter = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 0, 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 1, 0.0), 60.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 4, 0.0), 480.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 6, 0.0), 1800.0);   // exact cap
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 50, 0.0), 1800.0);  // stays capped
+}
+
+TEST(RecoveryMath, BackoffJitterScalesTheDelay) {
+  RecoveryConfig c;
+  c.backoff_base_seconds = 100.0;
+  c.backoff_factor = 2.0;
+  c.backoff_max_seconds = 1000.0;
+  c.backoff_jitter = 0.25;
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_seconds(c, 0, 0.5), 112.5);
+  // Jitter only ever extends the delay (never below the deterministic
+  // schedule), and stays below the full jitter fraction.
+  EXPECT_LT(backoff_delay_seconds(c, 0, 0.999), 125.0);
+}
+
+TEST(RecoveryMath, YoungDalyInterval) {
+  // sqrt(2 * MTBF * cost): 2h MTBF at 2s/checkpoint -> ~169.7s.
+  EXPECT_NEAR(young_daly_interval_seconds(2.0 * 3600.0, 2.0), 169.7, 0.1);
+  EXPECT_DOUBLE_EQ(young_daly_interval_seconds(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(young_daly_interval_seconds(3600.0, 0.0), 0.0);
+}
+
+TEST(RecoveryMath, YoungDalyIterationsClampToValidRange) {
+  // 50000s MTBF, 1s cost -> period ~316s; 10s iterations -> 32.
+  EXPECT_EQ(young_daly_checkpoint_iterations(50000.0, 1.0, 10.0, 50), 32);
+  EXPECT_EQ(young_daly_checkpoint_iterations(50000.0, 1.0, 10.0, 20), 20);  // clamped high
+  EXPECT_EQ(young_daly_checkpoint_iterations(50000.0, 1.0, 1e6, 50), 1);    // clamped low
+  EXPECT_EQ(young_daly_checkpoint_iterations(0.0, 1.0, 10.0, 50), 1);       // no estimate
+}
+
+// ------------------------------------------------- tracker state machine
+
+TEST(HealthTracker, QuarantineProbationHealthyLifecycle) {
+  RecoveryConfig c;
+  c.enabled = true;
+  c.quarantine_score_threshold = 1.5;
+  c.quarantine_base_minutes = 30.0;
+  c.probation_minutes = 60.0;
+  c.probation_task_cap = 1;
+  ServerHealthTracker t(c, 8);
+
+  // Two crashes in quick succession push the decayed score past 1.5.
+  t.record_crash(0, 0.0);
+  t.record_recovery(0, 10.0);
+  t.record_crash(0, 20.0);
+  t.record_recovery(0, 30.0);
+  EXPECT_GT(t.score(0, 30.0), 1.5);
+  ASSERT_TRUE(t.try_quarantine(0, 30.0));
+  EXPECT_EQ(t.health(0), ServerHealth::Quarantined);
+  EXPECT_EQ(t.placement_cap_for(0), 0);
+  EXPECT_EQ(t.quarantines(), 1u);
+  EXPECT_TRUE(t.try_quarantine(0, 31.0));  // idempotent while held
+
+  // Before the window ends: no transitions.
+  EXPECT_TRUE(t.advance(30.0 + minutes(29.0)).empty());
+  // Window over -> probation under the task cap.
+  const auto to_probation = t.advance(30.0 + minutes(30.0));
+  ASSERT_EQ(to_probation.size(), 1u);
+  EXPECT_EQ(to_probation[0].server, 0u);
+  EXPECT_EQ(to_probation[0].cap, 1);
+  EXPECT_EQ(t.health(0), ServerHealth::Probation);
+  EXPECT_EQ(t.placement_cap_for(0), 1);
+  // Probation served crash-free -> full service restored.
+  const SimTime probation_start = 30.0 + minutes(30.0);
+  const auto to_healthy = t.advance(probation_start + minutes(60.0));
+  ASSERT_EQ(to_healthy.size(), 1u);
+  EXPECT_EQ(to_healthy[0].cap, -1);
+  EXPECT_EQ(t.health(0), ServerHealth::Healthy);
+  EXPECT_EQ(t.placement_cap_for(0), -1);
+}
+
+TEST(HealthTracker, RepeatQuarantineWindowsBackOff) {
+  RecoveryConfig c;
+  c.enabled = true;
+  c.quarantine_score_threshold = 0.5;  // any crash triggers
+  c.quarantine_base_minutes = 30.0;
+  c.quarantine_backoff_factor = 2.0;
+  c.quarantine_max_minutes = 480.0;
+  c.probation_minutes = 0.0;
+  ServerHealthTracker t(c, 8);
+
+  t.record_crash(0, 0.0);
+  t.record_recovery(0, 1.0);
+  ASSERT_TRUE(t.try_quarantine(0, 1.0));
+  // First window: 30min. Not out at 29min, out at 30.
+  EXPECT_TRUE(t.advance(1.0 + minutes(29.0)).empty());
+  EXPECT_EQ(t.advance(1.0 + minutes(30.0)).size(), 1u);  // -> probation
+  t.advance(1.0 + minutes(30.0) + 1.0);                  // 0-minute probation -> healthy
+  EXPECT_EQ(t.health(0), ServerHealth::Healthy);
+
+  // Second quarantine of the same server doubles the window to 60min.
+  const SimTime t2 = hours(1.0);
+  t.record_crash(0, t2);
+  t.record_recovery(0, t2 + 1.0);
+  ASSERT_TRUE(t.try_quarantine(0, t2 + 1.0));
+  EXPECT_TRUE(t.advance(t2 + 1.0 + minutes(59.0)).empty());
+  EXPECT_EQ(t.advance(t2 + 1.0 + minutes(60.0)).size(), 1u);
+}
+
+TEST(HealthTracker, CrashDuringProbationFailsTheTrial) {
+  RecoveryConfig c;
+  c.enabled = true;
+  c.quarantine_score_threshold = 0.5;
+  c.probation_minutes = 60.0;
+  ServerHealthTracker t(c, 8);
+  t.record_crash(3, 0.0);
+  t.record_recovery(3, 1.0);
+  ASSERT_TRUE(t.try_quarantine(3, 1.0));
+  t.advance(1.0 + minutes(30.0));
+  ASSERT_EQ(t.health(3), ServerHealth::Probation);
+  // Crashing mid-probation ends the trial; the score is still hot, so the
+  // re-admission check quarantines again (with the longer window).
+  t.record_crash(3, 1.0 + minutes(40.0));
+  EXPECT_EQ(t.health(3), ServerHealth::Healthy);
+  t.record_recovery(3, 1.0 + minutes(45.0));
+  EXPECT_TRUE(t.try_quarantine(3, 1.0 + minutes(45.0)));
+  EXPECT_EQ(t.quarantines(), 2u);
+}
+
+TEST(HealthTracker, SafetyValveNeverDropsBelowMinimumCapacity) {
+  RecoveryConfig c;
+  c.enabled = true;
+  c.quarantine_score_threshold = 0.5;
+  c.min_active_fraction = 0.75;  // 4 servers -> keep >= 3 active
+  ServerHealthTracker t(c, 4);
+
+  // Server 0: crashes, recovers, quarantined (active 4 -> 3 is allowed).
+  t.record_crash(0, 0.0);
+  t.record_recovery(0, 1.0);
+  ASSERT_TRUE(t.try_quarantine(0, 1.0));
+  // Server 1 is just as sick, but quarantining it would leave 2 active.
+  t.record_crash(1, 2.0);
+  t.record_recovery(1, 3.0);
+  EXPECT_FALSE(t.try_quarantine(1, 3.0));
+  EXPECT_EQ(t.health(1), ServerHealth::Healthy);
+  EXPECT_EQ(t.valve_saves(), 1u);
+  EXPECT_EQ(t.quarantines(), 1u);
+}
+
+TEST(HealthTracker, ObservedMtbfNeedsThreeCrashes) {
+  RecoveryConfig c;
+  c.enabled = true;
+  ServerHealthTracker t(c, 4);
+  // Below 3 crashes: the configured fallback wins.
+  t.record_crash(0, hours(10.0));
+  EXPECT_DOUBLE_EQ(t.observed_mtbf_seconds(12.0), hours(12.0));
+  t.record_recovery(0, hours(10.5));
+  t.record_crash(1, hours(20.0));
+  EXPECT_DOUBLE_EQ(t.observed_mtbf_seconds(12.0), hours(12.0));
+  t.record_crash(2, hours(30.0));
+  // Closed uptime: 10h + 20h + 30h = 60h over 3 crashes = 20h.
+  EXPECT_DOUBLE_EQ(t.observed_mtbf_seconds(12.0), hours(20.0));
+  EXPECT_DOUBLE_EQ(ServerHealthTracker(c, 4).observed_mtbf_seconds(0.0), 0.0);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(RecoveryValidation, FaultConfigRejectsNonsense) {
+  FaultConfig f;
+  EXPECT_NO_THROW(f.validate(0));
+  f.server_mttr_hours = -0.5;
+  EXPECT_THROW(f.validate(0), ContractViolation);
+  f = FaultConfig{};
+  // Rack outages configured on a flat cluster would be silently disabled —
+  // reject instead of surprising the user.
+  f.rack_mtbf_hours = 24.0;
+  EXPECT_THROW(f.validate(0), ContractViolation);
+  EXPECT_NO_THROW(f.validate(2));
+  f = FaultConfig{};
+  f.checkpoint_interval_iterations = 0;
+  EXPECT_THROW(f.validate(0), ContractViolation);
+  f = FaultConfig{};
+  f.flaky_server_fraction = 1.5;
+  EXPECT_THROW(f.validate(0), ContractViolation);
+  f = FaultConfig{};
+  f.flaky_server_fraction = 0.25;
+  f.flaky_rate_multiplier = 0.5;
+  EXPECT_THROW(f.validate(0), ContractViolation);
+}
+
+TEST(RecoveryValidation, RecoveryConfigRejectsNonsenseOnlyWhenEnabled) {
+  RecoveryConfig r;
+  r.backoff_jitter = 7.0;
+  EXPECT_NO_THROW(r.validate());  // disabled: never consulted
+  r.enabled = true;
+  EXPECT_THROW(r.validate(), ContractViolation);
+  r = RecoveryConfig{};
+  r.enabled = true;
+  EXPECT_NO_THROW(r.validate());
+  r.quarantine_backoff_factor = 0.5;
+  EXPECT_THROW(r.validate(), ContractViolation);
+  r = RecoveryConfig{};
+  r.enabled = true;
+  r.adaptive_checkpoint = true;
+  r.checkpoint_cost_seconds = 0.0;
+  EXPECT_THROW(r.validate(), ContractViolation);
+}
+
+TEST(RecoveryValidation, EngineConstructorValidatesUpFront) {
+  EngineConfig ec;
+  ec.fault.rack_mtbf_hours = 24.0;  // flat cluster: must be rejected
+  GreedyScheduler scheduler;
+  EXPECT_THROW(SimEngine(four_by_four(), ec, small_trace(4), scheduler), ContractViolation);
+  EngineConfig ec2;
+  ec2.recovery.enabled = true;
+  ec2.recovery.retry_budget = -1;
+  EXPECT_THROW(SimEngine(four_by_four(), ec2, small_trace(4), scheduler), ContractViolation);
+}
+
+// --------------------------------------------------------- end to end
+
+TEST(RecoveryPolicies, RetryBudgetExhaustionFailsJobPermanently) {
+  // Deterministic churn: crash the whole fleet twice while jobs are
+  // running. With a budget of one fault retry per job, the second abort
+  // pushes the victims into failed-permanent. Audited end to end.
+  EngineConfig ec;
+  ec.fault.server_mttr_hours = 0.05;
+  ec.recovery.enabled = true;
+  ec.recovery.retry_budget = 1;
+  ec.recovery.quarantine_enabled = false;  // isolate the retry mechanism
+  ec.recovery.backoff_base_seconds = 5.0;
+  ec.audit.enabled = true;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(6, 29), scheduler);
+  SimTime first_arrival = std::numeric_limits<double>::infinity();
+  for (const Job& job : engine.cluster().jobs()) {
+    first_arrival = std::min(first_arrival, job.spec().arrival);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (ServerId s = 0; s < engine.cluster().server_count(); ++s) {
+      engine.inject_server_failure(s, first_arrival + minutes(5.0 + 20.0 * round));
+    }
+  }
+  const RunMetrics m = engine.run();
+
+  EXPECT_GT(m.jobs_failed_permanent, 0u);
+  EXPECT_GT(m.task_retries, 0u);
+  EXPECT_GT(m.backoff_delay_seconds, 0.0);
+  std::size_t failed_states = 0;
+  for (const Job& job : engine.cluster().jobs()) {
+    EXPECT_TRUE(job.done());  // terminal either way: completed or failed
+    if (job.state() != JobState::Failed) continue;
+    ++failed_states;
+    EXPECT_GE(job.completion_time(), job.spec().arrival);
+    for (const TaskId tid : job.tasks()) {
+      EXPECT_FALSE(engine.cluster().task(tid).placed());
+    }
+  }
+  EXPECT_EQ(failed_states, m.jobs_failed_permanent);
+  engine.cluster().validate();
+}
+
+TEST(RecoveryPolicies, BackoffDelaysReadmissionButJobsStillFinish) {
+  // Unlimited budget: every fault victim eventually re-places after its
+  // backoff window; nothing is lost, nothing is stranded in backoff.
+  EngineConfig ec;
+  ec.fault.server_mtbf_hours = 6.0;
+  ec.fault.server_mttr_hours = 0.1;
+  ec.recovery.enabled = true;
+  ec.recovery.quarantine_enabled = false;
+  ec.recovery.backoff_base_seconds = 10.0;
+  ec.audit.enabled = true;
+  GreedyScheduler scheduler;
+  SimEngine engine(four_by_four(), ec, small_trace(15, 13), scheduler);
+  const RunMetrics m = engine.run();
+  EXPECT_GT(m.server_failures, 0u);
+  EXPECT_GT(m.task_retries, 0u);
+  EXPECT_EQ(m.jobs_failed_permanent, 0u);
+  for (const Job& job : engine.cluster().jobs()) EXPECT_TRUE(job.done());
+  engine.cluster().validate();
+}
+
+TEST(RecoveryPolicies, FlakyFleetQuarantinesUnderAuditedChaos) {
+  // The headline configuration: a flaky server tail under churn with every
+  // policy on, audited every event. The sick servers must actually be
+  // quarantined, and the run must stay internally consistent (the auditor
+  // throws otherwise).
+  exp::Scenario s = exp::chaos_scenario(25, 7);
+  exp::set_flaky_servers(s, 0.25, 8.0);
+  exp::set_recovery_policies(s, /*retry_budget=*/3);
+  s.engine.audit.enabled = true;
+  const RunMetrics m = exp::run_experiment(s, "MLF-H", 25);
+  EXPECT_GT(m.server_failures, 0u);
+  EXPECT_GT(m.quarantines, 0u);
+  EXPECT_GT(m.task_retries, 0u);
+  EXPECT_GE(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+}
+
+// ----------------------------------------------------- determinism gate
+
+TEST(RecoveryDeterminism, DefaultOffIsByteIdenticalUnderChurn) {
+  // The bitwise contract: a present-but-disabled RecoveryConfig (even with
+  // every sub-knob at a non-default value) must not perturb one RNG draw
+  // or one event under an active fault process.
+  auto run_logged = [](const RecoveryConfig& recovery) {
+    EngineConfig ec;
+    ec.fault.server_mtbf_hours = 6.0;
+    ec.fault.server_mttr_hours = 0.25;
+    ec.fault.task_kill_probability = 1e-3;
+    ec.fault.checkpoint_interval_iterations = 3;
+    ec.recovery = recovery;
+    GreedyScheduler scheduler;
+    SimEngine engine(four_by_four(), ec, small_trace(20, 13), scheduler);
+    std::ostringstream out;
+    JsonlEventLog log(out);
+    engine.set_observer(&log);
+    const RunMetrics m = engine.run();
+    return std::make_pair(m, out.str());
+  };
+  RecoveryConfig weird;  // every policy knob non-default, master switch off
+  weird.retry_budget = 2;
+  weird.adaptive_checkpoint = true;
+  weird.spread_placement = true;
+  weird.quarantine_score_threshold = 0.1;
+  weird.backoff_base_seconds = 1.0;
+  const auto [a, log_a] = run_logged(RecoveryConfig{});
+  const auto [b, log_b] = run_logged(weird);
+  EXPECT_GT(a.server_failures, 0u);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_TRUE(deterministic_equal(a, b));
+  EXPECT_EQ(b.quarantines, 0u);
+  EXPECT_EQ(b.task_retries, 0u);
+  EXPECT_EQ(b.jobs_failed_permanent, 0u);
+}
+
+TEST(RecoveryDeterminism, DefaultOffMatchesSeedForEveryRegisteredScheduler) {
+  // Same gate through the public experiment surface, across the whole
+  // scheduler registry: request.engine.recovery default vs explicitly
+  // disabled must produce deterministic_equal metrics under faults.
+  exp::Scenario s = exp::smoke_scenario(15, 7);
+  exp::set_failure_rate(s, 4.0);
+  for (const std::string& name : exp::registered_scheduler_names()) {
+    exp::RunRequest plain = exp::make_request(s, name, 15);
+    exp::RunRequest disabled = exp::make_request(s, name, 15);
+    disabled.engine.recovery.retry_budget = 5;  // present but enabled=false
+    disabled.engine.recovery.adaptive_checkpoint = true;
+    const RunMetrics a = exp::execute_run(plain);
+    const RunMetrics b = exp::execute_run(disabled);
+    EXPECT_TRUE(deterministic_equal(a, b)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -13,6 +13,9 @@
 //            [--servers N] [--gpus-per-server N] [--trace FILE]
 //            [--servers-per-rack N] [--slow-fraction F] [--straggler P]
 //            [--replicas N] [--threads N] [--csv] [--list-schedulers]
+//            [--mtbf H] [--mttr H] [--kill-prob P] [--flaky F]
+//            [--checkpoint-interval N] [--recovery] [--retry-budget N]
+//            [--adaptive-checkpoint] [--spread-placement]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -47,6 +50,17 @@ struct Options {
   bool legacy_hotpath = false;
   bool audit = false;
   std::string event_log_file;
+
+  // Fault injection + recovery policies.
+  double mtbf_hours = 0.0;
+  double mttr_hours = 0.5;
+  double kill_probability = 0.0;
+  double flaky_fraction = 0.0;
+  int checkpoint_interval = 1;
+  bool recovery = false;
+  int retry_budget = 0;
+  bool adaptive_checkpoint = false;
+  bool spread_placement = false;
 };
 
 void print_usage() {
@@ -73,7 +87,24 @@ void print_usage() {
       "                       event (sim/audit.hpp); results are identical,\n"
       "                       violations abort the run with a diagnostic\n"
       "  --event-log FILE     write a JSONL event trace of the (last) run;\n"
-      "                       forces --threads 1\n";
+      "                       forces --threads 1\n"
+      "  --mtbf H             mean time between server crashes in hours\n"
+      "                       (0 = no crashes; exponential inter-arrivals)\n"
+      "  --mttr H             mean crash repair time in hours (default 0.5;\n"
+      "                       0 makes crashes permanent)\n"
+      "  --kill-prob P        per task-iteration transient kill probability\n"
+      "  --flaky F            fraction of servers crashing/killing at 8x the\n"
+      "                       base rates (heterogeneous reliability)\n"
+      "  --checkpoint-interval N  iterations between checkpoints (default 1)\n"
+      "  --recovery           enable the failure-aware recovery policies\n"
+      "                       (server health tracking, quarantine with\n"
+      "                       probation, retry backoff; sim/health.hpp)\n"
+      "  --retry-budget N     fault retries per job before it is marked\n"
+      "                       failed-permanent (0 = unlimited; needs --recovery)\n"
+      "  --adaptive-checkpoint  size checkpoint intervals by Young/Daly from\n"
+      "                       the observed MTBF (needs --recovery)\n"
+      "  --spread-placement   rack-spread penalty in host choice so one rack\n"
+      "                       outage cannot erase a whole job (needs --recovery)\n";
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -140,6 +171,36 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--threads");
       if (!v) return false;
       options.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--mtbf") {
+      const char* v = next("--mtbf");
+      if (!v) return false;
+      options.mtbf_hours = std::stod(v);
+    } else if (arg == "--mttr") {
+      const char* v = next("--mttr");
+      if (!v) return false;
+      options.mttr_hours = std::stod(v);
+    } else if (arg == "--kill-prob") {
+      const char* v = next("--kill-prob");
+      if (!v) return false;
+      options.kill_probability = std::stod(v);
+    } else if (arg == "--flaky") {
+      const char* v = next("--flaky");
+      if (!v) return false;
+      options.flaky_fraction = std::stod(v);
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = next("--checkpoint-interval");
+      if (!v) return false;
+      options.checkpoint_interval = std::stoi(v);
+    } else if (arg == "--recovery") {
+      options.recovery = true;
+    } else if (arg == "--retry-budget") {
+      const char* v = next("--retry-budget");
+      if (!v) return false;
+      options.retry_budget = std::stoi(v);
+    } else if (arg == "--adaptive-checkpoint") {
+      options.adaptive_checkpoint = true;
+    } else if (arg == "--spread-placement") {
+      options.spread_placement = true;
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--legacy-hotpath") {
@@ -162,6 +223,12 @@ bool parse(int argc, char** argv, Options& options) {
       std::cerr << "unknown scheduler: " << name << " (see --list-schedulers)\n";
       return false;
     }
+  }
+  if (!options.recovery && (options.retry_budget != 0 || options.adaptive_checkpoint ||
+                            options.spread_placement)) {
+    std::cerr << "--retry-budget / --adaptive-checkpoint / --spread-placement "
+                 "need --recovery\n";
+    return false;
   }
   return true;
 }
@@ -202,6 +269,15 @@ int main(int argc, char** argv) {
     engine_config.straggler_probability = options.straggler_probability;
     engine_config.straggler_replicas = options.straggler_replicas;
     engine_config.audit.enabled = options.audit;
+    engine_config.fault.server_mtbf_hours = options.mtbf_hours;
+    engine_config.fault.server_mttr_hours = options.mttr_hours;
+    engine_config.fault.task_kill_probability = options.kill_probability;
+    engine_config.fault.flaky_server_fraction = options.flaky_fraction;
+    engine_config.fault.checkpoint_interval_iterations = options.checkpoint_interval;
+    engine_config.recovery.enabled = options.recovery;
+    engine_config.recovery.retry_budget = options.retry_budget;
+    engine_config.recovery.adaptive_checkpoint = options.adaptive_checkpoint;
+    engine_config.recovery.spread_placement = options.spread_placement;
 
     TraceConfig trace;
     trace.num_jobs = options.jobs;
