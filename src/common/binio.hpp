@@ -1,0 +1,146 @@
+// Little-endian binary stream helpers shared by the snapshot subsystem
+// (sim/snapshot.hpp) and the per-component save_state/restore_state hooks.
+// Doubles travel as their IEEE-754 bit pattern, so every value round-trips
+// bit-exactly — the foundation of the restore-determinism contract.
+//
+// BinReader fails loudly: reading past the end of the underlying stream
+// throws ContractViolation (the snapshot layer re-wraps it with section
+// context). Nothing here knows about sections, checksums or versions —
+// that framing lives in sim/snapshot.{hpp,cpp}.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace mlfs::io {
+
+class BinWriter {
+ public:
+  explicit BinWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v) { os_.put(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  void bytes(const char* data, std::size_t n) {
+    os_.write(data, static_cast<std::streamsize>(n));
+  }
+
+  template <typename T, typename WriteOne>
+  void vec(const std::vector<T>& v, WriteOne&& write_one) {
+    u64(v.size());
+    for (const T& x : v) write_one(x);
+  }
+
+  void vec_f64(const std::vector<double>& v) {
+    vec(v, [this](double x) { f64(x); });
+  }
+
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    vec(v, [this](std::uint64_t x) { u64(x); });
+  }
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::ostream& os_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8() {
+    const int c = is_.get();
+    if (c == std::istream::traits_type::eof()) underrun();
+    return static_cast<std::uint8_t>(c);
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    check_length(n);
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n > 0) {
+      is_.read(s.data(), static_cast<std::streamsize>(n));
+      if (static_cast<std::uint64_t>(is_.gcount()) != n) underrun();
+    }
+    return s;
+  }
+
+  template <typename T, typename ReadOne>
+  std::vector<T> vec(ReadOne&& read_one) {
+    const std::uint64_t n = u64();
+    check_length(n);
+    std::vector<T> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_one());
+    return v;
+  }
+
+  std::vector<double> vec_f64() {
+    return vec<double>([this] { return f64(); });
+  }
+
+  std::vector<std::uint64_t> vec_u64() {
+    return vec<std::uint64_t>([this] { return u64(); });
+  }
+
+  std::istream& stream() { return is_; }
+
+ private:
+  [[noreturn]] void underrun() const {
+    throw ContractViolation("binary read past end of stream");
+  }
+  void check_length(std::uint64_t n) const {
+    // A corrupt length field must not drive a multi-gigabyte allocation;
+    // no serialized container in this codebase comes close to this bound.
+    if (n > (1ull << 32)) {
+      throw ContractViolation("binary length field implausibly large: " + std::to_string(n));
+    }
+  }
+
+  std::istream& is_;
+};
+
+}  // namespace mlfs::io

@@ -7,6 +7,7 @@
 // across platforms (std::mt19937's distributions are not portable).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -75,6 +76,13 @@ class Rng {
 
   /// A new Rng seeded from this one's stream (independent substream).
   Rng split();
+
+  /// The raw 256-bit generator state — snapshot/restore must capture the
+  /// stream position bit-exactly (re-seeding would replay draws).
+  std::array<std::uint64_t, 4> state() const { return {state_[0], state_[1], state_[2], state_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   std::uint64_t state_[4];

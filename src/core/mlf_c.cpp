@@ -1,5 +1,7 @@
 #include "core/mlf_c.hpp"
 
+#include "common/binio.hpp"
+
 namespace mlfs::core {
 
 MlfC::MlfC(const LoadControlParams& params) : params_(params) {}
@@ -31,6 +33,18 @@ void MlfC::before_schedule(Cluster& cluster, const std::vector<TaskId>& queue, S
                                                            : StopPolicy::AccuracyOnly;
     if (job.downgrade_policy(next)) ++downgrades_;
   }
+}
+
+void MlfC::save_state(std::ostream& os) const {
+  io::BinWriter w(os);
+  w.boolean(overloaded_);
+  w.u64(downgrades_);
+}
+
+void MlfC::restore_state(std::istream& is) {
+  io::BinReader r(is);
+  overloaded_ = r.boolean();
+  downgrades_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace mlfs::core

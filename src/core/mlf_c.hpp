@@ -31,6 +31,10 @@ class MlfC : public LoadController {
   bool overloaded() const { return overloaded_; }
   std::size_t downgrade_count() const { return downgrades_; }
 
+  /// Snapshot support (the downgrade counter feeds RunMetrics).
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
  private:
   LoadControlParams params_;
   bool overloaded_ = false;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
+#include "common/binio.hpp"
 #include "sim/audit.hpp"
 
 namespace mlfs::core {
@@ -189,6 +191,35 @@ void MlfH::handle_overloaded_servers(SchedulerContext& ctx) {
 void MlfH::schedule(SchedulerContext& ctx) {
   place_queued_tasks(ctx);
   handle_overloaded_servers(ctx);
+}
+
+void MlfH::save_state(std::ostream& os) const {
+  io::BinWriter w(os);
+  std::vector<std::pair<JobId, const CacheEntry*>> entries;
+  entries.reserve(cache_.size());
+  for (const auto& [job, entry] : cache_) entries.emplace_back(job, &entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(entries.size());
+  for (const auto& [job, entry] : entries) {
+    w.u64(job);
+    w.f64(entry->computed_at);
+    w.vec_f64(entry->priorities);
+  }
+  placement_.save_state(w);
+}
+
+void MlfH::restore_state(std::istream& is) {
+  io::BinReader r(is);
+  cache_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const JobId job = static_cast<JobId>(r.u64());
+    CacheEntry& entry = cache_[job];
+    entry.computed_at = r.f64();
+    entry.priorities = r.vec_f64();
+  }
+  placement_.restore_state(r);
 }
 
 }  // namespace mlfs::core

@@ -35,6 +35,14 @@ class MlfH : public Scheduler {
   /// Hot-path counters (candidate scans + comm-memo hit rate).
   SchedStats sched_stats() const override { return placement_.stats(); }
 
+  /// Snapshot support: the per-tick priority cache (sorted by job id) and
+  /// the placement memo/counters. Both must round-trip for restored runs to
+  /// replay bit-identically — the cache skips priority recomputation within
+  /// a tick, so dropping it would change RNG-free but wall-clock-visible
+  /// SchedStats trajectories.
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
   /// Number of jobs currently held in the priority cache (for tests).
   std::size_t priority_cache_size() const { return cache_.size(); }
 

@@ -1,7 +1,9 @@
 #include "core/mlfs.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "common/binio.hpp"
 #include "common/log.hpp"
 
 namespace mlfs::core {
@@ -175,6 +177,38 @@ void MlfsScheduler::schedule(SchedulerContext& ctx) {
 void MlfsScheduler::on_job_complete(const Job& job, SimTime now) {
   reward_.on_job_complete(job, now);
   heuristic_.on_job_complete(job, now);  // evict its priority-cache entry
+}
+
+void MlfsScheduler::save_state(std::ostream& os) const {
+  {
+    io::BinWriter w(os);
+    for (const std::uint64_t word : rng_.state()) w.u64(word);
+    w.boolean(rl_active_);
+    w.u64(decisions_this_round_);
+    w.u64(rounds_since_update_);
+    rl::save_episode(w, episode_);
+    imitation_.save_state(w);
+    reward_.save_state(w);
+  }
+  agent_->save_state(os);
+  heuristic_.save_state(os);
+}
+
+void MlfsScheduler::restore_state(std::istream& is) {
+  {
+    io::BinReader r(is);
+    std::array<std::uint64_t, 4> state;
+    for (std::uint64_t& word : state) word = r.u64();
+    rng_.set_state(state);
+    rl_active_ = r.boolean();
+    decisions_this_round_ = static_cast<std::size_t>(r.u64());
+    rounds_since_update_ = static_cast<std::size_t>(r.u64());
+    episode_ = rl::load_episode(r);
+    imitation_.restore_state(r);
+    reward_.restore_state(r);
+  }
+  agent_->restore_state(is);
+  heuristic_.restore_state(is);
 }
 
 }  // namespace mlfs::core

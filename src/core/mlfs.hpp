@@ -32,6 +32,13 @@ class MlfsScheduler : public Scheduler {
   std::string name() const override;
   void schedule(SchedulerContext& ctx) override;
   void on_job_complete(const Job& job, SimTime now) override;
+
+  /// Snapshot support: the facade RNG, the RL phase flag, the open episode
+  /// and round counters, the agent's full state (weights + optimizer +
+  /// sampling RNG), the imitation log, the reward window, and the wrapped
+  /// heuristic's cache/memo — everything that decides future placements.
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
   SchedStats sched_stats() const override { return heuristic_.sched_stats(); }
   void audit_invariants(const Cluster& cluster, SimTime now) const override {
     heuristic_.audit_invariants(cluster, now);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/binio.hpp"
 
 namespace mlfs::core {
 
@@ -330,6 +333,36 @@ std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext&
     }
   }
   return HostChoice{best_server, best_gpu};
+}
+
+void MlfPlacement::save_state(io::BinWriter& w) const {
+  w.u64(comm_cache_epoch_);
+  std::vector<std::pair<TaskId, const std::vector<double>*>> entries;
+  entries.reserve(comm_cache_.size());
+  for (const auto& [task, volumes] : comm_cache_) entries.emplace_back(task, &volumes);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(entries.size());
+  for (const auto& [task, volumes] : entries) {
+    w.u64(task);
+    w.vec_f64(*volumes);
+  }
+  w.u64(stats_.candidates_scanned);
+  w.u64(stats_.comm_cache_hits);
+  w.u64(stats_.comm_cache_misses);
+}
+
+void MlfPlacement::restore_state(io::BinReader& r) {
+  comm_cache_epoch_ = r.u64();
+  comm_cache_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const TaskId task = static_cast<TaskId>(r.u64());
+    comm_cache_[task] = r.vec_f64();
+  }
+  stats_.candidates_scanned = static_cast<std::size_t>(r.u64());
+  stats_.comm_cache_hits = static_cast<std::size_t>(r.u64());
+  stats_.comm_cache_misses = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace mlfs::core

@@ -44,6 +44,14 @@ class MlfPlacement {
   /// Hot-path counters accumulated across all choose_host calls.
   const SchedStats& stats() const { return stats_; }
 
+  /// Snapshot support: the per-epoch comm memo and the hot-path counters.
+  /// The memo must round-trip (not just be invalidated) so the hit/miss
+  /// counters — and therefore SchedStats — stay bit-identical after
+  /// restore; the memo map is written sorted by task id. `feasible_` is
+  /// per-call scratch and is not state.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
+
   /// Total communication volume (MB per iteration) between `task` and the
   /// tasks currently placed on `server` — DAG parent/child edges plus
   /// all-reduce ring neighbours (public for tests).

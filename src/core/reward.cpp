@@ -94,4 +94,24 @@ RewardWeights RewardTuner::tune(const std::function<double(const RewardWeights&)
   return best;
 }
 
+void RewardTracker::save_state(io::BinWriter& w) const {
+  w.f64(jct_sum_hours_);
+  w.u64(completions_);
+  w.u64(deadline_met_);
+  w.u64(accuracy_met_);
+  w.f64(accuracy_sum_);
+  w.f64(last_bandwidth_mb_);
+  w.boolean(bandwidth_primed_);
+}
+
+void RewardTracker::restore_state(io::BinReader& r) {
+  jct_sum_hours_ = r.f64();
+  completions_ = static_cast<std::size_t>(r.u64());
+  deadline_met_ = static_cast<std::size_t>(r.u64());
+  accuracy_met_ = static_cast<std::size_t>(r.u64());
+  accuracy_sum_ = r.f64();
+  last_bandwidth_mb_ = r.f64();
+  bandwidth_primed_ = r.boolean();
+}
+
 }  // namespace mlfs::core

@@ -36,6 +36,10 @@ class RewardTracker {
   /// Reward for the round ending now; consumes the window.
   double round_reward(const Cluster& cluster, SimTime now);
 
+  /// Bit-exact window-accumulator round-trip for engine snapshots.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
+
  private:
   RlParams params_;
   // Window accumulators.

@@ -9,6 +9,7 @@
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "exp/registry.hpp"
+#include "exp/restore_check.hpp"
 #include "sim/audit.hpp"
 
 namespace mlfs::exp {
@@ -70,8 +71,9 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
   if (rng.bernoulli(0.3)) {
     c.rl_warmup_samples = static_cast<std::size_t>(rng.uniform_int(50, 400));
   }
-  // Recovery policies: drawn last so cases from older sweeps keep their
-  // prefix of draws (and so legacy seeds stay replayable up to this block).
+  // Recovery policies: drawn after the older dimensions so cases from older
+  // sweeps keep their prefix of draws (and so legacy seeds stay replayable
+  // up to this block).
   if (rng.bernoulli(0.35)) {
     c.recovery = true;
     c.quarantine = rng.bernoulli(0.7);
@@ -79,6 +81,11 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
     c.adaptive_checkpoint = rng.bernoulli(0.5);
     c.spread_placement = rng.bernoulli(0.5);
     if (rng.bernoulli(0.4)) c.flaky_fraction = rng.uniform(0.1, 0.5);
+  }
+  // Snapshot/restore: newest dimension, drawn last (same prefix rule).
+  if (rng.bernoulli(0.25)) {
+    c.snapshot_check = true;
+    c.snapshot_event = rng.next_u64();
   }
   return c;
 }
@@ -141,6 +148,7 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.legacy_hot_path) out << ", legacy-hotpath";
   if (!c.incremental_load_index) out << ", scan-index";
+  if (c.snapshot_check) out << ", snapshot@" << c.snapshot_event;
   if (c.inject_slot_leak) out << ", SLOT-LEAK";
   return out.str();
 }
@@ -179,6 +187,8 @@ std::string serialize(const FuzzCase& c) {
       << "legacy_hot_path=" << (c.legacy_hot_path ? 1 : 0) << "\n"
       << "rl_warmup_samples=" << c.rl_warmup_samples << "\n"
       << "audit_stride=" << c.audit_stride << "\n"
+      << "snapshot_check=" << (c.snapshot_check ? 1 : 0) << "\n"
+      << "snapshot_event=" << c.snapshot_event << "\n"
       << "inject_slot_leak=" << (c.inject_slot_leak ? 1 : 0) << "\n";
   return out.str();
 }
@@ -228,6 +238,8 @@ FuzzCase parse_fuzz_case(std::istream& in) {
     else if (key == "legacy_hot_path") c.legacy_hot_path = flag();
     else if (key == "rl_warmup_samples") c.rl_warmup_samples = static_cast<std::size_t>(u64());
     else if (key == "audit_stride") c.audit_stride = static_cast<int>(u64());
+    else if (key == "snapshot_check") c.snapshot_check = flag();
+    else if (key == "snapshot_event") c.snapshot_event = u64();
     else if (key == "inject_slot_leak") c.inject_slot_leak = flag();
     else throw ContractViolation("fuzz case: unknown key: " + key);
   }
@@ -237,6 +249,14 @@ FuzzCase parse_fuzz_case(std::istream& in) {
 std::optional<FuzzFailure> run_fuzz_case(const FuzzCase& c, bool check_determinism) {
   const RunRequest request = to_request(c);
   try {
+    if (c.snapshot_check) {
+      // The restore-equivalence check subsumes a plain audited run (its
+      // reference leg) and a determinism check (reference vs restored are
+      // two executions of the same request).
+      const RestoreCheckResult check = check_restore_equivalence(request, c.snapshot_event);
+      if (!check.equivalent) return FuzzFailure{c, "snapshot-restore", check.detail};
+      return std::nullopt;
+    }
     const RunMetrics first = execute_run(request);
     if (check_determinism) {
       const RunMetrics second = execute_run(request);
@@ -288,6 +308,11 @@ ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_f
       [](FuzzCase& c) { c.duration_hours = std::max(0.05, c.duration_hours / 2.0); },
       [](FuzzCase& c) { c.max_sim_hours = std::max(1.0, c.max_sim_hours / 2.0); },
       [](FuzzCase& c) { c.legacy_hot_path = false; c.incremental_load_index = true; },
+      // Earlier snapshot cuts make a surviving "snapshot-restore" failure
+      // easier to replay (fewer pre-snapshot events). The cut index, not
+      // the flag, shrinks: dropping snapshot_check would change the failing
+      // invariant, so that candidate is always rejected anyway.
+      [](FuzzCase& c) { c.snapshot_event /= 2; },
   };
   ShrinkResult result{original, original_failure, 0, 0};
   const std::string target = original_failure.invariant;

@@ -62,6 +62,14 @@ struct FuzzCase {
   bool adaptive_checkpoint = false;
   bool spread_placement = false;
 
+  // Snapshot/restore dimension: when set, the case runs the three-engine
+  // restore-equivalence check (exp/restore_check.hpp) with the snapshot cut
+  // at `snapshot_event % total_events`; any divergence fails with invariant
+  // "snapshot-restore" and the shrunk case carries a replayable
+  // snapshot_event= line.
+  bool snapshot_check = false;
+  std::uint64_t snapshot_event = 0;
+
   // Implementation switches (both paths must uphold the invariants).
   bool incremental_load_index = true;
   bool legacy_hot_path = false;

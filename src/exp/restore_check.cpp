@@ -1,0 +1,58 @@
+#include "exp/restore_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace mlfs::exp {
+
+RestoreCheckResult check_restore_equivalence(const RunRequest& request,
+                                             std::uint64_t snapshot_event) {
+  RestoreCheckResult result;
+
+  // 1. Reference: the uninterrupted run.
+  {
+    EngineBundle reference = build_engine(request);
+    result.reference = reference.engine->run();
+  }
+  result.total_events = result.reference.events_processed;
+  result.snapshot_event =
+      snapshot_event % std::max<std::uint64_t>(1, result.total_events);
+
+  // 2. Donor: step to the cut point and snapshot mid-flight.
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  {
+    EngineBundle donor = build_engine(request);
+    while (donor.engine->events_processed() < result.snapshot_event &&
+           donor.engine->step()) {
+    }
+    donor.engine->save_snapshot(snapshot);
+  }
+
+  // 3. Survivor: a fresh engine, restored from the snapshot bytes alone,
+  // run to completion.
+  {
+    EngineBundle survivor = build_engine(request);
+    survivor.engine->restore_snapshot(snapshot);
+    while (survivor.engine->step()) {
+    }
+    result.restored = survivor.engine->finalize();
+  }
+
+  result.equivalent = deterministic_equal(result.reference, result.restored) &&
+                      result.reference.event_stream_hash == result.restored.event_stream_hash;
+  if (!result.equivalent) {
+    std::ostringstream detail;
+    detail << "restored run diverged from uninterrupted run at snapshot_event="
+           << result.snapshot_event << "/" << result.total_events << ": hash "
+           << result.reference.event_stream_hash << " vs " << result.restored.event_stream_hash
+           << ", events " << result.reference.events_processed << " vs "
+           << result.restored.events_processed << "; reference [" << result.reference.summary()
+           << "] restored [" << result.restored.summary() << "]";
+    result.detail = detail.str();
+  }
+  return result;
+}
+
+}  // namespace mlfs::exp

@@ -10,7 +10,7 @@
 
 namespace mlfs::exp {
 
-RunMetrics execute_run(const RunRequest& request) {
+EngineBundle build_engine(const RunRequest& request) {
   std::vector<JobSpec> specs =
       request.workload ? *request.workload : PhillyTraceGenerator(request.trace).generate();
 
@@ -21,11 +21,17 @@ RunMetrics execute_run(const RunRequest& request) {
   if (request.engine.recovery.enabled && request.engine.recovery.spread_placement) {
     mlfs_config.placement.spread_racks = true;
   }
-  SchedulerInstance instance = make_scheduler(request.scheduler, mlfs_config);
-  SimEngine engine(request.cluster, request.engine, std::move(specs), *instance.scheduler,
-                   instance.controller.get());
-  if (request.observer != nullptr) engine.set_observer(request.observer);
-  return engine.run();
+  EngineBundle bundle;
+  bundle.instance = make_scheduler(request.scheduler, mlfs_config);
+  bundle.engine = std::make_unique<SimEngine>(request.cluster, request.engine, std::move(specs),
+                                              *bundle.instance.scheduler,
+                                              bundle.instance.controller.get());
+  if (request.observer != nullptr) bundle.engine->set_observer(request.observer);
+  return bundle;
+}
+
+RunMetrics execute_run(const RunRequest& request) {
+  return build_engine(request).engine->run();
 }
 
 RunRequest make_request(const Scenario& scenario, const std::string& scheduler_name,

@@ -42,6 +42,22 @@ struct RunRequest {
   EngineObserver* observer = nullptr;
 };
 
+/// One run's live objects, owned together so the engine's internal
+/// references stay valid: the scheduler instance (+ optional controller)
+/// and the engine built on them. Lets callers drive the engine manually
+/// (step/snapshot/restore) instead of run()-to-completion.
+struct EngineBundle {
+  SchedulerInstance instance;
+  std::unique_ptr<SimEngine> engine;
+};
+
+/// Builds the workload, scheduler, and engine from the request exactly as
+/// execute_run does (including the recovery.spread_placement →
+/// placement.spread_racks coupling) but without running it. Two bundles
+/// built from the same request are interchangeable for restore_snapshot:
+/// they share the same config fingerprint.
+EngineBundle build_engine(const RunRequest& request);
+
 /// The pure execution core: builds the workload, scheduler and engine from
 /// the request and runs it to completion. Thread-safe by construction.
 RunMetrics execute_run(const RunRequest& request);

@@ -2,6 +2,9 @@
 
 #include <istream>
 #include <ostream>
+#include <utility>
+
+#include "common/binio.hpp"
 
 namespace mlfs::nn {
 
@@ -83,6 +86,22 @@ void Mlp::load(std::istream& is) {
       Matrix loaded = read_matrix(is);
       MLFS_EXPECT(loaded.same_shape(*p));
       *p = std::move(loaded);
+    }
+  }
+}
+
+void Mlp::save_state(io::BinWriter& w) const {
+  for (const auto& layer : layers_) {
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) w.vec_f64(p->raw());
+  }
+}
+
+void Mlp::restore_state(io::BinReader& r) {
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->params()) {
+      std::vector<double> data = r.vec_f64();
+      MLFS_EXPECT(data.size() == p->size());
+      p->raw() = std::move(data);
     }
   }
 }

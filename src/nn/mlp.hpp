@@ -11,6 +11,11 @@
 #include "nn/dense.hpp"
 #include "nn/layer.hpp"
 
+namespace mlfs::io {
+class BinWriter;
+class BinReader;
+}  // namespace mlfs::io
+
 namespace mlfs::nn {
 
 enum class Activation { Relu, Tanh };
@@ -40,6 +45,11 @@ class Mlp {
   /// Text checkpointing of all parameters (architecture must match on load).
   void save(std::ostream& os) const;
   void load(std::istream& is);
+
+  /// Bit-exact binary parameter round-trip for engine snapshots; the text
+  /// save()/load() pair stays the human-inspectable checkpoint format.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
 
   /// Copies parameters from another MLP with identical architecture.
   void copy_params_from(const Mlp& other);

@@ -1,6 +1,9 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <utility>
+
+#include "common/binio.hpp"
 
 namespace mlfs::nn {
 
@@ -84,6 +87,26 @@ void Adam::step() {
       const double vhat = v.raw()[j] / bc2;
       p.raw()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+  }
+}
+
+void Adam::save_state(io::BinWriter& w) const {
+  w.u64(t_);
+  for (const Matrix& m : m_) w.vec_f64(m.raw());
+  for (const Matrix& v : v_) w.vec_f64(v.raw());
+}
+
+void Adam::restore_state(io::BinReader& r) {
+  t_ = static_cast<std::size_t>(r.u64());
+  for (Matrix& m : m_) {
+    std::vector<double> data = r.vec_f64();
+    MLFS_EXPECT(data.size() == m.size());
+    m.raw() = std::move(data);
+  }
+  for (Matrix& v : v_) {
+    std::vector<double> data = r.vec_f64();
+    MLFS_EXPECT(data.size() == v.size());
+    v.raw() = std::move(data);
   }
 }
 

@@ -5,6 +5,11 @@
 
 #include "nn/matrix.hpp"
 
+namespace mlfs::io {
+class BinWriter;
+class BinReader;
+}  // namespace mlfs::io
+
 namespace mlfs::nn {
 
 /// Optimizer interface: step() applies the accumulated gradients to the
@@ -45,6 +50,12 @@ class Adam : public Optimizer {
   Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr,
        double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
   void step() override;
+
+  /// Snapshot support: step count and the first/second-moment accumulators,
+  /// bit-exact (hyperparameters and parameter bindings are rebuilt by the
+  /// owning agent's constructor).
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
 
  private:
   double lr_;

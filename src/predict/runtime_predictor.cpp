@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 
@@ -38,6 +39,24 @@ void RuntimePredictor::record_completion(const Job& job) {
 
 bool RuntimePredictor::has_history(const Job& job) const {
   return seen_.contains({static_cast<int>(job.spec().algorithm), job.spec().gpu_request});
+}
+
+void RuntimePredictor::save_state(io::BinWriter& w) const {
+  w.u64(seen_.size());
+  for (const auto& [algorithm, gpus] : seen_) {
+    w.i64(algorithm);
+    w.i64(gpus);
+  }
+}
+
+void RuntimePredictor::restore_state(io::BinReader& r) {
+  seen_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int algorithm = static_cast<int>(r.i64());
+    const int gpus = static_cast<int>(r.i64());
+    seen_.insert({algorithm, gpus});
+  }
 }
 
 }  // namespace mlfs

@@ -30,6 +30,11 @@ class RuntimePredictor {
 
   bool has_history(const Job& job) const;
 
+  /// Snapshot support: the set of (algorithm, gpu_request) signatures with
+  /// completion history (the error levels are config, not state).
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
+
  private:
   double error_factor(const Job& job) const;
 

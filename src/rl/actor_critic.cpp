@@ -1,9 +1,11 @@
 #include "rl/actor_critic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
+#include "common/binio.hpp"
 #include "nn/loss.hpp"
 
 namespace mlfs::rl {
@@ -192,6 +194,26 @@ void ActorCriticAgent::save(std::ostream& os) const {
 void ActorCriticAgent::load(std::istream& is) {
   policy_.load(is);
   value_.load(is);
+}
+
+void ActorCriticAgent::save_state(std::ostream& os) const {
+  io::BinWriter w(os);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  policy_.save_state(w);
+  value_.save_state(w);
+  policy_opt_.save_state(w);
+  value_opt_.save_state(w);
+}
+
+void ActorCriticAgent::restore_state(std::istream& is) {
+  io::BinReader r(is);
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = r.u64();
+  rng_.set_state(state);
+  policy_.restore_state(r);
+  value_.restore_state(r);
+  policy_opt_.restore_state(r);
+  value_opt_.restore_state(r);
 }
 
 }  // namespace mlfs::rl

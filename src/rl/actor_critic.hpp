@@ -58,6 +58,9 @@ class ActorCriticAgent : public PolicyAgent {
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
  private:
   int sample_or_argmax(std::span<const double> state, std::span<const bool> mask, bool greedy);
 

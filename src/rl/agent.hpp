@@ -40,6 +40,12 @@ class PolicyAgent {
 
   virtual void save(std::ostream& os) const = 0;
   virtual void load(std::istream& is) = 0;
+
+  /// Full dynamic state for bit-identical engine resume (snapshot support):
+  /// network parameters, optimizer moments, AND the action-sampling RNG —
+  /// unlike save()/load(), which checkpoint parameters only.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void restore_state(std::istream& is) = 0;
 };
 
 }  // namespace mlfs::rl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/binio.hpp"
+
 namespace mlfs::rl {
 
 void ImitationDataset::add(std::span<const double> state, int action) {
@@ -59,6 +61,17 @@ double ImitationDataset::evaluate_accuracy(PolicyAgent& agent) const {
     if (agent.act_greedy(state) == actions_[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(actions_.size());
+}
+
+void ImitationDataset::save_state(io::BinWriter& w) const {
+  w.vec_f64(states_);
+  w.vec(actions_, [&w](int a) { w.i64(a); });
+}
+
+void ImitationDataset::restore_state(io::BinReader& r) {
+  states_ = r.vec_f64();
+  actions_ = r.vec<int>([&r] { return static_cast<int>(r.i64()); });
+  MLFS_EXPECT(states_.size() == actions_.size() * state_dim_);
 }
 
 }  // namespace mlfs::rl

@@ -33,6 +33,10 @@ class ImitationDataset {
   /// Fraction of samples where the agent's greedy action matches the expert.
   double evaluate_accuracy(PolicyAgent& agent) const;
 
+  /// Bit-exact dataset round-trip for engine snapshots.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
+
  private:
   std::size_t state_dim_;
   std::vector<double> states_;  // flattened rows of state_dim_

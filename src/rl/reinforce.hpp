@@ -58,6 +58,9 @@ class ReinforceAgent : public PolicyAgent {
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
  private:
   nn::Matrix states_to_matrix(std::span<const Episode> episodes) const;
   int sample_or_argmax(std::span<const double> state, std::span<const bool> mask, bool greedy);

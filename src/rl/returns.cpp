@@ -1,7 +1,9 @@
 #include "rl/returns.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "common/binio.hpp"
 #include "common/expect.hpp"
 
 namespace mlfs::rl {
@@ -28,6 +30,29 @@ void standardize(std::vector<double>& values) {
   const double stddev = std::sqrt(var);
   if (stddev < 1e-9) return;
   for (double& v : values) v = (v - mean) / stddev;
+}
+
+void save_episode(io::BinWriter& w, const Episode& episode) {
+  w.u64(episode.size());
+  for (const Transition& t : episode) {
+    w.vec_f64(t.state);
+    w.i64(t.action);
+    w.f64(t.reward);
+  }
+}
+
+Episode load_episode(io::BinReader& r) {
+  const std::uint64_t count = r.u64();
+  Episode episode;
+  episode.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Transition t;
+    t.state = r.vec_f64();
+    t.action = static_cast<int>(r.i64());
+    t.reward = r.f64();
+    episode.push_back(std::move(t));
+  }
+  return episode;
 }
 
 }  // namespace mlfs::rl

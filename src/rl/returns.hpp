@@ -5,6 +5,11 @@
 #include <span>
 #include <vector>
 
+namespace mlfs::io {
+class BinWriter;
+class BinReader;
+}  // namespace mlfs::io
+
 namespace mlfs::rl {
 
 /// One (state, action, reward) step. States are flat feature vectors of a
@@ -25,5 +30,9 @@ std::vector<double> discounted_returns(std::span<const double> rewards, double e
 /// In-place standardization to zero mean / unit variance (no-op when the
 /// variance is ~0). Standard advantage normalization for policy gradients.
 void standardize(std::vector<double>& values);
+
+/// Bit-exact episode (de)serialization for engine snapshots.
+void save_episode(io::BinWriter& w, const Episode& episode);
+Episode load_episode(io::BinReader& r);
 
 }  // namespace mlfs::rl

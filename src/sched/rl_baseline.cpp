@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.hpp"
 #include "sched/util.hpp"
 
 namespace mlfs::sched {
@@ -134,6 +135,32 @@ void RlBaselineScheduler::schedule(SchedulerContext& ctx) {
       failures = 0;
     }
   }
+}
+
+void RlBaselineScheduler::save_state(std::ostream& os) const {
+  {
+    io::BinWriter w(os);
+    w.u64(decisions_this_round_);
+    w.u64(rounds_since_update_);
+    rl::save_episode(w, episode_);
+    w.u64(pending_episodes_.size());
+    for (const rl::Episode& e : pending_episodes_) rl::save_episode(w, e);
+  }
+  agent_->save_state(os);
+}
+
+void RlBaselineScheduler::restore_state(std::istream& is) {
+  {
+    io::BinReader r(is);
+    decisions_this_round_ = static_cast<std::size_t>(r.u64());
+    rounds_since_update_ = static_cast<std::size_t>(r.u64());
+    episode_ = rl::load_episode(r);
+    pending_episodes_.clear();
+    const std::uint64_t count = r.u64();
+    pending_episodes_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) pending_episodes_.push_back(rl::load_episode(r));
+  }
+  agent_->restore_state(is);
 }
 
 }  // namespace mlfs::sched

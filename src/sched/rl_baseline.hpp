@@ -32,6 +32,11 @@ class RlBaselineScheduler : public Scheduler {
   std::string name() const override { return "RL"; }
   void schedule(SchedulerContext& ctx) override;
 
+  /// Snapshot support: the agent (weights + optimizer + RNG), the open
+  /// episode, queued update batches, and the round counters.
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
   /// Feature dimension of the policy input (public for tests).
   static std::size_t state_dim(std::size_t candidate_count);
 

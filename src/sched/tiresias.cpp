@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "common/binio.hpp"
 #include "common/expect.hpp"
 #include "sched/util.hpp"
 
@@ -83,6 +86,42 @@ void TiresiasScheduler::on_job_complete(const Job& job, SimTime now) {
   (void)now;
   service_.erase(job.id());
   demotions_.erase(job.id());
+}
+
+void TiresiasScheduler::save_state(std::ostream& os) const {
+  io::BinWriter w(os);
+  w.f64(last_tick_);
+  std::vector<std::pair<JobId, double>> service(service_.begin(), service_.end());
+  std::sort(service.begin(), service.end());
+  w.u64(service.size());
+  for (const auto& [job, gpu_seconds] : service) {
+    w.u64(job);
+    w.f64(gpu_seconds);
+  }
+  std::vector<std::pair<JobId, int>> demotions(demotions_.begin(), demotions_.end());
+  std::sort(demotions.begin(), demotions.end());
+  w.u64(demotions.size());
+  for (const auto& [job, count] : demotions) {
+    w.u64(job);
+    w.i64(count);
+  }
+}
+
+void TiresiasScheduler::restore_state(std::istream& is) {
+  io::BinReader r(is);
+  last_tick_ = r.f64();
+  service_.clear();
+  const std::uint64_t service_count = r.u64();
+  for (std::uint64_t i = 0; i < service_count; ++i) {
+    const JobId job = static_cast<JobId>(r.u64());
+    service_[job] = r.f64();
+  }
+  demotions_.clear();
+  const std::uint64_t demotion_count = r.u64();
+  for (std::uint64_t i = 0; i < demotion_count; ++i) {
+    const JobId job = static_cast<JobId>(r.u64());
+    demotions_[job] = static_cast<int>(r.i64());
+  }
 }
 
 }  // namespace mlfs::sched

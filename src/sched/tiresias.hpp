@@ -21,6 +21,11 @@ class TiresiasScheduler : public Scheduler {
   void schedule(SchedulerContext& ctx) override;
   void on_job_complete(const Job& job, SimTime now) override;
 
+  /// Attained-service bookkeeping round-trip for engine snapshots (the
+  /// maps are written sorted by job id so the bytes are deterministic).
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
+
   double attained_service(JobId id) const;
 
  private:

@@ -60,6 +60,35 @@ void SimAuditor::after_event(const char* event, JobId subject) {
   check_now(event);
 }
 
+void SimAuditor::resync_after_restore() {
+  current_event_ = "restore";
+  events_seen_ = engine_.events_processed_;
+  // A job has arrived iff no Arrival event for it is still pending in the
+  // restored queue — job state alone is ambiguous (pre-arrival jobs are
+  // also Waiting).
+  std::fill(arrived_.begin(), arrived_.end(), static_cast<char>(1));
+  auto pending = engine_.events_;  // priority_queue: drain a copy to iterate
+  while (!pending.empty()) {
+    const auto& ev = pending.top();
+    if (ev.type == SimEngine::EventType::Arrival && ev.job < arrived_.size()) {
+      arrived_[ev.job] = 0;
+    }
+    pending.pop();
+  }
+  last_now_ = engine_.now_;
+  last_iterations_run_ = engine_.iterations_run_;
+  last_migrations_ = engine_.migrations_;
+  last_preemptions_ = engine_.preemptions_;
+  last_jobs_completed_ = engine_.jobs_completed_;
+  last_jobs_failed_ = engine_.jobs_failed_;
+  last_retry_backoffs_ = engine_.retry_backoffs_;
+  last_server_failures_ = engine_.server_failures_;
+  last_task_kills_ = engine_.task_kills_;
+  last_bandwidth_mb_ = engine_.cluster_.total_bandwidth_mb();
+  last_inter_rack_mb_ = engine_.cluster_.inter_rack_bandwidth_mb();
+  check_now("restore");
+}
+
 void SimAuditor::check_now(const char* context) {
   current_event_ = context;
   ++audits_;

@@ -87,6 +87,15 @@ class SimAuditor {
   /// and the per-job ground truth.
   void check_metrics(const RunMetrics& m) const;
 
+  /// Re-derives the auditor's observational state from a freshly restored
+  /// engine (SimEngine::restore_snapshot): arrival tracking from the
+  /// pending event queue, the monotone-counter snapshots from the restored
+  /// counters, and the event count (which also keeps the audit-stride
+  /// phase identical to the uninterrupted run). The auditor itself is
+  /// never serialized — it is a pure observer, so everything it needs is
+  /// derivable.
+  void resync_after_restore();
+
   std::uint64_t events_seen() const { return events_seen_; }
   std::uint64_t audits_performed() const { return audits_; }
 

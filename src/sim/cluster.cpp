@@ -366,4 +366,128 @@ double Cluster::flow_bandwidth_between(ServerId a, ServerId b) const {
                              : config_.effective_flow_bandwidth_mbps;
 }
 
+// ------------------------------------------------------- snapshot
+
+namespace {
+
+void write_resource_vector(io::BinWriter& w, const ResourceVector& v) {
+  for (std::size_t r = 0; r < kNumResources; ++r) w.f64(v.at(r));
+}
+
+ResourceVector read_resource_vector(io::BinReader& r) {
+  ResourceVector v;
+  for (std::size_t i = 0; i < kNumResources; ++i) v.at(i) = r.f64();
+  return v;
+}
+
+void write_id_vector(io::BinWriter& w, const std::vector<ServerId>& ids) {
+  w.vec(ids, [&w](ServerId id) { w.u64(id); });
+}
+
+std::vector<ServerId> read_id_vector(io::BinReader& r) {
+  return r.vec<ServerId>([&r] { return static_cast<ServerId>(r.u64()); });
+}
+
+}  // namespace
+
+void Cluster::save_state(io::BinWriter& w) const {
+  w.u64(servers_.size());
+  for (const Server& s : servers_) s.save_state(w);
+
+  w.u64(tasks_.size());
+  for (const Task& t : tasks_) {
+    w.u8(static_cast<std::uint8_t>(t.state));
+    w.u64(t.server);
+    w.i64(t.gpu);
+    w.f64(t.queued_since);
+    w.f64(t.total_waiting);
+    w.i64(t.migrations);
+    w.f64(t.usage_bias);
+    w.f64(t.usage_factor);
+    w.f64(t.pending_penalty_seconds);
+  }
+
+  w.u64(jobs_.size());
+  for (const Job& j : jobs_) j.save_state(w);
+
+  w.f64(total_bandwidth_mb_);
+  w.f64(inter_rack_bandwidth_mb_);
+  w.u64(transfer_count_);
+  w.u64(placement_epoch_);
+  w.u64(debug_unplace_count_);
+
+  // Lazy load index, wholesale: restoring "invalid, rebuild on first use"
+  // instead would change the full_rebuilds/refreshes trajectory and break
+  // bit-identical RunMetrics.
+  w.boolean(index_valid_);
+  w.f64(index_hr_);
+  w.f64(index_demand_);
+  w.vec(index_dirty_, [&w](char c) { w.u8(static_cast<std::uint8_t>(c)); });
+  write_id_vector(w, index_dirty_ids_);
+  w.vec(index_overloaded_, [&w](char c) { w.u8(static_cast<std::uint8_t>(c)); });
+  w.vec(index_underloaded_, [&w](char c) { w.u8(static_cast<std::uint8_t>(c)); });
+  w.vec(index_slots_, [&w](int v) { w.i64(v); });
+  w.u64(index_util_.size());
+  for (const ResourceVector& v : index_util_) write_resource_vector(w, v);
+  w.vec(index_least_gpu_, [&w](int v) { w.i64(v); });
+  w.vec_f64(index_least_load_);
+  w.i64(index_total_slots_);
+  write_id_vector(w, underloaded_ids_);
+  write_id_vector(w, overloaded_ids_);
+  w.u64(index_stats_.full_rebuilds);
+  w.u64(index_stats_.refreshes);
+  w.u64(index_stats_.servers_reindexed);
+}
+
+void Cluster::restore_state(io::BinReader& r) {
+  const std::uint64_t server_count = r.u64();
+  MLFS_EXPECT(server_count == servers_.size());  // fingerprint-matched config
+  for (Server& s : servers_) s.restore_state(r);
+
+  const std::uint64_t task_count = r.u64();
+  MLFS_EXPECT(task_count == tasks_.size());
+  for (Task& t : tasks_) {
+    t.state = static_cast<TaskState>(r.u8());
+    t.server = static_cast<ServerId>(r.u64());
+    t.gpu = static_cast<int>(r.i64());
+    t.queued_since = r.f64();
+    t.total_waiting = r.f64();
+    t.migrations = static_cast<int>(r.i64());
+    t.usage_bias = r.f64();
+    t.usage_factor = r.f64();
+    t.pending_penalty_seconds = r.f64();
+  }
+
+  const std::uint64_t job_count = r.u64();
+  MLFS_EXPECT(job_count == jobs_.size());
+  for (Job& j : jobs_) j.restore_state(r);
+
+  total_bandwidth_mb_ = r.f64();
+  inter_rack_bandwidth_mb_ = r.f64();
+  transfer_count_ = static_cast<std::size_t>(r.u64());
+  placement_epoch_ = r.u64();
+  debug_unplace_count_ = static_cast<std::size_t>(r.u64());
+
+  index_valid_ = r.boolean();
+  index_hr_ = r.f64();
+  index_demand_ = r.f64();
+  index_dirty_ = r.vec<char>([&r] { return static_cast<char>(r.u8()); });
+  index_dirty_ids_ = read_id_vector(r);
+  index_overloaded_ = r.vec<char>([&r] { return static_cast<char>(r.u8()); });
+  index_underloaded_ = r.vec<char>([&r] { return static_cast<char>(r.u8()); });
+  index_slots_ = r.vec<int>([&r] { return static_cast<int>(r.i64()); });
+  const std::uint64_t util_count = r.u64();
+  index_util_.clear();
+  index_util_.reserve(static_cast<std::size_t>(util_count));
+  for (std::uint64_t i = 0; i < util_count; ++i) index_util_.push_back(read_resource_vector(r));
+  index_least_gpu_ = r.vec<int>([&r] { return static_cast<int>(r.i64()); });
+  index_least_load_ = r.vec_f64();
+  index_total_slots_ = static_cast<long long>(r.i64());
+  underloaded_ids_ = read_id_vector(r);
+  overloaded_ids_ = read_id_vector(r);
+  index_stats_.full_rebuilds = static_cast<std::size_t>(r.u64());
+  index_stats_.refreshes = static_cast<std::size_t>(r.u64());
+  index_stats_.servers_reindexed = static_cast<std::size_t>(r.u64());
+}
+
 }  // namespace mlfs

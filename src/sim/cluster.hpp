@@ -185,6 +185,18 @@ class Cluster {
   /// Records `mb` transferred between two servers; intra-server transfers
   /// are free and not recorded.
   void record_transfer(ServerId a, ServerId b, double mb);
+
+  /// Snapshot support (sim/snapshot.hpp): serializes/restores every
+  /// dynamic field — per-server placement state, per-task dynamic fields,
+  /// per-job progress, the bandwidth ledger, and the lazy load index
+  /// *wholesale* (flags, cached partitions, and its instrumentation
+  /// counters) so the restored run's LoadIndexStats trajectory stays
+  /// bit-identical to the uninterrupted one. Static structure (configs,
+  /// specs, DAGs) is not written; the restoring cluster must have been
+  /// built from the same configuration.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
+
   double total_bandwidth_mb() const { return total_bandwidth_mb_; }
   /// Portion of the ledger that crossed rack boundaries (== 0 when flat).
   double inter_rack_bandwidth_mb() const { return inter_rack_bandwidth_mb_; }

@@ -1,12 +1,14 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <limits>
 #include <cmath>
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
+#include "sim/snapshot.hpp"
 #include "workload/model_zoo.hpp"
 
 namespace mlfs {
@@ -887,38 +889,55 @@ void SimEngine::handle_deadline(JobId id) {
 // --------------------------------------------------------------- run
 
 RunMetrics SimEngine::run() {
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    if (ev.time > config_.max_sim_time) break;
-    MLFS_EXPECT(ev.time + 1e-9 >= now_);
-    now_ = std::max(now_, ev.time);
-    const char* name = "";
-    switch (ev.type) {
-      case EventType::Arrival: name = "arrival"; handle_arrival(ev.job); break;
-      case EventType::Tick: name = "tick"; handle_tick(); break;
-      case EventType::IterationDone:
-        name = "iteration-done";
-        handle_iteration_done(ev.job, ev.epoch);
-        break;
-      case EventType::Deadline: name = "deadline"; handle_deadline(ev.job); break;
-      case EventType::ServerDown:
-        name = "server-down";
-        handle_server_down(ev.job, ev.epoch);
-        break;
-      case EventType::ServerUp: name = "server-up"; handle_server_up(ev.job, ev.epoch); break;
-      case EventType::RackOutage:
-        name = "rack-outage";
-        handle_rack_outage(static_cast<int>(ev.job));
-        break;
-      case EventType::RetryRelease:
-        name = "retry-release";
-        handle_retry_release(static_cast<TaskId>(ev.job));
-        break;
-    }
-    if (auditor_) auditor_->after_event(name, ev.job);
-    if (jobs_completed_ + jobs_failed_ == cluster_.job_count()) break;
+  while (step()) {
   }
+  return finalize();
+}
+
+bool SimEngine::step() {
+  if (events_.empty()) return false;
+  const Event ev = events_.top();
+  events_.pop();
+  if (ev.time > config_.max_sim_time) return false;
+  MLFS_EXPECT(ev.time + 1e-9 >= now_);
+  now_ = std::max(now_, ev.time);
+  // Event-stream hash: chained over every accepted event's identity before
+  // dispatch, so two runs agree iff they processed the same events in the
+  // same order — the byte-identical-resume contract.
+  event_hash_ = fnv1a_mix(event_hash_, std::bit_cast<std::uint64_t>(ev.time));
+  event_hash_ = fnv1a_mix(event_hash_, ev.seq);
+  event_hash_ = fnv1a_mix(event_hash_, static_cast<std::uint64_t>(ev.type));
+  event_hash_ = fnv1a_mix(event_hash_, static_cast<std::uint64_t>(ev.job));
+  event_hash_ = fnv1a_mix(event_hash_, ev.epoch);
+  ++events_processed_;
+  const char* name = "";
+  switch (ev.type) {
+    case EventType::Arrival: name = "arrival"; handle_arrival(ev.job); break;
+    case EventType::Tick: name = "tick"; handle_tick(); break;
+    case EventType::IterationDone:
+      name = "iteration-done";
+      handle_iteration_done(ev.job, ev.epoch);
+      break;
+    case EventType::Deadline: name = "deadline"; handle_deadline(ev.job); break;
+    case EventType::ServerDown:
+      name = "server-down";
+      handle_server_down(ev.job, ev.epoch);
+      break;
+    case EventType::ServerUp: name = "server-up"; handle_server_up(ev.job, ev.epoch); break;
+    case EventType::RackOutage:
+      name = "rack-outage";
+      handle_rack_outage(static_cast<int>(ev.job));
+      break;
+    case EventType::RetryRelease:
+      name = "retry-release";
+      handle_retry_release(static_cast<TaskId>(ev.job));
+      break;
+  }
+  if (auditor_) auditor_->after_event(name, ev.job);
+  return jobs_completed_ + jobs_failed_ != cluster_.job_count();
+}
+
+RunMetrics SimEngine::finalize() {
   if (jobs_completed_ + jobs_failed_ < cluster_.job_count()) {
     MLFS_WARN("simulation hit max_sim_time with "
               << (cluster_.job_count() - jobs_completed_ - jobs_failed_)
@@ -928,6 +947,8 @@ RunMetrics SimEngine::run() {
   RunMetrics m;
   m.scheduler = scheduler_.name();
   m.job_count = cluster_.job_count();
+  m.events_processed = events_processed_;
+  m.event_stream_hash = event_hash_;
   double first_arrival = std::numeric_limits<double>::infinity();
   double last_completion = 0.0;
   std::size_t deadline_met = 0;

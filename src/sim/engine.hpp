@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -146,6 +147,12 @@ class LoadController {
   virtual std::string name() const = 0;
   virtual void before_schedule(Cluster& cluster, const std::vector<TaskId>& queue,
                                SimTime now) = 0;
+
+  /// Snapshot hooks, same contract as Scheduler::save_state/restore_state:
+  /// controllers carrying state across ticks (MLF-C's overload hysteresis)
+  /// must serialize it or a restored run diverges.
+  virtual void save_state(std::ostream& os) const { (void)os; }
+  virtual void restore_state(std::istream& is) { (void)is; }
 };
 
 class SimEngine final : private SchedulerOps {
@@ -155,8 +162,52 @@ class SimEngine final : private SchedulerOps {
             LoadController* load_controller = nullptr);
 
   /// Runs the whole trace to completion (or max_sim_time) and returns the
-  /// collected metrics.
+  /// collected metrics. Equivalent to `while (step()) {}` + finalize().
   RunMetrics run();
+
+  /// Processes the next event. Returns false when the simulation is over:
+  /// the event queue drained, the horizon was crossed, or every job
+  /// reached a terminal state. Call finalize() afterwards for the metrics.
+  /// The snapshot/crash harnesses drive the engine one event at a time
+  /// through this instead of run().
+  bool step();
+
+  /// Censoring + metrics assembly (the tail of run()). Call once, after
+  /// step() returned false.
+  RunMetrics finalize();
+
+  /// Events processed so far (accepted by step(); equals the auditor's
+  /// events_seen()).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Running FNV-1a over every processed event's (time, seq, type, job,
+  /// epoch) — the byte-identical-resume fingerprint of the whole event
+  /// stream. Survives save_snapshot/restore_snapshot, so a restored run's
+  /// final hash equals the uninterrupted run's.
+  std::uint64_t event_stream_hash() const { return event_hash_; }
+
+  /// FNV-1a over the canonical cluster/engine/workload configuration and
+  /// the scheduler (+ controller) identity. Stamped into every snapshot;
+  /// restore_snapshot rejects a file written under a different fingerprint
+  /// (audit settings are deliberately excluded — the auditor is a pure
+  /// observer and resyncs after restore).
+  std::uint64_t config_fingerprint() const;
+
+  /// Serializes the engine's complete dynamic state (see DESIGN.md,
+  /// "Snapshot & restore"): event queue, cluster/server/task/job state,
+  /// all RNG streams, health tracker, predictor memory, counters, and the
+  /// scheduler's opaque state.
+  void save_snapshot(std::ostream& os) const;
+
+  /// Restores a snapshot into this engine. The engine must have been
+  /// constructed from the same configuration/workload/scheduler the
+  /// snapshot was written under (enforced via config_fingerprint()). The
+  /// whole file is validated before any state is touched — on
+  /// SnapshotError the engine is unchanged.
+  void restore_snapshot(std::istream& is);
+
+  /// Health tracker view (non-null iff recovery policies are enabled).
+  const ServerHealthTracker* health() const { return health_.get(); }
 
   Cluster& cluster() { return cluster_; }
   const Cluster& cluster() const { return cluster_; }
@@ -284,6 +335,8 @@ class SimEngine final : private SchedulerOps {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t event_seq_ = 0;
   SimTime now_ = 0.0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_hash_ = 1469598103934665603ull;  ///< FNV-1a offset basis
 
   std::vector<TaskId> queue_;
   std::vector<std::uint64_t> job_epoch_;     // per job, bumped on abort/start

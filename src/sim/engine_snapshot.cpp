@@ -1,0 +1,343 @@
+// SimEngine snapshot/restore (see DESIGN.md, "Snapshot & restore").
+//
+// The restore protocol: construct a fresh SimEngine from the *same*
+// (ClusterConfig, EngineConfig, specs, scheduler) arguments the snapshot
+// was written under — that rebuilds all static structure (specs, DAGs,
+// curves, server shapes) — then call restore_snapshot(), which overwrites
+// every piece of dynamic state. config_fingerprint() guards the "same
+// arguments" precondition; the SnapshotReader validates the whole file
+// (magic, version, framing, checksum, fingerprint) before a single engine
+// field is touched, so a rejected file leaves the engine unchanged.
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
+
+namespace mlfs {
+
+namespace {
+
+void write_rng(io::BinWriter& w, const Rng& rng) {
+  for (const std::uint64_t word : rng.state()) w.u64(word);
+}
+
+void read_rng(io::BinReader& r, Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = r.u64();
+  rng.set_state(state);
+}
+
+void write_char_vec(io::BinWriter& w, const std::vector<char>& v) {
+  w.vec(v, [&w](char c) { w.u8(static_cast<std::uint8_t>(c)); });
+}
+
+std::vector<char> read_char_vec(io::BinReader& r) {
+  return r.vec<char>([&r] { return static_cast<char>(r.u8()); });
+}
+
+}  // namespace
+
+std::uint64_t SimEngine::config_fingerprint() const {
+  // Canonical little-endian serialization of everything that determines
+  // the simulation's static structure and its random streams; AuditConfig
+  // is deliberately excluded (the auditor is a pure observer — restoring
+  // under different audit settings is legitimate and resyncs cleanly).
+  std::ostringstream os;
+  io::BinWriter w(os);
+
+  w.u64(cluster_config_.server_count);
+  w.i64(cluster_config_.gpus_per_server);
+  w.f64(cluster_config_.server_bandwidth_mbps);
+  w.f64(cluster_config_.effective_flow_bandwidth_mbps);
+  w.i64(cluster_config_.servers_per_rack);
+  w.f64(cluster_config_.inter_rack_flow_bandwidth_mbps);
+  w.f64(cluster_config_.slow_server_fraction);
+  w.f64(cluster_config_.slow_server_speed);
+  w.boolean(cluster_config_.incremental_load_index);
+  w.boolean(cluster_config_.debug_slot_leak);
+
+  w.f64(config_.tick_interval);
+  w.f64(config_.hr);
+  w.f64(config_.usage_noise_sigma);
+  w.f64(config_.migration_fixed_penalty_seconds);
+  w.f64(config_.max_sim_time);
+  w.u64(config_.seed);
+  w.i64(config_.optstop_check_interval);
+  w.f64(config_.optstop_near_max_fraction);
+  w.f64(config_.optstop_confidence_threshold);
+  w.i64(config_.stall_ticks_before_eviction);
+  w.f64(config_.straggler_probability);
+  w.f64(config_.straggler_slowdown);
+  w.i64(config_.straggler_replicas);
+  w.f64(config_.partial_placement_timeout);
+
+  const FaultConfig& f = config_.fault;
+  w.f64(f.server_mtbf_hours);
+  w.f64(f.server_mttr_hours);
+  w.f64(f.task_kill_probability);
+  w.f64(f.rack_mtbf_hours);
+  w.f64(f.rack_mttr_hours);
+  w.i64(f.checkpoint_interval_iterations);
+  w.f64(f.flaky_server_fraction);
+  w.f64(f.flaky_rate_multiplier);
+
+  const RecoveryConfig& rc = config_.recovery;
+  w.boolean(rc.enabled);
+  w.f64(rc.kill_weight);
+  w.f64(rc.score_halflife_hours);
+  w.boolean(rc.quarantine_enabled);
+  w.f64(rc.quarantine_score_threshold);
+  w.f64(rc.quarantine_base_minutes);
+  w.f64(rc.quarantine_backoff_factor);
+  w.f64(rc.quarantine_max_minutes);
+  w.f64(rc.probation_minutes);
+  w.i64(rc.probation_task_cap);
+  w.f64(rc.min_active_fraction);
+  w.boolean(rc.retry_backoff_enabled);
+  w.i64(rc.retry_budget);
+  w.f64(rc.backoff_base_seconds);
+  w.f64(rc.backoff_factor);
+  w.f64(rc.backoff_max_seconds);
+  w.f64(rc.backoff_jitter);
+  w.boolean(rc.adaptive_checkpoint);
+  w.f64(rc.checkpoint_cost_seconds);
+  w.i64(rc.max_checkpoint_interval);
+  w.boolean(rc.spread_placement);
+
+  w.str(scheduler_.name());
+  w.str(load_controller_ != nullptr ? load_controller_->name() : std::string());
+
+  w.u64(cluster_.job_count());
+  for (const Job& job : cluster_.jobs()) {
+    const JobSpec& s = job.spec();
+    w.u64(s.id);
+    w.u8(static_cast<std::uint8_t>(s.algorithm));
+    w.u8(static_cast<std::uint8_t>(s.comm));
+    w.f64(s.arrival);
+    w.f64(s.urgency);
+    w.i64(s.max_iterations);
+    w.i64(s.gpu_request);
+    w.f64(s.train_data_mb);
+    w.f64(s.accuracy_requirement);
+    w.f64(s.deadline_slack_hours);
+    w.f64(s.curve.max_accuracy);
+    w.f64(s.curve.kappa);
+    w.f64(s.curve.initial_loss);
+    w.f64(s.curve.final_loss);
+    w.f64(s.curve.noise_sigma);
+    w.u64(s.curve.noise_seed);
+    w.f64(s.comm_volume_ps_mb);
+    w.f64(s.comm_volume_ww_mb);
+    w.u8(static_cast<std::uint8_t>(s.stop_policy));
+    w.u8(static_cast<std::uint8_t>(s.min_allowed_policy));
+    w.u64(s.seed);
+  }
+
+  const std::string bytes = os.str();
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+void SimEngine::save_snapshot(std::ostream& os) const {
+  SnapshotWriter snap(config_fingerprint());
+
+  {
+    io::BinWriter& w = snap.section("engine");
+    w.f64(now_);
+    w.u64(event_seq_);
+    w.u64(events_processed_);
+    w.u64(event_hash_);
+    write_rng(w, rng_);
+    write_rng(w, fault_rng_);
+    write_rng(w, recovery_rng_);
+    w.vec(queue_, [&w](TaskId t) { w.u64(t); });
+    w.vec_u64(job_epoch_);
+    w.vec_f64(waiting_since_);
+    w.vec_f64(partial_since_);
+    write_char_vec(w, deadline_recorded_);
+    w.vec_f64(iter_started_);
+    w.vec_f64(iter_duration_);
+    w.vec_f64(resume_credit_);
+    w.vec_u64(server_epoch_);
+    w.vec_f64(fault_stopped_since_);
+    write_char_vec(w, task_in_backoff_);
+    w.vec(retries_used_, [&w](int v) { w.i64(v); });
+    w.u64(jobs_completed_);
+    w.u64(jobs_failed_);
+    w.u64(overload_occurrences_);
+    w.u64(migrations_);
+    w.u64(preemptions_);
+    w.u64(partial_releases_);
+    w.u64(watchdog_evictions_);
+    w.u64(iterations_run_);
+    w.u64(server_failures_);
+    w.u64(rack_outages_);
+    w.u64(task_kills_);
+    w.u64(crash_evictions_);
+    w.u64(retry_backoffs_);
+    w.f64(backoff_delay_seconds_total_);
+    w.u64(crashes_absorbed_);
+    w.u64(victimful_crashes_);
+    w.u64(iterations_rolled_back_);
+    w.f64(inflight_work_lost_iterations_);
+    w.f64(work_lost_gpu_seconds_);
+    w.f64(recovery_seconds_sum_);
+    w.u64(recoveries_);
+    w.f64(sched_wall_ms_total_);
+    w.u64(sched_rounds_);
+    w.i64(stall_ticks_);
+    w.boolean(tick_armed_);
+  }
+
+  {
+    // The pending event queue, drained from a copy in priority order.
+    // Event ordering is a total order (seq is a unique FIFO tiebreak), so
+    // re-pushing on restore reproduces the identical pop sequence.
+    io::BinWriter& w = snap.section("events");
+    auto pending = events_;
+    w.u64(pending.size());
+    while (!pending.empty()) {
+      const Event& ev = pending.top();
+      w.f64(ev.time);
+      w.u64(ev.seq);
+      w.u8(static_cast<std::uint8_t>(ev.type));
+      w.u64(ev.job);
+      w.u64(ev.epoch);
+      pending.pop();
+    }
+  }
+
+  cluster_.save_state(snap.section("cluster"));
+  if (health_) health_->save_state(snap.section("health"));
+  runtime_predictor_.save_state(snap.section("predictor"));
+
+  // Opaque per-component payloads: each component alone interprets its
+  // bytes (Scheduler::save_state contract).
+  scheduler_.save_state(snap.section("scheduler").stream());
+  if (load_controller_ != nullptr) {
+    load_controller_->save_state(snap.section("controller").stream());
+  }
+
+  snap.write(os);
+}
+
+void SimEngine::restore_snapshot(std::istream& is) {
+  // Validates the whole file — throws SnapshotError before any engine
+  // state is touched.
+  SnapshotReader snap(is, config_fingerprint());
+
+  // The fingerprint covers recovery.enabled and the controller identity,
+  // so these can only diverge on a hand-crafted file; still never let a
+  // mismatch silently drop state.
+  if (snap.has_section("health") != (health_ != nullptr)) {
+    throw SnapshotError("health", 0,
+                        "health section presence does not match the engine's recovery config");
+  }
+  if (snap.has_section("controller") != (load_controller_ != nullptr)) {
+    throw SnapshotError("controller", 0,
+                        "controller section presence does not match the engine");
+  }
+
+  {
+    std::istringstream section = snap.section("engine");
+    io::BinReader r(section);
+    now_ = r.f64();
+    event_seq_ = r.u64();
+    events_processed_ = r.u64();
+    event_hash_ = r.u64();
+    read_rng(r, rng_);
+    read_rng(r, fault_rng_);
+    read_rng(r, recovery_rng_);
+    queue_ = r.vec<TaskId>([&r] { return static_cast<TaskId>(r.u64()); });
+    job_epoch_ = r.vec_u64();
+    waiting_since_ = r.vec_f64();
+    partial_since_ = r.vec_f64();
+    deadline_recorded_ = read_char_vec(r);
+    iter_started_ = r.vec_f64();
+    iter_duration_ = r.vec_f64();
+    resume_credit_ = r.vec_f64();
+    server_epoch_ = r.vec_u64();
+    fault_stopped_since_ = r.vec_f64();
+    task_in_backoff_ = read_char_vec(r);
+    retries_used_ = r.vec<int>([&r] { return static_cast<int>(r.i64()); });
+    jobs_completed_ = static_cast<std::size_t>(r.u64());
+    jobs_failed_ = static_cast<std::size_t>(r.u64());
+    overload_occurrences_ = static_cast<std::size_t>(r.u64());
+    migrations_ = static_cast<std::size_t>(r.u64());
+    preemptions_ = static_cast<std::size_t>(r.u64());
+    partial_releases_ = static_cast<std::size_t>(r.u64());
+    watchdog_evictions_ = static_cast<std::size_t>(r.u64());
+    iterations_run_ = static_cast<std::size_t>(r.u64());
+    server_failures_ = static_cast<std::size_t>(r.u64());
+    rack_outages_ = static_cast<std::size_t>(r.u64());
+    task_kills_ = static_cast<std::size_t>(r.u64());
+    crash_evictions_ = static_cast<std::size_t>(r.u64());
+    retry_backoffs_ = static_cast<std::size_t>(r.u64());
+    backoff_delay_seconds_total_ = r.f64();
+    crashes_absorbed_ = static_cast<std::size_t>(r.u64());
+    victimful_crashes_ = static_cast<std::size_t>(r.u64());
+    iterations_rolled_back_ = static_cast<std::size_t>(r.u64());
+    inflight_work_lost_iterations_ = r.f64();
+    work_lost_gpu_seconds_ = r.f64();
+    recovery_seconds_sum_ = r.f64();
+    recoveries_ = static_cast<std::size_t>(r.u64());
+    sched_wall_ms_total_ = r.f64();
+    sched_rounds_ = static_cast<std::size_t>(r.u64());
+    stall_ticks_ = static_cast<int>(r.i64());
+    tick_armed_ = r.boolean();
+    MLFS_EXPECT(job_epoch_.size() == cluster_.job_count());
+    MLFS_EXPECT(server_epoch_.size() == cluster_.server_count());
+    MLFS_EXPECT(task_in_backoff_.size() == cluster_.task_count());
+  }
+
+  {
+    std::istringstream section = snap.section("events");
+    io::BinReader r(section);
+    events_ = {};  // drop the fresh-constructor arrivals/crash seeds
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Event ev;
+      ev.time = r.f64();
+      ev.seq = r.u64();
+      ev.type = static_cast<EventType>(r.u8());
+      ev.job = static_cast<JobId>(r.u64());
+      ev.epoch = r.u64();
+      events_.push(ev);
+    }
+  }
+
+  {
+    std::istringstream section = snap.section("cluster");
+    io::BinReader r(section);
+    cluster_.restore_state(r);
+  }
+  if (health_) {
+    std::istringstream section = snap.section("health");
+    io::BinReader r(section);
+    health_->restore_state(r);
+  }
+  {
+    std::istringstream section = snap.section("predictor");
+    io::BinReader r(section);
+    runtime_predictor_.restore_state(r);
+  }
+
+  {
+    std::istringstream section = snap.section("scheduler");
+    scheduler_.restore_state(section);
+  }
+  if (load_controller_ != nullptr) {
+    std::istringstream section = snap.section("controller");
+    load_controller_->restore_state(section);
+  }
+
+  // The auditor is never serialized: it re-derives its observational state
+  // from the restored engine (keeping the stride phase aligned) and
+  // immediately sweeps the full invariant catalog.
+  if (auditor_) auditor_->resync_after_restore();
+}
+
+}  // namespace mlfs

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/sim_time.hpp"
 #include "workload/ids.hpp"
 
@@ -157,6 +158,13 @@ class ServerHealthTracker {
   std::size_t quarantines() const { return quarantines_; }
   /// Times the safety valve vetoed a quarantine.
   std::size_t valve_saves() const { return valve_saves_; }
+
+  /// Snapshot support: serializes/restores every per-server EWMA score,
+  /// quarantine window, uptime interval, and the fleet-wide counters —
+  /// the scores decay lazily (score_time), so the pair must round-trip
+  /// bit-exactly for post-restore decay arithmetic to match.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
 
  private:
   struct ServerState {

@@ -68,6 +68,8 @@ bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
          a.jobs_failed_permanent == b.jobs_failed_permanent &&
          a.crashes_absorbed == b.crashes_absorbed &&
          a.wasted_work_avoided_gpu_seconds == b.wasted_work_avoided_gpu_seconds &&
+         a.events_processed == b.events_processed &&
+         a.event_stream_hash == b.event_stream_hash &&
          a.sched_rounds == b.sched_rounds && a.candidates_scanned == b.candidates_scanned &&
          a.comm_cache_hits == b.comm_cache_hits && a.comm_cache_misses == b.comm_cache_misses &&
          a.load_index_rebuilds == b.load_index_rebuilds &&

@@ -3,6 +3,7 @@
 // ablation figures need (overload occurrences for Fig. 8(a), migrations).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/stats.hpp"
@@ -54,6 +55,13 @@ struct RunMetrics {
   std::size_t jobs_failed_permanent = 0;   ///< jobs that exhausted their retry budget
   std::size_t crashes_absorbed = 0;        ///< crashes of quarantined/capped empty servers
   double wasted_work_avoided_gpu_seconds = 0.0;  ///< estimated loss those crashes skipped
+
+  // -- determinism fingerprint (snapshot/restore contract) --
+  std::size_t events_processed = 0;        ///< events the engine dispatched
+  /// Chained FNV-1a over every processed event's identity
+  /// (SimEngine::event_stream_hash). Two runs of the same seed — including
+  /// one resumed from a snapshot — must agree exactly.
+  std::uint64_t event_stream_hash = 0;
 
   // -- scheduler hot-path instrumentation (see DESIGN.md) --
   std::size_t sched_rounds = 0;           ///< scheduling rounds executed

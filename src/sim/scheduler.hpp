@@ -6,6 +6,7 @@
 // scheduler-overhead metric (Figs. 4(h)/5(h)).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,17 @@ class Scheduler {
     (void)cluster;
     (void)now;
   }
+
+  /// Snapshot hooks (SimEngine::save_snapshot / restore_snapshot): the
+  /// scheduler serializes whatever internal state a bit-identical resume
+  /// needs (priority caches, service accounting, RNG streams, policy
+  /// weights) into an opaque payload it alone interprets. The default is
+  /// correct for stateless schedulers; anything carrying run state across
+  /// ticks must override BOTH, or a restored run will diverge from the
+  /// uninterrupted one (tests/sched/test_restore_determinism.cpp catches
+  /// this for every registered scheduler).
+  virtual void save_state(std::ostream& os) const { (void)os; }
+  virtual void restore_state(std::istream& is) { (void)is; }
 };
 
 }  // namespace mlfs

@@ -109,6 +109,36 @@ bool Server::fits_without_overload(const Task& task, int gpu, double hr) const {
   return fits_usage_without_overload(task.demand * task.usage_factor, gpu, hr);
 }
 
+void Server::save_state(io::BinWriter& w) const {
+  w.boolean(up_);
+  w.i64(placement_cap_);
+  w.vec(tasks_, [&w](TaskId t) { w.u64(t); });
+  w.u64(gpu_tasks_.size());
+  for (const std::vector<TaskId>& g : gpu_tasks_) {
+    w.vec(g, [&w](TaskId t) { w.u64(t); });
+  }
+  w.f64(cpu_sum_);
+  w.f64(mem_sum_);
+  w.f64(net_sum_);
+  w.vec_f64(gpu_sums_);
+}
+
+void Server::restore_state(io::BinReader& r) {
+  up_ = r.boolean();
+  placement_cap_ = static_cast<int>(r.i64());
+  tasks_ = r.vec<TaskId>([&r] { return static_cast<TaskId>(r.u64()); });
+  const std::uint64_t gpus = r.u64();
+  MLFS_EXPECT(gpus == gpu_tasks_.size());  // static shape, set by the ctor
+  for (std::vector<TaskId>& g : gpu_tasks_) {
+    g = r.vec<TaskId>([&r] { return static_cast<TaskId>(r.u64()); });
+  }
+  cpu_sum_ = r.f64();
+  mem_sum_ = r.f64();
+  net_sum_ = r.f64();
+  gpu_sums_ = r.vec_f64();
+  MLFS_EXPECT(gpu_sums_.size() == static_cast<std::size_t>(gpu_count_));
+}
+
 bool Server::fits_usage_without_overload(const ResourceVector& usage, int gpu, double hr) const {
   MLFS_EXPECT(gpu >= 0 && gpu < gpu_count_);
   if (!accepts_placements()) return false;

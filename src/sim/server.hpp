@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/binio.hpp"
 #include "workload/job.hpp"
 
 namespace mlfs {
@@ -89,6 +90,15 @@ class Server {
 
   /// True iff any resource utilization or any GPU load exceeds `hr`.
   bool overloaded(double hr) const;
+
+  /// Snapshot support (sim/snapshot.hpp): serializes/restores the dynamic
+  /// placement state — up/cap, the task and per-GPU lists *in insertion
+  /// order* (resample_usage's RNG draw order and crash eviction order
+  /// iterate them, so the order is semantically load-bearing), and the
+  /// incremental usage sums bit-exactly (recomputing them would reorder
+  /// the float accumulation history and break bit-identical resume).
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
 
   /// True iff the server is up and stays within `hr` on every resource
   /// and on the target GPU after hypothetically adding `task` to `gpu` —

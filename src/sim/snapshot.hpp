@@ -1,0 +1,123 @@
+// Versioned binary snapshot container for SimEngine::save_snapshot /
+// restore_snapshot (see DESIGN.md, "Snapshot & restore").
+//
+// File layout (little-endian throughout):
+//
+//   magic    8 bytes  "MLFSSNAP"
+//   version  u32      kSnapshotVersion
+//   fprint   u64      config fingerprint of the engine that wrote it
+//   count    u32      number of sections
+//   sections count ×  [ u32 name length | name bytes |
+//                       u64 payload length | payload bytes ]
+//   checksum u64      FNV-1a over every byte before this field
+//
+// SnapshotReader slurps and validates the WHOLE file — magic, version,
+// fingerprint, section framing, checksum — before handing out a single
+// section, so a truncated/corrupt/mismatched snapshot is rejected up front
+// with a structured SnapshotError and the engine being restored is never
+// partially mutated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "common/expect.hpp"
+
+namespace mlfs {
+
+inline constexpr char kSnapshotMagic[8] = {'M', 'L', 'F', 'S', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Structured rejection of a snapshot file. Subclasses ContractViolation so
+/// existing catch sites handle it; carries the failing section (or the
+/// pseudo-sections "header" / "checksum") and the byte offset at which
+/// validation failed.
+class SnapshotError : public ContractViolation {
+ public:
+  SnapshotError(std::string section, std::uint64_t offset, const std::string& detail);
+
+  const std::string& section() const { return section_; }
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::string section_;
+  std::uint64_t offset_;
+};
+
+/// FNV-1a over a byte range (the snapshot checksum; also reused for the
+/// engine's config fingerprint and event-stream hash).
+std::uint64_t fnv1a(const char* data, std::size_t size,
+                    std::uint64_t h = 1469598103934665603ull);
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Accumulates named sections in memory, then writes the framed + check-
+/// summed file in one pass. Section payloads are written through the
+/// io::BinWriter returned by section().
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::uint64_t config_fingerprint)
+      : fingerprint_(config_fingerprint) {}
+
+  /// Starts a new section; the returned writer is valid until the next
+  /// section() call or write(). Section names must be unique.
+  io::BinWriter& section(const std::string& name);
+
+  /// Serializes header + sections + trailing checksum.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::ostringstream payload;
+  };
+
+  std::uint64_t fingerprint_;
+  std::vector<Section> sections_;
+  std::unique_ptr<io::BinWriter> current_;
+};
+
+/// Parses and validates a snapshot file up front (magic, version, config
+/// fingerprint, section framing, whole-file checksum). Construction throws
+/// SnapshotError on any defect; afterwards section payloads are served from
+/// memory.
+class SnapshotReader {
+ public:
+  /// `expected_fingerprint` is the restoring engine's own fingerprint; a
+  /// mismatch (snapshot written under different configs / scheduler /
+  /// workload) is rejected as "header".
+  SnapshotReader(std::istream& is, std::uint64_t expected_fingerprint);
+
+  bool has_section(const std::string& name) const;
+
+  /// The named section's payload as a fresh stream; throws SnapshotError
+  /// when the section is missing.
+  std::istringstream section(const std::string& name) const;
+
+  std::uint32_t version() const { return version_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint64_t offset = 0;  ///< payload start within the file
+    std::string payload;
+  };
+  const Section* find(const std::string& name) const;
+
+  std::uint32_t version_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<Section> sections_;
+};
+
+}  // namespace mlfs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.hpp"
 #include "common/expect.hpp"
 
 namespace mlfs {
@@ -85,6 +86,30 @@ void Job::set_target_iterations(int n) {
   target_iterations_ = std::min(n, spec_.max_iterations);
   // A job cannot un-run iterations it already finished.
   target_iterations_ = std::max(target_iterations_, completed_iterations());
+}
+
+void Job::save_state(io::BinWriter& w) const {
+  w.vec_f64(loss_reductions_);
+  w.f64(cumulative_loss_reduction_);
+  w.u8(static_cast<std::uint8_t>(active_policy_));
+  w.i64(target_iterations_);
+  w.f64(deadline_);
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.f64(completion_time_);
+  w.f64(waiting_time_);
+  w.i64(iterations_at_deadline_);
+}
+
+void Job::restore_state(io::BinReader& r) {
+  loss_reductions_ = r.vec_f64();
+  cumulative_loss_reduction_ = r.f64();
+  active_policy_ = static_cast<StopPolicy>(r.u8());
+  target_iterations_ = static_cast<int>(r.i64());
+  deadline_ = r.f64();
+  state_ = static_cast<JobState>(r.u8());
+  completion_time_ = r.f64();
+  waiting_time_ = r.f64();
+  iterations_at_deadline_ = static_cast<int>(r.i64());
 }
 
 double Job::accuracy_by_deadline() const {

@@ -13,6 +13,11 @@
 #include "workload/loss_curve.hpp"
 #include "workload/resources.hpp"
 
+namespace mlfs::io {
+class BinWriter;
+class BinReader;
+}  // namespace mlfs::io
+
 namespace mlfs {
 
 /// Everything known about a job at submission time. Produced by the trace
@@ -146,6 +151,15 @@ class Job {
   bool done() const {
     return state_ == JobState::Completed || state_ == JobState::Failed;
   }
+
+  /// Snapshot support: serializes/restores the dynamic progress state
+  /// (spec/DAG/curve are static and rebuilt by construction). The
+  /// cumulative loss reduction is stored bit-exactly rather than re-summed
+  /// — complete_iteration/rollback_iterations accumulate it add-then-
+  /// subtract, so its float value depends on the history, not just the
+  /// surviving elements.
+  void save_state(io::BinWriter& w) const;
+  void restore_state(io::BinReader& r);
 
  private:
   JobSpec spec_;

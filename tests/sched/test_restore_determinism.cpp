@@ -1,0 +1,84 @@
+// Restore-determinism: for every registered scheduler, a run interrupted at
+// an arbitrary event boundary, snapshotted, restored into a fresh engine and
+// run to completion must be byte-identical (event-stream hash and all
+// deterministic RunMetrics fields) to the uninterrupted run — with faults,
+// recovery policies and the invariant auditor enabled throughout, so the
+// restored engine also has to audit clean from the first post-restore event.
+// This is the PR's core acceptance gate; the scenario mirrors
+// test_determinism.cpp's smoke_request.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "exp/registry.hpp"
+#include "exp/restore_check.hpp"
+#include "exp/runner.hpp"
+#include "sim/metrics.hpp"
+
+namespace mlfs::sched {
+namespace {
+
+exp::RunRequest restore_request(const std::string& scheduler) {
+  exp::RunRequest r;
+  r.label = "restore-" + scheduler;
+  r.cluster.server_count = 4;
+  r.cluster.gpus_per_server = 4;
+  r.cluster.servers_per_rack = 2;
+  r.cluster.slow_server_fraction = 0.25;
+  r.engine.seed = 31;
+  r.engine.max_sim_time = hours(72.0);
+  r.engine.straggler_probability = 0.01;
+  r.engine.straggler_replicas = 1;
+  r.engine.fault.server_mtbf_hours = 24.0;
+  r.engine.fault.server_mttr_hours = 0.5;
+  r.engine.fault.task_kill_probability = 0.002;
+  r.engine.recovery.enabled = true;
+  r.engine.recovery.quarantine_enabled = true;
+  r.engine.recovery.retry_backoff_enabled = true;
+  r.engine.audit.enabled = true;
+  r.engine.audit.stride = 1;  // restored engine must audit clean at stride 1
+  r.trace.num_jobs = 20;
+  r.trace.duration_hours = 2.0;
+  r.trace.seed = 77;
+  r.trace.max_gpu_request = 8;
+  r.scheduler = scheduler;
+  // Small warm-up so the RL-backed schedulers cross the imitation->policy
+  // switch inside the run and the snapshot covers live agent state.
+  r.mlfs_config.rl.warmup_samples = 100;
+  return r;
+}
+
+class RestoreDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RestoreDeterminism, MidRunSnapshotResumesBitIdentical) {
+  const exp::RunRequest request = restore_request(GetParam());
+  // An arbitrary large odd constant: check_restore_equivalence wraps it to
+  // a valid mid-run event index, so every scheduler gets a non-trivial cut.
+  const exp::RestoreCheckResult result = exp::check_restore_equivalence(request, 0x9e3779b97f4a7c15ull);
+  EXPECT_TRUE(result.equivalent) << result.detail;
+  ASSERT_GT(result.total_events, 0u);
+  EXPECT_EQ(result.reference.event_stream_hash, result.restored.event_stream_hash);
+}
+
+TEST_P(RestoreDeterminism, SnapshotAtStartAndNearEnd) {
+  const exp::RunRequest request = restore_request(GetParam());
+  // Edge cuts: event 0 (nothing processed yet) and the final event.
+  const exp::RestoreCheckResult at_start = exp::check_restore_equivalence(request, 0);
+  EXPECT_TRUE(at_start.equivalent) << at_start.detail;
+  const exp::RestoreCheckResult near_end =
+      exp::check_restore_equivalence(request, at_start.total_events - 1);
+  EXPECT_TRUE(near_end.equivalent) << near_end.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, RestoreDeterminism,
+                         ::testing::ValuesIn(exp::registered_scheduler_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mlfs::sched

@@ -1,0 +1,320 @@
+// Crash-kill harness for the snapshot/restore subsystem (sim/snapshot.hpp,
+// SimEngine::{save,restore}_snapshot).
+//
+// Each trial runs a faulty, recovery-enabled, stride-1-audited scenario
+// uninterrupted to get the reference event-stream hash and metrics, then
+// kills an identical run at a random event boundary, restores from the last
+// snapshot and replays to completion. The resumed run must be byte-identical
+// (event_stream_hash + every deterministic RunMetrics field).
+//
+// Two kill modes:
+//   * in-process (default): the interrupted engine is snapshotted at the
+//     kill event and destroyed mid-run (exp::check_restore_equivalence) —
+//     fast, no filesystem.
+//   * --sigkill: the run happens in a forked child that snapshots to disk on
+//     an event stride (atomic tmp+rename) and raise(SIGKILL)s itself at the
+//     kill event — no destructors, no stream flush, a genuine crash. The
+//     parent verifies the child died by SIGKILL, restores from the newest
+//     complete snapshot and replays. This is the CI crash-restore gate.
+//
+// Usage: mlfs_crashtest [--scheduler NAME] [--trials N] [--seed S]
+//                       [--stride N] [--sigkill] [--dir D] [--list]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "exp/registry.hpp"
+#include "exp/restore_check.hpp"
+#include "exp/runner.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace mlfs;
+
+struct Options {
+  std::string scheduler = "MLFS";
+  int trials = 3;
+  std::uint64_t seed = 7;
+  std::uint64_t stride = 200;  ///< events between on-disk snapshots (--sigkill)
+  bool sigkill = false;
+  std::string dir = "crashtest-snapshots";
+
+  // Internal child mode (spawned by --sigkill trials).
+  bool child = false;
+  std::uint64_t kill_at = 0;
+};
+
+void print_usage() {
+  std::cout <<
+      "mlfs_crashtest — kill a run at a random event boundary, restore from\n"
+      "the last snapshot and demand a byte-identical resume.\n\n"
+      "  --scheduler NAME  scheduler under test (default MLFS); --list to enumerate\n"
+      "  --trials N        kill points per invocation (default 3)\n"
+      "  --seed S          seed for the kill-point draw (default 7)\n"
+      "  --stride N        events between on-disk snapshots in --sigkill mode\n"
+      "                    (default 200)\n"
+      "  --sigkill         crash a real subprocess with SIGKILL instead of the\n"
+      "                    in-process abort\n"
+      "  --dir D           snapshot directory for --sigkill (default\n"
+      "                    ./crashtest-snapshots, wiped per trial)\n";
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    } else if (arg == "--list") {
+      for (const auto& name : exp::registered_scheduler_names()) std::cout << name << "\n";
+      return false;
+    } else if (arg == "--scheduler") {
+      const char* v = next("--scheduler");
+      if (!v) return false;
+      options.scheduler = v;
+    } else if (arg == "--trials") {
+      const char* v = next("--trials");
+      if (!v) return false;
+      options.trials = std::stoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      options.seed = std::stoull(v);
+    } else if (arg == "--stride") {
+      const char* v = next("--stride");
+      if (!v) return false;
+      options.stride = std::stoull(v);
+    } else if (arg == "--sigkill") {
+      options.sigkill = true;
+    } else if (arg == "--dir") {
+      const char* v = next("--dir");
+      if (!v) return false;
+      options.dir = v;
+    } else if (arg == "--child") {
+      options.child = true;
+    } else if (arg == "--kill-at") {
+      const char* v = next("--kill-at");
+      if (!v) return false;
+      options.kill_at = std::stoull(v);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (options.stride == 0) {
+    std::cerr << "--stride must be positive\n";
+    return false;
+  }
+  return true;
+}
+
+/// The scenario every trial runs: small cluster, server faults + task kills,
+/// full recovery policies, invariant auditor at stride 1 — mirrors the
+/// restore-determinism test so the CLI exercises the same acceptance gate.
+exp::RunRequest crash_request(const Options& options) {
+  exp::RunRequest r;
+  r.label = "crashtest-" + options.scheduler;
+  r.cluster.server_count = 4;
+  r.cluster.gpus_per_server = 4;
+  r.cluster.servers_per_rack = 2;
+  r.cluster.slow_server_fraction = 0.25;
+  r.engine.seed = 31;
+  r.engine.max_sim_time = hours(72.0);
+  r.engine.straggler_probability = 0.01;
+  r.engine.straggler_replicas = 1;
+  r.engine.fault.server_mtbf_hours = 24.0;
+  r.engine.fault.server_mttr_hours = 0.5;
+  r.engine.fault.task_kill_probability = 0.002;
+  r.engine.recovery.enabled = true;
+  r.engine.recovery.quarantine_enabled = true;
+  r.engine.recovery.retry_backoff_enabled = true;
+  r.engine.audit.enabled = true;
+  r.engine.audit.stride = 1;
+  r.trace.num_jobs = 20;
+  r.trace.duration_hours = 2.0;
+  r.trace.seed = 77;
+  r.trace.max_gpu_request = 8;
+  r.scheduler = options.scheduler;
+  r.mlfs_config.rl.warmup_samples = 100;
+  return r;
+}
+
+/// Atomic snapshot write: crash mid-write leaves a *.tmp the restore scan
+/// ignores, never a truncated snap-*.bin.
+void write_snapshot_atomic(const SimEngine& engine, const std::filesystem::path& dir,
+                           std::uint64_t events) {
+  const std::filesystem::path tmp = dir / ("snap-" + std::to_string(events) + ".tmp");
+  const std::filesystem::path final_path = dir / ("snap-" + std::to_string(events) + ".bin");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ContractViolation("cannot write snapshot " + tmp.string());
+    engine.save_snapshot(out);
+    out.flush();
+    if (!out) throw ContractViolation("short write on snapshot " + tmp.string());
+  }
+  std::filesystem::rename(tmp, final_path);
+}
+
+/// Child body for --sigkill: run the scenario, snapshot on the stride, then
+/// die by a real SIGKILL at the kill event — no unwinding, no flush.
+int run_child(const Options& options) {
+  exp::EngineBundle bundle = exp::build_engine(crash_request(options));
+  SimEngine& engine = *bundle.engine;
+  std::filesystem::create_directories(options.dir);
+  write_snapshot_atomic(engine, options.dir, 0);  // guarantees a restore point
+  while (engine.step()) {
+    if (engine.events_processed() % options.stride == 0) {
+      write_snapshot_atomic(engine, options.dir, engine.events_processed());
+    }
+    // No snapshot at the kill point itself: the restore must come from the
+    // last *stride* snapshot and replay the gap, like a real crash.
+    if (engine.events_processed() >= options.kill_at) raise(SIGKILL);
+  }
+  // Only reachable if the run finished before the kill point — trial bug.
+  std::cerr << "child completed before kill_at=" << options.kill_at << "\n";
+  return 3;
+}
+
+/// Newest complete snapshot in `dir` (complete by construction: only fully
+/// written files are renamed to *.bin).
+std::filesystem::path newest_snapshot(const std::filesystem::path& dir) {
+  std::filesystem::path best;
+  std::uint64_t best_events = 0;
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0 || entry.path().extension() != ".bin") continue;
+    const std::uint64_t events = std::stoull(name.substr(5));
+    if (!found || events >= best_events) {
+      best = entry.path();
+      best_events = events;
+      found = true;
+    }
+  }
+  if (!found) throw ContractViolation("no complete snapshot in " + dir.string());
+  return best;
+}
+
+bool run_sigkill_trial(const Options& options, const std::string& self_exe,
+                       std::uint64_t kill_at, const RunMetrics& reference) {
+  const std::filesystem::path dir = options.dir;
+  std::filesystem::remove_all(dir);
+
+  const pid_t pid = fork();
+  if (pid < 0) throw ContractViolation("fork failed");
+  if (pid == 0) {
+    execl(self_exe.c_str(), self_exe.c_str(), "--child", "--kill-at",
+          std::to_string(kill_at).c_str(), "--scheduler", options.scheduler.c_str(),
+          "--stride", std::to_string(options.stride).c_str(), "--dir",
+          dir.string().c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) throw ContractViolation("waitpid failed");
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::cerr << "  child did not die by SIGKILL (status=" << status << ")\n";
+    return false;
+  }
+
+  const std::filesystem::path snap = newest_snapshot(dir);
+  exp::EngineBundle bundle = exp::build_engine(crash_request(options));
+  SimEngine& engine = *bundle.engine;
+  {
+    std::ifstream in(snap, std::ios::binary);
+    if (!in) throw ContractViolation("cannot open " + snap.string());
+    engine.restore_snapshot(in);
+  }
+  std::cerr << "  killed at event " << kill_at << ", restored " << snap.filename().string()
+            << " at event " << engine.events_processed() << "\n";
+  while (engine.step()) {
+  }
+  const RunMetrics restored = engine.finalize();
+
+  std::filesystem::remove_all(dir);
+  const bool ok = deterministic_equal(reference, restored) &&
+                  reference.event_stream_hash == restored.event_stream_hash;
+  if (!ok) {
+    std::cerr << "  MISMATCH\n    reference: hash=" << std::hex << reference.event_stream_hash
+              << std::dec << " " << reference.summary() << "\n    restored:  hash=" << std::hex
+              << restored.event_stream_hash << std::dec << " " << restored.summary() << "\n";
+  }
+  return ok;
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse(argc, argv, options)) return 0;
+    if (options.child) return run_child(options);
+
+    // Uninterrupted reference run: total event count bounds the kill draw.
+    exp::EngineBundle reference_bundle = exp::build_engine(crash_request(options));
+    const RunMetrics reference = reference_bundle.engine->run();
+    const std::uint64_t total_events = reference.events_processed;
+    if (total_events <= 1) throw ContractViolation("reference run dispatched no events");
+    std::cerr << options.scheduler << ": reference " << total_events << " events, hash=0x"
+              << std::hex << reference.event_stream_hash << std::dec << "\n";
+
+    const std::string self_exe = self_exe_path(argv[0]);
+    Rng rng(options.seed);
+    int failures = 0;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      // Kill somewhere strictly inside the run so the resume does real work.
+      const std::uint64_t kill_at = 1 + rng.next_u64() % (total_events - 1);
+      bool ok = false;
+      if (options.sigkill) {
+        std::cerr << "trial " << trial << " (sigkill):\n";
+        ok = run_sigkill_trial(options, self_exe, kill_at, reference);
+      } else {
+        const exp::RestoreCheckResult result =
+            exp::check_restore_equivalence(crash_request(options), kill_at);
+        ok = result.equivalent;
+        std::cerr << "trial " << trial << " (in-process): kill at event "
+                  << result.snapshot_event << "\n";
+        if (!ok) std::cerr << result.detail << "\n";
+      }
+      std::cout << "trial " << trial << " kill_at=" << kill_at << " "
+                << (ok ? "PASS" : "FAIL") << "\n";
+      if (!ok) ++failures;
+    }
+    if (failures > 0) {
+      std::cout << failures << "/" << options.trials << " trials FAILED\n";
+      return 1;
+    }
+    std::cout << "all " << options.trials << " trials byte-identical after restore\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,8 @@
 //            [--mtbf H] [--mttr H] [--kill-prob P] [--flaky F]
 //            [--checkpoint-interval N] [--recovery] [--retry-budget N]
 //            [--adaptive-checkpoint] [--spread-placement]
+//            [--snapshot-every N] [--snapshot-dir D] [--restore FILE]
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,6 +63,11 @@ struct Options {
   int retry_budget = 0;
   bool adaptive_checkpoint = false;
   bool spread_placement = false;
+
+  // Snapshot / restore (single-scheduler manual drive).
+  std::uint64_t snapshot_every = 0;  ///< events between snapshots (0 = off)
+  std::string snapshot_dir = "snapshots";
+  std::string restore_file;
 };
 
 void print_usage() {
@@ -104,7 +111,13 @@ void print_usage() {
       "  --adaptive-checkpoint  size checkpoint intervals by Young/Daly from\n"
       "                       the observed MTBF (needs --recovery)\n"
       "  --spread-placement   rack-spread penalty in host choice so one rack\n"
-      "                       outage cannot erase a whole job (needs --recovery)\n";
+      "                       outage cannot erase a whole job (needs --recovery)\n"
+      "  --snapshot-every N   write an engine snapshot every N events (atomic\n"
+      "                       tmp+rename, snap-<events>.bin); single scheduler only\n"
+      "  --snapshot-dir D     snapshot directory (default ./snapshots)\n"
+      "  --restore FILE       resume from a snapshot instead of starting fresh;\n"
+      "                       the other flags must rebuild the exact run the\n"
+      "                       snapshot came from (config fingerprint enforced)\n";
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -211,6 +224,18 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--event-log");
       if (!v) return false;
       options.event_log_file = v;
+    } else if (arg == "--snapshot-every") {
+      const char* v = next("--snapshot-every");
+      if (!v) return false;
+      options.snapshot_every = std::stoull(v);
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next("--snapshot-dir");
+      if (!v) return false;
+      options.snapshot_dir = v;
+    } else if (arg == "--restore") {
+      const char* v = next("--restore");
+      if (!v) return false;
+      options.restore_file = v;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       print_usage();
@@ -230,7 +255,30 @@ bool parse(int argc, char** argv, Options& options) {
                  "need --recovery\n";
     return false;
   }
+  if ((options.snapshot_every > 0 || !options.restore_file.empty()) &&
+      options.schedulers.size() != 1) {
+    std::cerr << "--snapshot-every / --restore drive one engine manually; "
+                 "give exactly one --scheduler\n";
+    return false;
+  }
   return true;
+}
+
+/// Writes a snapshot atomically: a crash mid-write leaves only a *.tmp the
+/// restore path never considers, never a truncated snap-*.bin.
+void write_snapshot_atomic(const SimEngine& engine, const std::filesystem::path& dir,
+                           std::uint64_t events) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path tmp = dir / ("snap-" + std::to_string(events) + ".tmp");
+  const std::filesystem::path final_path = dir / ("snap-" + std::to_string(events) + ".bin");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ContractViolation("cannot write snapshot " + tmp.string());
+    engine.save_snapshot(out);
+    out.flush();
+    if (!out) throw ContractViolation("short write on snapshot " + tmp.string());
+  }
+  std::filesystem::rename(tmp, final_path);
 }
 
 std::shared_ptr<const std::vector<JobSpec>> load_trace_workload(const Options& options) {
@@ -322,6 +370,36 @@ int main(int argc, char** argv) {
       if (!event_out) throw ContractViolation("cannot open " + options.event_log_file);
       event_log = std::make_unique<JsonlEventLog>(event_out);
       requests.back().observer = event_log.get();
+    }
+
+    // Snapshot / restore path: drive the one engine manually so we can
+    // checkpoint on an event stride and/or resume from a prior snapshot.
+    if (options.snapshot_every > 0 || !options.restore_file.empty()) {
+      exp::EngineBundle bundle = exp::build_engine(requests.front());
+      SimEngine& engine = *bundle.engine;
+      if (!options.restore_file.empty()) {
+        std::ifstream in(options.restore_file, std::ios::binary);
+        if (!in) throw ContractViolation("cannot open snapshot: " + options.restore_file);
+        engine.restore_snapshot(in);
+        std::cerr << "restored at event " << engine.events_processed() << "\n";
+      }
+      while (engine.step()) {
+        if (options.snapshot_every > 0 &&
+            engine.events_processed() % options.snapshot_every == 0) {
+          write_snapshot_atomic(engine, options.snapshot_dir, engine.events_processed());
+        }
+      }
+      const RunMetrics m = engine.finalize();
+      if (options.csv) {
+        std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
+                     "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
+                     "sched_overhead_ms,migrations,preemptions,sched_rounds,"
+                     "candidates_scanned,comm_cache_hits\n";
+        print_csv_row(m);
+      } else {
+        std::cout << m.summary() << "\n";
+      }
+      return 0;
     }
 
     exp::RunOptions run_options;
