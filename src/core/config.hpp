@@ -40,11 +40,19 @@ struct PlacementParams {
   bool use_topology = false;
   double rack_affinity = 0.5;
 
-  /// Memoize per-(task, server) communication volumes within a scheduling
-  /// round, keyed on the cluster's placement epoch (see DESIGN.md,
-  /// "Scheduler hot path"). Bit-exact with the direct computation; `false`
-  /// keeps the reference path for equivalence tests and benchmarks.
+  /// Memoize per-(task, server) communication volumes, keyed on the
+  /// *owning job's* placement epoch (see DESIGN.md, "Scheduler hot path").
+  /// Bit-exact with the direct computation; `false` keeps the reference
+  /// path for equivalence tests and benchmarks.
   bool memoize_comm = true;
+
+  /// Capacity of the comm-volume memo arena, in tasks: one slot holds one
+  /// task's per-server volume vector (server_count doubles). Eviction is
+  /// deterministic round-robin, so the memory bound is
+  /// `comm_memo_slots × server_count × 8` bytes even with 100k+ queued
+  /// tasks at Philly scale. Smaller capacities only trade hits for
+  /// misses — decisions are unchanged.
+  std::size_t comm_memo_slots = 4096;
 
   /// Fault-domain awareness (recovery policies, DESIGN.md "Recovery
   /// policies"): add a rack-spread dimension to the ideal-virtual-server

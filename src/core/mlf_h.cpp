@@ -111,8 +111,49 @@ void MlfH::place_queued_tasks(SchedulerContext& ctx) {
   // the job's queued tasks (in their own priority order). Gang execution
   // means partial placements cannot run, so interleaving jobs would only
   // manufacture deadlocks.
+  //
+  // The queue is consumed lazily through a binary heap instead of fully
+  // sorted: all priorities are computed up front (exactly like the sorted
+  // path — placements this round never re-key), and pops yield the
+  // stable-descending order one task at a time. Under sustained overload
+  // the 200-failure cap stops consumption after a few hundred pops, so a
+  // 100k-task backlog costs O(n + popped·log n) instead of O(n log n)
+  // every round. Legacy mode keeps the full sort as the reference.
   int failures = 0;
-  for (const TaskId tid : ordered_queue(ctx)) {
+  struct HeapEntry {
+    double pri;
+    std::size_t pos;  ///< position in the filtered queue (stability key)
+    TaskId tid;
+  };
+  // `less` for a max-heap on (priority desc, queue position asc) — pops in
+  // exactly std::stable_sort-by-descending-priority order.
+  const auto heap_less = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.pri < b.pri || (a.pri == b.pri && a.pos > b.pos);
+  };
+  std::vector<HeapEntry> heap;
+  if (!config_.legacy_hot_path) {
+    heap.reserve(ctx.queue.size());
+    std::size_t pos = 0;
+    for (const TaskId tid : ctx.queue) {
+      if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+      heap.push_back({task_priority(ctx.cluster, tid, ctx.now), pos++, tid});
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_less);
+  }
+  const std::vector<TaskId> sorted = config_.legacy_hot_path ? ordered_queue(ctx)
+                                                             : std::vector<TaskId>{};
+  std::size_t sorted_next = 0;
+  const auto next_task = [&]() -> TaskId {
+    if (config_.legacy_hot_path) {
+      return sorted_next < sorted.size() ? sorted[sorted_next++] : kInvalidTask;
+    }
+    if (heap.empty()) return kInvalidTask;
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    const TaskId tid = heap.back().tid;
+    heap.pop_back();
+    return tid;
+  };
+  for (TaskId tid = next_task(); tid != kInvalidTask; tid = next_task()) {
     if (failures >= 200) break;  // sustained-overload cap, see sched/util.hpp
     const Task& first = ctx.cluster.task(tid);
     if (first.state != TaskState::Queued) continue;

@@ -92,23 +92,42 @@ double MlfPlacement::comm_volume_with_server_topology(const Cluster& cluster, co
                               });
 }
 
-const std::vector<double>& MlfPlacement::comm_vector(const Cluster& cluster,
-                                                     const Task& task) const {
-  const std::uint64_t epoch = cluster.placement_epoch();
-  if (epoch != comm_cache_epoch_) {
-    comm_cache_.clear();
-    comm_cache_epoch_ = epoch;
+const double* MlfPlacement::comm_vector(const Cluster& cluster, const Task& task) const {
+  if (memo_arena_.empty()) {
+    memo_stride_ = cluster.server_count();
+    memo_slots_.assign(std::max<std::size_t>(1, params_.comm_memo_slots), MemoSlot{});
+    memo_arena_.assign(memo_slots_.size() * memo_stride_, 0.0);
+    memo_index_.reserve(memo_slots_.size());
   }
-  if (const auto it = comm_cache_.find(task.id); it != comm_cache_.end()) {
-    ++stats_.comm_cache_hits;
-    return it->second;
+  // Keyed on the *owning job's* placement epoch: the peer walk below only
+  // visits same-job tasks, so other jobs' placements cannot change this
+  // vector — the old global-epoch key invalidated on every placement
+  // anywhere and collapsed the hit rate as the fleet grew.
+  const std::uint64_t epoch = cluster.job_placement_epoch(task.job);
+  std::size_t slot;
+  if (const auto it = memo_index_.find(task.id); it != memo_index_.end()) {
+    slot = it->second;
+    if (memo_slots_[slot].epoch == epoch) {
+      ++stats_.comm_cache_hits;
+      return memo_arena_.data() + slot * memo_stride_;
+    }
+  } else {
+    // Deterministic round-robin eviction keeps the arena a fixed memory
+    // bound regardless of how many tasks queue up.
+    slot = memo_cursor_;
+    memo_cursor_ = (memo_cursor_ + 1) % memo_slots_.size();
+    if (memo_slots_[slot].task != kInvalidTask) memo_index_.erase(memo_slots_[slot].task);
+    memo_index_.emplace(task.id, static_cast<std::uint32_t>(slot));
+    memo_slots_[slot].task = task.id;
   }
   ++stats_.comm_cache_misses;
-  std::vector<double>& vec = comm_cache_[task.id];
-  vec.assign(cluster.server_count(), 0.0);
+  memo_slots_[slot].epoch = epoch;
+  double* const begin = memo_arena_.data() + slot * memo_stride_;
+  std::fill(begin, begin + memo_stride_, 0.0);
+  auto vec = [begin](ServerId s) -> double& { return begin[s]; };
   if (!params_.use_topology) {
     for_each_placed_peer(cluster, task, [&vec](const Task& other, double edge) {
-      vec[other.server] += edge;
+      vec(other.server) += edge;
     });
   } else {
     // Scatter each peer's contribution to its own server (weight 1) and to
@@ -119,7 +138,7 @@ const std::vector<double>& MlfPlacement::comm_vector(const Cluster& cluster,
     const std::size_t n = cluster.server_count();
     const double affinity = params_.rack_affinity;
     for_each_placed_peer(cluster, task, [&](const Task& other, double edge) {
-      vec[other.server] += edge;
+      vec(other.server) += edge;
       std::size_t lo = 0;
       std::size_t hi = n;
       if (spr > 0) {
@@ -128,11 +147,13 @@ const std::vector<double>& MlfPlacement::comm_vector(const Cluster& cluster,
         hi = std::min(n, lo + static_cast<std::size_t>(spr));
       }
       for (std::size_t s = lo; s < hi; ++s) {
-        if (s != static_cast<std::size_t>(other.server)) vec[s] += affinity * edge;
+        if (s != static_cast<std::size_t>(other.server)) {
+          vec(static_cast<ServerId>(s)) += affinity * edge;
+        }
       }
     });
   }
-  return vec;
+  return begin;
 }
 
 std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx, const Task& task,
@@ -151,9 +172,11 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
   };
   std::vector<Candidate> candidates;
   double max_comm = 0.0;
-  for (const ServerId sid : cluster.underloaded_servers(ctx.hr)) {
+  cluster.underloaded_servers_into(ctx.hr, scan_buf_);  // reused buffer, no per-call alloc
+  for (const ServerId sid : scan_buf_) {
     if (migrating && sid == task.server) continue;
     ++stats_.candidates_scanned;
+    ++stats_.candidates_linear;
     const Server& s = cluster.server(sid);
     const int gpu = s.best_fitting_gpu(task, ctx.hr);
     if (gpu == kNoGpu) continue;
@@ -219,21 +242,20 @@ std::optional<HostChoice> MlfPlacement::choose_host(const SchedulerContext& ctx,
 std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext& ctx,
                                                          const Task& task, bool migrating) const {
   const Cluster& cluster = ctx.cluster;
-  const std::vector<double>& comm = comm_vector(cluster, task);
+  const double* comm = comm_vector(cluster, task);
 
-  // Candidate ids by reference from the index when it is on (no per-call
-  // copy of the id vector); the scan fallback still yields the same ids in
-  // the same ascending order.
   const bool indexed = cluster.config().incremental_load_index;
-  std::vector<ServerId> scan;
-  if (!indexed) scan = cluster.underloaded_servers(ctx.hr);
-  const std::vector<ServerId>& under = indexed ? cluster.underloaded_index(ctx.hr) : scan;
+  const bool bucketed = indexed && cluster.config().placement_bucket_index;
 
   // One usage product for the whole candidate loop (the legacy body
   // recomputes demand × usage_factor inside every feasibility check — the
   // product is the same value every time, so hoisting cannot change a
   // fit verdict).
   const ResourceVector usage = task.demand * task.usage_factor;
+  const double u_gpu = usage[Resource::Gpu];
+  const double u_cpu = usage[Resource::Cpu];
+  const double u_mem = usage[Resource::Mem];
+  const double u_net = usage[Resource::Net];
 
   ResourceVector util_buf;  // scan-mode fallback storage
   const auto util_of = [&](ServerId sid) -> const ResourceVector& {
@@ -246,52 +268,87 @@ std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext&
   // component-wise min from the first feasible candidate matches the
   // legacy fold exactly (min(x, x) == x).
   feasible_.clear();
-  feasible_.reserve(under.size());
   ResourceVector ideal_util;
   bool first = true;
   double max_comm = 0.0;
-  const double u_gpu = usage[Resource::Gpu];
-  const double u_cpu = usage[Resource::Cpu];
-  const double u_mem = usage[Resource::Mem];
-  const double u_net = usage[Resource::Net];
-  for (const ServerId sid : under) {
-    if (migrating && sid == task.server) continue;
-    ++stats_.candidates_scanned;
-    const ResourceVector& util = util_of(sid);
-    int gpu;
-    if (indexed) {
-      // Feasibility from cached data only: the utilization's CPU/MEM/NET
-      // components *are* the server's usage sums, so together with the
-      // cached least-loaded GPU load these four comparisons are exactly
-      // Server::fits_usage_without_overload on the least-loaded GPU (the
-      // liveness test is vacuous — the underloaded partition only holds up
-      // servers). And the least-loaded GPU's verdict decides the server:
-      // every other GPU carries load >= the least-loaded one, and FP
-      // addition of the same usage is monotone, so when the least-loaded
-      // GPU overflows hr, so does every other — best_fitting_gpu's per-GPU
-      // search cannot rescue the candidate (the profile shows ~80% of
-      // candidates are infeasible under sustained overload, so this single
-      // rejection test carries the hot path).
-      if (util[Resource::Cpu] + u_cpu > ctx.hr || util[Resource::Mem] + u_mem > ctx.hr ||
-          util[Resource::Net] + u_net > ctx.hr ||
-          cluster.cached_least_gpu_load(sid) + u_gpu > ctx.hr) {
-        continue;
+  if (bucketed) {
+    // Sublinear candidate funnel: the bucket index exact-checks only the
+    // members of buckets that could pass the feasibility comparisons and
+    // returns the feasible set in the linear funnel's ascending order —
+    // identical verdicts, so the folds below run over the identical set
+    // (min/max folds are order-independent anyway).
+    const PlacementIndex& pidx = cluster.placement_index(ctx.hr);
+    const ServerId skip = migrating ? task.server : kInvalidServer;
+    feasible_ids_.clear();
+    stats_.candidates_scanned +=
+        pidx.collect_feasible(ctx.hr, u_gpu, u_cpu, u_mem, u_net, skip, feasible_ids_);
+    // What a linear funnel would have scanned for this query: every
+    // underloaded member (minus the migration self-exclusion) — keeps the
+    // index's win measurable without running the linear path.
+    stats_.candidates_linear +=
+        pidx.member_count() - (skip != kInvalidServer && pidx.is_member(skip) ? 1 : 0);
+    feasible_.reserve(feasible_ids_.size());
+    for (const ServerId sid : feasible_ids_) {
+      const ResourceVector& util = cluster.cached_utilization(sid);
+      if (first) {
+        ideal_util = util;
+        first = false;
+      } else {
+        for (std::size_t i = 0; i < kNumResources; ++i) {
+          ideal_util.at(i) = std::min(ideal_util.at(i), util.at(i));
+        }
       }
-      gpu = cluster.cached_least_gpu(sid);
-    } else {
-      gpu = cluster.server(sid).best_fitting_gpu_for_usage(usage, ctx.hr);
-      if (gpu == kNoGpu) continue;
+      max_comm = std::max(max_comm, comm[sid]);
+      feasible_.emplace_back(sid, cluster.cached_least_gpu(sid));
     }
-    if (first) {
-      ideal_util = util;
-      first = false;
-    } else {
-      for (std::size_t i = 0; i < kNumResources; ++i) {
-        ideal_util.at(i) = std::min(ideal_util.at(i), util.at(i));
+  } else {
+    // Candidate ids by reference from the index when it is on; the scan
+    // fallback fills a reused buffer (no per-call allocation) with the
+    // same ids in the same ascending order.
+    if (!indexed) cluster.underloaded_servers_into(ctx.hr, scan_buf_);
+    const std::vector<ServerId>& under = indexed ? cluster.underloaded_index(ctx.hr) : scan_buf_;
+    feasible_.reserve(under.size());
+    for (const ServerId sid : under) {
+      if (migrating && sid == task.server) continue;
+      ++stats_.candidates_scanned;
+      ++stats_.candidates_linear;
+      const ResourceVector& util = util_of(sid);
+      int gpu;
+      if (indexed) {
+        // Feasibility from cached data only: the utilization's CPU/MEM/NET
+        // components *are* the server's usage sums, so together with the
+        // cached least-loaded GPU load these four comparisons are exactly
+        // Server::fits_usage_without_overload on the least-loaded GPU (the
+        // liveness test is vacuous — the underloaded partition only holds
+        // up servers). And the least-loaded GPU's verdict decides the
+        // server: every other GPU carries load >= the least-loaded one, and
+        // FP addition of the same usage is monotone, so when the
+        // least-loaded GPU overflows hr, so does every other —
+        // best_fitting_gpu's per-GPU search cannot rescue the candidate
+        // (the profile shows ~80% of candidates are infeasible under
+        // sustained overload, so this single rejection test carries the
+        // hot path).
+        if (util[Resource::Cpu] + u_cpu > ctx.hr || util[Resource::Mem] + u_mem > ctx.hr ||
+            util[Resource::Net] + u_net > ctx.hr ||
+            cluster.cached_least_gpu_load(sid) + u_gpu > ctx.hr) {
+          continue;
+        }
+        gpu = cluster.cached_least_gpu(sid);
+      } else {
+        gpu = cluster.server(sid).best_fitting_gpu_for_usage(usage, ctx.hr);
+        if (gpu == kNoGpu) continue;
       }
+      if (first) {
+        ideal_util = util;
+        first = false;
+      } else {
+        for (std::size_t i = 0; i < kNumResources; ++i) {
+          ideal_util.at(i) = std::min(ideal_util.at(i), util.at(i));
+        }
+      }
+      max_comm = std::max(max_comm, comm[sid]);
+      feasible_.emplace_back(sid, gpu);
     }
-    max_comm = std::max(max_comm, comm[sid]);
-    feasible_.emplace_back(sid, gpu);
   }
   if (feasible_.empty()) return std::nullopt;
 
@@ -336,31 +393,44 @@ std::optional<HostChoice> MlfPlacement::choose_host_fast(const SchedulerContext&
 }
 
 void MlfPlacement::save_state(io::BinWriter& w) const {
-  w.u64(comm_cache_epoch_);
-  std::vector<std::pair<TaskId, const std::vector<double>*>> entries;
-  entries.reserve(comm_cache_.size());
-  for (const auto& [task, volumes] : comm_cache_) entries.emplace_back(task, &volumes);
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w.u64(entries.size());
-  for (const auto& [task, volumes] : entries) {
-    w.u64(task);
-    w.vec_f64(*volumes);
+  // Exact arena layout — slot table, cursor, and each occupied slot's
+  // volume vector in slot order — so the restored memo hits and evicts
+  // exactly like the uninterrupted one would.
+  w.u64(memo_stride_);
+  w.u64(memo_slots_.size());
+  w.u64(memo_cursor_);
+  for (std::size_t slot = 0; slot < memo_slots_.size(); ++slot) {
+    const MemoSlot& s = memo_slots_[slot];
+    w.u64(s.task);
+    w.u64(s.epoch);
+    if (s.task == kInvalidTask) continue;
+    const double* const begin = memo_arena_.data() + slot * memo_stride_;
+    for (std::size_t i = 0; i < memo_stride_; ++i) w.f64(begin[i]);
   }
   w.u64(stats_.candidates_scanned);
+  w.u64(stats_.candidates_linear);
   w.u64(stats_.comm_cache_hits);
   w.u64(stats_.comm_cache_misses);
 }
 
 void MlfPlacement::restore_state(io::BinReader& r) {
-  comm_cache_epoch_ = r.u64();
-  comm_cache_.clear();
-  const std::uint64_t count = r.u64();
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const TaskId task = static_cast<TaskId>(r.u64());
-    comm_cache_[task] = r.vec_f64();
+  memo_stride_ = static_cast<std::size_t>(r.u64());
+  const std::size_t slot_count = static_cast<std::size_t>(r.u64());
+  memo_cursor_ = static_cast<std::size_t>(r.u64());
+  memo_slots_.assign(slot_count, MemoSlot{});
+  memo_arena_.assign(slot_count * memo_stride_, 0.0);
+  memo_index_.clear();
+  for (std::size_t slot = 0; slot < slot_count; ++slot) {
+    MemoSlot& s = memo_slots_[slot];
+    s.task = static_cast<TaskId>(r.u64());
+    s.epoch = r.u64();
+    if (s.task == kInvalidTask) continue;
+    memo_index_.emplace(s.task, static_cast<std::uint32_t>(slot));
+    double* const begin = memo_arena_.data() + slot * memo_stride_;
+    for (std::size_t i = 0; i < memo_stride_; ++i) begin[i] = r.f64();
   }
   stats_.candidates_scanned = static_cast<std::size_t>(r.u64());
+  stats_.candidates_linear = static_cast<std::size_t>(r.u64());
   stats_.comm_cache_hits = static_cast<std::size_t>(r.u64());
   stats_.comm_cache_misses = static_cast<std::size_t>(r.u64());
 }

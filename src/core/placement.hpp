@@ -6,11 +6,13 @@
 // U_V in Euclidean distance. The task lands on that server's best-fitting
 // GPU (the least-loaded one whenever it fits).
 //
-// Hot path: candidates come from the cluster's underloaded index rather
-// than a fleet scan, and the per-(task, server) communication volumes are
-// memoized per placement epoch (PlacementParams::memoize_comm) — both
-// bit-exact with the direct computation (see DESIGN.md, "Scheduler hot
-// path").
+// Hot path: candidates come from the cluster's bucketed placement index
+// (sim/placement_index.hpp) — only buckets that could pass the
+// feasibility check are examined — and the per-(task, server)
+// communication volumes are memoized in a fixed-capacity arena keyed on
+// the owning job's placement epoch (PlacementParams::memoize_comm). Both
+// are bit-exact with the direct computation (see DESIGN.md, "Scheduler
+// hot path").
 #pragma once
 
 #include <cstdint>
@@ -44,11 +46,12 @@ class MlfPlacement {
   /// Hot-path counters accumulated across all choose_host calls.
   const SchedStats& stats() const { return stats_; }
 
-  /// Snapshot support: the per-epoch comm memo and the hot-path counters.
-  /// The memo must round-trip (not just be invalidated) so the hit/miss
-  /// counters — and therefore SchedStats — stay bit-identical after
-  /// restore; the memo map is written sorted by task id. `feasible_` is
-  /// per-call scratch and is not state.
+  /// Snapshot support: the comm-memo arena (slot table, round-robin
+  /// cursor, and the occupied slots' volume vectors, in slot order) and
+  /// the hot-path counters. The memo must round-trip (not just be
+  /// invalidated) so the hit/miss counters — and therefore SchedStats —
+  /// stay bit-identical after restore. `feasible_`/`feasible_ids_`/
+  /// `scan_buf_` are per-call scratch and are not state.
   void save_state(io::BinWriter& w) const;
   void restore_state(io::BinReader& r);
 
@@ -64,26 +67,43 @@ class MlfPlacement {
                                                  ServerId server, double rack_affinity);
 
  private:
-  /// Per-server communication volumes of `task`, memoized per placement
-  /// epoch. Entry [s] is bit-identical to comm_volume_with_server[_topology]
-  /// (cluster, task, s): the accumulation visits peers in the same order
-  /// and drops only exact-zero terms.
-  const std::vector<double>& comm_vector(const Cluster& cluster, const Task& task) const;
+  /// Per-server communication volumes of `task` (`server_count` doubles),
+  /// memoized in the arena keyed on the owning job's placement epoch —
+  /// peers are always same-job tasks, so placements elsewhere cannot
+  /// invalidate the entry. Entry [s] is bit-identical to
+  /// comm_volume_with_server[_topology](cluster, task, s): the
+  /// accumulation visits peers in the same order and drops only
+  /// exact-zero terms.
+  const double* comm_vector(const Cluster& cluster, const Task& task) const;
 
-  /// The memoized hot path of choose_host: same candidate order, same
-  /// feasibility checks, same distance arithmetic as the legacy body —
-  /// the equivalence tests and the hot-path benchmark enforce that the two
-  /// produce byte-identical decision streams — but with the per-candidate
-  /// constants hoisted: usage vector computed once, utilizations read from
-  /// the cluster's refresh-time cache, comm volumes from the epoch memo,
-  /// and a reused scratch vector instead of a fresh candidate array.
+  /// The memoized hot path of choose_host: same feasibility verdicts, same
+  /// candidate order (ascending id), same distance arithmetic as the
+  /// legacy body — the equivalence tests and the benches enforce that the
+  /// two produce byte-identical decision streams — but candidates come
+  /// from the cluster's bucketed placement index (exact-check only the
+  /// unprunable buckets), utilizations from the refresh-time cache, comm
+  /// volumes from the arena memo, and reused scratch vectors.
   std::optional<HostChoice> choose_host_fast(const SchedulerContext& ctx, const Task& task,
                                              bool migrating) const;
 
   PlacementParams params_;
-  mutable std::uint64_t comm_cache_epoch_ = ~std::uint64_t{0};
-  mutable std::unordered_map<TaskId, std::vector<double>> comm_cache_;
+
+  /// Comm-memo arena: `comm_memo_slots` slots × server_count doubles, one
+  /// slot per task, deterministic round-robin eviction (lazily sized on
+  /// first use; the stride is fixed for the cluster's lifetime).
+  struct MemoSlot {
+    TaskId task = kInvalidTask;
+    std::uint64_t epoch = 0;  ///< owning job's placement epoch at fill time
+  };
+  mutable std::size_t memo_stride_ = 0;  ///< doubles per slot == server_count
+  mutable std::vector<MemoSlot> memo_slots_;
+  mutable std::vector<double> memo_arena_;
+  mutable std::unordered_map<TaskId, std::uint32_t> memo_index_;  ///< task -> slot
+  mutable std::size_t memo_cursor_ = 0;
+
   mutable std::vector<std::pair<ServerId, int>> feasible_;  ///< choose_host_fast scratch
+  mutable std::vector<ServerId> feasible_ids_;              ///< bucket-index scratch
+  mutable std::vector<ServerId> scan_buf_;                  ///< scan-mode candidate buffer
   mutable SchedStats stats_;
 };
 

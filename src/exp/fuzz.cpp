@@ -20,7 +20,8 @@ namespace {
 /// larger than the fleet could never gang-place and the case would only
 /// measure censoring.
 void clamp_gpu_request(FuzzCase& c) {
-  const int total = static_cast<int>(c.servers) * c.gpus_per_server;
+  const int total = c.total_gpus > 0 ? static_cast<int>(c.total_gpus)
+                                     : static_cast<int>(c.servers) * c.gpus_per_server;
   c.max_gpu_request = std::max(1, std::min(c.max_gpu_request, total));
 }
 
@@ -82,10 +83,28 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
     c.spread_placement = rng.bernoulli(0.5);
     if (rng.bernoulli(0.4)) c.flaky_fraction = rng.uniform(0.1, 0.5);
   }
-  // Snapshot/restore: newest dimension, drawn last (same prefix rule).
+  // Snapshot/restore: drawn after the blocks above (same prefix rule).
   if (rng.bernoulli(0.25)) {
     c.snapshot_check = true;
     c.snapshot_event = rng.next_u64();
+  }
+  // Placement-index dimensions: newest draws, appended last (prefix rule).
+  c.placement_bucket_index = !rng.bernoulli(0.2);
+  if (rng.bernoulli(0.4)) {
+    c.placement_index_buckets = static_cast<int>(rng.uniform_int(1, 64));
+  }
+  if (rng.bernoulli(0.3)) {
+    c.comm_memo_slots = static_cast<std::size_t>(rng.uniform_int(1, 16));
+  }
+  if (rng.bernoulli(0.25)) {
+    // Heterogeneous fleet: at least 1 GPU per server, at most the uniform
+    // total, so the draw only redistributes.
+    c.total_gpus = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<int>(c.servers), static_cast<int>(c.servers) * c.gpus_per_server));
+    clamp_gpu_request(c);
+  }
+  if (c.placement_bucket_index && !c.snapshot_check && rng.bernoulli(0.3)) {
+    c.index_equivalence_check = true;
   }
   return c;
 }
@@ -97,7 +116,10 @@ RunRequest to_request(const FuzzCase& c) {
   r.cluster.gpus_per_server = c.gpus_per_server;
   r.cluster.servers_per_rack = c.servers_per_rack;
   r.cluster.slow_server_fraction = c.slow_fraction;
+  r.cluster.total_gpus = c.total_gpus;
   r.cluster.incremental_load_index = c.incremental_load_index;
+  r.cluster.placement_bucket_index = c.placement_bucket_index;
+  r.cluster.placement_index_buckets = c.placement_index_buckets;
   r.cluster.debug_slot_leak = c.inject_slot_leak;
   r.engine.seed = c.engine_seed;
   r.engine.max_sim_time = hours(c.max_sim_hours);
@@ -123,6 +145,7 @@ RunRequest to_request(const FuzzCase& c) {
   r.trace.max_gpu_request = c.max_gpu_request;
   r.scheduler = c.scheduler;
   r.mlfs_config.legacy_hot_path = c.legacy_hot_path;
+  r.mlfs_config.placement.comm_memo_slots = c.comm_memo_slots;
   r.mlfs_config.rl.warmup_samples = c.rl_warmup_samples;
   return r;
 }
@@ -148,6 +171,11 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.legacy_hot_path) out << ", legacy-hotpath";
   if (!c.incremental_load_index) out << ", scan-index";
+  if (!c.placement_bucket_index) out << ", no-bucket-index";
+  if (c.placement_index_buckets != 512) out << ", buckets=" << c.placement_index_buckets;
+  if (c.comm_memo_slots != 4096) out << ", memo-slots=" << c.comm_memo_slots;
+  if (c.total_gpus > 0) out << ", total-gpus=" << c.total_gpus;
+  if (c.index_equivalence_check) out << ", index-equivalence";
   if (c.snapshot_check) out << ", snapshot@" << c.snapshot_event;
   if (c.inject_slot_leak) out << ", SLOT-LEAK";
   return out.str();
@@ -189,6 +217,11 @@ std::string serialize(const FuzzCase& c) {
       << "audit_stride=" << c.audit_stride << "\n"
       << "snapshot_check=" << (c.snapshot_check ? 1 : 0) << "\n"
       << "snapshot_event=" << c.snapshot_event << "\n"
+      << "placement_bucket_index=" << (c.placement_bucket_index ? 1 : 0) << "\n"
+      << "placement_index_buckets=" << c.placement_index_buckets << "\n"
+      << "comm_memo_slots=" << c.comm_memo_slots << "\n"
+      << "total_gpus=" << c.total_gpus << "\n"
+      << "index_equivalence_check=" << (c.index_equivalence_check ? 1 : 0) << "\n"
       << "inject_slot_leak=" << (c.inject_slot_leak ? 1 : 0) << "\n";
   return out.str();
 }
@@ -240,6 +273,11 @@ FuzzCase parse_fuzz_case(std::istream& in) {
     else if (key == "audit_stride") c.audit_stride = static_cast<int>(u64());
     else if (key == "snapshot_check") c.snapshot_check = flag();
     else if (key == "snapshot_event") c.snapshot_event = u64();
+    else if (key == "placement_bucket_index") c.placement_bucket_index = flag();
+    else if (key == "placement_index_buckets") c.placement_index_buckets = static_cast<int>(u64());
+    else if (key == "comm_memo_slots") c.comm_memo_slots = static_cast<std::size_t>(u64());
+    else if (key == "total_gpus") c.total_gpus = static_cast<std::size_t>(u64());
+    else if (key == "index_equivalence_check") c.index_equivalence_check = flag();
     else if (key == "inject_slot_leak") c.inject_slot_leak = flag();
     else throw ContractViolation("fuzz case: unknown key: " + key);
   }
@@ -258,6 +296,31 @@ std::optional<FuzzFailure> run_fuzz_case(const FuzzCase& c, bool check_determini
       return std::nullopt;
     }
     const RunMetrics first = execute_run(request);
+    if (c.index_equivalence_check && c.incremental_load_index && c.placement_bucket_index) {
+      // Index-vs-scan equivalence: the bucketed funnel must make the exact
+      // decisions of the linear one (same event stream) and account for the
+      // same linear-candidate population.
+      RunRequest scan = request;
+      scan.cluster.placement_bucket_index = false;
+      const RunMetrics linear = execute_run(scan);
+      std::ostringstream diff;
+      if (first.event_stream_hash != linear.event_stream_hash) {
+        diff << "event_stream_hash " << first.event_stream_hash << " vs "
+             << linear.event_stream_hash << "; ";
+      }
+      if (first.makespan_hours != linear.makespan_hours) diff << "makespan diverged; ";
+      if (first.migrations != linear.migrations) diff << "migrations diverged; ";
+      if (first.preemptions != linear.preemptions) diff << "preemptions diverged; ";
+      if (first.iterations_run != linear.iterations_run) diff << "iterations diverged; ";
+      if (first.candidates_linear != linear.candidates_linear) {
+        diff << "candidates_linear " << first.candidates_linear << " vs "
+             << linear.candidates_linear << "; ";
+      }
+      if (!diff.str().empty()) {
+        return FuzzFailure{c, "index-equivalence",
+                           "bucket index vs linear scan: " + diff.str()};
+      }
+    }
     if (check_determinism) {
       const RunMetrics second = execute_run(request);
       if (!deterministic_equal(first, second)) {
@@ -308,6 +371,12 @@ ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_f
       [](FuzzCase& c) { c.duration_hours = std::max(0.05, c.duration_hours / 2.0); },
       [](FuzzCase& c) { c.max_sim_hours = std::max(1.0, c.max_sim_hours / 2.0); },
       [](FuzzCase& c) { c.legacy_hot_path = false; c.incremental_load_index = true; },
+      // Placement-index dimensions shrink toward the uniform defaults; the
+      // bucket flag itself stays (flipping it off would dissolve an
+      // index-equivalence failure rather than minimize it).
+      [](FuzzCase& c) { c.comm_memo_slots = 4096; },
+      [](FuzzCase& c) { c.total_gpus = 0; clamp_gpu_request(c); },
+      [](FuzzCase& c) { c.placement_index_buckets = std::max(1, c.placement_index_buckets / 2); },
       // Earlier snapshot cuts make a surviving "snapshot-restore" failure
       // easier to replay (fewer pre-snapshot events). The cut index, not
       // the flag, shrinks: dropping snapshot_check would change the failing

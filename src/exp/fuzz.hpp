@@ -35,6 +35,8 @@ struct FuzzCase {
   int gpus_per_server = 4;
   int servers_per_rack = 0;
   double slow_fraction = 0.0;
+  /// Non-zero = heterogeneous per-server GPU counts (ClusterConfig::total_gpus).
+  std::size_t total_gpus = 0;
 
   // Workload.
   std::size_t num_jobs = 20;
@@ -74,6 +76,18 @@ struct FuzzCase {
   bool incremental_load_index = true;
   bool legacy_hot_path = false;
   std::size_t rl_warmup_samples = 2000;
+
+  // Placement-index dimensions (sim/placement_index.hpp): bucket count and
+  // comm-memo capacity are fuzzed down to degenerate values (1 bucket, 1
+  // slot) to exercise boundary handling and eviction churn. When
+  // `index_equivalence_check` is set the case runs a second time with the
+  // bucket index disabled and any divergence in the event-stream hash /
+  // decision metrics / linear-candidate count fails with invariant
+  // "index-equivalence".
+  bool placement_bucket_index = true;
+  int placement_index_buckets = 512;
+  std::size_t comm_memo_slots = 4096;
+  bool index_equivalence_check = false;
 
   // Auditing.
   int audit_stride = 1;

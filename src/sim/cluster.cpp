@@ -10,12 +10,22 @@ namespace mlfs {
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   MLFS_EXPECT(config_.server_count >= 1);
   MLFS_EXPECT(config_.gpus_per_server >= 1);
+  // Non-uniform fleets: distribute total_gpus as evenly as ids allow — the
+  // first `extra` servers carry one more GPU than the base.
+  std::size_t gpu_base = static_cast<std::size_t>(config_.gpus_per_server);
+  std::size_t gpu_extra = 0;
+  if (config_.total_gpus > 0) {
+    gpu_base = config_.total_gpus / config_.server_count;
+    gpu_extra = config_.total_gpus - gpu_base * config_.server_count;
+    MLFS_EXPECT(gpu_base >= 1);
+  }
   servers_.reserve(config_.server_count);
   const auto slow_from = static_cast<std::size_t>(std::lround(
       static_cast<double>(config_.server_count) * (1.0 - config_.slow_server_fraction)));
   for (std::size_t i = 0; i < config_.server_count; ++i) {
     const double speed = i >= slow_from ? config_.slow_server_speed : 1.0;
-    servers_.emplace_back(static_cast<ServerId>(i), config_.gpus_per_server, speed);
+    const int gpus = static_cast<int>(gpu_base + (i < gpu_extra ? 1 : 0));
+    servers_.emplace_back(static_cast<ServerId>(i), gpus, speed);
   }
 }
 
@@ -82,6 +92,7 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
     v.erase(it);
   };
 
+  const bool bucketed = config_.placement_bucket_index;
   if (!index_valid_ || hr != index_hr_ || typical_demand != index_demand_) {
     // First query, or the query key changed: evaluate the whole fleet.
     ++index_stats_.full_rebuilds;
@@ -99,6 +110,7 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
     index_total_slots_ = 0;
     underloaded_ids_.clear();
     overloaded_ids_.clear();
+    if (bucketed) pindex_.reset(servers_.size(), hr, config_.placement_index_buckets);
     for (const Server& s : servers_) {
       const bool over = s.up() && s.overloaded(hr);
       const bool under = s.accepts_placements() && !over;
@@ -113,6 +125,11 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
       const int slots = s.up() ? server_slot_estimate(s, hr, typical_demand) : 0;
       index_slots_[s.id()] = slots;
       index_total_slots_ += slots;
+      if (bucketed) {
+        pindex_.set_server(s.id(), under, index_least_load_[s.id()],
+                           index_util_[s.id()][Resource::Cpu], index_util_[s.id()][Resource::Mem],
+                           index_util_[s.id()][Resource::Net]);
+      }
     }
     index_valid_ = true;
     return;
@@ -121,16 +138,33 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
   if (index_dirty_ids_.empty()) return;
   ++index_stats_.refreshes;
   for (const ServerId id : index_dirty_ids_) {
-    ++index_stats_.servers_reindexed;
     index_dirty_[id] = 0;
     const Server& s = servers_[id];
     const bool over = s.up() && s.overloaded(hr);
     const bool under = s.accepts_placements() && !over;
-    index_util_[id] = s.utilization();
+    const ResourceVector util = s.utilization();
     const int least = s.least_loaded_gpu();
-    index_least_gpu_[id] = least;
-    index_least_load_[id] = s.gpu_load(least);
+    const double least_load = s.gpu_load(least);
     const int slots = s.up() ? server_slot_estimate(s, hr, typical_demand) : 0;
+    // Compare-and-skip: placement churn (e.g. a gang placed and rolled
+    // back between refreshing queries) dirties servers whose state nets
+    // back to the exact same doubles. Recomputing is unavoidable — the
+    // dirty bit only says "maybe changed" — but identical state needs no
+    // partition or bucket surgery, and counting it as a reindex made
+    // `servers_reindexed` grow ~45x faster than scheduling rounds.
+    if (over == (index_overloaded_[id] != 0) && under == (index_underloaded_[id] != 0) &&
+        slots == index_slots_[id] && least == index_least_gpu_[id] &&
+        least_load == index_least_load_[id] && util[Resource::Gpu] == index_util_[id][Resource::Gpu] &&
+        util[Resource::Cpu] == index_util_[id][Resource::Cpu] &&
+        util[Resource::Mem] == index_util_[id][Resource::Mem] &&
+        util[Resource::Net] == index_util_[id][Resource::Net]) {
+      ++index_stats_.noop_reindexes;
+      continue;
+    }
+    ++index_stats_.servers_reindexed;
+    index_util_[id] = util;
+    index_least_gpu_[id] = least;
+    index_least_load_[id] = least_load;
     index_total_slots_ += slots - index_slots_[id];
     index_slots_[id] = slots;
     if (over != (index_overloaded_[id] != 0)) {
@@ -142,6 +176,10 @@ void Cluster::refresh_load_index(double hr, double typical_demand) const {
       if (under) insert_sorted(underloaded_ids_, id);
       else erase_sorted(underloaded_ids_, id);
       index_underloaded_[id] = under ? 1 : 0;
+    }
+    if (bucketed) {
+      pindex_.set_server(id, under, least_load, util[Resource::Cpu], util[Resource::Mem],
+                         util[Resource::Net]);
     }
   }
   index_dirty_ids_.clear();
@@ -167,10 +205,28 @@ std::vector<ServerId> Cluster::underloaded_servers(double hr) const {
   return out;
 }
 
+void Cluster::underloaded_servers_into(double hr, std::vector<ServerId>& out) const {
+  out.clear();
+  if (config_.incremental_load_index) {
+    refresh_load_index(hr, index_demand_);
+    out.assign(underloaded_ids_.begin(), underloaded_ids_.end());
+    return;
+  }
+  for (const Server& s : servers_) {
+    if (s.accepts_placements() && !s.overloaded(hr)) out.push_back(s.id());
+  }
+}
+
 const std::vector<ServerId>& Cluster::underloaded_index(double hr) const {
   MLFS_EXPECT(config_.incremental_load_index);
   refresh_load_index(hr, index_demand_);
   return underloaded_ids_;
+}
+
+const PlacementIndex& Cluster::placement_index(double hr) const {
+  MLFS_EXPECT(config_.incremental_load_index && config_.placement_bucket_index);
+  refresh_load_index(hr, index_demand_);
+  return pindex_;
 }
 
 std::vector<ServerId> Cluster::overloaded_servers(double hr) const {
@@ -215,6 +271,7 @@ void Cluster::register_job(Job job, std::vector<Task> tasks) {
     tasks_.push_back(t);
   }
   jobs_.push_back(std::move(job));
+  job_placement_epochs_.push_back(0);
 }
 
 Task& Cluster::task(TaskId id) {
@@ -247,6 +304,7 @@ void Cluster::place_task(TaskId id, ServerId server_id, int gpu) {
   t.state = TaskState::Running;
   touch_server(server_id);
   ++placement_epoch_;
+  ++job_placement_epochs_[t.job];
 }
 
 void Cluster::unplace_task(TaskId id) {
@@ -260,6 +318,7 @@ void Cluster::unplace_task(TaskId id) {
   }
   touch_server(t.server);
   ++placement_epoch_;
+  ++job_placement_epochs_[t.job];
   t.server = kInvalidServer;
   t.gpu = kNoGpu;
   t.state = TaskState::Queued;
@@ -274,6 +333,7 @@ void Cluster::move_task(TaskId id, ServerId to_server, int to_gpu) {
   touch_server(t.server);
   touch_server(to_server);
   ++placement_epoch_;
+  ++job_placement_epochs_[t.job];
   t.server = to_server;
   t.gpu = to_gpu;
   ++t.migrations;
@@ -414,6 +474,7 @@ void Cluster::save_state(io::BinWriter& w) const {
   w.f64(inter_rack_bandwidth_mb_);
   w.u64(transfer_count_);
   w.u64(placement_epoch_);
+  w.vec(job_placement_epochs_, [&w](std::uint64_t e) { w.u64(e); });
   w.u64(debug_unplace_count_);
 
   // Lazy load index, wholesale: restoring "invalid, rebuild on first use"
@@ -437,6 +498,10 @@ void Cluster::save_state(io::BinWriter& w) const {
   w.u64(index_stats_.full_rebuilds);
   w.u64(index_stats_.refreshes);
   w.u64(index_stats_.servers_reindexed);
+  w.u64(index_stats_.noop_reindexes);
+  // The bucket index mirrors the refresh-time caches above bit for bit, so
+  // only its query counters are written; restore rebuilds the structure.
+  pindex_.save_state(w);
 }
 
 void Cluster::restore_state(io::BinReader& r) {
@@ -466,6 +531,8 @@ void Cluster::restore_state(io::BinReader& r) {
   inter_rack_bandwidth_mb_ = r.f64();
   transfer_count_ = static_cast<std::size_t>(r.u64());
   placement_epoch_ = r.u64();
+  job_placement_epochs_ = r.vec<std::uint64_t>([&r] { return r.u64(); });
+  MLFS_EXPECT(job_placement_epochs_.size() == jobs_.size());
   debug_unplace_count_ = static_cast<std::size_t>(r.u64());
 
   index_valid_ = r.boolean();
@@ -488,6 +555,20 @@ void Cluster::restore_state(io::BinReader& r) {
   index_stats_.full_rebuilds = static_cast<std::size_t>(r.u64());
   index_stats_.refreshes = static_cast<std::size_t>(r.u64());
   index_stats_.servers_reindexed = static_cast<std::size_t>(r.u64());
+  index_stats_.noop_reindexes = static_cast<std::size_t>(r.u64());
+  // Rebuild the bucket index from the restored caches it mirrors. Bucket
+  // membership and values come out identical to the saving cluster's, so
+  // every post-restore query examines the same servers and returns the
+  // same candidates.
+  if (config_.placement_bucket_index && index_valid_) {
+    pindex_.reset(servers_.size(), index_hr_, config_.placement_index_buckets);
+    for (ServerId id = 0; id < servers_.size(); ++id) {
+      pindex_.set_server(id, index_underloaded_[id] != 0, index_least_load_[id],
+                         index_util_[id][Resource::Cpu], index_util_[id][Resource::Mem],
+                         index_util_[id][Resource::Net]);
+    }
+  }
+  pindex_.restore_state(r);
 }
 
 }  // namespace mlfs

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "sim/placement_index.hpp"
 #include "sim/server.hpp"
 #include "workload/job.hpp"
 
@@ -46,6 +47,22 @@ struct ClusterConfig {
   /// implementation for equivalence tests and the hot-path benchmark.
   bool incremental_load_index = true;
 
+  /// Bucketed feasibility index over the underloaded partition (see
+  /// sim/placement_index.hpp): placement queries examine only the buckets
+  /// that could pass the feasibility check instead of every underloaded
+  /// server. Decisions are byte-identical either way (the pruned servers
+  /// provably fail the exact check); `false` keeps the linear funnel for
+  /// the equivalence tests and the large-scale benchmark's reference leg.
+  /// Requires `incremental_load_index` (ignored without it).
+  bool placement_bucket_index = true;
+  /// Buckets per indexed load dimension (4 dimensions: least-GPU load and
+  /// the CPU/MEM/NET sums). Members strictly inside the per-dimension
+  /// cutoffs are accepted or rejected wholesale; only the cutoff
+  /// (boundary) buckets still take exact checks, so more buckets narrow
+  /// the band that counts toward candidates_scanned at a slightly higher
+  /// per-query fixed cost.
+  int placement_index_buckets = 512;
+
   /// Deliberate slot-conservation bug for auditor self-tests: every 7th
   /// unplace leaks the departing task's usage back onto its server, so the
   /// cached usage sums drift from the task pool exactly the way a real
@@ -54,13 +71,25 @@ struct ClusterConfig {
   /// the fuzz harness must shrink it (see tests/prop). Never enable
   /// outside tests.
   bool debug_slot_leak = false;
+
+  /// Non-uniform fleets (e.g. the Philly footprint: 550 servers / 2474
+  /// GPUs): when > 0, overrides `gpus_per_server` and distributes this many
+  /// GPUs across the fleet — base = total/count everywhere, with the first
+  /// total - base*count servers getting one extra. 0 = uniform fleet.
+  /// (Kept last so positional ClusterConfig initializers stay valid.)
+  std::size_t total_gpus = 0;
 };
 
 /// Load-index bookkeeping counters (perf-trajectory instrumentation).
 struct LoadIndexStats {
   std::size_t full_rebuilds = 0;      ///< whole-fleet re-evaluations (hr change / first use)
   std::size_t refreshes = 0;          ///< incremental refresh passes over dirty servers
-  std::size_t servers_reindexed = 0;  ///< per-server re-evaluations, total
+  std::size_t servers_reindexed = 0;  ///< per-server re-evaluations that changed cached state
+  /// Dirty servers whose recomputed state matched the cache exactly (e.g.
+  /// a gang placed and rolled back between refreshing queries) — detected
+  /// by compare-and-skip, so they cost a recompute but no partition or
+  /// bucket surgery and no longer inflate `servers_reindexed`.
+  std::size_t noop_reindexes = 0;
 };
 
 class Cluster {
@@ -102,6 +131,10 @@ class Cluster {
   /// overloaded w.r.t. `hr`, ascending. With all placement caps at the
   /// default -1 this is exactly "up and not overloaded".
   std::vector<ServerId> underloaded_servers(double hr) const;
+  /// Same ids in the same order as underloaded_servers, written into `out`
+  /// (cleared first) so per-call reuse of the buffer avoids reallocating
+  /// the id vector on every placement query in scan mode.
+  void underloaded_servers_into(double hr, std::vector<ServerId>& out) const;
   /// Up server ids overloaded w.r.t. `hr`, ascending (quarantined servers
   /// stay visible here: overload relief must still drain them).
   std::vector<ServerId> overloaded_servers(double hr) const;
@@ -131,6 +164,21 @@ class Cluster {
   /// task changed servers, so derived per-placement quantities (e.g. task↔
   /// server communication volumes) are still valid.
   std::uint64_t placement_epoch() const { return placement_epoch_; }
+
+  /// Per-job placement epoch: bumped only when one of *this job's* tasks is
+  /// placed/unplaced/moved. A task's communication volumes depend solely on
+  /// where its own job's peers sit (DAG edges + all-reduce ring are
+  /// job-internal), so memo entries keyed on this epoch survive unrelated
+  /// jobs' placements — the global epoch invalidated the whole memo on any
+  /// placement anywhere, collapsing the hit rate as the fleet grew.
+  std::uint64_t job_placement_epoch(JobId id) const { return job_placement_epochs_[id]; }
+
+  /// The bucketed feasibility index, refreshed for `hr` (see
+  /// sim/placement_index.hpp). Only meaningful when both
+  /// `incremental_load_index` and `placement_bucket_index` are on.
+  const PlacementIndex& placement_index(double hr) const;
+  /// Its query counters (zeros while the bucket index is off).
+  const PlacementIndexStats& placement_index_stats() const { return pindex_.stats(); }
 
   /// Instrumentation counters of the incremental load index (zeros while
   /// `ClusterConfig::incremental_load_index` is off).
@@ -241,6 +289,10 @@ class Cluster {
   mutable std::vector<ServerId> underloaded_ids_;  ///< sorted ascending
   mutable std::vector<ServerId> overloaded_ids_;   ///< sorted ascending
   mutable LoadIndexStats index_stats_;
+  /// Bucketed feasibility index; mirrors the underloaded partition and the
+  /// refresh-time load caches exactly (rebuilt from them on restore).
+  mutable PlacementIndex pindex_;
+  std::vector<std::uint64_t> job_placement_epochs_;  ///< grown by register_job
 };
 
 }  // namespace mlfs

@@ -996,12 +996,19 @@ RunMetrics SimEngine::finalize() {
   m.sched_rounds = sched_rounds_;
   const SchedStats sstats = scheduler_.sched_stats();
   m.candidates_scanned = sstats.candidates_scanned;
+  m.candidates_linear = sstats.candidates_linear;
   m.comm_cache_hits = sstats.comm_cache_hits;
   m.comm_cache_misses = sstats.comm_cache_misses;
   const LoadIndexStats& lstats = cluster_.load_index_stats();
   m.load_index_rebuilds = lstats.full_rebuilds;
   m.load_index_refreshes = lstats.refreshes;
   m.servers_reindexed = lstats.servers_reindexed;
+  m.noop_reindexes = lstats.noop_reindexes;
+  const PlacementIndexStats& pstats = cluster_.placement_index_stats();
+  m.pindex_queries = pstats.queries;
+  m.pindex_servers_pruned = pstats.servers_pruned;
+  m.pindex_buckets_pruned = pstats.buckets_pruned;
+  m.pindex_servers_bypassed = pstats.servers_bypassed;
   m.overload_occurrences = overload_occurrences_;
   m.migrations = migrations_;
   m.preemptions = preemptions_;

@@ -51,6 +51,7 @@ std::uint64_t SimEngine::config_fingerprint() const {
 
   w.u64(cluster_config_.server_count);
   w.i64(cluster_config_.gpus_per_server);
+  w.u64(cluster_config_.total_gpus);
   w.f64(cluster_config_.server_bandwidth_mbps);
   w.f64(cluster_config_.effective_flow_bandwidth_mbps);
   w.i64(cluster_config_.servers_per_rack);
@@ -58,6 +59,8 @@ std::uint64_t SimEngine::config_fingerprint() const {
   w.f64(cluster_config_.slow_server_fraction);
   w.f64(cluster_config_.slow_server_speed);
   w.boolean(cluster_config_.incremental_load_index);
+  w.boolean(cluster_config_.placement_bucket_index);
+  w.i64(cluster_config_.placement_index_buckets);
   w.boolean(cluster_config_.debug_slot_leak);
 
   w.f64(config_.tick_interval);

@@ -71,10 +71,15 @@ bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
          a.events_processed == b.events_processed &&
          a.event_stream_hash == b.event_stream_hash &&
          a.sched_rounds == b.sched_rounds && a.candidates_scanned == b.candidates_scanned &&
+         a.candidates_linear == b.candidates_linear &&
          a.comm_cache_hits == b.comm_cache_hits && a.comm_cache_misses == b.comm_cache_misses &&
          a.load_index_rebuilds == b.load_index_rebuilds &&
          a.load_index_refreshes == b.load_index_refreshes &&
-         a.servers_reindexed == b.servers_reindexed;
+         a.servers_reindexed == b.servers_reindexed && a.noop_reindexes == b.noop_reindexes &&
+         a.pindex_queries == b.pindex_queries &&
+         a.pindex_servers_pruned == b.pindex_servers_pruned &&
+         a.pindex_buckets_pruned == b.pindex_buckets_pruned &&
+         a.pindex_servers_bypassed == b.pindex_servers_bypassed;
 }
 
 }  // namespace mlfs

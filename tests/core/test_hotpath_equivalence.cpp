@@ -22,6 +22,7 @@ struct RunResult {
 
 struct Variant {
   bool legacy = false;
+  bool bucket_index = true;
   FaultConfig fault;
   int servers_per_rack = 0;
   bool use_topology = false;
@@ -33,6 +34,7 @@ RunResult run(const Variant& v) {
   cluster.gpus_per_server = 4;
   cluster.servers_per_rack = v.servers_per_rack;
   cluster.incremental_load_index = !v.legacy;
+  cluster.placement_bucket_index = v.bucket_index;
 
   MlfsConfig config;
   config.heuristic_only = true;
@@ -108,6 +110,52 @@ TEST(HotPathEquivalence, RackTopologyWithAffinityPlacement) {
   indexed.servers_per_rack = 4;
   indexed.use_topology = true;
   expect_equivalent(run(legacy), run(indexed));
+}
+
+// The bucketed placement index against the linear funnel it replaces:
+// identical decisions, identical linear-candidate accounting, and the
+// bucket run must actually have pruned.
+void expect_bucket_equivalent(const RunResult& linear, const RunResult& bucketed) {
+  ASSERT_FALSE(bucketed.events.empty());
+  EXPECT_EQ(linear.events, bucketed.events);
+  EXPECT_EQ(linear.metrics.average_jct_minutes(), bucketed.metrics.average_jct_minutes());
+  EXPECT_EQ(linear.metrics.makespan_hours, bucketed.metrics.makespan_hours);
+  EXPECT_EQ(linear.metrics.migrations, bucketed.metrics.migrations);
+  EXPECT_EQ(linear.metrics.iterations_run, bucketed.metrics.iterations_run);
+  // candidates_linear counts what a full funnel would scan — it must not
+  // depend on which funnel actually ran (and with the index off it *is*
+  // the scan count).
+  EXPECT_EQ(linear.metrics.candidates_linear, bucketed.metrics.candidates_linear);
+  EXPECT_EQ(linear.metrics.candidates_linear, linear.metrics.candidates_scanned);
+  EXPECT_EQ(linear.metrics.pindex_queries, 0u);
+  EXPECT_GT(bucketed.metrics.pindex_queries, 0u);
+  EXPECT_LE(bucketed.metrics.candidates_scanned, bucketed.metrics.candidates_linear);
+  // Every member a linear funnel would have scanned is accounted for:
+  // exact-checked (scanned), pruned wholesale, or bypassed as provably
+  // feasible from the bucket bound.
+  EXPECT_EQ(bucketed.metrics.candidates_scanned + bucketed.metrics.pindex_servers_pruned +
+                bucketed.metrics.pindex_servers_bypassed,
+            bucketed.metrics.candidates_linear);
+}
+
+TEST(HotPathEquivalence, BucketIndexFaultFree) {
+  Variant linear;
+  linear.bucket_index = false;
+  Variant bucketed;
+  expect_bucket_equivalent(run(linear), run(bucketed));
+}
+
+TEST(HotPathEquivalence, BucketIndexUnderChurn) {
+  FaultConfig fault;
+  fault.server_mtbf_hours = 6.0;
+  fault.server_mttr_hours = 0.5;
+  fault.task_kill_probability = 0.002;
+  Variant linear;
+  linear.bucket_index = false;
+  linear.fault = fault;
+  Variant bucketed;
+  bucketed.fault = fault;
+  expect_bucket_equivalent(run(linear), run(bucketed));
 }
 
 }  // namespace

@@ -42,6 +42,8 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t servers = 8;
   int gpus_per_server = 4;
+  std::size_t total_gpus = 0;
+  bool no_bucket_index = false;
   std::string trace_file;
   int servers_per_rack = 0;
   double slow_fraction = 0.0;
@@ -80,6 +82,11 @@ void print_usage() {
       "  --seed S             trace + engine seed (default 42)\n"
       "  --servers N          server count (default 8)\n"
       "  --gpus-per-server N  GPUs per server (default 4)\n"
+      "  --total-gpus N       distribute N GPUs across the fleet instead of\n"
+      "                       a uniform per-server count (heterogeneous,\n"
+      "                       e.g. Philly: --servers 550 --total-gpus 2474)\n"
+      "  --no-bucket-index    disable the bucketed placement index (linear\n"
+      "                       candidate funnel; same decisions)\n"
       "  --trace FILE         replay a trace CSV instead of generating\n"
       "  --servers-per-rack N rack topology (0 = flat)\n"
       "  --slow-fraction F    fraction of servers on the slow GPU tier\n"
@@ -160,6 +167,12 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--gpus-per-server");
       if (!v) return false;
       options.gpus_per_server = std::stoi(v);
+    } else if (arg == "--total-gpus") {
+      const char* v = next("--total-gpus");
+      if (!v) return false;
+      options.total_gpus = std::stoul(v);
+    } else if (arg == "--no-bucket-index") {
+      options.no_bucket_index = true;
     } else if (arg == "--trace") {
       const char* v = next("--trace");
       if (!v) return false;
@@ -295,7 +308,7 @@ void print_csv_row(const RunMetrics& m) {
             << m.accuracy_ratio << ',' << m.bandwidth_tb << ',' << m.inter_rack_tb << ','
             << m.sched_overhead_ms << ',' << m.migrations << ',' << m.preemptions << ','
             << m.sched_rounds << ',' << m.candidates_scanned << ','
-            << m.comm_cache_hits << "\n";
+            << m.candidates_linear << ',' << m.comm_cache_hits << "\n";
 }
 
 }  // namespace
@@ -310,7 +323,9 @@ int main(int argc, char** argv) {
     cluster.gpus_per_server = options.gpus_per_server;
     cluster.servers_per_rack = options.servers_per_rack;
     cluster.slow_server_fraction = options.slow_fraction;
+    cluster.total_gpus = options.total_gpus;
     cluster.incremental_load_index = !options.legacy_hotpath;
+    cluster.placement_bucket_index = !options.no_bucket_index;
 
     EngineConfig engine_config;
     engine_config.seed = options.seed ^ 0xabc;
@@ -394,7 +409,7 @@ int main(int argc, char** argv) {
         std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
                      "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
                      "sched_overhead_ms,migrations,preemptions,sched_rounds,"
-                     "candidates_scanned,comm_cache_hits\n";
+                     "candidates_scanned,candidates_linear,comm_cache_hits\n";
         print_csv_row(m);
       } else {
         std::cout << m.summary() << "\n";
@@ -411,7 +426,7 @@ int main(int argc, char** argv) {
       std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
                    "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
                    "sched_overhead_ms,migrations,preemptions,sched_rounds,"
-                   "candidates_scanned,comm_cache_hits\n";
+                   "candidates_scanned,candidates_linear,comm_cache_hits\n";
       for (const RunMetrics& m : results) print_csv_row(m);
     } else {
       for (const RunMetrics& m : results) std::cout << m.summary() << "\n";
