@@ -1,27 +1,36 @@
-// Large-scale placement benchmark — the exit artifact for the bucketed
-// placement index (DESIGN.md, "Scheduler hot path").
+// Large-scale placement + prediction benchmark — the exit artifact for the
+// bucketed placement index and the memoized prediction service (DESIGN.md,
+// "Scheduler hot path" and "Prediction service").
 //
 // Replays a Philly-scale point — 550 servers / 2474 GPUs (the trace's
 // heterogeneous footprint) with a saturating arrival stream — end-to-end
-// under MLF-H twice: once with the bucketed feasibility index and once
-// with the linear candidate funnel. Both legs stream their JSONL event
-// logs through an FNV-1a hash, so the benchmark *proves* the index changed
-// no decision, and the bucketed leg's candidates_linear /
-// candidates_scanned quotient is the measured candidate reduction (the
-// linear leg independently cross-checks candidates_linear). A second
-// stage runs every registered scheduler at a mid-size point, same
-// two-leg hash comparison, so the byte-identical claim covers the whole
+// under MLF-H three times:
+//
+//   A  bucketed index + prediction service   (the default configuration)
+//   B  bucketed index + legacy cold-fit path (stateless curve refits)
+//   C  linear funnel  + prediction service
+//
+// All legs stream their JSONL event logs through an FNV-1a hash, so the
+// benchmark *proves* neither the index (A vs C) nor the memoized,
+// warm-started curve-fit chains (A vs B) changed any decision. Leg A's
+// candidates_linear / candidates_scanned quotient is the measured
+// candidate reduction; B's / A's nm_objective_evals quotient is the
+// measured curve-fit work reduction, and A's fit_wall_ms / run_wall_ms is
+// the wall-clock share the predictor still costs — all three are gated.
+// A second stage runs every registered scheduler at a mid-size point with
+// the same three legs, so the byte-identical claims cover the whole
 // registry rather than MLF-H alone.
 //
 // All legs execute through the shared experiment runner on the pool
 // (hashes and counters are simulation-deterministic, so parallelism
-// cannot change them; only sched_overhead_ms — a real-clock measurement —
-// carries contention noise, and it is reported as indicative, not gated).
+// cannot change them; only the real-clock measurements — sched_overhead_ms
+// and the fit/run wall times — carry contention noise, and the wall-share
+// gate is a ratio of two clocks inside the *same* run).
 //
-// Emits BENCH_largescale.json and exits non-zero if any leg pair
-// diverges, the candidate-reduction gate fails, or the funnel accounting
-// (scanned + pruned + bypassed == linear) breaks. CI runs `--smoke`
-// (same fleet, shorter stream, smaller matrix) and uploads the file.
+// Emits BENCH_largescale.json (with the predictor timing breakdown) and
+// exits non-zero if any leg pair diverges or any gate fails. CI runs
+// `--smoke` (same fleet, shorter stream, smaller matrix) and uploads the
+// file.
 //
 // Usage: bench_largescale [--smoke] [--out FILE] [--threads N]
 #include <chrono>
@@ -84,9 +93,10 @@ struct HashedRun {
 /// arrival rate held at the saturating ~375 jobs/hour the full trace
 /// averages, so the funnel is measured under sustained overload — the
 /// regime the index exists for.
-exp::RunRequest philly_request(std::size_t jobs, double hours, bool bucketed) {
+exp::RunRequest philly_request(std::size_t jobs, double hours, bool bucketed, bool service) {
   exp::RunRequest request;
-  request.label = std::string(bucketed ? "bucketed" : "linear") + " philly-550";
+  request.label = std::string(bucketed ? "bucketed" : "linear") +
+                  (service ? "" : " legacy-fit") + " philly-550";
   request.cluster.server_count = 550;
   request.cluster.total_gpus = 2474;
   request.cluster.gpus_per_server = 4;  // overridden by total_gpus
@@ -96,17 +106,19 @@ exp::RunRequest philly_request(std::size_t jobs, double hours, bool bucketed) {
   request.trace.seed = 2020;
   request.trace.max_gpu_request = 32;
   request.engine.seed = 2020 ^ 0xbeef;
+  request.engine.predict.enabled = service;
   request.scheduler = "MLF-H";
   request.mlfs_config.heuristic_only = true;
   return request;
 }
 
 /// One mid-size matrix leg: every registered scheduler must stay
-/// byte-identical with the index on.
+/// byte-identical with the index on and with the prediction service on.
 exp::RunRequest matrix_request(const std::string& scheduler, std::size_t servers,
-                               std::size_t jobs, double hours, bool bucketed) {
+                               std::size_t jobs, double hours, bool bucketed, bool service) {
   exp::RunRequest request;
-  request.label = std::string(bucketed ? "bucketed" : "linear") + " " + scheduler;
+  request.label = std::string(bucketed ? "bucketed" : "linear") +
+                  (service ? "" : " legacy-fit") + " " + scheduler;
   request.cluster.server_count = servers;
   request.cluster.gpus_per_server = 4;
   request.cluster.placement_bucket_index = bucketed;
@@ -115,6 +127,7 @@ exp::RunRequest matrix_request(const std::string& scheduler, std::size_t servers
   request.trace.seed = 1117;
   request.trace.max_gpu_request = 16;
   request.engine.seed = 1117 ^ 0xfeed;
+  request.engine.predict.enabled = service;
   request.scheduler = scheduler;
   return request;
 }
@@ -129,6 +142,17 @@ double reduction(const RunMetrics& m) {
              ? static_cast<double>(m.candidates_linear) /
                    static_cast<double>(m.candidates_scanned)
              : 0.0;
+}
+
+double nm_reduction(const RunMetrics& service, const RunMetrics& legacy) {
+  return service.nm_objective_evals > 0
+             ? static_cast<double>(legacy.nm_objective_evals) /
+                   static_cast<double>(service.nm_objective_evals)
+             : 0.0;
+}
+
+double fit_share(const RunMetrics& m) {
+  return m.run_wall_ms > 0.0 ? m.fit_wall_ms / m.run_wall_ms : 0.0;
 }
 
 }  // namespace
@@ -158,6 +182,14 @@ int main(int argc, char** argv) {
   // values and orders of magnitude above the ~5x a feasibility-only
   // funnel can reach.
   const double reduction_gate = smoke ? 40.0 : 100.0;
+  // Curve-fit work: the legacy path recomputes the whole warm-start chain
+  // at every OptStop check (quadratic in chain length per job); the
+  // service computes each link once. The aggregate quotient is dominated
+  // by the long jobs, so >= 5x holds at both scales.
+  const double nm_gate = 5.0;
+  // Predictor wall-clock share of the default leg (was ~56% of the run
+  // before the service; the incremental chains must keep it under 20%).
+  const double fit_share_gate = 0.20;
 
   std::ofstream json(out_file);
   if (!json) {
@@ -174,11 +206,15 @@ int main(int argc, char** argv) {
     request.observer = hashers.back()->log.get();
     requests.push_back(std::move(request));
   };
-  add(philly_request(philly_jobs, philly_hours, /*bucketed=*/true));
-  add(philly_request(philly_jobs, philly_hours, /*bucketed=*/false));
+  // Philly legs A / B / C (see file comment).
+  add(philly_request(philly_jobs, philly_hours, /*bucketed=*/true, /*service=*/true));
+  add(philly_request(philly_jobs, philly_hours, /*bucketed=*/true, /*service=*/false));
+  add(philly_request(philly_jobs, philly_hours, /*bucketed=*/false, /*service=*/true));
+  // Matrix: per scheduler the same three legs at a mid-size point.
   for (const std::string& name : schedulers) {
-    add(matrix_request(name, matrix_servers, matrix_jobs, matrix_hours, /*bucketed=*/true));
-    add(matrix_request(name, matrix_servers, matrix_jobs, matrix_hours, /*bucketed=*/false));
+    add(matrix_request(name, matrix_servers, matrix_jobs, matrix_hours, true, true));
+    add(matrix_request(name, matrix_servers, matrix_jobs, matrix_hours, true, false));
+    add(matrix_request(name, matrix_servers, matrix_jobs, matrix_hours, false, true));
   }
 
   exp::RunOptions options;
@@ -191,69 +227,104 @@ int main(int argc, char** argv) {
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  const RunMetrics& bucketed = results[0];
-  const RunMetrics& linear = results[1];
-  const bool philly_identical = identical(*hashers[0], *hashers[1]);
-  const double philly_reduction = reduction(bucketed);
+  const RunMetrics& leg_a = results[0];  // bucketed + service (default)
+  const RunMetrics& leg_b = results[1];  // bucketed + legacy cold fits
+  const RunMetrics& leg_c = results[2];  // linear + service
+  const bool philly_service_identical = identical(*hashers[0], *hashers[1]);
+  const bool philly_index_identical = identical(*hashers[0], *hashers[2]);
+  const double philly_reduction = reduction(leg_a);
+  const double philly_nm_reduction = nm_reduction(leg_a, leg_b);
+  const double philly_fit_share = fit_share(leg_a);
   // The linear leg must agree on what a linear funnel scans, and the
   // bucketed leg's funnel accounting must cover every such candidate.
   const bool counter_consistent =
-      linear.candidates_scanned == linear.candidates_linear &&
-      bucketed.candidates_linear == linear.candidates_linear &&
-      bucketed.candidates_scanned + bucketed.pindex_servers_pruned +
-              bucketed.pindex_servers_bypassed ==
-          bucketed.candidates_linear;
-  const double speedup = bucketed.sched_overhead_ms > 0.0
-                             ? linear.sched_overhead_ms / bucketed.sched_overhead_ms
+      leg_c.candidates_scanned == leg_c.candidates_linear &&
+      leg_a.candidates_linear == leg_c.candidates_linear &&
+      leg_a.candidates_scanned + leg_a.pindex_servers_pruned +
+              leg_a.pindex_servers_bypassed ==
+          leg_a.candidates_linear;
+  const double speedup = leg_a.sched_overhead_ms > 0.0
+                             ? leg_c.sched_overhead_ms / leg_a.sched_overhead_ms
                              : 0.0;
 
   std::cout << "=== philly point ===\n";
-  std::cout << "  bucketed: " << bucketed.summary() << "\n";
-  std::cout << "  linear  : " << linear.summary() << "\n";
-  std::cout << "  decisions_identical=" << (philly_identical ? "true" : "false")
-            << " candidates: " << bucketed.candidates_scanned << " scanned vs "
-            << bucketed.candidates_linear << " linear (" << philly_reduction
+  std::cout << "  default    : " << leg_a.summary() << "\n";
+  std::cout << "  legacy-fit : " << leg_b.summary() << "\n";
+  std::cout << "  linear     : " << leg_c.summary() << "\n";
+  std::cout << "  index_identical=" << (philly_index_identical ? "true" : "false")
+            << " service_identical=" << (philly_service_identical ? "true" : "false")
+            << "\n  candidates: " << leg_a.candidates_scanned << " scanned vs "
+            << leg_a.candidates_linear << " linear (" << philly_reduction
             << "x reduction, gate " << reduction_gate << "x), sched-round speedup "
-            << speedup << "x\n";
+            << speedup << "x\n"
+            << "  curve fits: " << leg_a.nm_objective_evals << " NM evals vs "
+            << leg_b.nm_objective_evals << " legacy (" << philly_nm_reduction
+            << "x reduction, gate " << nm_gate << "x), fit wall share "
+            << philly_fit_share << " (gate " << fit_share_gate << ")\n";
 
   bool matrix_identical = true;
   json << "{\n  \"benchmark\": \"largescale\",\n  \"smoke\": " << (smoke ? "true" : "false")
        << ",\n  \"wall_seconds\": " << wall_seconds
        << ",\n  \"philly\": {\"servers\": 550, \"gpus\": 2474, \"jobs\": " << philly_jobs
        << ", \"arrival_hours\": " << philly_hours
-       << ",\n    \"decisions_identical\": " << (philly_identical ? "true" : "false")
+       << ",\n    \"index_decisions_identical\": " << (philly_index_identical ? "true" : "false")
+       << ", \"service_decisions_identical\": "
+       << (philly_service_identical ? "true" : "false")
        << ", \"event_stream_bytes\": " << hashers[0]->sink.bytes()
        << ", \"counter_accounting_consistent\": " << (counter_consistent ? "true" : "false")
-       << ",\n    \"candidates_scanned\": " << bucketed.candidates_scanned
-       << ", \"candidates_linear\": " << bucketed.candidates_linear
+       << ",\n    \"candidates_scanned\": " << leg_a.candidates_scanned
+       << ", \"candidates_linear\": " << leg_a.candidates_linear
        << ", \"reduction_x\": " << philly_reduction
        << ", \"reduction_gate_x\": " << reduction_gate
-       << ",\n    \"pindex_queries\": " << bucketed.pindex_queries
-       << ", \"pindex_servers_pruned\": " << bucketed.pindex_servers_pruned
-       << ", \"pindex_servers_bypassed\": " << bucketed.pindex_servers_bypassed
-       << ",\n    \"ms_per_round_bucketed\": " << bucketed.sched_overhead_ms
-       << ", \"ms_per_round_linear\": " << linear.sched_overhead_ms
-       << ", \"sched_round_speedup\": " << speedup << "},\n  \"scheduler_matrix\": [\n";
+       << ",\n    \"pindex_queries\": " << leg_a.pindex_queries
+       << ", \"pindex_servers_pruned\": " << leg_a.pindex_servers_pruned
+       << ", \"pindex_servers_bypassed\": " << leg_a.pindex_servers_bypassed
+       << ",\n    \"ms_per_round_bucketed\": " << leg_a.sched_overhead_ms
+       << ", \"ms_per_round_linear\": " << leg_c.sched_overhead_ms
+       << ", \"sched_round_speedup\": " << speedup
+       << ",\n    \"predictor\": {\"fits_cold\": " << leg_a.fits_cold
+       << ", \"fits_warm\": " << leg_a.fits_warm
+       << ", \"cache_hits\": " << leg_a.prediction_cache_hits
+       << ",\n      \"nm_evals_service\": " << leg_a.nm_objective_evals
+       << ", \"nm_evals_legacy\": " << leg_b.nm_objective_evals
+       << ", \"nm_eval_reduction_x\": " << philly_nm_reduction
+       << ", \"nm_eval_gate_x\": " << nm_gate
+       << ",\n      \"fit_wall_ms\": " << leg_a.fit_wall_ms
+       << ", \"fit_wall_ms_legacy\": " << leg_b.fit_wall_ms
+       << ", \"run_wall_ms\": " << leg_a.run_wall_ms
+       << ", \"fit_wall_share\": " << philly_fit_share
+       << ", \"fit_share_gate\": " << fit_share_gate
+       << "}},\n  \"scheduler_matrix\": [\n";
   for (std::size_t i = 0; i < schedulers.size(); ++i) {
-    const RunMetrics& on = results[2 + 2 * i];
-    const bool same = identical(*hashers[2 + 2 * i], *hashers[3 + 2 * i]);
-    matrix_identical = matrix_identical && same;
-    std::cout << "  " << schedulers[i] << ": decisions_identical=" << (same ? "true" : "false")
-              << " reduction=" << reduction(on) << "x\n";
+    const RunMetrics& on = results[3 + 3 * i];
+    const RunMetrics& legacy = results[4 + 3 * i];
+    const bool service_same = identical(*hashers[3 + 3 * i], *hashers[4 + 3 * i]);
+    const bool index_same = identical(*hashers[3 + 3 * i], *hashers[5 + 3 * i]);
+    matrix_identical = matrix_identical && service_same && index_same;
+    std::cout << "  " << schedulers[i] << ": index_identical="
+              << (index_same ? "true" : "false")
+              << " service_identical=" << (service_same ? "true" : "false")
+              << " reduction=" << reduction(on) << "x nm_reduction="
+              << nm_reduction(on, legacy) << "x\n";
     json << "    {\"scheduler\": \"" << schedulers[i]
-         << "\", \"decisions_identical\": " << (same ? "true" : "false")
-         << ", \"reduction_x\": " << reduction(on) << "}"
+         << "\", \"index_decisions_identical\": " << (index_same ? "true" : "false")
+         << ", \"service_decisions_identical\": " << (service_same ? "true" : "false")
+         << ", \"reduction_x\": " << reduction(on)
+         << ", \"nm_eval_reduction_x\": " << nm_reduction(on, legacy) << "}"
          << (i + 1 < schedulers.size() ? "," : "") << "\n";
   }
-  const bool all_identical = philly_identical && matrix_identical;
-  const bool pass =
-      all_identical && counter_consistent && philly_reduction >= reduction_gate;
+  const bool all_identical =
+      philly_service_identical && philly_index_identical && matrix_identical;
+  const bool pass = all_identical && counter_consistent &&
+                    philly_reduction >= reduction_gate && philly_nm_reduction >= nm_gate &&
+                    philly_fit_share < fit_share_gate;
   json << "  ],\n  \"all_decisions_identical\": " << (all_identical ? "true" : "false")
        << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::cout << "wrote " << out_file << " (" << wall_seconds << "s)\n";
 
   if (!all_identical) {
-    std::cerr << "FAIL: bucketed placement index diverged from the linear funnel\n";
+    std::cerr << "FAIL: a bucketed-index or prediction-service leg diverged from its "
+                 "reference\n";
     return 1;
   }
   if (!counter_consistent) {
@@ -263,6 +334,16 @@ int main(int argc, char** argv) {
   if (philly_reduction < reduction_gate) {
     std::cerr << "FAIL: candidate reduction " << philly_reduction << "x below the "
               << reduction_gate << "x gate\n";
+    return 1;
+  }
+  if (philly_nm_reduction < nm_gate) {
+    std::cerr << "FAIL: NM objective-eval reduction " << philly_nm_reduction
+              << "x below the " << nm_gate << "x gate\n";
+    return 1;
+  }
+  if (philly_fit_share >= fit_share_gate) {
+    std::cerr << "FAIL: curve-fit wall share " << philly_fit_share << " at or above the "
+              << fit_share_gate << " gate\n";
     return 1;
   }
   return 0;

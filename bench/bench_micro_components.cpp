@@ -17,6 +17,7 @@
 #include "core/priority.hpp"
 #include "exp/parallel.hpp"
 #include "exp/runner.hpp"
+#include "predict/service.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace.hpp"
 
@@ -140,6 +141,54 @@ void BM_MlfHFullRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlfHFullRound)->Unit(benchmark::kMicrosecond);
+
+/// A trace job with a long enough iteration budget to grow a deep fit
+/// chain (falls back to the longest job in the draw).
+Job make_curve_job(int min_iters) {
+  TraceConfig config;
+  config.num_jobs = 64;
+  config.duration_hours = 1.0;
+  config.seed = 21;
+  config.max_gpu_request = 8;
+  auto specs = PhillyTraceGenerator(config).generate();
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].max_iterations >= min_iters) { pick = i; break; }
+    if (specs[i].max_iterations > specs[pick].max_iterations) pick = i;
+  }
+  return std::move(ModelZoo::instantiate(specs[pick], 0).job);
+}
+
+/// The engine's OptStop pattern: one job advances iteration by iteration
+/// with a predict_at_max query at every check point. Arg selects the mode:
+/// 0 = legacy stateless cold fits (the full chain recomputed per check),
+/// 1 = the incremental service (one new warm link per check),
+/// 2 = service + an immediately repeated query per check (the MLF-C
+///     controller's pattern — the memo hit).
+void BM_CurveFitChain(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int kCheckInterval = 5;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Job job = make_curve_job(100);
+    PredictConfig pc;
+    pc.enabled = mode != 0;
+    PredictionService service(pc, kCheckInterval);
+    const int iters = std::min(100, job.spec().max_iterations);
+    state.ResumeTiming();
+    double acc = 0.0;
+    for (int i = 0; i < iters; ++i) {
+      job.complete_iteration();
+      service.on_iteration_complete(job);
+      if (job.completed_iterations() % kCheckInterval != 0) continue;
+      acc += service.predict_at_max(job).accuracy;
+      if (mode == 2) acc += service.predict_at_max(job).accuracy;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(mode == 0 ? "legacy-cold" : mode == 1 ? "service" : "service+memo");
+}
+BENCHMARK(BM_CurveFitChain)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 /// End-to-end cost of a small scheduler batch through the shared experiment
 /// runner — the unit the figure harnesses parallelize. Honors --threads.

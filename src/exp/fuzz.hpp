@@ -89,6 +89,18 @@ struct FuzzCase {
   std::size_t comm_memo_slots = 4096;
   bool index_equivalence_check = false;
 
+  // Prediction-service dimensions (predict/service.hpp): the incremental
+  // memoized service vs the legacy stateless cold-fit path, plus the
+  // opt-in coarsening approximation. When `service_equivalence_check` is
+  // set the case runs a second time with the service disabled and any
+  // divergence in the event-stream hash / decision metrics fails with
+  // invariant "service-equivalence" (the chain-canonical semantics make
+  // the two paths byte-identical — with or without coarsening, which
+  // applies to both).
+  bool predict_enabled = true;
+  bool coarsen_curve = false;
+  bool service_equivalence_check = false;
+
   // Auditing.
   int audit_stride = 1;
   /// Enables ClusterConfig::debug_slot_leak — the deliberate bug the

@@ -2,16 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "common/expect.hpp"
 #include "predict/nelder_mead.hpp"
 
 namespace mlfs {
 
-namespace {
+namespace curve_detail {
 
-// Each basis maps (params, x) -> accuracy. Params are unconstrained reals;
-// the functions clamp/transform internally so Nelder-Mead can roam.
+namespace {
 
 /// MMF/hyperbolic saturation: a * x / (x + k). Matches the simulator's
 /// ground-truth family (recoverable exactly), k > 0 via exp transform.
@@ -36,11 +36,7 @@ double basis_ilog(const std::vector<double>& p, double x) {
   return c - a / std::log(x + std::numbers::e);
 }
 
-struct Basis {
-  const char* name;
-  double (*eval)(const std::vector<double>&, double);
-  std::vector<double> init;
-};
+}  // namespace
 
 const std::vector<Basis>& bases() {
   static const std::vector<Basis> kBases = {
@@ -62,47 +58,7 @@ double fit_residual(const Basis& basis, const std::vector<double>& params,
   return sq / static_cast<double>(observed.size());
 }
 
-}  // namespace
-
-LearningCurvePredictor::LearningCurvePredictor(const LearningCurveConfig& config)
-    : config_(config) {
-  MLFS_EXPECT(config_.min_observations >= 2);
-  MLFS_EXPECT(config_.residual_scale > 0.0);
-}
-
-std::vector<std::string> LearningCurvePredictor::basis_names() {
-  std::vector<std::string> names;
-  for (const auto& b : bases()) names.emplace_back(b.name);
-  return names;
-}
-
-CurvePrediction LearningCurvePredictor::predict_at(std::span<const double> observed,
-                                                   int target_iteration) const {
-  MLFS_EXPECT(target_iteration >= 1);
-  if (observed.size() < config_.min_observations) {
-    return {observed.empty() ? 0.0 : observed.back(), 0.0};
-  }
-
-  struct Fit {
-    std::vector<double> params;
-    double rmse = 0.0;
-    double prediction = 0.0;
-  };
-  std::vector<Fit> fits;
-  fits.reserve(bases().size());
-  for (const Basis& basis : bases()) {
-    auto objective = [&basis, observed](const std::vector<double>& p) {
-      return fit_residual(basis, p, observed);
-    };
-    const auto result = nelder_mead(objective, basis.init);
-    Fit fit;
-    fit.params = result.x;
-    fit.rmse = std::sqrt(std::max(result.value, 0.0));
-    fit.prediction =
-        std::clamp(basis.eval(result.x, static_cast<double>(target_iteration)), 0.0, 1.0);
-    fits.push_back(std::move(fit));
-  }
-
+CurvePrediction combine_fits(const std::vector<BasisFit>& fits, double residual_scale) {
   // Weight each basis by its goodness of fit (Gaussian kernel on RMSE).
   // The bandwidth adapts to the best fit: a basis that explains the data
   // an order of magnitude worse than the best contributes ~nothing, so a
@@ -133,8 +89,45 @@ CurvePrediction LearningCurvePredictor::predict_at(std::span<const double> obser
   double best_rmse = fits.front().rmse;
   for (const auto& f : fits) best_rmse = std::min(best_rmse, f.rmse);
   const double confidence =
-      std::exp(-spread / config_.residual_scale) * std::exp(-best_rmse / config_.residual_scale);
+      std::exp(-spread / residual_scale) * std::exp(-best_rmse / residual_scale);
   return {std::clamp(prediction, 0.0, 1.0), std::clamp(confidence, 0.0, 1.0)};
+}
+
+}  // namespace curve_detail
+
+LearningCurvePredictor::LearningCurvePredictor(const LearningCurveConfig& config)
+    : config_(config) {
+  MLFS_EXPECT(config_.min_observations >= 2);
+  MLFS_EXPECT(config_.residual_scale > 0.0);
+}
+
+std::vector<std::string> LearningCurvePredictor::basis_names() {
+  std::vector<std::string> names;
+  for (const auto& b : curve_detail::bases()) names.emplace_back(b.name);
+  return names;
+}
+
+CurvePrediction LearningCurvePredictor::predict_at(std::span<const double> observed,
+                                                   int target_iteration) const {
+  MLFS_EXPECT(target_iteration >= 1);
+  if (observed.size() < config_.min_observations) {
+    return {observed.empty() ? 0.0 : observed.back(), 0.0};
+  }
+
+  std::vector<curve_detail::BasisFit> fits;
+  fits.reserve(curve_detail::bases().size());
+  for (const curve_detail::Basis& basis : curve_detail::bases()) {
+    auto objective = [&basis, observed](const std::vector<double>& p) {
+      return curve_detail::fit_residual(basis, p, observed);
+    };
+    const auto result = nelder_mead(objective, basis.init);
+    curve_detail::BasisFit fit;
+    fit.rmse = std::sqrt(std::max(result.value, 0.0));
+    fit.prediction =
+        std::clamp(basis.eval(result.x, static_cast<double>(target_iteration)), 0.0, 1.0);
+    fits.push_back(fit);
+  }
+  return curve_detail::combine_fits(fits, config_.residual_scale);
 }
 
 }  // namespace mlfs

@@ -21,6 +21,41 @@ struct CurvePrediction {
   double confidence = 0.0;  ///< in [0, 1]; higher = tighter basis agreement
 };
 
+/// The predictor's parametric substrate, exposed so the incremental
+/// PredictionService (predict/service.hpp) can fit the identical basis
+/// family link-by-link instead of from scratch. predict_at below remains
+/// the one-shot reference implementation over the same pieces.
+namespace curve_detail {
+
+/// Maps (params, x) -> accuracy. Params are unconstrained reals; the
+/// functions clamp/transform internally so Nelder-Mead can roam.
+struct Basis {
+  const char* name;
+  double (*eval)(const std::vector<double>&, double);
+  std::vector<double> init;  ///< cold-start simplex seed
+};
+
+/// The fixed basis family (mmf / pow3 / ilog).
+const std::vector<Basis>& bases();
+
+/// Mean squared error of `params` against `observed` where observed[i] is
+/// the value at x = i + 1.
+double fit_residual(const Basis& basis, const std::vector<double>& params,
+                    std::span<const double> observed);
+
+/// One fitted basis, reduced to what the weighting step consumes.
+struct BasisFit {
+  double rmse = 0.0;        ///< sqrt(max(objective value, 0))
+  double prediction = 0.0;  ///< basis value at the target, clamped to [0, 1]
+};
+
+/// The residual-weighted combination + confidence step shared by
+/// LearningCurvePredictor::predict_at and the PredictionService. Bitwise
+/// identical to the historical inline computation.
+CurvePrediction combine_fits(const std::vector<BasisFit>& fits, double residual_scale);
+
+}  // namespace curve_detail
+
 struct LearningCurveConfig {
   std::size_t min_observations = 3;  ///< below this, predict_at falls back
   double residual_scale = 0.02;      ///< basis-weighting bandwidth (accuracy units)

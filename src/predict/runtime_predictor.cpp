@@ -8,6 +8,64 @@
 
 namespace mlfs {
 
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed hash for the packed signature.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SignatureSet::SignatureSet() : slots_(16, kEmpty) {}
+
+std::size_t SignatureSet::probe(std::uint64_t key) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+  while (slots_[i] != kEmpty && slots_[i] != key) i = (i + 1) & mask;
+  return i;
+}
+
+void SignatureSet::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, kEmpty);
+  for (const std::uint64_t key : old) {
+    if (key != kEmpty) slots_[probe(key)] = key;
+  }
+}
+
+void SignatureSet::insert(int algorithm, int gpus) {
+  const std::uint64_t key = pack(algorithm, gpus);
+  MLFS_EXPECT(key != kEmpty);
+  const std::size_t i = probe(key);
+  if (slots_[i] == key) return;
+  slots_[i] = key;
+  ++size_;
+  if (size_ * 10 >= slots_.size() * 7) grow();
+}
+
+bool SignatureSet::contains(int algorithm, int gpus) const {
+  return slots_[probe(pack(algorithm, gpus))] != kEmpty;
+}
+
+void SignatureSet::clear() {
+  slots_.assign(16, kEmpty);
+  size_ = 0;
+}
+
+std::vector<std::uint64_t> SignatureSet::sorted_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(size_);
+  for (const std::uint64_t key : slots_) {
+    if (key != kEmpty) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 RuntimePredictor::RuntimePredictor(double seen_rel_error, double unseen_rel_error)
     : seen_rel_error_(seen_rel_error), unseen_rel_error_(unseen_rel_error) {
   MLFS_EXPECT(seen_rel_error_ >= 0.0);
@@ -34,18 +92,21 @@ double RuntimePredictor::predict_remaining_seconds(const Job& job) const {
 }
 
 void RuntimePredictor::record_completion(const Job& job) {
-  seen_.insert({static_cast<int>(job.spec().algorithm), job.spec().gpu_request});
+  seen_.insert(static_cast<int>(job.spec().algorithm), job.spec().gpu_request);
 }
 
 bool RuntimePredictor::has_history(const Job& job) const {
-  return seen_.contains({static_cast<int>(job.spec().algorithm), job.spec().gpu_request});
+  return seen_.contains(static_cast<int>(job.spec().algorithm), job.spec().gpu_request);
 }
 
 void RuntimePredictor::save_state(io::BinWriter& w) const {
-  w.u64(seen_.size());
-  for (const auto& [algorithm, gpus] : seen_) {
-    w.i64(algorithm);
-    w.i64(gpus);
+  // Sorted (algorithm, gpus) pairs: byte-identical to the historical
+  // std::set-backed section (which iterated in sorted order).
+  const std::vector<std::uint64_t> keys = seen_.sorted_keys();
+  w.u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    w.i64(SignatureSet::unpack_algorithm(key));
+    w.i64(SignatureSet::unpack_gpus(key));
   }
 }
 
@@ -55,7 +116,7 @@ void RuntimePredictor::restore_state(io::BinReader& r) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const int algorithm = static_cast<int>(r.i64());
     const int gpus = static_cast<int>(r.i64());
-    seen_.insert({algorithm, gpus});
+    seen_.insert(algorithm, gpus);
   }
 }
 

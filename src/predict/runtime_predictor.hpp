@@ -7,12 +7,49 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <utility>
+#include <vector>
 
 #include "workload/job.hpp"
 
 namespace mlfs {
+
+/// Open-addressing flat set of (algorithm, gpu_request) signatures — the
+/// predictor's hot has_history lookup without std::set's node chasing.
+/// Signatures pack into one u64; snapshot serialization is emitted in
+/// sorted key order so the on-disk bytes are identical to the historical
+/// std::set-backed format.
+class SignatureSet {
+ public:
+  SignatureSet();
+
+  void insert(int algorithm, int gpus);
+  bool contains(int algorithm, int gpus) const;
+  std::size_t size() const { return size_; }
+  void clear();
+
+  /// Keys in ascending order (the canonical serialization order).
+  std::vector<std::uint64_t> sorted_keys() const;
+
+  static std::uint64_t pack(int algorithm, int gpus) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(algorithm)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(gpus));
+  }
+  static int unpack_algorithm(std::uint64_t key) {
+    return static_cast<int>(static_cast<std::int32_t>(key >> 32));
+  }
+  static int unpack_gpus(std::uint64_t key) {
+    return static_cast<int>(static_cast<std::int32_t>(key & 0xffffffffull));
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  std::size_t probe(std::uint64_t key) const;
+  void grow();
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
 
 class RuntimePredictor {
  public:
@@ -31,7 +68,8 @@ class RuntimePredictor {
   bool has_history(const Job& job) const;
 
   /// Snapshot support: the set of (algorithm, gpu_request) signatures with
-  /// completion history (the error levels are config, not state).
+  /// completion history (the error levels are config, not state). Bytes
+  /// are identical to the historical sorted-std::set format.
   void save_state(io::BinWriter& w) const;
   void restore_state(io::BinReader& r);
 
@@ -40,7 +78,7 @@ class RuntimePredictor {
 
   double seen_rel_error_;
   double unseen_rel_error_;
-  std::set<std::pair<int, int>> seen_;
+  SignatureSet seen_;
 };
 
 }  // namespace mlfs

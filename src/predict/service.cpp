@@ -1,0 +1,383 @@
+#include "predict/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "predict/nelder_mead.hpp"
+
+namespace mlfs {
+
+void PredictConfig::validate() const {
+  if (warm_step_scale <= 0.0) {
+    throw ContractViolation("PredictConfig: warm_step_scale must be > 0");
+  }
+  if (warm_step_floor <= 0.0 || warm_step_floor > 0.25) {
+    throw ContractViolation("PredictConfig: warm_step_floor must be in (0, 0.25]");
+  }
+  if (restart_budget < 0) {
+    throw ContractViolation("PredictConfig: restart_budget must be >= 0");
+  }
+  if (regression_factor < 1.0) {
+    throw ContractViolation("PredictConfig: regression_factor must be >= 1");
+  }
+  if (regression_epsilon < 0.0) {
+    throw ContractViolation("PredictConfig: regression_epsilon must be >= 0");
+  }
+  if (settle_factor < 1.0) {
+    throw ContractViolation("PredictConfig: settle_factor must be >= 1");
+  }
+  if (settle_epsilon < 0.0) {
+    throw ContractViolation("PredictConfig: settle_epsilon must be >= 0");
+  }
+  if (freeze_weight_threshold < 0.0 || freeze_weight_threshold >= 1.0) {
+    throw ContractViolation("PredictConfig: freeze_weight_threshold must be in [0, 1)");
+  }
+  if (freeze_streak < 1) {
+    throw ContractViolation("PredictConfig: freeze_streak must be >= 1");
+  }
+  if (freeze_min_links < 1) {
+    throw ContractViolation("PredictConfig: freeze_min_links must be >= 1");
+  }
+  if (coarsen_head < 3) {
+    throw ContractViolation("PredictConfig: coarsen_head must be >= 3");
+  }
+  if (coarsen_per_octave < 1) {
+    throw ContractViolation("PredictConfig: coarsen_per_octave must be >= 1");
+  }
+}
+
+PredictionService::PredictionService(const PredictConfig& config, int check_interval,
+                                     const LearningCurveConfig& curve_config)
+    : config_(config), check_interval_(check_interval), curve_config_(curve_config) {
+  config_.validate();
+  MLFS_EXPECT(check_interval_ >= 1);
+}
+
+int PredictionService::first_link() const {
+  // Smallest multiple of the check interval that passes the engine's
+  // OptStop gate (done >= 3) and carries enough points to fit.
+  const int least = std::max(3, static_cast<int>(curve_config_.min_observations));
+  return ((least + check_interval_ - 1) / check_interval_) * check_interval_;
+}
+
+int PredictionService::quantize(int done) const {
+  const int k = (done / check_interval_) * check_interval_;
+  return k >= first_link() ? k : 0;
+}
+
+void PredictionService::backfill(JobState& st, const Job& job, int done) const {
+  while (static_cast<int>(st.observed.size()) < done) {
+    const int next = static_cast<int>(st.observed.size()) + 1;
+    st.observed.push_back(job.curve().accuracy_at(next));
+  }
+}
+
+namespace {
+
+/// Coarsened tail bin of 0-based observation index i (valid for
+/// i >= head): log-spaced, ~per_octave bins per doubling.
+int coarse_bin(int i, int head, int per_octave) {
+  return static_cast<int>(std::floor(
+      static_cast<double>(per_octave) *
+      std::log2(static_cast<double>(i + 1) / static_cast<double>(head))));
+}
+
+/// Logarithmic tail subsample: the first `head` observations exactly, the
+/// last observation always, and otherwise the last index of each log bin.
+void build_coarse_points(std::span<const double> obs, int head, int per_octave,
+                         std::vector<double>& xs, std::vector<double>& ys) {
+  const int n = static_cast<int>(obs.size());
+  xs.clear();
+  ys.clear();
+  for (int i = 0; i < n; ++i) {
+    const bool keep = i < head || i == n - 1 ||
+                      coarse_bin(i, head, per_octave) != coarse_bin(i + 1, head, per_octave);
+    if (keep) {
+      xs.push_back(static_cast<double>(i + 1));
+      ys.push_back(obs[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void PredictionService::fit_link(JobState& st, int done) {
+  MLFS_EXPECT(static_cast<int>(st.observed.size()) >= done);
+  const std::span<const double> obs(st.observed.data(), static_cast<std::size_t>(done));
+  const bool coarse = config_.coarsen && done > config_.coarsen_head;
+  std::vector<double> xs, ys;
+  if (coarse) {
+    build_coarse_points(obs, config_.coarsen_head, config_.coarsen_per_octave, xs, ys);
+  }
+
+  const auto& bs = curve_detail::bases();
+  LinkRecord rec;
+  rec.done = done;
+  rec.basis.resize(bs.size());
+  const LinkRecord* prev = st.links.empty() ? nullptr : &st.links.back();
+
+  for (std::size_t bi = 0; bi < bs.size(); ++bi) {
+    BasisFitRec& out = rec.basis[bi];
+    const BasisFitRec* pb = prev ? &prev->basis[bi] : nullptr;
+    if (pb != nullptr && pb->frozen) {
+      out = *pb;  // frozen: params/rmse carried forward, never refit
+      continue;
+    }
+    const curve_detail::Basis& basis = bs[bi];
+    auto objective = [&](const std::vector<double>& p) {
+      ++stats_.nm_objective_evals;
+      if (!coarse) return curve_detail::fit_residual(basis, p, obs);
+      double sq = 0.0;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double err = basis.eval(p, xs[i]) - ys[i];
+        sq += err * err;
+      }
+      return sq / static_cast<double>(xs.size());
+    };
+
+    NelderMeadResult res;
+    bool settled = false;
+    if (pb == nullptr) {
+      res = nelder_mead(objective, basis.init);
+      ++stats_.fits_cold;
+      out.restarts = 0;
+    } else if (pb->restarts >= config_.restart_budget) {
+      // Budget spent: this basis regresses chronically under warm starts;
+      // one cold fit per link beats warm-then-cold double fits.
+      res = nelder_mead(objective, basis.init);
+      ++stats_.fits_cold;
+      out.restarts = pb->restarts;
+    } else {
+      // Settled-fit probe: if the previous params still explain the grown
+      // prefix, carry them forward for one objective evaluation.
+      const double probe = objective(pb->params);
+      if (probe <= config_.settle_factor * pb->value + config_.settle_epsilon) {
+        out.params = pb->params;
+        out.value = probe;
+        out.rmse = std::sqrt(std::max(probe, 0.0));
+        out.drift = 0.0;
+        out.restarts = pb->restarts;
+        settled = true;
+      } else {
+        NelderMeadOptions opts;
+        opts.initial_step =
+            pb->drift < 0.0
+                ? 0.25
+                : std::clamp(config_.warm_step_scale * pb->drift, config_.warm_step_floor,
+                             0.25);
+        res = nelder_mead(objective, pb->params, opts);
+        ++stats_.fits_warm;
+        out.restarts = pb->restarts;
+        if (res.value > config_.regression_factor * pb->value + config_.regression_epsilon) {
+          const NelderMeadResult cold = nelder_mead(objective, basis.init);
+          ++stats_.fits_cold;
+          ++out.restarts;
+          if (cold.value < res.value) res = cold;
+        }
+      }
+    }
+    if (!settled) {
+      out.params = res.x;
+      out.value = res.value;
+      out.rmse = std::sqrt(std::max(res.value, 0.0));
+      if (pb != nullptr) {
+        double drift = 0.0;
+        for (std::size_t d = 0; d < out.params.size(); ++d) {
+          drift = std::max(drift, std::abs(out.params[d] - pb->params[d]));
+        }
+        out.drift = drift;
+      }
+    }
+    out.low_streak = pb != nullptr ? pb->low_streak : 0;
+  }
+
+  // Freeze bookkeeping: recompute the combination weights (same kernel as
+  // curve_detail::combine_fits) and advance each unfrozen non-best basis'
+  // low-weight streak.
+  std::size_t best = 0;
+  for (std::size_t bi = 1; bi < rec.basis.size(); ++bi) {
+    if (rec.basis[bi].rmse < rec.basis[best].rmse) best = bi;
+  }
+  const double scale = std::max(2.0 * rec.basis[best].rmse, 1e-3);
+  double weight_sum = 0.0;
+  std::vector<double> weights(rec.basis.size());
+  for (std::size_t bi = 0; bi < rec.basis.size(); ++bi) {
+    const double z = rec.basis[bi].rmse / scale;
+    weights[bi] = std::exp(-0.5 * z * z) + 1e-12;
+    weight_sum += weights[bi];
+  }
+  const int link_index = static_cast<int>(st.links.size()) + 1;
+  for (std::size_t bi = 0; bi < rec.basis.size(); ++bi) {
+    BasisFitRec& b = rec.basis[bi];
+    if (b.frozen) continue;
+    if (bi != best && weights[bi] / weight_sum < config_.freeze_weight_threshold) {
+      ++b.low_streak;
+    } else {
+      b.low_streak = 0;
+    }
+    if (link_index >= config_.freeze_min_links && b.low_streak >= config_.freeze_streak) {
+      b.frozen = true;
+    }
+  }
+
+  st.links.push_back(std::move(rec));
+}
+
+const PredictionService::LinkRecord* PredictionService::advance_links(JobState& st,
+                                                                      int link_done) {
+  if (!st.links.empty() && st.links.back().done >= link_done) {
+    // Rollback re-entry (or an out-of-band query behind the chain tip):
+    // the canonical link was already computed — pure-function reuse.
+    const auto it = std::lower_bound(
+        st.links.begin(), st.links.end(), link_done,
+        [](const LinkRecord& r, int d) { return r.done < d; });
+    MLFS_EXPECT(it != st.links.end() && it->done == link_done);
+    ++stats_.cache_hits;
+    return &*it;
+  }
+  int next = st.links.empty() ? first_link() : st.links.back().done + check_interval_;
+  for (; next <= link_done; next += check_interval_) fit_link(st, next);
+  return &st.links.back();
+}
+
+CurvePrediction PredictionService::prediction_from(const LinkRecord& rec, int target) const {
+  const auto& bs = curve_detail::bases();
+  std::vector<curve_detail::BasisFit> fits(rec.basis.size());
+  for (std::size_t bi = 0; bi < rec.basis.size(); ++bi) {
+    fits[bi].rmse = rec.basis[bi].rmse;
+    fits[bi].prediction = std::clamp(
+        bs[bi].eval(rec.basis[bi].params, static_cast<double>(target)), 0.0, 1.0);
+  }
+  return curve_detail::combine_fits(fits, curve_config_.residual_scale);
+}
+
+CurvePrediction PredictionService::predict_at_max(const Job& job) {
+  const int done = job.completed_iterations();
+  const int target = job.spec().max_iterations;
+  const int link = quantize(done);
+  if (link == 0) {
+    // Below the first canonical link: mirror predict_at's fallback.
+    return {done <= 0 ? 0.0 : job.curve().accuracy_at(done), 0.0};
+  }
+
+  if (config_.enabled) {
+    JobState& st = states_[job.id()];
+    if (st.memo_valid && st.memo_done == link && st.memo_target == target) {
+      ++stats_.cache_hits;
+      return st.memo;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    backfill(st, job, done);
+    const LinkRecord* rec = advance_links(st, link);
+    const CurvePrediction out = prediction_from(*rec, target);
+    st.memo_valid = true;
+    st.memo_done = link;
+    st.memo_target = target;
+    st.memo = out;
+    stats_.fit_wall_ms +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+  }
+
+  // Legacy cold-fit path: rebuild the observation vector (the historical
+  // O(done) copy) and recompute the whole chain from scratch — identical
+  // arithmetic, nothing cached.
+  const auto t0 = std::chrono::steady_clock::now();
+  JobState scratch;
+  backfill(scratch, job, done);
+  const LinkRecord* rec = advance_links(scratch, link);
+  const CurvePrediction out = prediction_from(*rec, target);
+  stats_.fit_wall_ms +=
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+void PredictionService::on_iteration_complete(const Job& job) {
+  if (!config_.enabled) return;
+  if (job.active_policy() != StopPolicy::OptStop) return;
+  backfill(states_[job.id()], job, job.completed_iterations());
+}
+
+void PredictionService::on_job_complete(const Job& job) {
+  runtime_.record_completion(job);
+  states_.erase(job.id());
+}
+
+void PredictionService::on_job_failed(const Job& job) { states_.erase(job.id()); }
+
+void PredictionService::save_state(io::BinWriter& w) const {
+  w.u64(stats_.fits_cold);
+  w.u64(stats_.fits_warm);
+  w.u64(stats_.cache_hits);
+  w.u64(stats_.nm_objective_evals);
+  w.f64(stats_.fit_wall_ms);
+  w.u64(states_.size());
+  for (const auto& [id, st] : states_) {  // std::map: sorted, canonical bytes
+    w.u64(id);
+    w.vec_f64(st.observed);
+    w.u64(st.links.size());
+    for (const LinkRecord& rec : st.links) {
+      w.i64(rec.done);
+      w.u64(rec.basis.size());
+      for (const BasisFitRec& b : rec.basis) {
+        w.vec_f64(b.params);
+        w.f64(b.rmse);
+        w.f64(b.value);
+        w.f64(b.drift);
+        w.boolean(b.frozen);
+        w.i64(b.low_streak);
+        w.i64(b.restarts);
+      }
+    }
+    w.boolean(st.memo_valid);
+    w.i64(st.memo_done);
+    w.i64(st.memo_target);
+    w.f64(st.memo.accuracy);
+    w.f64(st.memo.confidence);
+  }
+}
+
+void PredictionService::restore_state(io::BinReader& r) {
+  stats_.fits_cold = static_cast<std::size_t>(r.u64());
+  stats_.fits_warm = static_cast<std::size_t>(r.u64());
+  stats_.cache_hits = static_cast<std::size_t>(r.u64());
+  stats_.nm_objective_evals = static_cast<std::size_t>(r.u64());
+  stats_.fit_wall_ms = r.f64();
+  states_.clear();
+  const std::uint64_t jobs = r.u64();
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    const JobId id = static_cast<JobId>(r.u64());
+    JobState st;
+    st.observed = r.vec_f64();
+    const std::uint64_t links = r.u64();
+    st.links.reserve(static_cast<std::size_t>(links));
+    for (std::uint64_t l = 0; l < links; ++l) {
+      LinkRecord rec;
+      rec.done = static_cast<int>(r.i64());
+      const std::uint64_t nb = r.u64();
+      rec.basis.resize(static_cast<std::size_t>(nb));
+      for (BasisFitRec& b : rec.basis) {
+        b.params = r.vec_f64();
+        b.rmse = r.f64();
+        b.value = r.f64();
+        b.drift = r.f64();
+        b.frozen = r.boolean();
+        b.low_streak = static_cast<int>(r.i64());
+        b.restarts = static_cast<int>(r.i64());
+      }
+      st.links.push_back(std::move(rec));
+    }
+    st.memo_valid = r.boolean();
+    st.memo_done = static_cast<int>(r.i64());
+    st.memo_target = static_cast<int>(r.i64());
+    st.memo.accuracy = r.f64();
+    st.memo.confidence = r.f64();
+    states_.emplace(id, std::move(st));
+  }
+}
+
+}  // namespace mlfs

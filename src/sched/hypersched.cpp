@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "predict/service.hpp"
 #include "sched/util.hpp"
 
 namespace mlfs::sched {
@@ -10,31 +11,40 @@ namespace mlfs::sched {
 HyperSchedScheduler::HyperSchedScheduler(double pause_gain_threshold)
     : pause_gain_threshold_(pause_gain_threshold) {}
 
-double HyperSchedScheduler::achievable_gain(const Job& job, SimTime now) {
+double HyperSchedScheduler::achievable_gain(const Job& job, SimTime now,
+                                            const PredictionService* prediction) {
   const double time_left = job.deadline() - now;
   if (time_left <= 0.0) return 0.0;
   const int reachable = std::min(
       job.spec().max_iterations,
       job.completed_iterations() +
           static_cast<int>(time_left / job.ideal_iteration_seconds()));
-  return std::max(0.0, job.curve().accuracy_at(reachable) - job.current_accuracy());
+  const double at_reachable = prediction != nullptr
+                                  ? prediction->accuracy_at(job, reachable)
+                                  : job.curve().accuracy_at(reachable);
+  return std::max(0.0, at_reachable - job.current_accuracy());
 }
 
 void HyperSchedScheduler::schedule(SchedulerContext& ctx) {
   auto queue = live_queue(ctx);
+  const PredictionService* prediction = ctx.prediction;
   // Pause (preempt) one saturated running job per round when jobs that
   // can still gain accuracy before their deadlines are waiting — the
   // paper's "pauses jobs that do not increase accuracy significantly and
   // tends to assign more resources to the job with more accuracy
   // improvement before its deadline".
   if (!queue.empty()) {
-    auto marginal = [](const Job& job) {
+    auto marginal = [prediction](const Job& job) {
       const int i = job.completed_iterations();
+      if (prediction != nullptr) {
+        return prediction->accuracy_at(job, i + 1) - prediction->accuracy_at(job, i);
+      }
       return job.curve().accuracy_at(i + 1) - job.curve().accuracy_at(i);
     };
     bool gainful_waiting = false;
     for (const TaskId tid : queue) {
-      if (achievable_gain(ctx.cluster.job(ctx.cluster.task(tid).job), ctx.now) > 0.0) {
+      if (achievable_gain(ctx.cluster.job(ctx.cluster.task(tid).job), ctx.now, prediction) >
+          0.0) {
         gainful_waiting = true;
         break;
       }
@@ -54,18 +64,22 @@ void HyperSchedScheduler::schedule(SchedulerContext& ctx) {
   // Pause saturated jobs: their marginal accuracy per iteration is below
   // the threshold, so their waiting tasks yield to jobs that can still
   // improve before their deadlines.
-  auto marginal_gain = [&ctx](const Job& job) {
+  auto marginal_gain = [prediction](const Job& job) {
     const int i = job.completed_iterations();
+    if (prediction != nullptr) {
+      return prediction->accuracy_at(job, i + 1) - prediction->accuracy_at(job, i);
+    }
     return job.curve().accuracy_at(i + 1) - job.curve().accuracy_at(i);
   };
-  std::stable_sort(queue.begin(), queue.end(), [&ctx](TaskId a, TaskId b) {
+  std::stable_sort(queue.begin(), queue.end(), [&ctx, prediction](TaskId a, TaskId b) {
     const Job& ja = ctx.cluster.job(ctx.cluster.task(a).job);
     const Job& jb = ctx.cluster.job(ctx.cluster.task(b).job);
-    return achievable_gain(ja, ctx.now) > achievable_gain(jb, ctx.now);
+    return achievable_gain(ja, ctx.now, prediction) > achievable_gain(jb, ctx.now, prediction);
   });
   bool any_gainful_waiting = false;
   for (const TaskId tid : queue) {
-    if (achievable_gain(ctx.cluster.job(ctx.cluster.task(tid).job), ctx.now) > 0.0) {
+    if (achievable_gain(ctx.cluster.job(ctx.cluster.task(tid).job), ctx.now, prediction) >
+        0.0) {
       any_gainful_waiting = true;
       break;
     }

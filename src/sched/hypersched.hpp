@@ -19,8 +19,11 @@ class HyperSchedScheduler : public Scheduler {
   void schedule(SchedulerContext& ctx) override;
 
   /// Predicted accuracy gain achievable between now and the deadline
-  /// (public for tests).
-  static double achievable_gain(const Job& job, SimTime now);
+  /// (public for tests). Reads the accuracy curve through the engine's
+  /// prediction substrate when one is attached (same values; one shared
+  /// read path).
+  static double achievable_gain(const Job& job, SimTime now,
+                                const PredictionService* prediction = nullptr);
 
  private:
   double pause_gain_threshold_;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "predict/runtime_predictor.hpp"
+#include "predict/service.hpp"
 #include "sched/util.hpp"
 
 namespace mlfs::sched {
@@ -13,8 +13,8 @@ void OptimusScheduler::schedule(SchedulerContext& ctx) {
   // tighter 89%-fidelity estimate, new jobs the 70% one (§3.1 / [42]).
   auto remaining = [&ctx](TaskId tid) {
     const Job& job = ctx.cluster.job(ctx.cluster.task(tid).job);
-    if (ctx.runtime_predictor != nullptr) {
-      return ctx.runtime_predictor->predict_remaining_seconds(job);
+    if (ctx.prediction != nullptr) {
+      return ctx.prediction->predict_remaining_seconds(job);
     }
     const int left = std::max(0, job.target_iterations() - job.completed_iterations());
     return job.ideal_iteration_seconds() * left;

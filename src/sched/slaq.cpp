@@ -2,14 +2,17 @@
 
 #include <algorithm>
 
+#include "predict/service.hpp"
 #include "sched/util.hpp"
 
 namespace mlfs::sched {
 
-double SlaqScheduler::quality_gain_rate(const Job& job) {
+double SlaqScheduler::quality_gain_rate(const Job& job, const PredictionService* prediction) {
   const int next = job.completed_iterations() + 1;
   if (next > job.spec().max_iterations) return 0.0;
-  const double dl = job.curve().loss_at(next - 1) - job.curve().loss_at(next);
+  const double dl = prediction != nullptr
+                        ? prediction->loss_at(job, next - 1) - prediction->loss_at(job, next)
+                        : job.curve().loss_at(next - 1) - job.curve().loss_at(next);
   return dl / job.ideal_iteration_seconds();
 }
 
@@ -19,11 +22,13 @@ void SlaqScheduler::schedule(SchedulerContext& ctx) {
   // lowest-gain running job is paused (its converged tail starves — the
   // JCT cost the paper attributes to SLAQ).
   auto queue = live_queue(ctx);
+  const PredictionService* prediction = ctx.prediction;
   if (!queue.empty()) {
     const Job* best_waiting = nullptr;
     for (const TaskId tid : queue) {
       const Job& job = ctx.cluster.job(ctx.cluster.task(tid).job);
-      if (!best_waiting || quality_gain_rate(job) > quality_gain_rate(*best_waiting)) {
+      if (!best_waiting ||
+          quality_gain_rate(job, prediction) > quality_gain_rate(*best_waiting, prediction)) {
         best_waiting = &job;
       }
     }
@@ -35,22 +40,24 @@ void SlaqScheduler::schedule(SchedulerContext& ctx) {
       const Job* worst_running = nullptr;
       for (const Job& job : ctx.cluster.jobs()) {
         if (job.state() != JobState::Running) continue;
-        if (!worst_running || quality_gain_rate(job) < quality_gain_rate(*worst_running)) {
+        if (!worst_running || quality_gain_rate(job, prediction) <
+                                  quality_gain_rate(*worst_running, prediction)) {
           worst_running = &job;
         }
       }
       if (worst_running == nullptr ||
-          quality_gain_rate(*worst_running) >= quality_gain_rate(*best_waiting)) {
+          quality_gain_rate(*worst_running, prediction) >=
+              quality_gain_rate(*best_waiting, prediction)) {
         break;
       }
       preempt_job(ctx, *worst_running);
     }
     queue = live_queue(ctx);
   }
-  std::stable_sort(queue.begin(), queue.end(), [&ctx](TaskId a, TaskId b) {
+  std::stable_sort(queue.begin(), queue.end(), [&ctx, prediction](TaskId a, TaskId b) {
     const Job& ja = ctx.cluster.job(ctx.cluster.task(a).job);
     const Job& jb = ctx.cluster.job(ctx.cluster.task(b).job);
-    return quality_gain_rate(ja) > quality_gain_rate(jb);
+    return quality_gain_rate(ja, prediction) > quality_gain_rate(jb, prediction);
   });
   int failures = 0;
   for (const TaskId tid : queue) {

@@ -14,8 +14,11 @@ class SlaqScheduler : public Scheduler {
   void schedule(SchedulerContext& ctx) override;
 
   /// Predicted loss reduction of the job's next iteration per second of
-  /// runtime — SLAQ's ranking quantity (public for tests).
-  static double quality_gain_rate(const Job& job);
+  /// runtime — SLAQ's ranking quantity (public for tests). Reads the loss
+  /// curve through the engine's prediction substrate when one is attached
+  /// (same values; one shared read path).
+  static double quality_gain_rate(const Job& job,
+                                  const PredictionService* prediction = nullptr);
 };
 
 }  // namespace mlfs::sched

@@ -96,6 +96,7 @@ void SimAuditor::check_now(const char* context) {
   check_load_index();
   check_queue();
   check_jobs();
+  check_prediction_service();
   check_accounting();
   engine_.scheduler_.audit_invariants(engine_.cluster_, engine_.now_);
 }
@@ -572,6 +573,87 @@ void SimAuditor::check_jobs() const {
   }
 }
 
+// ----------------------------------------------- prediction service
+
+void SimAuditor::check_prediction_service() const {
+  const PredictionService& svc = engine_.prediction_;
+  const Cluster& cluster = engine_.cluster_;
+  if (!engine_.config_.predict.enabled) {
+    if (!svc.cached_states().empty()) {
+      fail("prediction-cache", "service disabled but " +
+                                   std::to_string(svc.cached_states().size()) +
+                                   " job states are cached");
+    }
+    return;
+  }
+  const PredictConfig& pc = svc.config();
+  const std::size_t basis_count = curve_detail::bases().size();
+  for (const auto& [id, st] : svc.cached_states()) {
+    if (id >= cluster.job_count()) {
+      fail("prediction-cache", "cached state for unknown job " + std::to_string(id));
+    }
+    const Job& job = cluster.job(id);
+    if (job.state() == JobState::Completed || job.state() == JobState::Failed) {
+      fail("prediction-cache",
+           "terminal job " + std::to_string(id) + " still has cached curve-fit state");
+    }
+    const int n = static_cast<int>(st.observed.size());
+    if (n > job.spec().max_iterations) {
+      fail("prediction-cache", "job " + std::to_string(id) + " has " + std::to_string(n) +
+                                   " observations but max_iterations is " +
+                                   std::to_string(job.spec().max_iterations));
+    }
+    // Observations are pure functions of the index (rollbacks never
+    // truncate them) — spot-check both ends against the ground truth.
+    if (n > 0 && (st.observed.front() != job.curve().accuracy_at(1) ||
+                  st.observed.back() != job.curve().accuracy_at(n))) {
+      fail("prediction-cache",
+           "job " + std::to_string(id) + " observation buffer diverges from its loss curve");
+    }
+    int prev_done = 0;
+    for (const auto& rec : st.links) {
+      if (rec.done <= prev_done || rec.done % svc.check_interval() != 0 ||
+          rec.done < svc.first_link() || rec.done > n) {
+        fail("prediction-cache", "job " + std::to_string(id) + " chain link at done=" +
+                                     std::to_string(rec.done) + " is not a canonical " +
+                                     "check point covered by its observations");
+      }
+      prev_done = rec.done;
+      if (rec.basis.size() != basis_count) {
+        fail("prediction-cache", "job " + std::to_string(id) + " link at done=" +
+                                     std::to_string(rec.done) + " has " +
+                                     std::to_string(rec.basis.size()) + " basis fits, want " +
+                                     std::to_string(basis_count));
+      }
+      for (const auto& b : rec.basis) {
+        for (const double p : b.params) {
+          if (!std::isfinite(p)) {
+            fail("prediction-cache", "job " + std::to_string(id) +
+                                         " has a non-finite fitted parameter at done=" +
+                                         std::to_string(rec.done));
+          }
+        }
+        if (!(b.rmse >= 0.0) || b.restarts < 0 || b.restarts > pc.restart_budget ||
+            b.low_streak < 0) {
+          fail("prediction-cache", "job " + std::to_string(id) + " basis fit at done=" +
+                                       std::to_string(rec.done) +
+                                       " violates rmse/restart/streak bounds");
+        }
+      }
+    }
+    if (st.memo_valid) {
+      const bool have_link =
+          std::any_of(st.links.begin(), st.links.end(),
+                      [&](const auto& rec) { return rec.done == st.memo_done; });
+      if (!have_link) {
+        fail("prediction-cache", "job " + std::to_string(id) + " memoizes done=" +
+                                     std::to_string(st.memo_done) +
+                                     " with no matching chain link");
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------- accounting
 
 void SimAuditor::check_accounting() {
@@ -716,6 +798,19 @@ void SimAuditor::check_metrics(const RunMetrics& m) const {
       (m.quarantines != 0 || m.quarantine_valve_saves != 0 || m.task_retries != 0 ||
        m.jobs_failed_permanent != 0 || m.crashes_absorbed != 0)) {
     fail_m("recovery metrics are nonzero but recovery policies are disabled");
+  }
+  // Prediction-service ledger: RunMetrics mirrors the service counters,
+  // and the cache counter is zero on the legacy cold-fit path (which
+  // recomputes every chain from scratch and caches nothing; the chain
+  // itself still warm-starts links internally, so fits_warm survives).
+  const PredictStats& ps = engine_.prediction_.stats();
+  if (m.fits_cold != ps.fits_cold || m.fits_warm != ps.fits_warm ||
+      m.prediction_cache_hits != ps.cache_hits ||
+      m.nm_objective_evals != ps.nm_objective_evals) {
+    fail_m("prediction counters do not reconcile with the service's stats");
+  }
+  if (!engine_.config_.predict.enabled && m.prediction_cache_hits != 0) {
+    fail_m("prediction cache hits are nonzero but the service is disabled");
   }
 }
 

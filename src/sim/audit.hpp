@@ -107,6 +107,7 @@ class SimAuditor {
   void check_load_index() const;
   void check_queue() const;
   void check_jobs() const;
+  void check_prediction_service() const;
   void check_accounting();
 
   const SimEngine& engine_;

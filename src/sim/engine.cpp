@@ -65,7 +65,8 @@ SimEngine::SimEngine(const ClusterConfig& cluster_config, const EngineConfig& en
       load_controller_(load_controller),
       rng_(engine_config.seed),
       fault_rng_(engine_config.seed ^ 0xfa17f5eedULL),
-      recovery_rng_(engine_config.seed ^ 0x4ec0fe41eadULL) {
+      recovery_rng_(engine_config.seed ^ 0x4ec0fe41eadULL),
+      prediction_(engine_config.predict, engine_config.optstop_check_interval) {
   config_.fault.validate(cluster_config_.servers_per_rack);
   config_.recovery.validate();
   if (config_.recovery.enabled) {
@@ -398,6 +399,7 @@ void SimEngine::fail_job(Job& job) {
   job.set_state(JobState::Failed);
   job.set_completion_time(now_);
   ++jobs_failed_;
+  prediction_.on_job_failed(job);
   fault_stopped_since_[id] = -1.0;
   partial_since_[id] = -1.0;
   // Schedulers treat this like a completion: caches are evicted, service
@@ -551,7 +553,7 @@ void SimEngine::handle_tick() {
     compact_queue();
   }
 
-  SchedulerContext ctx{cluster_,   queue_, *this, now_, config_.hr, &runtime_predictor_,
+  SchedulerContext ctx{cluster_,   queue_, *this, now_, config_.hr, &prediction_,
                        protected_job()};
   const auto wall_start = std::chrono::steady_clock::now();
   scheduler_.schedule(ctx);
@@ -813,7 +815,7 @@ void SimEngine::account_iteration_bandwidth(const Job& job) {
   }
 }
 
-bool SimEngine::should_stop(const Job& job) const {
+bool SimEngine::should_stop(const Job& job) {
   const int done = job.completed_iterations();
   if (done >= job.target_iterations()) return true;
   switch (job.active_policy()) {
@@ -823,12 +825,7 @@ bool SimEngine::should_stop(const Job& job) const {
       return job.current_accuracy() >= job.spec().accuracy_requirement;
     case StopPolicy::OptStop: {
       if (done < 3 || done % config_.optstop_check_interval != 0) return false;
-      std::vector<double> observed(static_cast<std::size_t>(done));
-      for (int i = 1; i <= done; ++i) {
-        observed[static_cast<std::size_t>(i - 1)] = job.curve().accuracy_at(i);
-      }
-      const CurvePrediction at_max =
-          curve_predictor_.predict_at(observed, job.spec().max_iterations);
+      const CurvePrediction at_max = prediction_.predict_at_max(job);
       // §3.5: a job predicted to miss its requirement stops once the
       // prediction is confident; otherwise it stops when it is within
       // near_max_fraction of everything it could ever reach.
@@ -857,7 +854,7 @@ void SimEngine::complete_job(Job& job) {
   job.set_state(JobState::Completed);
   job.set_completion_time(now_);
   ++jobs_completed_;
-  runtime_predictor_.record_completion(job);
+  prediction_.on_job_complete(job);
   scheduler_.on_job_complete(job, now_);
   if (observer_ != nullptr) observer_->on_job_complete(now_, job.id());
 }
@@ -868,6 +865,7 @@ void SimEngine::handle_iteration_done(JobId id, std::uint64_t epoch) {
   MLFS_EXPECT(job.state() == JobState::Running);
   job.complete_iteration();
   ++iterations_run_;
+  prediction_.on_iteration_complete(job);
   if (observer_ != nullptr) {
     observer_->on_iteration_complete(now_, id, job.completed_iterations());
   }
@@ -889,8 +887,12 @@ void SimEngine::handle_deadline(JobId id) {
 // --------------------------------------------------------------- run
 
 RunMetrics SimEngine::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   while (step()) {
   }
+  run_wall_ms_ += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
   return finalize();
 }
 
@@ -1009,6 +1011,13 @@ RunMetrics SimEngine::finalize() {
   m.pindex_servers_pruned = pstats.servers_pruned;
   m.pindex_buckets_pruned = pstats.buckets_pruned;
   m.pindex_servers_bypassed = pstats.servers_bypassed;
+  const PredictStats& predict_stats = prediction_.stats();
+  m.fits_cold = predict_stats.fits_cold;
+  m.fits_warm = predict_stats.fits_warm;
+  m.prediction_cache_hits = predict_stats.cache_hits;
+  m.nm_objective_evals = predict_stats.nm_objective_evals;
+  m.fit_wall_ms = predict_stats.fit_wall_ms;
+  m.run_wall_ms = run_wall_ms_;
   m.overload_occurrences = overload_occurrences_;
   m.migrations = migrations_;
   m.preemptions = preemptions_;

@@ -22,8 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "predict/learning_curve.hpp"
-#include "predict/runtime_predictor.hpp"
+#include "predict/service.hpp"
 #include "sim/audit.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_log.hpp"
@@ -98,6 +97,12 @@ struct EngineConfig {
   int optstop_check_interval = 5;        ///< evaluate the stop rule every k iterations
   double optstop_near_max_fraction = 0.99;  ///< stop when acc >= frac × predicted max
   double optstop_confidence_threshold = 0.6;  ///< needed to stop a hopeless job early
+
+  /// Prediction subsystem (predict/service.hpp): incremental, memoized,
+  /// warm-started curve fitting behind the OptStop checks and the
+  /// scheduler-facing prediction substrate. enabled = false selects the
+  /// legacy stateless cold-fit path (byte-identical results, no caching).
+  PredictConfig predict;
 
   /// Watchdog: if nothing runs for this many consecutive ticks while tasks
   /// wait, the most-incomplete partially-placed job is evicted to unwedge
@@ -214,7 +219,8 @@ class SimEngine final : private SchedulerOps {
   SimTime now() const { return now_; }
   const std::vector<TaskId>& queue() const { return queue_; }
   const EngineConfig& config() const { return config_; }
-  RuntimePredictor& runtime_predictor() { return runtime_predictor_; }
+  PredictionService& prediction_service() { return prediction_; }
+  const PredictionService& prediction_service() const { return prediction_; }
 
   /// Attaches an observer notified on every state-changing event (see
   /// sim/event_log.hpp). Must outlive the engine; nullptr detaches.
@@ -267,7 +273,9 @@ class SimEngine final : private SchedulerOps {
   void start_iteration(Job& job);
   double iteration_duration(const Job& job);
   void account_iteration_bandwidth(const Job& job);
-  bool should_stop(const Job& job) const;
+  /// Non-const: OptStop checks advance the prediction service's
+  /// incremental fit chains / memo.
+  bool should_stop(const Job& job);
   void complete_job(Job& job);
   void abort_iteration(Job& job);
   void resample_usage();
@@ -328,8 +336,9 @@ class SimEngine final : private SchedulerOps {
   Rng recovery_rng_;
   /// Non-null iff config_.recovery.enabled.
   std::unique_ptr<ServerHealthTracker> health_;
-  RuntimePredictor runtime_predictor_;
-  LearningCurvePredictor curve_predictor_;
+  /// Unified prediction subsystem: runtime estimates + incremental
+  /// learning-curve fits (see predict/service.hpp).
+  PredictionService prediction_;
   std::unique_ptr<SimAuditor> auditor_;  ///< non-null iff config_.audit.enabled
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
@@ -384,6 +393,7 @@ class SimEngine final : private SchedulerOps {
   double recovery_seconds_sum_ = 0.0;
   std::size_t recoveries_ = 0;
   double sched_wall_ms_total_ = 0.0;
+  double run_wall_ms_ = 0.0;  ///< wall-clock of run()'s event loop (0 if manually stepped)
   std::size_t sched_rounds_ = 0;
   int stall_ticks_ = 0;
   bool tick_armed_ = false;

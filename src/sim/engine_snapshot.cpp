@@ -111,6 +111,25 @@ std::uint64_t SimEngine::config_fingerprint() const {
   w.i64(rc.max_checkpoint_interval);
   w.boolean(rc.spread_placement);
 
+  // Prediction service: every field shapes the fit chains (enabled /
+  // legacy produce identical results but different cached state and
+  // counters; coarsening changes results outright).
+  const PredictConfig& pc = config_.predict;
+  w.boolean(pc.enabled);
+  w.f64(pc.warm_step_scale);
+  w.f64(pc.warm_step_floor);
+  w.i64(pc.restart_budget);
+  w.f64(pc.regression_factor);
+  w.f64(pc.regression_epsilon);
+  w.f64(pc.settle_factor);
+  w.f64(pc.settle_epsilon);
+  w.f64(pc.freeze_weight_threshold);
+  w.i64(pc.freeze_streak);
+  w.i64(pc.freeze_min_links);
+  w.boolean(pc.coarsen);
+  w.i64(pc.coarsen_head);
+  w.i64(pc.coarsen_per_octave);
+
   w.str(scheduler_.name());
   w.str(load_controller_ != nullptr ? load_controller_->name() : std::string());
 
@@ -215,7 +234,8 @@ void SimEngine::save_snapshot(std::ostream& os) const {
 
   cluster_.save_state(snap.section("cluster"));
   if (health_) health_->save_state(snap.section("health"));
-  runtime_predictor_.save_state(snap.section("predictor"));
+  prediction_.runtime().save_state(snap.section("predictor"));
+  prediction_.save_state(snap.section("predict"));
 
   // Opaque per-component payloads: each component alone interprets its
   // bytes (Scheduler::save_state contract).
@@ -325,7 +345,12 @@ void SimEngine::restore_snapshot(std::istream& is) {
   {
     std::istringstream section = snap.section("predictor");
     io::BinReader r(section);
-    runtime_predictor_.restore_state(r);
+    prediction_.runtime().restore_state(r);
+  }
+  {
+    std::istringstream section = snap.section("predict");
+    io::BinReader r(section);
+    prediction_.restore_state(r);
   }
 
   {

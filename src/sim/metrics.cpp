@@ -35,6 +35,11 @@ std::string RunMetrics::summary() const {
        << " lost=" << format_double(work_lost_gpu_seconds, 0) << "gpu-s"
        << " recovery=" << format_double(mean_recovery_seconds, 0) << "s";
   }
+  if (fits_cold + fits_warm > 0) {
+    os << " fits=" << fits_cold << "c/" << fits_warm << "w"
+       << " fitHits=" << prediction_cache_hits << " nmEvals=" << nm_objective_evals
+       << " fitWall=" << format_double(fit_wall_ms, 0) << "ms";
+  }
   if (quarantines > 0 || task_retries > 0 || jobs_failed_permanent > 0) {
     os << " quarantines=" << quarantines << " retries=" << task_retries
        << " backoff=" << format_double(backoff_delay_seconds, 0) << "s"
@@ -79,7 +84,10 @@ bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
          a.pindex_queries == b.pindex_queries &&
          a.pindex_servers_pruned == b.pindex_servers_pruned &&
          a.pindex_buckets_pruned == b.pindex_buckets_pruned &&
-         a.pindex_servers_bypassed == b.pindex_servers_bypassed;
+         a.pindex_servers_bypassed == b.pindex_servers_bypassed &&
+         a.fits_cold == b.fits_cold && a.fits_warm == b.fits_warm &&
+         a.prediction_cache_hits == b.prediction_cache_hits &&
+         a.nm_objective_evals == b.nm_objective_evals;
 }
 
 }  // namespace mlfs

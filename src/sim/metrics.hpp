@@ -84,6 +84,20 @@ struct RunMetrics {
   /// == candidates_linear whenever the bucketed index answers every query.
   std::size_t pindex_servers_bypassed = 0;
 
+  // -- prediction service (predict/service.hpp) --
+  std::size_t fits_cold = 0;           ///< Nelder-Mead fits from the init simplex
+  std::size_t fits_warm = 0;           ///< fits seeded from a previous chain link
+  std::size_t prediction_cache_hits = 0;  ///< memo / stored-link reuse (0 when disabled)
+  std::size_t nm_objective_evals = 0;  ///< objective evaluations across all fits
+  /// Wall-clock spent fitting/combining curve predictions (real clock —
+  /// excluded from deterministic_equal, like sched_overhead_ms).
+  double fit_wall_ms = 0.0;
+  /// Wall-clock of the whole run() event loop (0 when the engine was
+  /// stepped manually); fit_wall_ms / run_wall_ms is the predictor's
+  /// runtime share, gated in bench_largescale. Excluded from
+  /// deterministic_equal.
+  double run_wall_ms = 0.0;
+
   double average_jct_minutes() const { return jct_minutes.mean(); }
   double average_waiting_seconds() const { return waiting_seconds.mean(); }
 

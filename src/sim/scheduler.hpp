@@ -15,7 +15,7 @@
 
 namespace mlfs {
 
-class RuntimePredictor;
+class PredictionService;
 
 /// Mutation interface handed to schedulers. Implemented by the engine so
 /// every action goes through one place that keeps queue membership, task
@@ -52,7 +52,10 @@ struct SchedulerContext {
   SchedulerOps& ops;
   SimTime now = 0.0;
   double hr = 0.9;  ///< server overload threshold (engine config)
-  const RuntimePredictor* runtime_predictor = nullptr;
+  /// Unified prediction substrate (runtime estimates + cached curve
+  /// fits); nullptr in predictor-less harnesses — consumers fall back to
+  /// the same arithmetic over the job's ground-truth state.
+  const PredictionService* prediction = nullptr;
   /// Gang placement is all-or-nothing per round, except this job (the
   /// longest-waiting one, engine-chosen) may accumulate partial
   /// placements across rounds so arbitrarily large gangs cannot starve.

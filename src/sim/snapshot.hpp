@@ -31,7 +31,10 @@
 namespace mlfs {
 
 inline constexpr char kSnapshotMagic[8] = {'M', 'L', 'F', 'S', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: added the "predict" section (PredictionService curve-fit caches +
+/// counters) alongside the existing "predictor" (runtime predictor)
+/// section; v2 files are rejected by the version check.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Structured rejection of a snapshot file. Subclasses ContractViolation so
 /// existing catch sites handle it; carries the failing section (or the

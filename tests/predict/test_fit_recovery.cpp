@@ -9,6 +9,8 @@
 
 #include "predict/learning_curve.hpp"
 #include "predict/nelder_mead.hpp"
+#include "predict/service.hpp"
+#include "workload/model_zoo.hpp"
 
 namespace mlfs {
 namespace {
@@ -53,6 +55,41 @@ TEST(FitRecovery, ExtrapolationBeatsLastObservationBaseline) {
   const double fit_error = std::abs(prediction.accuracy - truth);
   const double naive_error = std::abs(observed.back() - truth);
   EXPECT_LT(fit_error, naive_error / 4.0);
+}
+
+TEST(FitRecovery, WarmStartedChainRecoversLikeColdFits) {
+  // The service's warm-started chain is an optimization, not a different
+  // estimator: at the chain tip it must recover the generating curve as
+  // well as an independent cold fit on the same prefix does.
+  const double a_max = 0.88;
+  const double kappa = 12.0;
+  JobSpec spec;
+  spec.id = 0;
+  spec.gpu_request = 2;
+  spec.max_iterations = 1000;
+  spec.stop_policy = StopPolicy::OptStop;
+  spec.min_allowed_policy = StopPolicy::OptStop;
+  spec.curve.max_accuracy = a_max;
+  spec.curve.kappa = kappa;
+  spec.seed = 7;
+  Job job = std::move(ModelZoo::instantiate(spec, 0).job);
+
+  PredictionService service({}, /*check_interval=*/4);
+  CurvePrediction chain_tip{0.0, 0.0};
+  for (int i = 0; i < 40; ++i) {
+    job.complete_iteration();
+    service.on_iteration_complete(job);
+    if (job.completed_iterations() % 4 == 0) chain_tip = service.predict_at_max(job);
+  }
+  // 10 warm links deep by now — the chain must have warm-started fits.
+  EXPECT_GT(service.stats().fits_warm, 0u);
+
+  const auto observed = hyperbolic_samples(a_max, kappa, 40);
+  const LearningCurvePredictor predictor;
+  const CurvePrediction cold = predictor.predict_at(observed, 1000);
+  const double truth = a_max * 1000.0 / (1000.0 + kappa);
+  EXPECT_NEAR(chain_tip.accuracy, truth, 0.02);
+  EXPECT_NEAR(chain_tip.accuracy, cold.accuracy, 0.02);
 }
 
 double rosenbrock(const std::vector<double>& x) {

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
 
+#include "common/binio.hpp"
 #include "workload/model_zoo.hpp"
 
 namespace mlfs {
@@ -74,6 +79,76 @@ TEST(RuntimePredictor, RemainingIsZeroWhenTargetReached) {
 
 TEST(RuntimePredictor, RejectsNegativeErrorLevels) {
   EXPECT_THROW(RuntimePredictor(-0.1, 0.3), ContractViolation);
+}
+
+TEST(SignatureSet, InsertContainsAndGrowth) {
+  SignatureSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(1, 2));
+  // Push well past the initial capacity to force several rehashes.
+  for (int algo = 0; algo < 12; ++algo) {
+    for (int gpus = 1; gpus <= 32; gpus *= 2) set.insert(algo, gpus);
+  }
+  EXPECT_EQ(set.size(), 12u * 6u);
+  set.insert(3, 4);  // duplicate: no growth
+  EXPECT_EQ(set.size(), 12u * 6u);
+  for (int algo = 0; algo < 12; ++algo) {
+    for (int gpus = 1; gpus <= 32; gpus *= 2) {
+      EXPECT_TRUE(set.contains(algo, gpus)) << algo << "x" << gpus;
+    }
+  }
+  EXPECT_FALSE(set.contains(12, 1));
+  EXPECT_FALSE(set.contains(0, 3));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(3, 4));
+}
+
+TEST(SignatureSet, PackUnpackRoundTrip) {
+  const std::uint64_t key = SignatureSet::pack(7, 16);
+  EXPECT_EQ(SignatureSet::unpack_algorithm(key), 7);
+  EXPECT_EQ(SignatureSet::unpack_gpus(key), 16);
+}
+
+TEST(RuntimePredictor, SaveFormatMatchesHistoricalSortedBytes) {
+  // The flat set replaced a std::set<std::pair<int,int>> whose iteration
+  // order (ascending algorithm, then gpus) defined the snapshot section
+  // bytes; the replacement must keep them byte-identical. Insert out of
+  // order and compare against the hand-built sorted encoding.
+  RuntimePredictor predictor;
+  predictor.record_completion(make_job(MlAlgorithm::Lstm, 4, 1));
+  predictor.record_completion(make_job(MlAlgorithm::Mlp, 8, 2));
+  predictor.record_completion(make_job(MlAlgorithm::Mlp, 2, 3));
+  std::ostringstream actual;
+  {
+    io::BinWriter w(actual);
+    predictor.save_state(w);
+  }
+  std::vector<std::pair<int, int>> sorted = {
+      {static_cast<int>(MlAlgorithm::Mlp), 2},
+      {static_cast<int>(MlAlgorithm::Mlp), 8},
+      {static_cast<int>(MlAlgorithm::Lstm), 4},
+  };
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream expected;
+  {
+    io::BinWriter w(expected);
+    w.u64(sorted.size());
+    for (const auto& [algo, gpus] : sorted) {
+      w.i64(algo);
+      w.i64(gpus);
+    }
+  }
+  EXPECT_EQ(actual.str(), expected.str());
+
+  // Round trip restores the same membership.
+  RuntimePredictor restored;
+  std::istringstream in(actual.str());
+  io::BinReader r(in);
+  restored.restore_state(r);
+  EXPECT_TRUE(restored.has_history(make_job(MlAlgorithm::Lstm, 4, 9)));
+  EXPECT_TRUE(restored.has_history(make_job(MlAlgorithm::Mlp, 2, 9)));
+  EXPECT_FALSE(restored.has_history(make_job(MlAlgorithm::Lstm, 2, 9)));
 }
 
 }  // namespace

@@ -132,6 +132,23 @@ TEST(SnapshotContainer, UnsupportedVersionRejectedEvenWithValidChecksum) {
   }
 }
 
+TEST(SnapshotContainer, PreV3FilesRejected) {
+  // v2 files predate the "predict" section (prediction-service caches); a
+  // v3 reader must reject them up front instead of hitting a missing
+  // section mid-restore.
+  std::string bytes = write_sample();
+  bytes[8] = static_cast<char>(kSnapshotVersion - 1);
+  bytes = patch_checksum(std::move(bytes));
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    SnapshotReader reader(is, 0xfeedu);
+    FAIL() << "pre-v3 snapshot accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.section(), "header");
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
 TEST(SnapshotContainer, FingerprintMismatchRejected) {
   const std::string bytes = write_sample(0xfeedu);
   std::istringstream is(bytes, std::ios::binary);
@@ -350,6 +367,25 @@ TEST(SnapshotRegression, PlacementMemoCountersSurviveRestore) {
   ASSERT_TRUE(result.equivalent) << result.detail;
   EXPECT_EQ(result.restored.comm_cache_hits, result.reference.comm_cache_hits);
   EXPECT_EQ(result.restored.candidates_scanned, result.reference.candidates_scanned);
+}
+
+// The prediction service's curve-fit caches must round-trip: a restore
+// that dropped the chains would refit them (different fits_cold /
+// nm_objective_evals than the uninterrupted run — deterministic_equal
+// would catch it), and one that mangled them would change OptStop
+// decisions downstream.
+TEST(SnapshotRegression, PredictionServiceCacheSurvivesRestore) {
+  exp::RunRequest request = engine_request();
+  request.trace.num_jobs = 16;  // enough draws for several OptStop jobs
+  const auto result = exp::check_restore_equivalence(request, 0x7654321ull);
+  ASSERT_TRUE(result.equivalent) << result.detail;
+  // The workload's policy mix (30% OptStop) must actually have exercised
+  // the fit chains, or this test proves nothing.
+  EXPECT_GT(result.reference.fits_cold + result.reference.fits_warm, 0u);
+  EXPECT_EQ(result.restored.fits_cold, result.reference.fits_cold);
+  EXPECT_EQ(result.restored.fits_warm, result.reference.fits_warm);
+  EXPECT_EQ(result.restored.prediction_cache_hits, result.reference.prediction_cache_hits);
+  EXPECT_EQ(result.restored.nm_objective_evals, result.reference.nm_objective_evals);
 }
 
 // A policy agent's save_state must capture network parameters, optimizer

@@ -16,6 +16,7 @@
 //            [--mtbf H] [--mttr H] [--kill-prob P] [--flaky F]
 //            [--checkpoint-interval N] [--recovery] [--retry-budget N]
 //            [--adaptive-checkpoint] [--spread-placement]
+//            [--legacy-curve-fit] [--coarsen-curve]
 //            [--snapshot-every N] [--snapshot-dir D] [--restore FILE]
 #include <filesystem>
 #include <fstream>
@@ -65,6 +66,10 @@ struct Options {
   int retry_budget = 0;
   bool adaptive_checkpoint = false;
   bool spread_placement = false;
+
+  // Prediction service (predict/service.hpp).
+  bool legacy_curve_fit = false;
+  bool coarsen_curve = false;
 
   // Snapshot / restore (single-scheduler manual drive).
   std::uint64_t snapshot_every = 0;  ///< events between snapshots (0 = off)
@@ -119,6 +124,11 @@ void print_usage() {
       "                       the observed MTBF (needs --recovery)\n"
       "  --spread-placement   rack-spread penalty in host choice so one rack\n"
       "                       outage cannot erase a whole job (needs --recovery)\n"
+      "  --legacy-curve-fit   stateless cold learning-curve fits at every\n"
+      "                       OptStop check instead of the incremental\n"
+      "                       memoized prediction service (identical results)\n"
+      "  --coarsen-curve      log-subsample long observation tails before\n"
+      "                       curve fitting (approximation; changes results)\n"
       "  --snapshot-every N   write an engine snapshot every N events (atomic\n"
       "                       tmp+rename, snap-<events>.bin); single scheduler only\n"
       "  --snapshot-dir D     snapshot directory (default ./snapshots)\n"
@@ -227,6 +237,10 @@ bool parse(int argc, char** argv, Options& options) {
       options.adaptive_checkpoint = true;
     } else if (arg == "--spread-placement") {
       options.spread_placement = true;
+    } else if (arg == "--legacy-curve-fit") {
+      options.legacy_curve_fit = true;
+    } else if (arg == "--coarsen-curve") {
+      options.coarsen_curve = true;
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--legacy-hotpath") {
@@ -341,6 +355,8 @@ int main(int argc, char** argv) {
     engine_config.recovery.retry_budget = options.retry_budget;
     engine_config.recovery.adaptive_checkpoint = options.adaptive_checkpoint;
     engine_config.recovery.spread_placement = options.spread_placement;
+    engine_config.predict.enabled = !options.legacy_curve_fit;
+    engine_config.predict.coarsen = options.coarsen_curve;
 
     TraceConfig trace;
     trace.num_jobs = options.jobs;
