@@ -116,6 +116,13 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
       rng.bernoulli(0.3)) {
     c.service_equivalence_check = true;
   }
+  // Link-contention dimensions: newest draws, appended last (prefix rule).
+  if (rng.bernoulli(0.35)) {
+    c.link_contention = true;
+    c.duty_cycles = rng.bernoulli(0.5);
+    if (rng.bernoulli(0.5)) c.nic_capacity_mbps = rng.uniform(50.0, 2000.0);
+    if (rng.bernoulli(0.5)) c.rack_uplink_capacity_mbps = rng.uniform(25.0, 1000.0);
+  }
   return c;
 }
 
@@ -131,6 +138,10 @@ RunRequest to_request(const FuzzCase& c) {
   r.cluster.placement_bucket_index = c.placement_bucket_index;
   r.cluster.placement_index_buckets = c.placement_index_buckets;
   r.cluster.debug_slot_leak = c.inject_slot_leak;
+  r.cluster.link_contention = c.link_contention;
+  r.cluster.nic_capacity_mbps = c.nic_capacity_mbps;
+  r.cluster.rack_uplink_capacity_mbps = c.rack_uplink_capacity_mbps;
+  r.cluster.duty_cycles = c.duty_cycles;
   r.engine.seed = c.engine_seed;
   r.engine.max_sim_time = hours(c.max_sim_hours);
   r.engine.straggler_probability = c.straggler_probability;
@@ -191,6 +202,12 @@ std::string describe(const FuzzCase& c) {
   if (!c.predict_enabled) out << ", legacy-curve-fit";
   if (c.coarsen_curve) out << ", coarsen-curve";
   if (c.service_equivalence_check) out << ", service-equivalence";
+  if (c.link_contention) {
+    out << ", link-contention";
+    if (c.duty_cycles) out << "+duty";
+    if (c.nic_capacity_mbps != 1000.0) out << ", nic=" << c.nic_capacity_mbps;
+    if (c.rack_uplink_capacity_mbps != 600.0) out << ", uplink=" << c.rack_uplink_capacity_mbps;
+  }
   if (c.snapshot_check) out << ", snapshot@" << c.snapshot_event;
   if (c.inject_slot_leak) out << ", SLOT-LEAK";
   return out.str();
@@ -240,6 +257,10 @@ std::string serialize(const FuzzCase& c) {
       << "predict_enabled=" << (c.predict_enabled ? 1 : 0) << "\n"
       << "coarsen_curve=" << (c.coarsen_curve ? 1 : 0) << "\n"
       << "service_equivalence_check=" << (c.service_equivalence_check ? 1 : 0) << "\n"
+      << "link_contention=" << (c.link_contention ? 1 : 0) << "\n"
+      << "duty_cycles=" << (c.duty_cycles ? 1 : 0) << "\n"
+      << "nic_capacity_mbps=" << c.nic_capacity_mbps << "\n"
+      << "rack_uplink_capacity_mbps=" << c.rack_uplink_capacity_mbps << "\n"
       << "inject_slot_leak=" << (c.inject_slot_leak ? 1 : 0) << "\n";
   return out.str();
 }
@@ -299,6 +320,10 @@ FuzzCase parse_fuzz_case(std::istream& in) {
     else if (key == "predict_enabled") c.predict_enabled = flag();
     else if (key == "coarsen_curve") c.coarsen_curve = flag();
     else if (key == "service_equivalence_check") c.service_equivalence_check = flag();
+    else if (key == "link_contention") c.link_contention = flag();
+    else if (key == "duty_cycles") c.duty_cycles = flag();
+    else if (key == "nic_capacity_mbps") c.nic_capacity_mbps = num();
+    else if (key == "rack_uplink_capacity_mbps") c.rack_uplink_capacity_mbps = num();
     else if (key == "inject_slot_leak") c.inject_slot_leak = flag();
     else throw ContractViolation("fuzz case: unknown key: " + key);
   }
@@ -433,6 +458,17 @@ ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_f
       // rerun flag the same way index-equivalence keeps the bucket index.
       [](FuzzCase& c) { c.coarsen_curve = false; },
       [](FuzzCase& c) { c.predict_enabled = true; },
+      // Link-contention dimensions shrink toward the defaults. Dropping
+      // contention entirely is attempted too, but a "link-model" /
+      // "link-share" failure rejects that candidate (the invariants only
+      // run while contention is on), so it minimizes duty cycles and
+      // capacity skews instead.
+      [](FuzzCase& c) { c.duty_cycles = false; },
+      [](FuzzCase& c) {
+        c.nic_capacity_mbps = 1000.0;
+        c.rack_uplink_capacity_mbps = 600.0;
+      },
+      [](FuzzCase& c) { c.link_contention = false; c.duty_cycles = false; },
   };
   ShrinkResult result{original, original_failure, 0, 0};
   const std::string target = original_failure.invariant;

@@ -101,6 +101,16 @@ struct FuzzCase {
   bool coarsen_curve = false;
   bool service_equivalence_check = false;
 
+  // Link-contention dimensions (sim/link_model.hpp): max-min fair link
+  // sharing, optionally with compute/communicate duty cycles, under
+  // randomized NIC / rack-uplink capacities (both flags default off like
+  // ClusterConfig). The auditor's link-model conservation and link-share
+  // invariants run on every audited event whenever contention is on.
+  bool link_contention = false;
+  bool duty_cycles = false;
+  double nic_capacity_mbps = 1000.0;
+  double rack_uplink_capacity_mbps = 600.0;
+
   // Auditing.
   int audit_stride = 1;
   /// Enables ClusterConfig::debug_slot_leak — the deliberate bug the

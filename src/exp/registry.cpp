@@ -5,6 +5,7 @@
 #include "common/expect.hpp"
 #include "core/mlf_c.hpp"
 #include "core/mlfs.hpp"
+#include "sched/cassini.hpp"
 #include "sched/fair.hpp"
 #include "sched/gandiva.hpp"
 #include "sched/graphene.hpp"
@@ -47,6 +48,8 @@ SchedulerInstance make_scheduler(const std::string& name, const core::MlfsConfig
     out.scheduler = std::make_unique<sched::RlBaselineScheduler>();
   } else if (name == "Optimus") {
     out.scheduler = std::make_unique<sched::OptimusScheduler>();
+  } else if (name == "Cassini") {
+    out.scheduler = std::make_unique<sched::CassiniScheduler>();
   } else {
     throw ContractViolation("unknown scheduler: " + name);
   }
@@ -63,6 +66,7 @@ std::vector<std::string> mlfs_family_names() { return {"MLF-H", "MLF-RL", "MLFS"
 std::vector<std::string> extended_scheduler_names() {
   auto names = paper_scheduler_names();
   names.push_back("Optimus");
+  names.push_back("Cassini");
   return names;
 }
 

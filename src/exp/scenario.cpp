@@ -108,6 +108,13 @@ void set_flaky_servers(Scenario& scenario, double fraction, double multiplier) {
   scenario.engine.fault.flaky_rate_multiplier = multiplier;
 }
 
+void set_contention(Scenario& scenario, double nic_mbps, double uplink_mbps, bool duty_cycles) {
+  scenario.cluster.link_contention = true;
+  scenario.cluster.nic_capacity_mbps = nic_mbps;
+  scenario.cluster.rack_uplink_capacity_mbps = uplink_mbps;
+  scenario.cluster.duty_cycles = duty_cycles;
+}
+
 std::vector<std::size_t> sweep_job_counts(const Scenario& scenario) {
   std::vector<std::size_t> counts;
   counts.reserve(scenario.sweep_multipliers.size());

@@ -66,4 +66,13 @@ void set_recovery_policies(Scenario& scenario, int retry_budget = 0,
 /// heterogeneous-reliability workload that quarantining pays off on.
 void set_flaky_servers(Scenario& scenario, double fraction, double multiplier = 8.0);
 
+/// Turns on link-level bandwidth contention (sim/link_model.hpp): per-
+/// server NICs and per-rack uplinks divide their capacity fairly among
+/// concurrent flows; with `duty_cycles` the per-model compute/communicate
+/// windows gate when flows contend — the workload network-aware schedulers
+/// (Cassini) improve by anti-phasing co-located gangs. `servers_per_rack`
+/// must already be set for uplinks to exist.
+void set_contention(Scenario& scenario, double nic_mbps = 1000.0, double uplink_mbps = 600.0,
+                    bool duty_cycles = true);
+
 }  // namespace mlfs::exp

@@ -1,0 +1,101 @@
+#include "sched/cassini.hpp"
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "sched/util.hpp"
+#include "sim/link_model.hpp"
+
+namespace mlfs::sched {
+
+namespace {
+
+/// Link-aware host chooser: lexicographically minimize (gang crosses into
+/// a new rack, flows on the rack uplink, flows on the server NIC, load of
+/// the receiving GPU). The first term consolidates gangs inside racks so
+/// their all-reduce rings never touch an uplink; the next two steer the
+/// flows a cross-rack gang must create onto the quietest links.
+std::optional<Placement> contention_aware_choice(const SchedulerContext& c, const Task& task) {
+  if (!c.cluster.config().link_contention) return least_loaded_placement(c, task);
+  const LinkModel& links = c.cluster.link_model();
+  const int spr = c.cluster.config().servers_per_rack;
+  const std::size_t racks =
+      spr > 0 ? (c.cluster.server_count() + static_cast<std::size_t>(spr) - 1) /
+                    static_cast<std::size_t>(spr)
+              : 1;
+  std::vector<char> peer_rack(racks, 0);
+  bool have_peers = false;
+  for (const TaskId tid : c.cluster.job(task.job).tasks()) {
+    const Task& peer = c.cluster.task(tid);
+    if (!peer.placed()) continue;
+    peer_rack[static_cast<std::size_t>(links.rack_of(peer.server))] = 1;
+    have_peers = true;
+  }
+  std::optional<Placement> best;
+  std::array<double, 4> best_key{};
+  for (const Server& s : c.cluster.servers()) {
+    const auto p = placement_on_server(c, task, s.id());
+    if (!p) continue;
+    const int rack = links.rack_of(s.id());
+    const double uplink_flows =
+        spr > 0 ? static_cast<double>(links.total_flows_on(links.uplink_link(rack))) : 0.0;
+    const std::array<double, 4> key = {
+        have_peers && peer_rack[static_cast<std::size_t>(rack)] == 0 ? 1.0 : 0.0,
+        uplink_flows, static_cast<double>(links.total_flows_on(links.nic_link(s.id()))),
+        s.gpu_load(p->gpu)};
+    if (!best || key < best_key) {
+      best = p;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void CassiniScheduler::schedule(SchedulerContext& ctx) {
+  int failures = 0;
+  for (const TaskId tid : live_queue(ctx)) {  // engine keeps arrival order (FIFO)
+    if (failures >= kMaxConsecutiveGangFailures) break;
+    if (ctx.cluster.task(tid).state != TaskState::Queued) continue;
+    const int placed = place_job_gang(ctx, tid, contention_aware_choice);
+    if (placed == 0) ++failures;
+    if (placed > 0) failures = 0;
+  }
+  assign_phase_offsets(ctx);
+}
+
+void CassiniScheduler::assign_phase_offsets(SchedulerContext& ctx) {
+  if (!ctx.cluster.config().link_contention) return;
+  const LinkModel& links = ctx.cluster.link_model();
+  // One offset per job per round: the first shared link a job is seen on
+  // (uplinks before NICs — uplinks carry the expensive cross-rack flows)
+  // claims it, packing the comm windows of that link's jobs back-to-back.
+  // With duty cycles off every window spans the whole circle and nothing
+  // is applied, so offsets (and phase_offset_hits) stay untouched.
+  std::vector<char> assigned(ctx.cluster.job_count(), 0);
+  const auto pack = [&](std::size_t link) {
+    const auto& entries = links.link_entries(link);
+    if (entries.size() < 2) return;
+    double cursor = 0.0;
+    for (const auto& e : entries) {  // sorted by job id -> deterministic
+      const double d = links.job_duty_cycle(e.job);
+      if (d >= 1.0) continue;  // always-on flows occupy the whole circle
+      if (e.job < assigned.size() && assigned[e.job] != 0) {
+        // Already phased via an earlier link: start the next window after
+        // this job's actual window instead of re-phasing it.
+        cursor = std::max(cursor, links.phase_offset(e.job) + d);
+        continue;
+      }
+      if (e.job < assigned.size()) assigned[e.job] = 1;
+      ctx.ops.set_phase_offset(e.job, cursor - std::floor(cursor));
+      cursor += d;
+    }
+  };
+  for (std::size_t link = links.server_count(); link < links.link_count(); ++link) pack(link);
+  for (std::size_t link = 0; link < links.server_count(); ++link) pack(link);
+}
+
+}  // namespace mlfs::sched

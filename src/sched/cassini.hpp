@@ -1,0 +1,32 @@
+// CASSINI-style network-aware scheduler (NSDI'24 [cassini]; DESIGN.md
+// §5e). Placement is FIFO gang placement like Gandiva's, but the host
+// chooser minimizes projected link contention instead of raw load: gang
+// members are steered into the racks already hosting their peers (fewer
+// rack-uplink flows), then toward the NIC/uplink with the fewest
+// registered flows. After placement it walks every shared link and packs
+// the communication windows of the jobs on it back-to-back on the unit
+// circle (CASSINI's affinity/circle construction), so anti-phased gangs
+// stop contending — the engine counts each applied offset change as
+// RunMetrics::phase_offset_hits.
+//
+// With link contention disabled the chooser degrades to plain least-loaded
+// placement and no offsets are applied, so the scheduler stays meaningful
+// (and deterministic) in every configuration.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace mlfs::sched {
+
+class CassiniScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Cassini"; }
+  void schedule(SchedulerContext& ctx) override;
+
+ private:
+  /// Packs comm windows of jobs sharing a link back-to-back (uplinks
+  /// first — they carry the cross-rack flows — then NICs).
+  void assign_phase_offsets(SchedulerContext& ctx);
+};
+
+}  // namespace mlfs::sched

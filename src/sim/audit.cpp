@@ -95,6 +95,7 @@ void SimAuditor::check_now(const char* context) {
   check_servers_and_tasks();
   check_load_index();
   check_queue();
+  check_link_model();
   check_jobs();
   check_prediction_service();
   check_accounting();
@@ -471,6 +472,52 @@ void SimAuditor::check_queue() const {
   }
 }
 
+// ----------------------------------------------------- link model
+
+void SimAuditor::check_link_model() const {
+  const Cluster& cluster = engine_.cluster_;
+  if (!cluster.config().link_contention) return;
+  const LinkModel& live = cluster.link_model();
+  // Flow-set conservation: the incrementally maintained registrations must
+  // equal registering every job's placement-derived flow set from scratch
+  // (the ground-truth oracle — flows are a pure function of placements).
+  LinkModel rebuilt;
+  rebuilt.reset(cluster.server_count(), cluster.config().servers_per_rack,
+                cluster.config().nic_capacity_mbps,
+                cluster.config().rack_uplink_capacity_mbps);
+  for (const Job& job : cluster.jobs()) {
+    rebuilt.set_job_duty_cycle(job.id(), live.job_duty_cycle(job.id()));
+    rebuilt.set_phase_offset(job.id(), live.phase_offset(job.id()));
+    rebuilt.update_job_flows(job.id(), cluster.compute_job_flows(job.id()));
+  }
+  if (!live.equals(rebuilt)) {
+    fail("link-model",
+         "incremental link registrations diverge from a from-scratch rebuild "
+         "of every job's placement-derived flow set");
+  }
+  // Per-job profile bounds the fair-share arithmetic relies on.
+  for (const Job& job : cluster.jobs()) {
+    const double d = live.job_duty_cycle(job.id());
+    const double phi = live.phase_offset(job.id());
+    if (!(d > 0.0) || d > 1.0 || phi < 0.0 || phi >= 1.0) {
+      fail("link-model", "job " + std::to_string(job.id()) + " has duty cycle " +
+                             std::to_string(d) + " / phase offset " + std::to_string(phi) +
+                             " outside (0,1] x [0,1)");
+    }
+  }
+  // Share-sum: the time-averaged capacity fraction a link hands out across
+  // all registered flows never exceeds the link's own (== 1.0 exactly on a
+  // saturated link with duty cycles off; see LinkModel::share_sum).
+  for (std::size_t link = 0; link < live.link_count(); ++link) {
+    const double s = live.share_sum(link);
+    if (s > 1.0 + 1e-9) {
+      fail("link-share", "link " + std::to_string(link) + " hands out share sum " +
+                             std::to_string(s) + " > 1 across " +
+                             std::to_string(live.link_entries(link).size()) + " jobs");
+    }
+  }
+}
+
 // ----------------------------------------------------------- jobs
 
 void SimAuditor::check_jobs() const {
@@ -798,6 +845,24 @@ void SimAuditor::check_metrics(const RunMetrics& m) const {
       (m.quarantines != 0 || m.quarantine_valve_saves != 0 || m.task_retries != 0 ||
        m.jobs_failed_permanent != 0 || m.crashes_absorbed != 0)) {
     fail_m("recovery metrics are nonzero but recovery policies are disabled");
+  }
+  // Link-contention ledger: RunMetrics mirrors the engine accumulators,
+  // which must stay exactly zero while the feature is off (the byte-
+  // identity contract: contention-off runs never touch the link model).
+  if (m.link_busy_seconds != engine_.link_busy_seconds_ ||
+      m.contention_slowdown_seconds != engine_.contention_slowdown_seconds_ ||
+      m.phase_offset_hits != static_cast<std::size_t>(engine_.phase_offset_hits_)) {
+    fail_m("link-contention counters do not reconcile with RunMetrics");
+  }
+  if (!cluster.config().link_contention &&
+      (m.link_busy_seconds != 0.0 || m.contention_slowdown_seconds != 0.0 ||
+       m.phase_offset_hits != 0)) {
+    fail_m("link-contention metrics are nonzero but link contention is disabled");
+  }
+  if (m.contention_slowdown_seconds < -1e-9 ||
+      m.contention_slowdown_seconds > m.link_busy_seconds + 1e-9) {
+    fail_m("contention slowdown " + std::to_string(m.contention_slowdown_seconds) +
+           " outside [0, link_busy_seconds]");
   }
   // Prediction-service ledger: RunMetrics mirrors the service counters,
   // and the cache counter is zero on the legacy cold-fit path (which

@@ -106,6 +106,7 @@ class SimAuditor {
   void check_servers_and_tasks() const;
   void check_load_index() const;
   void check_queue() const;
+  void check_link_model() const;
   void check_jobs() const;
   void check_prediction_service() const;
   void check_accounting();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.hpp"
+#include "workload/model_zoo.hpp"
 
 namespace mlfs {
 
@@ -26,6 +27,10 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     const double speed = i >= slow_from ? config_.slow_server_speed : 1.0;
     const int gpus = static_cast<int>(gpu_base + (i < gpu_extra ? 1 : 0));
     servers_.emplace_back(static_cast<ServerId>(i), gpus, speed);
+  }
+  if (config_.link_contention) {
+    links_.reset(config_.server_count, config_.servers_per_rack, config_.nic_capacity_mbps,
+                 config_.rack_uplink_capacity_mbps);
   }
 }
 
@@ -270,6 +275,12 @@ void Cluster::register_job(Job job, std::vector<Task> tasks) {
     MLFS_EXPECT(t.id == tasks_.size());
     tasks_.push_back(t);
   }
+  if (config_.link_contention) {
+    // Duty cycle is a pure function of the model; phase offsets start at 0
+    // (fully aligned — the worst case a network-aware scheduler improves).
+    links_.set_job_duty_cycle(
+        job.id(), config_.duty_cycles ? comm_duty_cycle(job.spec().algorithm) : 1.0);
+  }
   jobs_.push_back(std::move(job));
   job_placement_epochs_.push_back(0);
 }
@@ -305,6 +316,7 @@ void Cluster::place_task(TaskId id, ServerId server_id, int gpu) {
   touch_server(server_id);
   ++placement_epoch_;
   ++job_placement_epochs_[t.job];
+  refresh_job_flows(t.job);
 }
 
 void Cluster::unplace_task(TaskId id) {
@@ -323,6 +335,7 @@ void Cluster::unplace_task(TaskId id) {
   t.gpu = kNoGpu;
   t.state = TaskState::Queued;
   t.usage_factor = 1.0;  // feasibility checks while queued use nominal demand
+  refresh_job_flows(t.job);
 }
 
 void Cluster::move_task(TaskId id, ServerId to_server, int to_gpu) {
@@ -337,6 +350,7 @@ void Cluster::move_task(TaskId id, ServerId to_server, int to_gpu) {
   t.server = to_server;
   t.gpu = to_gpu;
   ++t.migrations;
+  refresh_job_flows(t.job);
 }
 
 bool Cluster::job_fully_placed(const Job& job) const {
@@ -424,6 +438,48 @@ bool Cluster::crosses_racks(ServerId a, ServerId b) const {
 double Cluster::flow_bandwidth_between(ServerId a, ServerId b) const {
   return crosses_racks(a, b) ? config_.inter_rack_flow_bandwidth_mbps
                              : config_.effective_flow_bandwidth_mbps;
+}
+
+// ---------------------------------------------------- link contention
+
+std::vector<LinkModel::Flow> Cluster::compute_job_flows(JobId id) const {
+  MLFS_EXPECT(id < jobs_.size());
+  std::vector<LinkModel::Flow> flows;
+  const Job& j = jobs_[id];
+  const Dag& dag = j.dag();
+  // DAG edges whose endpoints sit on different servers — the same edges
+  // SimEngine::iteration_duration charges cross-server communication for.
+  for (std::size_t u = 0; u < dag.node_count(); ++u) {
+    const Task& t = tasks_[j.task_at(u)];
+    if (t.state == TaskState::Finished || t.state == TaskState::Removed || !t.placed()) continue;
+    for (const std::size_t p : dag.parents(u)) {
+      const Task& pt = tasks_[j.task_at(p)];
+      if (pt.placed() && pt.server != t.server) flows.push_back({pt.server, t.server});
+    }
+  }
+  if (j.spec().comm == CommStructure::AllReduce) {
+    // Cross-server hops of the worker ring (iteration-end all-reduce).
+    const std::size_t n = j.task_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& a = tasks_[j.task_at(i)];
+      const Task& b = tasks_[j.task_at((i + 1) % n)];
+      if (a.placed() && b.placed() && a.server != b.server) {
+        flows.push_back({a.server, b.server});
+      }
+    }
+  }
+  return flows;
+}
+
+void Cluster::refresh_job_flows(JobId id) {
+  if (!config_.link_contention) return;
+  links_.update_job_flows(id, compute_job_flows(id));
+}
+
+bool Cluster::set_phase_offset(JobId id, double offset) {
+  if (!config_.link_contention) return false;
+  MLFS_EXPECT(id < jobs_.size());
+  return links_.set_phase_offset(id, offset);
 }
 
 // ------------------------------------------------------- snapshot

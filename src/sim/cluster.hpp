@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "sim/link_model.hpp"
 #include "sim/placement_index.hpp"
 #include "sim/server.hpp"
 #include "workload/job.hpp"
@@ -76,8 +77,32 @@ struct ClusterConfig {
   /// GPUs): when > 0, overrides `gpus_per_server` and distributes this many
   /// GPUs across the fleet — base = total/count everywhere, with the first
   /// total - base*count servers getting one extra. 0 = uniform fleet.
-  /// (Kept last so positional ClusterConfig initializers stay valid.)
+  /// (Kept after every pre-existing field so positional ClusterConfig
+  /// initializers stay valid; append new fields below only.)
   std::size_t total_gpus = 0;
+
+  // --- link-level contention (sim/link_model.hpp, DESIGN.md §5e) ---------
+
+  /// Opt-in link-level bandwidth contention: per-server NIC links and
+  /// per-rack uplinks divide capacity fairly among the flows concurrently
+  /// active on them, so concurrent gangs sharing a link slow each other
+  /// down. Default off: flow bandwidths stay the static per-flow values
+  /// above and the link model is never consulted — runs are bitwise
+  /// identical to a build without the feature.
+  bool link_contention = false;
+  /// Per-server NIC link capacity (MB/s); <= 0 = unconstrained NICs.
+  double nic_capacity_mbps = 1000.0;
+  /// Per-rack uplink capacity (MB/s); <= 0 = unconstrained uplinks. Only
+  /// meaningful when `servers_per_rack` > 0 (a flat network has no
+  /// uplinks). The default oversubscribes: one uplink carries what four
+  /// uncontended inter-rack flows would ask for.
+  double rack_uplink_capacity_mbps = 600.0;
+  /// Opt-in compute/communicate duty cycles (requires `link_contention`):
+  /// each job only occupies its links during its communication window —
+  /// ModelZoo's per-model duty cycle, at a phase offset a network-aware
+  /// scheduler may set — so anti-phased gangs stop contending. Off = flows
+  /// count as always-on (phase offsets are ignored).
+  bool duty_cycles = false;
 };
 
 /// Load-index bookkeeping counters (perf-trajectory instrumentation).
@@ -229,6 +254,23 @@ class Cluster {
   /// tests and debugging, not the hot path.
   void validate() const;
 
+  // -- link contention (ClusterConfig::link_contention) --
+  /// The link-level contention model. Flow sets track current placements
+  /// (maintained by place/unplace/move); empty and never consulted when
+  /// the feature is off.
+  const LinkModel& link_model() const { return links_; }
+
+  /// `job`'s cross-server flows under current placements — DAG edges whose
+  /// endpoints sit on different servers plus, for all-reduce jobs, the
+  /// cross-server hops of the worker ring. Pure function of placement
+  /// state; the auditor recomputes it from scratch to check the
+  /// incremental link bookkeeping.
+  std::vector<LinkModel::Flow> compute_job_flows(JobId id) const;
+
+  /// Sets a job's communication-phase offset (CASSINI interleaving).
+  /// Returns true iff the offset changed; no-op (false) with contention off.
+  bool set_phase_offset(JobId id, double offset);
+
   // -- bandwidth ledger --
   /// Records `mb` transferred between two servers; intra-server transfers
   /// are free and not recorded.
@@ -244,6 +286,11 @@ class Cluster {
   /// built from the same configuration.
   void save_state(io::BinWriter& w) const;
   void restore_state(io::BinReader& r);
+
+  /// Snapshot hooks for the link-contention state (the snapshot's "links"
+  /// section, written only when ClusterConfig::link_contention is on).
+  void save_link_state(io::BinWriter& w) const { links_.save_state(w); }
+  void restore_link_state(io::BinReader& r) { links_.restore_state(r); }
 
   double total_bandwidth_mb() const { return total_bandwidth_mb_; }
   /// Portion of the ledger that crossed rack boundaries (== 0 when flat).
@@ -262,6 +309,9 @@ class Cluster {
   void refresh_load_index(double hr, double typical_demand) const;
   /// Free-slot contribution of one up server (same arithmetic as the scan).
   static int server_slot_estimate(const Server& s, double hr, double typical_demand);
+  /// Re-registers `job`'s flow set with the link model after a placement
+  /// mutation touched one of its tasks (no-op when contention is off).
+  void refresh_job_flows(JobId id);
 
   ClusterConfig config_;
   std::vector<Server> servers_;
@@ -293,6 +343,8 @@ class Cluster {
   /// refresh-time load caches exactly (rebuilt from them on restore).
   mutable PlacementIndex pindex_;
   std::vector<std::uint64_t> job_placement_epochs_;  ///< grown by register_job
+  /// Link-contention state (empty when ClusterConfig::link_contention off).
+  LinkModel links_;
 };
 
 }  // namespace mlfs

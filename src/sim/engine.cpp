@@ -185,6 +185,15 @@ void SimEngine::release(TaskId task_id) {
   // task's original queue entry is still present.
 }
 
+bool SimEngine::set_phase_offset(JobId job, double offset) {
+  // Cluster makes this a no-op while link contention is off, so a
+  // network-aware scheduler run with the feature disabled stays
+  // bit-identical to one that never calls it.
+  const bool changed = cluster_.set_phase_offset(job, offset);
+  if (changed) ++phase_offset_hits_;
+  return changed;
+}
+
 // --------------------------------------------------------------- events
 
 void SimEngine::handle_arrival(JobId id) {
@@ -658,6 +667,11 @@ double SimEngine::iteration_duration(const Job& job) {
   std::vector<double> finish(n, 0.0);
   double critical = 0.0;
   bool any_cross_server = false;
+  // Link-level contention (opt-in): cross-server flows get the link
+  // model's fair share instead of the static per-flow bandwidth. The
+  // static path is untouched when the feature is off — no extra reads, no
+  // arithmetic reordering — preserving byte-identical runs.
+  const bool contended = cluster_config_.link_contention;
   for (const std::size_t u : dag.topological_order()) {
     Task& t = cluster_.task(job.task_at(u));
     if (t.state == TaskState::Finished || t.state == TaskState::Removed) continue;
@@ -671,7 +685,16 @@ double SimEngine::iteration_duration(const Job& job) {
       if (pt.placed() && pt.server != t.server) {
         const double volume =
             t.is_parameter_server ? job.spec().comm_volume_ps_mb : job.spec().comm_volume_ww_mb;
-        comm = volume / cluster_.flow_bandwidth_between(pt.server, t.server);
+        const double base_bw = cluster_.flow_bandwidth_between(pt.server, t.server);
+        comm = volume / base_bw;
+        if (contended) {
+          const double shared_bw =
+              cluster_.link_model().flow_bandwidth(job.id(), pt.server, t.server, base_bw);
+          const double shared_comm = volume / shared_bw;
+          link_busy_seconds_ += shared_comm;
+          contention_slowdown_seconds_ += shared_comm - comm;
+          comm = shared_comm;
+        }
         any_cross_server = true;
       }
       start = std::max(start, finish[p] + comm);
@@ -732,14 +755,29 @@ double SimEngine::iteration_duration(const Job& job) {
     if (cross) {
       // Worst hop in the ring bounds the all-reduce round.
       double ring_bw = cluster_config_.effective_flow_bandwidth_mbps;
+      double shared_ring_bw = ring_bw;
       for (std::size_t i = 0; i < job.task_count(); ++i) {
         const Task& a = cluster_.task(job.task_at(i));
         const Task& b = cluster_.task(job.task_at((i + 1) % job.task_count()));
         if (a.placed() && b.placed() && a.server != b.server) {
-          ring_bw = std::min(ring_bw, cluster_.flow_bandwidth_between(a.server, b.server));
+          const double base_bw = cluster_.flow_bandwidth_between(a.server, b.server);
+          ring_bw = std::min(ring_bw, base_bw);
+          if (contended) {
+            shared_ring_bw = std::min(
+                shared_ring_bw,
+                cluster_.link_model().flow_bandwidth(job.id(), a.server, b.server, base_bw));
+          }
         }
       }
-      critical += 2.0 * job.spec().comm_volume_ww_mb / ring_bw;
+      const double base_round = 2.0 * job.spec().comm_volume_ww_mb / ring_bw;
+      if (contended) {
+        const double shared_round = 2.0 * job.spec().comm_volume_ww_mb / shared_ring_bw;
+        link_busy_seconds_ += shared_round;
+        contention_slowdown_seconds_ += shared_round - base_round;
+        critical += shared_round;
+      } else {
+        critical += base_round;
+      }
     }
   }
   return std::max(critical, 1e-3);
@@ -1011,6 +1049,9 @@ RunMetrics SimEngine::finalize() {
   m.pindex_servers_pruned = pstats.servers_pruned;
   m.pindex_buckets_pruned = pstats.buckets_pruned;
   m.pindex_servers_bypassed = pstats.servers_bypassed;
+  m.link_busy_seconds = link_busy_seconds_;
+  m.contention_slowdown_seconds = contention_slowdown_seconds_;
+  m.phase_offset_hits = static_cast<std::size_t>(phase_offset_hits_);
   const PredictStats& predict_stats = prediction_.stats();
   m.fits_cold = predict_stats.fits_cold;
   m.fits_warm = predict_stats.fits_warm;

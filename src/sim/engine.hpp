@@ -240,6 +240,7 @@ class SimEngine final : private SchedulerOps {
   void preempt_to_queue(TaskId task) override;
   bool migrate(TaskId task, ServerId server, int gpu) override;
   void release(TaskId task) override;
+  bool set_phase_offset(JobId job, double offset) override;
 
   // -- events --
   enum class EventType { Arrival, IterationDone, Deadline, Tick, ServerDown, ServerUp,
@@ -395,6 +396,11 @@ class SimEngine final : private SchedulerOps {
   double sched_wall_ms_total_ = 0.0;
   double run_wall_ms_ = 0.0;  ///< wall-clock of run()'s event loop (0 if manually stepped)
   std::size_t sched_rounds_ = 0;
+  // Link-contention accounting (all stay zero while
+  // ClusterConfig::link_contention is off — the zero-when-disabled audit).
+  double link_busy_seconds_ = 0.0;  ///< cross-server comm seconds under the link model
+  double contention_slowdown_seconds_ = 0.0;  ///< comm seconds lost to link sharing
+  std::uint64_t phase_offset_hits_ = 0;  ///< scheduler phase-offset changes applied
   int stall_ticks_ = 0;
   bool tick_armed_ = false;
 };

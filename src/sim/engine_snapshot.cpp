@@ -62,6 +62,10 @@ std::uint64_t SimEngine::config_fingerprint() const {
   w.boolean(cluster_config_.placement_bucket_index);
   w.i64(cluster_config_.placement_index_buckets);
   w.boolean(cluster_config_.debug_slot_leak);
+  w.boolean(cluster_config_.link_contention);
+  w.f64(cluster_config_.nic_capacity_mbps);
+  w.f64(cluster_config_.rack_uplink_capacity_mbps);
+  w.boolean(cluster_config_.duty_cycles);
 
   w.f64(config_.tick_interval);
   w.f64(config_.hr);
@@ -210,6 +214,9 @@ void SimEngine::save_snapshot(std::ostream& os) const {
     w.u64(recoveries_);
     w.f64(sched_wall_ms_total_);
     w.u64(sched_rounds_);
+    w.f64(link_busy_seconds_);
+    w.f64(contention_slowdown_seconds_);
+    w.u64(phase_offset_hits_);
     w.i64(stall_ticks_);
     w.boolean(tick_armed_);
   }
@@ -233,6 +240,7 @@ void SimEngine::save_snapshot(std::ostream& os) const {
   }
 
   cluster_.save_state(snap.section("cluster"));
+  if (cluster_config_.link_contention) cluster_.save_link_state(snap.section("links"));
   if (health_) health_->save_state(snap.section("health"));
   prediction_.runtime().save_state(snap.section("predictor"));
   prediction_.save_state(snap.section("predict"));
@@ -262,6 +270,10 @@ void SimEngine::restore_snapshot(std::istream& is) {
   if (snap.has_section("controller") != (load_controller_ != nullptr)) {
     throw SnapshotError("controller", 0,
                         "controller section presence does not match the engine");
+  }
+  if (snap.has_section("links") != cluster_config_.link_contention) {
+    throw SnapshotError("links", 0,
+                        "links section presence does not match the link-contention config");
   }
 
   {
@@ -309,6 +321,9 @@ void SimEngine::restore_snapshot(std::istream& is) {
     recoveries_ = static_cast<std::size_t>(r.u64());
     sched_wall_ms_total_ = r.f64();
     sched_rounds_ = static_cast<std::size_t>(r.u64());
+    link_busy_seconds_ = r.f64();
+    contention_slowdown_seconds_ = r.f64();
+    phase_offset_hits_ = r.u64();
     stall_ticks_ = static_cast<int>(r.i64());
     tick_armed_ = r.boolean();
     MLFS_EXPECT(job_epoch_.size() == cluster_.job_count());
@@ -336,6 +351,11 @@ void SimEngine::restore_snapshot(std::istream& is) {
     std::istringstream section = snap.section("cluster");
     io::BinReader r(section);
     cluster_.restore_state(r);
+  }
+  if (cluster_config_.link_contention) {
+    std::istringstream section = snap.section("links");
+    io::BinReader r(section);
+    cluster_.restore_link_state(r);
   }
   if (health_) {
     std::istringstream section = snap.section("health");

@@ -40,6 +40,11 @@ std::string RunMetrics::summary() const {
        << " fitHits=" << prediction_cache_hits << " nmEvals=" << nm_objective_evals
        << " fitWall=" << format_double(fit_wall_ms, 0) << "ms";
   }
+  if (link_busy_seconds > 0.0 || phase_offset_hits > 0) {
+    os << " linkBusy=" << format_double(link_busy_seconds, 0) << "s"
+       << " contention=" << format_double(contention_slowdown_seconds, 0) << "s"
+       << " rephased=" << phase_offset_hits;
+  }
   if (quarantines > 0 || task_retries > 0 || jobs_failed_permanent > 0) {
     os << " quarantines=" << quarantines << " retries=" << task_retries
        << " backoff=" << format_double(backoff_delay_seconds, 0) << "s"
@@ -85,6 +90,9 @@ bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
          a.pindex_servers_pruned == b.pindex_servers_pruned &&
          a.pindex_buckets_pruned == b.pindex_buckets_pruned &&
          a.pindex_servers_bypassed == b.pindex_servers_bypassed &&
+         a.link_busy_seconds == b.link_busy_seconds &&
+         a.contention_slowdown_seconds == b.contention_slowdown_seconds &&
+         a.phase_offset_hits == b.phase_offset_hits &&
          a.fits_cold == b.fits_cold && a.fits_warm == b.fits_warm &&
          a.prediction_cache_hits == b.prediction_cache_hits &&
          a.nm_objective_evals == b.nm_objective_evals;

@@ -84,6 +84,17 @@ struct RunMetrics {
   /// == candidates_linear whenever the bucketed index answers every query.
   std::size_t pindex_servers_bypassed = 0;
 
+  // -- link contention (sim/link_model.hpp; zero while the feature is off) --
+  /// Cross-server communication seconds charged under the link model
+  /// (fair-share comm time summed over iterations and all-reduce rounds).
+  double link_busy_seconds = 0.0;
+  /// Communication seconds lost to link sharing: fair-share comm time
+  /// minus what the uncongested static bandwidths would have cost.
+  double contention_slowdown_seconds = 0.0;
+  /// Scheduler-applied communication-phase-offset changes (CASSINI
+  /// interleaving; each hit re-phased one job's comm window).
+  std::size_t phase_offset_hits = 0;
+
   // -- prediction service (predict/service.hpp) --
   std::size_t fits_cold = 0;           ///< Nelder-Mead fits from the init simplex
   std::size_t fits_warm = 0;           ///< fits seeded from a previous chain link

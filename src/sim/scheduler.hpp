@@ -42,6 +42,17 @@ class SchedulerOps {
   /// returns to the queue; unlike preempt_to_queue this does not count as
   /// a preemption and must only be used on tasks of non-running jobs.
   virtual void release(TaskId task) = 0;
+
+  /// Sets a job's communication-phase offset in [0, 1) on the link model
+  /// (CASSINI-style interleaving; see sim/link_model.hpp). Returns true
+  /// iff the stored offset changed — the engine counts changes as
+  /// RunMetrics::phase_offset_hits. No-op (false) when link contention is
+  /// disabled; the default keeps ops fakes in harnesses working.
+  virtual bool set_phase_offset(JobId job, double offset) {
+    (void)job;
+    (void)offset;
+    return false;
+  }
 };
 
 /// Read-only + ops context for one scheduling round.

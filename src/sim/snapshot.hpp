@@ -33,8 +33,11 @@ namespace mlfs {
 inline constexpr char kSnapshotMagic[8] = {'M', 'L', 'F', 'S', 'S', 'N', 'A', 'P'};
 /// v3: added the "predict" section (PredictionService curve-fit caches +
 /// counters) alongside the existing "predictor" (runtime predictor)
-/// section; v2 files are rejected by the version check.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// section. v4: added the conditional "links" section (LinkModel flow
+/// sets, duty cycles, phase offsets — written iff link contention is on)
+/// and the engine section's link-contention counters; pre-v4 files are
+/// rejected by the version check.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Structured rejection of a snapshot file. Subclasses ContractViolation so
 /// existing catch sites handle it; carries the failing section (or the

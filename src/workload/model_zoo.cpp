@@ -11,14 +11,18 @@ namespace mlfs {
 namespace {
 
 constexpr std::array<ModelProfile, 5> kProfiles = {{
-    // algorithm, style, params_m range, base iter s, batch MB, a_max range, kappa range
+    // algorithm, style, params_m range, base iter s, batch MB, a_max range, kappa range,
+    // comm duty cycle
     {MlAlgorithm::AlexNet, PartitionStyle::Sequential, 55.0, 65.0, 45.0, 1.0, 0.75, 0.88, 5.0,
-     15.0},
-    {MlAlgorithm::ResNet, PartitionStyle::Layered, 20.0, 30.0, 90.0, 1.0, 0.85, 0.96, 8.0, 20.0},
-    {MlAlgorithm::Mlp, PartitionStyle::Sequential, 1.0, 5.0, 15.0, 0.0015, 0.70, 0.90, 4.0, 10.0},
-    {MlAlgorithm::Lstm, PartitionStyle::Layered, 8.0, 15.0, 60.0, 0.0015, 0.72, 0.92, 6.0, 16.0},
+     15.0, 0.45},
+    {MlAlgorithm::ResNet, PartitionStyle::Layered, 20.0, 30.0, 90.0, 1.0, 0.85, 0.96, 8.0, 20.0,
+     0.25},
+    {MlAlgorithm::Mlp, PartitionStyle::Sequential, 1.0, 5.0, 15.0, 0.0015, 0.70, 0.90, 4.0, 10.0,
+     0.35},
+    {MlAlgorithm::Lstm, PartitionStyle::Layered, 8.0, 15.0, 60.0, 0.0015, 0.72, 0.92, 6.0, 16.0,
+     0.40},
     {MlAlgorithm::Svm, PartitionStyle::DataParallelOnly, 0.05, 0.5, 8.0, 0.0015, 0.65, 0.85, 3.0,
-     8.0},
+     8.0, 0.15},
 }};
 
 std::size_t profile_index(MlAlgorithm a) {
@@ -58,6 +62,10 @@ StageLayout layered_layout(std::size_t partitions) {
 
 const ModelProfile& ModelZoo::profile(MlAlgorithm algorithm) {
   return kProfiles[profile_index(algorithm)];
+}
+
+double comm_duty_cycle(MlAlgorithm algorithm) {
+  return ModelZoo::profile(algorithm).comm_duty_cycle;
 }
 
 MlAlgorithm ModelZoo::algorithm_at(std::size_t index) {

@@ -29,6 +29,13 @@ struct ModelProfile {
   double batch_mb;                       ///< mini-batch size (1 MB CNNs, 1.5 KB others; §4.1)
   double max_accuracy_min, max_accuracy_max;  ///< achievable-accuracy range
   double kappa_min, kappa_max;           ///< loss-curve saturation-speed range
+  /// Compute/communicate duty cycle: the fraction of each iteration the
+  /// model spends in its communication phase (gradient exchange), in
+  /// (0, 1]. Parameter-heavy models with short iterations sit high (the
+  /// network-bound regime); compute-bound models sit low. Consumed by the
+  /// link-contention model (sim/link_model.hpp) when
+  /// ClusterConfig::duty_cycles is on.
+  double comm_duty_cycle;
 };
 
 class ModelZoo {
@@ -56,5 +63,9 @@ class ModelZoo {
   /// ideal-time estimates (MB/s).
   static constexpr double kReferenceBandwidthMBps = 1000.0;
 };
+
+/// A job's compute/communicate duty cycle — pure function of its
+/// algorithm (ModelProfile::comm_duty_cycle).
+double comm_duty_cycle(MlAlgorithm algorithm);
 
 }  // namespace mlfs

@@ -80,5 +80,51 @@ INSTANTIATE_TEST_SUITE_P(AllRegistered, RestoreDeterminism,
                            return name;
                          });
 
+// Same gate with link contention + duty cycles on: the cut lands while
+// gangs are congesting a tight rack uplink, so the v4 "links" section
+// (flow sets, duty cycles, phase offsets) and the engine's link counters
+// must all round-trip for the resumed run to stay byte-identical — and the
+// stride-1 auditor holds the link-conservation and share-sum invariants
+// from the first post-restore event.
+exp::RunRequest contention_request(const std::string& scheduler) {
+  exp::RunRequest r = restore_request(scheduler);
+  r.label = "restore-contended-" + scheduler;
+  r.cluster.link_contention = true;
+  r.cluster.duty_cycles = true;
+  r.cluster.nic_capacity_mbps = 800.0;
+  r.cluster.rack_uplink_capacity_mbps = 120.0;
+  return r;
+}
+
+class ContendedRestoreDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ContendedRestoreDeterminism, MidCongestionSnapshotResumesBitIdentical) {
+  const exp::RunRequest request = contention_request(GetParam());
+  const exp::RestoreCheckResult result =
+      exp::check_restore_equivalence(request, 0x9e3779b97f4a7c15ull);
+  EXPECT_TRUE(result.equivalent) << result.detail;
+  ASSERT_GT(result.total_events, 0u);
+  EXPECT_EQ(result.reference.event_stream_hash, result.restored.event_stream_hash);
+  // The link metrics survive the restore exactly (they are part of
+  // deterministic_equal, but pin the headline ones explicitly).
+  EXPECT_EQ(result.restored.link_busy_seconds, result.reference.link_busy_seconds);
+  EXPECT_EQ(result.restored.contention_slowdown_seconds,
+            result.reference.contention_slowdown_seconds);
+  EXPECT_EQ(result.restored.phase_offset_hits, result.reference.phase_offset_hits);
+  // The scenario's tight uplink must actually have congested something, or
+  // this parameterization proves nothing beyond the plain suite.
+  EXPECT_GT(result.reference.link_busy_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, ContendedRestoreDeterminism,
+                         ::testing::ValuesIn(exp::registered_scheduler_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
 }  // namespace
 }  // namespace mlfs::sched

@@ -132,20 +132,23 @@ TEST(SnapshotContainer, UnsupportedVersionRejectedEvenWithValidChecksum) {
   }
 }
 
-TEST(SnapshotContainer, PreV3FilesRejected) {
-  // v2 files predate the "predict" section (prediction-service caches); a
-  // v3 reader must reject them up front instead of hitting a missing
-  // section mid-restore.
+TEST(SnapshotContainer, PreV4FilesRejected) {
+  // Older files predate state the current reader depends on (v3 added the
+  // "predict" section, v4 the conditional "links" section and the engine's
+  // link-contention counters); every past version must be rejected up
+  // front instead of hitting a missing section mid-restore.
   std::string bytes = write_sample();
-  bytes[8] = static_cast<char>(kSnapshotVersion - 1);
-  bytes = patch_checksum(std::move(bytes));
-  std::istringstream is(bytes, std::ios::binary);
-  try {
-    SnapshotReader reader(is, 0xfeedu);
-    FAIL() << "pre-v3 snapshot accepted";
-  } catch (const SnapshotError& e) {
-    EXPECT_EQ(e.section(), "header");
-    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  for (int version = 1; version < static_cast<int>(kSnapshotVersion); ++version) {
+    bytes[8] = static_cast<char>(version);
+    bytes = patch_checksum(std::move(bytes));
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+      SnapshotReader reader(is, 0xfeedu);
+      FAIL() << "pre-v4 snapshot (v" << version << ") accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(e.section(), "header");
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
   }
 }
 
@@ -353,6 +356,76 @@ TEST(SnapshotEngine, RestoreFromWrongConfigRejected) {
   exp::EngineBundle victim = exp::build_engine(other);
   std::istringstream is(bytes, std::ios::binary);
   EXPECT_THROW(victim.engine->restore_snapshot(is), SnapshotError);
+}
+
+// -------------------------------------------------- v4: link contention
+
+exp::RunRequest contended_engine_request() {
+  exp::RunRequest r = engine_request();
+  r.label = "snapshot-links";
+  r.cluster.link_contention = true;
+  r.cluster.duty_cycles = true;
+  r.cluster.nic_capacity_mbps = 800.0;
+  r.cluster.rack_uplink_capacity_mbps = 120.0;
+  return r;
+}
+
+TEST(SnapshotEngine, MidCongestionSnapshotIsIdempotent) {
+  // Contention + duty cycles on: the snapshot carries the v4 "links"
+  // section (flow sets, duty cycles, phase offsets) and the engine's link
+  // counters. Cut mid-run, restore into a fresh engine, demand the same
+  // position and a byte-identical re-save.
+  exp::EngineBundle donor = exp::build_engine(contended_engine_request());
+  for (int i = 0; i < 150 && donor.engine->step(); ++i) {
+  }
+  const std::string first = engine_snapshot_bytes(*donor.engine);
+
+  exp::EngineBundle twin = exp::build_engine(contended_engine_request());
+  {
+    std::istringstream is(first, std::ios::binary);
+    twin.engine->restore_snapshot(is);
+  }
+  EXPECT_EQ(twin.engine->events_processed(), donor.engine->events_processed());
+  EXPECT_EQ(twin.engine->event_stream_hash(), donor.engine->event_stream_hash());
+  EXPECT_EQ(engine_snapshot_bytes(*twin.engine), first);
+
+  // And the resumed run finishes bit-identically to the uninterrupted one,
+  // link metrics included (deterministic_equal covers them).
+  while (donor.engine->step()) {
+  }
+  while (twin.engine->step()) {
+  }
+  const RunMetrics expected = donor.engine->finalize();
+  const RunMetrics actual = twin.engine->finalize();
+  EXPECT_TRUE(deterministic_equal(expected, actual));
+}
+
+TEST(SnapshotEngine, ContentionConfigMismatchRejected) {
+  // A snapshot taken with the link model on cannot restore into an engine
+  // configured without it (and vice versa): the contention fields are part
+  // of the config fingerprint, and the "links" section presence must match
+  // the target config.
+  exp::EngineBundle donor = exp::build_engine(contended_engine_request());
+  for (int i = 0; i < 50 && donor.engine->step(); ++i) {
+  }
+  const std::string bytes = engine_snapshot_bytes(*donor.engine);
+
+  exp::RunRequest off = contended_engine_request();
+  off.cluster.link_contention = false;
+  off.cluster.duty_cycles = false;
+  exp::EngineBundle victim = exp::build_engine(off);
+  {
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(victim.engine->restore_snapshot(is), SnapshotError);
+  }
+
+  exp::EngineBundle plain = exp::build_engine(off);
+  for (int i = 0; i < 50 && plain.engine->step(); ++i) {
+  }
+  const std::string plain_bytes = engine_snapshot_bytes(*plain.engine);
+  exp::EngineBundle contended_victim = exp::build_engine(contended_engine_request());
+  std::istringstream is(plain_bytes, std::ios::binary);
+  EXPECT_THROW(contended_victim.engine->restore_snapshot(is), SnapshotError);
 }
 
 // ------------------------------------------- regression: stateful fixes

@@ -17,6 +17,7 @@
 //            [--checkpoint-interval N] [--recovery] [--retry-budget N]
 //            [--adaptive-checkpoint] [--spread-placement]
 //            [--legacy-curve-fit] [--coarsen-curve]
+//            [--contention] [--duty-cycle] [--nic-mbps B] [--uplink-mbps B]
 //            [--snapshot-every N] [--snapshot-dir D] [--restore FILE]
 #include <filesystem>
 #include <fstream>
@@ -70,6 +71,12 @@ struct Options {
   // Prediction service (predict/service.hpp).
   bool legacy_curve_fit = false;
   bool coarsen_curve = false;
+
+  // Link contention (sim/link_model.hpp).
+  bool contention = false;
+  bool duty_cycle = false;
+  double nic_mbps = 1000.0;
+  double uplink_mbps = 600.0;
 
   // Snapshot / restore (single-scheduler manual drive).
   std::uint64_t snapshot_every = 0;  ///< events between snapshots (0 = off)
@@ -129,6 +136,18 @@ void print_usage() {
       "                       memoized prediction service (identical results)\n"
       "  --coarsen-curve      log-subsample long observation tails before\n"
       "                       curve fitting (approximation; changes results)\n"
+      "  --contention         enable link-level bandwidth contention: per-\n"
+      "                       server NICs and per-rack uplinks divide their\n"
+      "                       capacity fairly among concurrent flows\n"
+      "                       (sim/link_model.hpp; changes results)\n"
+      "  --duty-cycle         per-model compute/communicate duty cycles: jobs\n"
+      "                       contend only while their comm windows overlap,\n"
+      "                       which network-aware schedulers (Cassini) offset\n"
+      "                       (needs --contention)\n"
+      "  --nic-mbps B         per-server NIC capacity in Mbps (default 1000;\n"
+      "                       <= 0 = unconstrained; needs --contention)\n"
+      "  --uplink-mbps B      per-rack uplink capacity in Mbps (default 600;\n"
+      "                       <= 0 = unconstrained; needs --contention)\n"
       "  --snapshot-every N   write an engine snapshot every N events (atomic\n"
       "                       tmp+rename, snap-<events>.bin); single scheduler only\n"
       "  --snapshot-dir D     snapshot directory (default ./snapshots)\n"
@@ -241,6 +260,18 @@ bool parse(int argc, char** argv, Options& options) {
       options.legacy_curve_fit = true;
     } else if (arg == "--coarsen-curve") {
       options.coarsen_curve = true;
+    } else if (arg == "--contention") {
+      options.contention = true;
+    } else if (arg == "--duty-cycle") {
+      options.duty_cycle = true;
+    } else if (arg == "--nic-mbps") {
+      const char* v = next("--nic-mbps");
+      if (!v) return false;
+      options.nic_mbps = std::stod(v);
+    } else if (arg == "--uplink-mbps") {
+      const char* v = next("--uplink-mbps");
+      if (!v) return false;
+      options.uplink_mbps = std::stod(v);
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--legacy-hotpath") {
@@ -280,6 +311,11 @@ bool parse(int argc, char** argv, Options& options) {
                             options.spread_placement)) {
     std::cerr << "--retry-budget / --adaptive-checkpoint / --spread-placement "
                  "need --recovery\n";
+    return false;
+  }
+  if (!options.contention &&
+      (options.duty_cycle || options.nic_mbps != 1000.0 || options.uplink_mbps != 600.0)) {
+    std::cerr << "--duty-cycle / --nic-mbps / --uplink-mbps need --contention\n";
     return false;
   }
   if ((options.snapshot_every > 0 || !options.restore_file.empty()) &&
@@ -340,6 +376,10 @@ int main(int argc, char** argv) {
     cluster.total_gpus = options.total_gpus;
     cluster.incremental_load_index = !options.legacy_hotpath;
     cluster.placement_bucket_index = !options.no_bucket_index;
+    cluster.link_contention = options.contention;
+    cluster.nic_capacity_mbps = options.nic_mbps;
+    cluster.rack_uplink_capacity_mbps = options.uplink_mbps;
+    cluster.duty_cycles = options.duty_cycle;
 
     EngineConfig engine_config;
     engine_config.seed = options.seed ^ 0xabc;
