@@ -1,6 +1,9 @@
 #include "exp/fuzz.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <istream>
 #include <mutex>
 #include <sstream>
@@ -8,6 +11,7 @@
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
+#include "exp/durable.hpp"
 #include "exp/registry.hpp"
 #include "exp/restore_check.hpp"
 #include "sim/audit.hpp"
@@ -23,6 +27,18 @@ void clamp_gpu_request(FuzzCase& c) {
   const int total = c.total_gpus > 0 ? static_cast<int>(c.total_gpus)
                                      : static_cast<int>(c.servers) * c.gpus_per_server;
   c.max_gpu_request = std::max(1, std::min(c.max_gpu_request, total));
+}
+
+/// Scratch journal directory for one crash_check execution. Cases run
+/// concurrently (and shrink candidates reuse the case index), so uniqueness
+/// comes from pid + a process-wide counter, not from the case identity; the
+/// check's outcome never depends on the directory name.
+std::string unique_crash_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("mlfs_fuzz_crash_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
 }
 
 }  // namespace
@@ -123,6 +139,15 @@ FuzzCase generate_case(std::uint64_t master_seed, std::uint64_t index,
     if (rng.bernoulli(0.5)) c.nic_capacity_mbps = rng.uniform(50.0, 2000.0);
     if (rng.bernoulli(0.5)) c.rack_uplink_capacity_mbps = rng.uniform(25.0, 1000.0);
   }
+  // Crash-recovery dimension: newest draws, appended last (prefix rule).
+  // Skipped alongside the other multi-engine reruns so the sweep's cost
+  // stays linear in the case count.
+  if (!c.snapshot_check && !c.index_equivalence_check && !c.service_equivalence_check &&
+      rng.bernoulli(0.15)) {
+    c.crash_check = true;
+    c.crash_event = rng.next_u64();
+    c.stream_jobs = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  }
   return c;
 }
 
@@ -209,6 +234,10 @@ std::string describe(const FuzzCase& c) {
     if (c.rack_uplink_capacity_mbps != 600.0) out << ", uplink=" << c.rack_uplink_capacity_mbps;
   }
   if (c.snapshot_check) out << ", snapshot@" << c.snapshot_event;
+  if (c.crash_check) {
+    out << ", crash@" << c.crash_event;
+    if (c.stream_jobs > 0) out << "+" << c.stream_jobs << "streamed";
+  }
   if (c.inject_slot_leak) out << ", SLOT-LEAK";
   return out.str();
 }
@@ -261,6 +290,9 @@ std::string serialize(const FuzzCase& c) {
       << "duty_cycles=" << (c.duty_cycles ? 1 : 0) << "\n"
       << "nic_capacity_mbps=" << c.nic_capacity_mbps << "\n"
       << "rack_uplink_capacity_mbps=" << c.rack_uplink_capacity_mbps << "\n"
+      << "crash_check=" << (c.crash_check ? 1 : 0) << "\n"
+      << "crash_event=" << c.crash_event << "\n"
+      << "stream_jobs=" << c.stream_jobs << "\n"
       << "inject_slot_leak=" << (c.inject_slot_leak ? 1 : 0) << "\n";
   return out.str();
 }
@@ -324,6 +356,9 @@ FuzzCase parse_fuzz_case(std::istream& in) {
     else if (key == "duty_cycles") c.duty_cycles = flag();
     else if (key == "nic_capacity_mbps") c.nic_capacity_mbps = num();
     else if (key == "rack_uplink_capacity_mbps") c.rack_uplink_capacity_mbps = num();
+    else if (key == "crash_check") c.crash_check = flag();
+    else if (key == "crash_event") c.crash_event = u64();
+    else if (key == "stream_jobs") c.stream_jobs = static_cast<std::size_t>(u64());
     else if (key == "inject_slot_leak") c.inject_slot_leak = flag();
     else throw ContractViolation("fuzz case: unknown key: " + key);
   }
@@ -339,6 +374,23 @@ std::optional<FuzzFailure> run_fuzz_case(const FuzzCase& c, bool check_determini
       // two executions of the same request).
       const RestoreCheckResult check = check_restore_equivalence(request, c.snapshot_event);
       if (!check.equivalent) return FuzzFailure{c, "snapshot-restore", check.detail};
+      return std::nullopt;
+    }
+    if (c.crash_check) {
+      // Zero-loss crash recovery: crash a journaled durable run at the drawn
+      // event index, recover via snapshot + journal replay, and demand
+      // byte-identity with the never-crashed streamed reference (which is
+      // itself a fully audited run — this leg subsumes the plain case).
+      RunRequest streamed = request;
+      const std::size_t stream_jobs =
+          std::min(c.stream_jobs, c.num_jobs > 0 ? c.num_jobs - 1 : std::size_t{0});
+      const auto script = split_streamed_tail(streamed, stream_jobs);
+      DurableConfig config;
+      config.dir = unique_crash_dir();
+      config.snapshot_stride = 128;
+      const CrashCheckResult check =
+          check_crash_equivalence(streamed, script, c.crash_event, config);
+      if (!check.equivalent) return FuzzFailure{c, "crash-zero-loss", check.detail};
       return std::nullopt;
     }
     const RunMetrics first = execute_run(request);
@@ -469,6 +521,12 @@ ShrinkResult shrink_case(const FuzzCase& original, const FuzzFailure& original_f
         c.rack_uplink_capacity_mbps = 600.0;
       },
       [](FuzzCase& c) { c.link_contention = false; c.duty_cycles = false; },
+      // Crash-recovery dimension: earlier crash points and fewer streamed
+      // jobs make a surviving "crash-zero-loss" failure cheaper to replay.
+      // The flag itself stays — dropping crash_check would change the
+      // failing invariant, so that candidate is always rejected anyway.
+      [](FuzzCase& c) { c.crash_event /= 2; },
+      [](FuzzCase& c) { if (c.stream_jobs > 0) --c.stream_jobs; },
   };
   ShrinkResult result{original, original_failure, 0, 0};
   const std::string target = original_failure.invariant;

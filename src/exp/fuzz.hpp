@@ -111,6 +111,17 @@ struct FuzzCase {
   double nic_capacity_mbps = 1000.0;
   double rack_uplink_capacity_mbps = 600.0;
 
+  // Zero-loss crash-recovery dimension (exp/durable.hpp): when set, the
+  // case crashes a journaled durable run at `crash_event % total_events`,
+  // recovers in a second session (snapshot + journal replay), and any
+  // divergence from the never-crashed streamed reference fails with
+  // invariant "crash-zero-loss". `stream_jobs` withholds that many trace
+  // jobs from the start set and streams them into the running engine, so
+  // journaled arrivals cross the crash boundary.
+  bool crash_check = false;
+  std::uint64_t crash_event = 0;
+  std::size_t stream_jobs = 0;
+
   // Auditing.
   int audit_stride = 1;
   /// Enables ClusterConfig::debug_slot_leak — the deliberate bug the

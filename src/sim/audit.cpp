@@ -60,13 +60,21 @@ void SimAuditor::after_event(const char* event, JobId subject) {
   check_now(event);
 }
 
+void SimAuditor::on_job_injected() {
+  // The streamed job was just registered; its Arrival event is pending,
+  // so it has not arrived yet.
+  arrived_.resize(engine_.cluster_.job_count(), 0);
+}
+
 void SimAuditor::resync_after_restore() {
   current_event_ = "restore";
   events_seen_ = engine_.events_processed_;
   // A job has arrived iff no Arrival event for it is still pending in the
   // restored queue — job state alone is ambiguous (pre-arrival jobs are
   // also Waiting).
-  std::fill(arrived_.begin(), arrived_.end(), static_cast<char>(1));
+  // Restore may have registered injected jobs (snapshot "injected"
+  // section), so re-size to the live job count before re-deriving.
+  arrived_.assign(engine_.cluster_.job_count(), 1);
   auto pending = engine_.events_;  // priority_queue: drain a copy to iterate
   while (!pending.empty()) {
     const auto& ev = pending.top();
@@ -780,6 +788,16 @@ void SimAuditor::check_metrics(const RunMetrics& m) const {
   const std::size_t n = cluster.job_count();
   if (m.job_count != n || m.jct_minutes.count() != n || m.waiting_seconds.count() != n) {
     fail_m("per-job sample counts do not cover every job");
+  }
+  // Streamed-ingestion ledger: every job is either part of the base
+  // workload or an injection the engine recorded; zero injections for
+  // pure trace-driven runs.
+  if (m.jobs_injected != engine_.injected_specs_.size() ||
+      engine_.base_job_count_ + engine_.injected_specs_.size() != n) {
+    fail_m("jobs_injected " + std::to_string(m.jobs_injected) +
+           " does not reconcile with the engine's injection ledger (" +
+           std::to_string(engine_.injected_specs_.size()) + " injected over " +
+           std::to_string(engine_.base_job_count_) + " base jobs)");
   }
   double jct_sum_minutes = 0.0;
   std::size_t deadline_met = 0;

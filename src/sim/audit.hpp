@@ -87,6 +87,11 @@ class SimAuditor {
   /// and the per-job ground truth.
   void check_metrics(const RunMetrics& m) const;
 
+  /// Called by the engine right after inject_job registered a streamed
+  /// job: grows the arrival-tracking vector (the new job has not arrived
+  /// yet — its Arrival event is pending).
+  void on_job_injected();
+
   /// Re-derives the auditor's observational state from a freshly restored
   /// engine (SimEngine::restore_snapshot): arrival tracking from the
   /// pending event queue, the monotone-counter snapshots from the restored

@@ -144,6 +144,46 @@ struct EngineConfig {
   AuditConfig audit;
 };
 
+/// One externally streamed job arrival: the submitted spec plus its
+/// position in the arrival stream (assigned by the submitter, monotone).
+struct StreamedArrival {
+  std::uint64_t stream_seq = 0;
+  JobSpec spec;
+};
+
+/// Streaming-ingestion seam (see DESIGN.md §6d): a source of job arrivals
+/// the engine pulls from at the top of every step(), so injected jobs flow
+/// through the same event queue, auditor, and metrics as trace-driven
+/// ones. The source owns the "due" decision — it sees the simulated clock,
+/// the event index, and whether the event queue has drained (a drained
+/// queue with pending arrivals must force-inject or the run would end
+/// early) — which is what lets crash recovery replay journaled arrivals at
+/// their exact recorded event indices.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// True while arrivals remain to be injected.
+  virtual bool pending() const = 0;
+
+  /// If the head arrival is due at this instant, moves it into `out` and
+  /// returns true (the engine then injects it and calls on_injected);
+  /// returning false defers it to a later step.
+  virtual bool pop_due(SimTime now, std::uint64_t event_index, bool queue_empty,
+                       StreamedArrival& out) = 0;
+
+  /// Notification after the engine registered the arrival: `spec` is the
+  /// job as registered (id/arrival as assigned) and `event_index` the
+  /// events-processed count at injection — exactly what the write-ahead
+  /// journal records.
+  virtual void on_injected(const JobSpec& spec, std::uint64_t stream_seq,
+                           std::uint64_t event_index) {
+    (void)spec;
+    (void)stream_seq;
+    (void)event_index;
+  }
+};
+
 /// Hook for MLF-C (§3.5): invoked every tick before the scheduler so it can
 /// downgrade job stop policies / retarget iterations under overload.
 class LoadController {
@@ -226,6 +266,26 @@ class SimEngine final : private SchedulerOps {
   /// sim/event_log.hpp). Must outlive the engine; nullptr detaches.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  /// Attaches a streaming arrival source, drained at the top of every
+  /// step(). Must outlive the engine; nullptr detaches.
+  void set_arrival_source(ArrivalSource* source) { arrival_source_ = source; }
+
+  /// Registers a job into the live engine mid-run: instantiates it, grows
+  /// all per-job/per-task state, and pushes its Arrival (at
+  /// max(now, spec.arrival)) and Deadline events through the normal event
+  /// queue. spec.id is overwritten with the next dense job id. Injected
+  /// jobs are excluded from config_fingerprint() (they are dynamic inputs,
+  /// journaled and carried in the snapshot's "injected" section instead).
+  /// Returns the assigned id.
+  JobId inject_job(JobSpec spec);
+
+  /// Jobs injected after construction, in injection order (specs as
+  /// registered). Snapshot restore replays these before any dynamic state.
+  const std::vector<JobSpec>& injected_specs() const { return injected_specs_; }
+
+  /// Jobs the engine was constructed with (fingerprint coverage).
+  std::size_t base_job_count() const { return base_job_count_; }
+
   /// Schedules a crash of `server` at simulated time `at` (chaos/test
   /// hook; independent of the random MTBF process). The event is dropped
   /// if the server has already changed up/down state by then; repair
@@ -258,6 +318,9 @@ class SimEngine final : private SchedulerOps {
   };
   void push_event(SimTime time, EventType type, JobId job = kInvalidJob,
                   std::uint64_t epoch = 0);
+
+  /// Pulls every due arrival from the attached source (step() preamble).
+  void drain_arrival_source();
 
   void handle_arrival(JobId id);
   void handle_tick();
@@ -326,6 +389,10 @@ class SimEngine final : private SchedulerOps {
   Scheduler& scheduler_;
   LoadController* load_controller_;
   EngineObserver* observer_ = nullptr;
+  ArrivalSource* arrival_source_ = nullptr;
+  /// Jobs registered at construction; specs beyond this are injections.
+  std::size_t base_job_count_ = 0;
+  std::vector<JobSpec> injected_specs_;
   Rng rng_;
   /// Dedicated stream for every fault draw: fault injection must not
   /// perturb the usage/straggler streams, or a zero-rate FaultConfig

@@ -15,7 +15,9 @@
 
 #include "common/binio.hpp"
 #include "sim/engine.hpp"
+#include "sim/journal.hpp"
 #include "sim/snapshot.hpp"
+#include "workload/model_zoo.hpp"
 
 namespace mlfs {
 
@@ -137,30 +139,15 @@ std::uint64_t SimEngine::config_fingerprint() const {
   w.str(scheduler_.name());
   w.str(load_controller_ != nullptr ? load_controller_->name() : std::string());
 
-  w.u64(cluster_.job_count());
-  for (const Job& job : cluster_.jobs()) {
-    const JobSpec& s = job.spec();
-    w.u64(s.id);
-    w.u8(static_cast<std::uint8_t>(s.algorithm));
-    w.u8(static_cast<std::uint8_t>(s.comm));
-    w.f64(s.arrival);
-    w.f64(s.urgency);
-    w.i64(s.max_iterations);
-    w.i64(s.gpu_request);
-    w.f64(s.train_data_mb);
-    w.f64(s.accuracy_requirement);
-    w.f64(s.deadline_slack_hours);
-    w.f64(s.curve.max_accuracy);
-    w.f64(s.curve.kappa);
-    w.f64(s.curve.initial_loss);
-    w.f64(s.curve.final_loss);
-    w.f64(s.curve.noise_sigma);
-    w.u64(s.curve.noise_seed);
-    w.f64(s.comm_volume_ps_mb);
-    w.f64(s.comm_volume_ww_mb);
-    w.u8(static_cast<std::uint8_t>(s.stop_policy));
-    w.u8(static_cast<std::uint8_t>(s.min_allowed_policy));
-    w.u64(s.seed);
+  // Base workload only: jobs streamed in after construction are dynamic
+  // inputs (journaled, and carried in the snapshot's "injected" section),
+  // so they must not invalidate the fingerprint — a recovering engine is
+  // constructed injection-free and must still match. write_job_spec's
+  // field order is this fingerprint's historical order, so non-streaming
+  // runs keep the exact pre-v5 value.
+  w.u64(static_cast<std::uint64_t>(base_job_count_));
+  for (std::size_t i = 0; i < base_job_count_; ++i) {
+    write_job_spec(w, cluster_.job(static_cast<JobId>(i)).spec());
   }
 
   const std::string bytes = os.str();
@@ -239,6 +226,15 @@ void SimEngine::save_snapshot(std::ostream& os) const {
     }
   }
 
+  {
+    // Jobs streamed in after construction. Restore replays this section
+    // before any dynamic state so every per-job container regains the
+    // grown size the other sections were serialized under.
+    io::BinWriter& w = snap.section("injected");
+    w.u64(injected_specs_.size());
+    for (const JobSpec& spec : injected_specs_) write_job_spec(w, spec);
+  }
+
   cluster_.save_state(snap.section("cluster"));
   if (cluster_config_.link_contention) cluster_.save_link_state(snap.section("links"));
   if (health_) health_->save_state(snap.section("health"));
@@ -274,6 +270,29 @@ void SimEngine::restore_snapshot(std::istream& is) {
   if (snap.has_section("links") != cluster_config_.link_contention) {
     throw SnapshotError("links", 0,
                         "links section presence does not match the link-contention config");
+  }
+
+  {
+    // Injected jobs first: registering them re-grows the cluster/engine to
+    // the size every following section was serialized under. The target
+    // engine must be injection-free (freshly constructed from the base
+    // workload) — re-registering on top of live injections would duplicate
+    // jobs.
+    std::istringstream section = snap.section("injected");
+    io::BinReader r(section);
+    const std::uint64_t count = r.u64();
+    if (!injected_specs_.empty()) {
+      throw SnapshotError("injected", 0,
+                          "restore target already has injected jobs; restore requires a "
+                          "freshly constructed engine");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JobSpec spec = read_job_spec(r);
+      MLFS_EXPECT(spec.id == static_cast<JobId>(cluster_.job_count()));
+      auto inst = ModelZoo::instantiate(spec, static_cast<TaskId>(cluster_.task_count()));
+      cluster_.register_job(std::move(inst.job), std::move(inst.tasks));
+      injected_specs_.push_back(spec);
+    }
   }
 
   {

@@ -1,0 +1,391 @@
+#include "sim/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "sim/snapshot.hpp"
+
+namespace mlfs {
+
+namespace {
+
+std::string errno_detail(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// 32-bit fold of the FNV-1a hash over the 4 little-endian length bytes.
+std::uint32_t length_crc(std::uint32_t len) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  const std::uint64_t h = fnv1a(bytes, sizeof(bytes));
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+JournalError::JournalError(std::string section, std::uint64_t offset,
+                           const std::string& detail)
+    : ContractViolation("journal rejected [section=" + section +
+                        " offset=" + std::to_string(offset) + "]: " + detail),
+      section_(std::move(section)),
+      offset_(offset) {}
+
+void write_job_spec(io::BinWriter& w, const JobSpec& s) {
+  w.u64(s.id);
+  w.u8(static_cast<std::uint8_t>(s.algorithm));
+  w.u8(static_cast<std::uint8_t>(s.comm));
+  w.f64(s.arrival);
+  w.f64(s.urgency);
+  w.i64(s.max_iterations);
+  w.i64(s.gpu_request);
+  w.f64(s.train_data_mb);
+  w.f64(s.accuracy_requirement);
+  w.f64(s.deadline_slack_hours);
+  w.f64(s.curve.max_accuracy);
+  w.f64(s.curve.kappa);
+  w.f64(s.curve.initial_loss);
+  w.f64(s.curve.final_loss);
+  w.f64(s.curve.noise_sigma);
+  w.u64(s.curve.noise_seed);
+  w.f64(s.comm_volume_ps_mb);
+  w.f64(s.comm_volume_ww_mb);
+  w.u8(static_cast<std::uint8_t>(s.stop_policy));
+  w.u8(static_cast<std::uint8_t>(s.min_allowed_policy));
+  w.u64(s.seed);
+}
+
+JobSpec read_job_spec(io::BinReader& r) {
+  JobSpec s;
+  s.id = static_cast<JobId>(r.u64());
+  s.algorithm = static_cast<MlAlgorithm>(r.u8());
+  s.comm = static_cast<CommStructure>(r.u8());
+  s.arrival = r.f64();
+  s.urgency = r.f64();
+  s.max_iterations = static_cast<int>(r.i64());
+  s.gpu_request = static_cast<int>(r.i64());
+  s.train_data_mb = r.f64();
+  s.accuracy_requirement = r.f64();
+  s.deadline_slack_hours = r.f64();
+  s.curve.max_accuracy = r.f64();
+  s.curve.kappa = r.f64();
+  s.curve.initial_loss = r.f64();
+  s.curve.final_loss = r.f64();
+  s.curve.noise_sigma = r.f64();
+  s.curve.noise_seed = r.u64();
+  s.comm_volume_ps_mb = r.f64();
+  s.comm_volume_ww_mb = r.f64();
+  s.stop_policy = static_cast<StopPolicy>(r.u8());
+  s.min_allowed_policy = static_cast<StopPolicy>(r.u8());
+  s.seed = r.u64();
+  return s;
+}
+
+// --------------------------------------------------------------- sinks
+
+FileJournalSink::FileJournalSink(const std::string& path, bool truncate) : path_(path) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw JournalError("io", 0, errno_detail("open " + path_ + " failed"));
+  }
+}
+
+FileJournalSink::~FileJournalSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileJournalSink::append(const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd_, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError("io", bytes_written_ + done,
+                         errno_detail("write to " + path_ + " failed"));
+    }
+    if (wrote == 0) {
+      throw JournalError("io", bytes_written_ + done,
+                         "short write to " + path_ + " (0 bytes accepted)");
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  bytes_written_ += n;
+}
+
+void FileJournalSink::sync() {
+  if (::fsync(fd_) != 0) {
+    throw JournalError("io", bytes_written_, errno_detail("fsync " + path_ + " failed"));
+  }
+}
+
+void MemoryJournalSink::append(const char* data, std::size_t n) {
+  if (bytes_.size() + n > budget_) {
+    // Simulated disk-full: accept the prefix that fits (a short write),
+    // then fail the way the POSIX sink surfaces ENOSPC.
+    const std::size_t fits = budget_ > bytes_.size() ? budget_ - bytes_.size() : 0;
+    bytes_.append(data, fits);
+    throw JournalError("io", bytes_.size(),
+                       "short write (injected disk-full after " +
+                           std::to_string(budget_) + " bytes): No space left on device");
+  }
+  bytes_.append(data, n);
+}
+
+// --------------------------------------------------------------- writer
+
+JournalWriter::JournalWriter(std::unique_ptr<JournalSink> sink,
+                             std::uint64_t config_fingerprint, std::uint64_t base_event,
+                             std::uint64_t first_seq, FsyncPolicy policy, int group_records,
+                             bool write_header)
+    : sink_(std::move(sink)),
+      base_event_(base_event),
+      next_seq_(first_seq),
+      policy_(policy),
+      group_records_(group_records < 1 ? 1 : group_records) {
+  MLFS_EXPECT(sink_ != nullptr);
+  if (write_header) {
+    std::ostringstream os;
+    io::BinWriter w(os);
+    w.bytes(kJournalMagic, sizeof(kJournalMagic));
+    w.u32(kJournalVersion);
+    w.u64(config_fingerprint);
+    w.u64(base_event);
+    w.u64(first_seq);
+    const std::string bytes = os.str();
+    sink_->append(bytes.data(), bytes.size());
+    bytes_appended_ += bytes.size();
+    // The header must hit stable storage before any record claims this
+    // base; an Off policy still gets process-crash durability from the
+    // unbuffered sink.
+    if (policy_ != FsyncPolicy::Off) sink_->sync();
+  }
+}
+
+std::uint64_t JournalWriter::append_frame(const JournalRecord& record, bool force_sync) {
+  std::ostringstream os;
+  io::BinWriter pw(os);
+  pw.u64(record.seq);
+  pw.u8(static_cast<std::uint8_t>(record.type));
+  pw.u64(record.event_index);
+  if (record.type == JournalRecordType::InjectArrival) {
+    pw.u64(record.stream_seq);
+    write_job_spec(pw, record.spec);
+  }
+  const std::string payload = os.str();
+  MLFS_EXPECT(payload.size() <= kMaxJournalRecordBytes);
+
+  std::ostringstream fs;
+  io::BinWriter fw(fs);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  fw.u32(len);
+  fw.u32(length_crc(len));
+  fw.bytes(payload.data(), payload.size());
+  fw.u64(fnv1a(payload.data(), payload.size()));
+  const std::string frame = fs.str();
+
+  // One append call per frame: a crash between frames leaves a clean
+  // prefix; a crash inside the sink leaves at most one torn tail record,
+  // which recovery drops.
+  sink_->append(frame.data(), frame.size());
+  bytes_appended_ += frame.size();
+  ++next_seq_;
+  ++since_sync_;
+  const bool due = policy_ == FsyncPolicy::EveryRecord ||
+                   (policy_ == FsyncPolicy::GroupCommit &&
+                    (force_sync || since_sync_ >= group_records_));
+  if (due) sync();
+  return record.seq;
+}
+
+std::uint64_t JournalWriter::append_arrival(std::uint64_t event_index,
+                                            std::uint64_t stream_seq, const JobSpec& spec) {
+  JournalRecord rec;
+  rec.seq = next_seq_;
+  rec.type = JournalRecordType::InjectArrival;
+  rec.event_index = event_index;
+  rec.stream_seq = stream_seq;
+  rec.spec = spec;
+  return append_frame(rec, /*force_sync=*/false);
+}
+
+std::uint64_t JournalWriter::append_barrier(std::uint64_t snapshot_event) {
+  JournalRecord rec;
+  rec.seq = next_seq_;
+  rec.type = JournalRecordType::SnapshotBarrier;
+  rec.event_index = snapshot_event;
+  return append_frame(rec, /*force_sync=*/true);
+}
+
+std::uint64_t JournalWriter::append_clean_shutdown(std::uint64_t event_index) {
+  JournalRecord rec;
+  rec.seq = next_seq_;
+  rec.type = JournalRecordType::CleanShutdown;
+  rec.event_index = event_index;
+  return append_frame(rec, /*force_sync=*/true);
+}
+
+std::uint64_t JournalWriter::append_record(const JournalRecord& record) {
+  MLFS_EXPECT(record.seq == next_seq_);
+  return append_frame(record, /*force_sync=*/false);
+}
+
+void JournalWriter::sync() {
+  sink_->sync();
+  since_sync_ = 0;
+}
+
+// --------------------------------------------------------------- reader
+
+namespace {
+
+std::uint32_t peek_u32(const std::string& bytes, std::uint64_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t peek_u64(const std::string& bytes, std::uint64_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+JournalReplay read_journal(std::istream& is, std::uint64_t expected_fingerprint) {
+  std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  JournalReplay out;
+
+  // Header. The writer emits it in one synced append, so a short header is
+  // corruption, not a torn write.
+  if (bytes.size() < kJournalHeaderBytes) {
+    throw JournalError("header", bytes.size(),
+                       "truncated header: need " + std::to_string(kJournalHeaderBytes) +
+                           " bytes, have " + std::to_string(bytes.size()));
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    throw JournalError("header", 0, "bad magic (not a MLFS journal file)");
+  }
+  const std::uint32_t version = peek_u32(bytes, 8);
+  if (version != kJournalVersion) {
+    throw JournalError("header", 8,
+                       "unsupported journal version " + std::to_string(version) +
+                           " (this build reads version " + std::to_string(kJournalVersion) +
+                           ")");
+  }
+  out.fingerprint = peek_u64(bytes, 12);
+  out.base_event = peek_u64(bytes, 20);
+  out.first_seq = peek_u64(bytes, 28);
+  if (out.fingerprint != expected_fingerprint) {
+    throw JournalError("header", 12,
+                       "config fingerprint mismatch: journal was written under a different "
+                       "cluster/engine/workload/scheduler configuration");
+  }
+
+  std::uint64_t pos = kJournalHeaderBytes;
+  std::uint64_t expected_seq = out.first_seq;
+  while (pos < bytes.size()) {
+    const std::uint64_t record_start = pos;
+    if (bytes.size() - pos < 8) {
+      // Not even a full (len, hcrc) header: a torn append of the final
+      // record — drop it.
+      out.torn_tail = true;
+      out.torn_offset = record_start;
+      break;
+    }
+    const std::uint32_t len = peek_u32(bytes, pos);
+    const std::uint32_t hcrc = peek_u32(bytes, pos + 4);
+    if (length_crc(len) != hcrc) {
+      // The writer emits the 8 header bytes atomically within one append,
+      // so a mismatch is a flipped bit, not a torn write — and a corrupt
+      // length could otherwise swallow valid later records silently.
+      throw JournalError("record", record_start, "corrupt frame header (length checksum)");
+    }
+    if (len > kMaxJournalRecordBytes) {
+      throw JournalError("record", record_start,
+                         "implausible record length " + std::to_string(len));
+    }
+    pos += 8;
+    if (bytes.size() - pos < static_cast<std::uint64_t>(len) + 8) {
+      out.torn_tail = true;  // frame body/crc torn mid-append
+      out.torn_offset = record_start;
+      break;
+    }
+    const char* payload = bytes.data() + pos;
+    pos += len;
+    const std::uint64_t stored_crc = peek_u64(bytes, pos);
+    pos += 8;
+    const bool is_last = pos == bytes.size();
+    if (fnv1a(payload, len) != stored_crc) {
+      if (is_last) {
+        // Corrupt final record: indistinguishable from a torn tail at the
+        // storage layer — drop only it, keep everything before.
+        out.torn_tail = true;
+        out.torn_offset = record_start;
+        break;
+      }
+      throw JournalError("record", record_start,
+                         "payload checksum mismatch with valid records following "
+                         "(mid-log corruption)");
+    }
+
+    JournalRecord rec;
+    try {
+      std::istringstream ps(std::string(payload, len));
+      io::BinReader r(ps);
+      rec.seq = r.u64();
+      const std::uint8_t type = r.u8();
+      if (type < static_cast<std::uint8_t>(JournalRecordType::InjectArrival) ||
+          type > static_cast<std::uint8_t>(JournalRecordType::CleanShutdown)) {
+        throw JournalError("record", record_start,
+                           "unknown record type " + std::to_string(type));
+      }
+      rec.type = static_cast<JournalRecordType>(type);
+      rec.event_index = r.u64();
+      if (rec.type == JournalRecordType::InjectArrival) {
+        rec.stream_seq = r.u64();
+        rec.spec = read_job_spec(r);
+      }
+    } catch (const JournalError&) {
+      throw;
+    } catch (const ContractViolation& e) {
+      throw JournalError("record", record_start,
+                         std::string("malformed record payload: ") + e.what());
+    }
+    if (rec.seq != expected_seq) {
+      throw JournalError("record", record_start,
+                         "sequence gap: expected " + std::to_string(expected_seq) +
+                             ", found " + std::to_string(rec.seq));
+    }
+    if (out.clean_shutdown) {
+      throw JournalError("record", record_start,
+                         "record after the clean-shutdown marker");
+    }
+    ++expected_seq;
+    if (rec.type == JournalRecordType::CleanShutdown) out.clean_shutdown = true;
+    out.records.push_back(std::move(rec));
+  }
+  out.next_seq = expected_seq;
+  return out;
+}
+
+JournalReplay read_journal_file(const std::string& path, std::uint64_t expected_fingerprint) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw JournalError("io", 0, errno_detail("open " + path + " failed"));
+  }
+  return read_journal(is, expected_fingerprint);
+}
+
+}  // namespace mlfs

@@ -8,7 +8,9 @@ namespace mlfs {
 
 std::string RunMetrics::summary() const {
   std::ostringstream os;
-  os << scheduler << ": jobs=" << job_count
+  os << scheduler << ": jobs=" << job_count;
+  if (jobs_injected > 0) os << " (" << jobs_injected << " streamed)";
+  os
      << " avgJCT=" << format_double(average_jct_minutes(), 1) << "min"
      << " makespan=" << format_double(makespan_hours, 1) << "h"
      << " deadline=" << format_double(100.0 * deadline_ratio, 1) << "%"
@@ -57,6 +59,7 @@ std::string RunMetrics::summary() const {
 
 bool deterministic_equal(const RunMetrics& a, const RunMetrics& b) {
   return a.scheduler == b.scheduler && a.job_count == b.job_count &&
+         a.jobs_injected == b.jobs_injected &&
          a.jct_minutes == b.jct_minutes && a.makespan_hours == b.makespan_hours &&
          a.deadline_ratio == b.deadline_ratio && a.waiting_seconds == b.waiting_seconds &&
          a.average_accuracy == b.average_accuracy && a.accuracy_ratio == b.accuracy_ratio &&

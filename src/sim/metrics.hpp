@@ -15,6 +15,9 @@ class Cluster;
 struct RunMetrics {
   std::string scheduler;
   std::size_t job_count = 0;
+  /// Jobs streamed into the live engine (SimEngine::inject_job) rather
+  /// than registered at construction; 0 for pure trace-driven runs.
+  std::size_t jobs_injected = 0;
 
   SampleSet jct_minutes;            ///< per-job completion time (Figs. 4/5 (a),(b))
   double makespan_hours = 0.0;      ///< first arrival -> last completion

@@ -1,11 +1,28 @@
 #include "sim/snapshot.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <istream>
 #include <memory>
 #include <ostream>
 
 namespace mlfs {
+
+namespace {
+
+/// errno context for failed stream writes (disk full, short write, I/O
+/// error); errno may be stale for non-file streams, so it is advisory.
+std::string write_failure_detail(const std::string& what) {
+  std::string detail = what;
+  if (errno != 0) {
+    detail += " (errno: ";
+    detail += std::strerror(errno);
+    detail += ")";
+  }
+  return detail;
+}
+
+}  // namespace
 
 SnapshotError::SnapshotError(std::string section, std::uint64_t offset,
                              const std::string& detail)
@@ -47,10 +64,23 @@ void SnapshotWriter::write(std::ostream& os) const {
     w.bytes(payload.data(), payload.size());
   }
   const std::string bytes = body.str();
+  if (!body) {
+    throw SnapshotError("io", 0, "snapshot serialization failed (out of memory?)");
+  }
   const std::uint64_t checksum = fnv1a(bytes.data(), bytes.size());
+  errno = 0;
   os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    throw SnapshotError("io", 0, write_failure_detail("snapshot body write failed"));
+  }
   io::BinWriter tail(os);
   tail.u64(checksum);
+  os.flush();
+  // A short write or disk-full must fail loudly here, not surface later as
+  // an inexplicable truncated-file rejection during restore.
+  if (!os) {
+    throw SnapshotError("io", bytes.size(), write_failure_detail("snapshot checksum write failed"));
+  }
 }
 
 namespace {

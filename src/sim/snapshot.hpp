@@ -35,9 +35,13 @@ inline constexpr char kSnapshotMagic[8] = {'M', 'L', 'F', 'S', 'S', 'N', 'A', 'P
 /// counters) alongside the existing "predictor" (runtime predictor)
 /// section. v4: added the conditional "links" section (LinkModel flow
 /// sets, duty cycles, phase offsets — written iff link contention is on)
-/// and the engine section's link-contention counters; pre-v4 files are
-/// rejected by the version check.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// and the engine section's link-contention counters. v5: added the
+/// always-written "injected" section (JobSpecs streamed into the live
+/// engine after construction — restore re-registers them before touching
+/// dynamic state) and narrowed the config fingerprint to the base
+/// workload, so injections don't invalidate it. Pre-v5 files are rejected
+/// by the version check.
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// Structured rejection of a snapshot file. Subclasses ContractViolation so
 /// existing catch sites handle it; carries the failing section (or the

@@ -17,8 +17,18 @@
 //     parent verifies the child died by SIGKILL, restores from the newest
 //     complete snapshot and replays. This is the CI crash-restore gate.
 //
+// --journal switches to the zero-loss durable mode (exp/durable.hpp): the
+// last --stream-jobs trace jobs are withheld from the engine and streamed
+// into it live (SimEngine::inject_job), every injection is written ahead to
+// a per-segment journal, and recovery is snapshot + journal replay. The
+// SIGKILL lands at a *random* event index — not a snapshot boundary — and
+// the recovered run must still be byte-identical (event_stream_hash and
+// every deterministic RunMetrics field) to a run that never crashed,
+// streamed arrivals included. This is the CI crash-torture gate.
+//
 // Usage: mlfs_crashtest [--scheduler NAME] [--trials N] [--seed S]
 //                       [--stride N] [--sigkill] [--dir D] [--list]
+//                       [--journal] [--stream-jobs N] [--fsync every|group|off]
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,13 +40,17 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/expect.hpp"
 #include "common/rng.hpp"
+#include "exp/durable.hpp"
 #include "exp/registry.hpp"
 #include "exp/restore_check.hpp"
 #include "exp/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -49,6 +63,11 @@ struct Options {
   std::uint64_t stride = 200;  ///< events between on-disk snapshots (--sigkill)
   bool sigkill = false;
   std::string dir = "crashtest-snapshots";
+
+  // Zero-loss durable mode (--journal).
+  bool journal = false;
+  std::size_t stream_jobs = 4;  ///< trace jobs withheld and streamed in live
+  FsyncPolicy fsync = FsyncPolicy::GroupCommit;
 
   // Internal child mode (spawned by --sigkill trials).
   bool child = false;
@@ -67,7 +86,15 @@ void print_usage() {
       "  --sigkill         crash a real subprocess with SIGKILL instead of the\n"
       "                    in-process abort\n"
       "  --dir D           snapshot directory for --sigkill (default\n"
-      "                    ./crashtest-snapshots, wiped per trial)\n";
+      "                    ./crashtest-snapshots, wiped per trial)\n"
+      "  --journal         zero-loss durable mode: stream the last --stream-jobs\n"
+      "                    trace jobs into the live engine, journal every\n"
+      "                    injection write-ahead, kill at a random event index\n"
+      "                    and recover via snapshot + journal replay\n"
+      "  --stream-jobs N   jobs withheld from the start set and streamed in\n"
+      "                    (default 4; needs --journal)\n"
+      "  --fsync P         journal fsync policy: every | group | off\n"
+      "                    (default group; needs --journal)\n";
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -108,6 +135,26 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--dir");
       if (!v) return false;
       options.dir = v;
+    } else if (arg == "--journal") {
+      options.journal = true;
+    } else if (arg == "--stream-jobs") {
+      const char* v = next("--stream-jobs");
+      if (!v) return false;
+      options.stream_jobs = std::stoul(v);
+    } else if (arg == "--fsync") {
+      const char* v = next("--fsync");
+      if (!v) return false;
+      const std::string policy = v;
+      if (policy == "every") {
+        options.fsync = FsyncPolicy::EveryRecord;
+      } else if (policy == "group") {
+        options.fsync = FsyncPolicy::GroupCommit;
+      } else if (policy == "off") {
+        options.fsync = FsyncPolicy::Off;
+      } else {
+        std::cerr << "--fsync takes every | group | off\n";
+        return false;
+      }
     } else if (arg == "--child") {
       options.child = true;
     } else if (arg == "--kill-at") {
@@ -155,6 +202,95 @@ exp::RunRequest crash_request(const Options& options) {
   r.scheduler = options.scheduler;
   r.mlfs_config.rl.warmup_samples = 100;
   return r;
+}
+
+exp::DurableConfig durable_config(const Options& options) {
+  exp::DurableConfig config;
+  config.dir = options.dir;
+  config.snapshot_stride = options.stride;
+  config.fsync = options.fsync;
+  return config;
+}
+
+const char* fsync_flag(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::EveryRecord: return "every";
+    case FsyncPolicy::GroupCommit: return "group";
+    case FsyncPolicy::Off: return "off";
+  }
+  return "group";
+}
+
+/// Child body for --journal --sigkill: run the durable session up to the kill
+/// event, then die by a real SIGKILL. The journal sink is unbuffered (one
+/// write(2) per record), so the on-disk state is exactly a crash at that
+/// event index — no destructors run, nothing left to flush.
+int run_journal_child(const Options& options) {
+  exp::RunRequest request = crash_request(options);
+  const auto script = exp::split_streamed_tail(request, options.stream_jobs);
+  exp::DurableConfig config = durable_config(options);
+  config.halt_at_event = options.kill_at;
+  const exp::DurableResult result = exp::run_durable(request, script, config);
+  if (result.halted) raise(SIGKILL);
+  std::cerr << "child completed before kill_at=" << options.kill_at << "\n";
+  return 3;
+}
+
+/// One zero-loss trial: crash a durable run at `kill_at` (forked SIGKILL or
+/// in-process halt), recover in a second session via snapshot + journal
+/// replay, and demand byte-identity with the never-crashed reference.
+bool run_journal_trial(const Options& options, const std::string& self_exe,
+                       std::uint64_t kill_at, const exp::RunRequest& request,
+                       const std::vector<exp::ScriptedArrivalSource::Entry>& script,
+                       const RunMetrics& reference) {
+  const std::filesystem::path dir = options.dir;
+  std::filesystem::remove_all(dir);
+
+  if (options.sigkill) {
+    const pid_t pid = fork();
+    if (pid < 0) throw ContractViolation("fork failed");
+    if (pid == 0) {
+      execl(self_exe.c_str(), self_exe.c_str(), "--journal", "--child", "--kill-at",
+            std::to_string(kill_at).c_str(), "--scheduler", options.scheduler.c_str(),
+            "--stride", std::to_string(options.stride).c_str(), "--stream-jobs",
+            std::to_string(options.stream_jobs).c_str(), "--fsync", fsync_flag(options.fsync),
+            "--dir", dir.string().c_str(), static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid) throw ContractViolation("waitpid failed");
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::cerr << "  child did not die by SIGKILL (status=" << status << ")\n";
+      return false;
+    }
+  } else {
+    exp::DurableConfig crashed = durable_config(options);
+    crashed.halt_at_event = kill_at;
+    if (!exp::run_durable(request, script, crashed).halted) {
+      std::cerr << "  durable run completed before kill_at=" << kill_at << "\n";
+      return false;
+    }
+  }
+
+  const exp::DurableResult recovered = exp::run_durable(request, script, durable_config(options));
+  std::filesystem::remove_all(dir);
+  if (!recovered.recovered) {
+    std::cerr << "  recovery did not resume from a snapshot\n";
+    return false;
+  }
+  std::cerr << "  killed at event " << kill_at << ", resumed from snapshot at event "
+            << recovered.resume_event << ", replayed " << recovered.records_replayed
+            << " journaled arrivals" << (recovered.torn_tail_dropped ? " (torn tail dropped)" : "")
+            << "\n";
+  const bool ok = deterministic_equal(reference, recovered.metrics) &&
+                  reference.event_stream_hash == recovered.metrics.event_stream_hash;
+  if (!ok) {
+    std::cerr << "  ZERO-LOSS MISMATCH\n    reference: hash=" << std::hex
+              << reference.event_stream_hash << std::dec << " " << reference.summary()
+              << "\n    recovered: hash=" << std::hex << recovered.metrics.event_stream_hash
+              << std::dec << " " << recovered.metrics.summary() << "\n";
+  }
+  return ok;
 }
 
 /// Atomic snapshot write: crash mid-write leaves a *.tmp the restore scan
@@ -275,7 +411,40 @@ int main(int argc, char** argv) {
   Options options;
   try {
     if (!parse(argc, argv, options)) return 0;
-    if (options.child) return run_child(options);
+    if (options.child) return options.journal ? run_journal_child(options) : run_child(options);
+
+    if (options.journal) {
+      // Zero-loss gate: reference streams the withheld jobs live, no journal.
+      exp::RunRequest request = crash_request(options);
+      const auto script = exp::split_streamed_tail(request, options.stream_jobs);
+      const RunMetrics reference = exp::run_streaming(request, script);
+      const std::uint64_t total_events = reference.events_processed;
+      if (total_events <= 1) throw ContractViolation("reference run dispatched no events");
+      std::cerr << options.scheduler << ": reference " << total_events << " events ("
+                << reference.jobs_injected << " streamed), hash=0x" << std::hex
+                << reference.event_stream_hash << std::dec << "\n";
+
+      const std::string self_exe = self_exe_path(argv[0]);
+      Rng rng(options.seed);
+      int failures = 0;
+      for (int trial = 0; trial < options.trials; ++trial) {
+        const std::uint64_t kill_at = 1 + rng.next_u64() % (total_events - 1);
+        std::cerr << "trial " << trial << (options.sigkill ? " (journal, sigkill):\n"
+                                                           : " (journal, in-process):\n");
+        const bool ok =
+            run_journal_trial(options, self_exe, kill_at, request, script, reference);
+        std::cout << "trial " << trial << " kill_at=" << kill_at << " "
+                  << (ok ? "PASS" : "FAIL") << "\n";
+        if (!ok) ++failures;
+      }
+      if (failures > 0) {
+        std::cout << failures << "/" << options.trials << " trials FAILED\n";
+        return 1;
+      }
+      std::cout << "all " << options.trials
+                << " trials byte-identical after journal recovery\n";
+      return 0;
+    }
 
     // Uninterrupted reference run: total event count bounds the kill draw.
     exp::EngineBundle reference_bundle = exp::build_engine(crash_request(options));

@@ -19,6 +19,9 @@
 //            [--legacy-curve-fit] [--coarsen-curve]
 //            [--contention] [--duty-cycle] [--nic-mbps B] [--uplink-mbps B]
 //            [--snapshot-every N] [--snapshot-dir D] [--restore FILE]
+//            [--snapshot-keep K] [--journal DIR] [--fsync every|group|off]
+//            [--stream-jobs N]
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/durable.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "sim/engine.hpp"
@@ -82,6 +86,12 @@ struct Options {
   std::uint64_t snapshot_every = 0;  ///< events between snapshots (0 = off)
   std::string snapshot_dir = "snapshots";
   std::string restore_file;
+  int snapshot_keep = 0;  ///< prune to the newest K snapshots (0 = keep all)
+
+  // Durable journal session (exp/durable.hpp; single scheduler).
+  std::string journal_dir;  ///< empty = off
+  FsyncPolicy fsync = FsyncPolicy::GroupCommit;
+  std::size_t stream_jobs = 0;  ///< stream the last N workload jobs in live
 };
 
 void print_usage() {
@@ -153,7 +163,19 @@ void print_usage() {
       "  --snapshot-dir D     snapshot directory (default ./snapshots)\n"
       "  --restore FILE       resume from a snapshot instead of starting fresh;\n"
       "                       the other flags must rebuild the exact run the\n"
-      "                       snapshot came from (config fingerprint enforced)\n";
+      "                       snapshot came from (config fingerprint enforced)\n"
+      "  --snapshot-keep K    prune all but the newest K snapshots (and, with\n"
+      "                       --journal, their journal segments); 0 = keep all\n"
+      "  --journal DIR        durable session: write-ahead journal + periodic\n"
+      "                       snapshots in DIR (stride from --snapshot-every);\n"
+      "                       if DIR already holds a snapshot the run resumes\n"
+      "                       from it, replaying journaled arrivals — SIGKILL\n"
+      "                       at any instant loses nothing\n"
+      "  --fsync P            journal fsync policy: every | group | off\n"
+      "                       (default group; needs --journal)\n"
+      "  --stream-jobs N      withhold the last N workload jobs and stream\n"
+      "                       them into the running engine as live arrivals\n"
+      "                       (journaled write-ahead; needs --journal)\n";
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -294,6 +316,32 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next("--restore");
       if (!v) return false;
       options.restore_file = v;
+    } else if (arg == "--snapshot-keep") {
+      const char* v = next("--snapshot-keep");
+      if (!v) return false;
+      options.snapshot_keep = std::stoi(v);
+    } else if (arg == "--journal") {
+      const char* v = next("--journal");
+      if (!v) return false;
+      options.journal_dir = v;
+    } else if (arg == "--fsync") {
+      const char* v = next("--fsync");
+      if (!v) return false;
+      const std::string policy = v;
+      if (policy == "every") {
+        options.fsync = FsyncPolicy::EveryRecord;
+      } else if (policy == "group") {
+        options.fsync = FsyncPolicy::GroupCommit;
+      } else if (policy == "off") {
+        options.fsync = FsyncPolicy::Off;
+      } else {
+        std::cerr << "--fsync takes every | group | off\n";
+        return false;
+      }
+    } else if (arg == "--stream-jobs") {
+      const char* v = next("--stream-jobs");
+      if (!v) return false;
+      options.stream_jobs = std::stoul(v);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       print_usage();
@@ -318,10 +366,27 @@ bool parse(int argc, char** argv, Options& options) {
     std::cerr << "--duty-cycle / --nic-mbps / --uplink-mbps need --contention\n";
     return false;
   }
-  if ((options.snapshot_every > 0 || !options.restore_file.empty()) &&
+  if ((options.snapshot_every > 0 || !options.restore_file.empty() ||
+       !options.journal_dir.empty()) &&
       options.schedulers.size() != 1) {
-    std::cerr << "--snapshot-every / --restore drive one engine manually; "
-                 "give exactly one --scheduler\n";
+    std::cerr << "--snapshot-every / --restore / --journal drive one engine "
+                 "manually; give exactly one --scheduler\n";
+    return false;
+  }
+  if (options.journal_dir.empty() && options.stream_jobs > 0) {
+    std::cerr << "--stream-jobs needs --journal\n";
+    return false;
+  }
+  if (!options.journal_dir.empty() && !options.restore_file.empty()) {
+    std::cerr << "--journal recovers from its own directory; drop --restore\n";
+    return false;
+  }
+  if (!options.journal_dir.empty() && !options.event_log_file.empty()) {
+    std::cerr << "--event-log is not supported with --journal\n";
+    return false;
+  }
+  if (options.snapshot_keep < 0) {
+    std::cerr << "--snapshot-keep must be >= 0\n";
     return false;
   }
   return true;
@@ -342,6 +407,23 @@ void write_snapshot_atomic(const SimEngine& engine, const std::filesystem::path&
     if (!out) throw ContractViolation("short write on snapshot " + tmp.string());
   }
   std::filesystem::rename(tmp, final_path);
+}
+
+/// Prunes the legacy --snapshot-every directory to the newest `keep`
+/// snap-*.bin files (the --journal path prunes snapshot+journal *pairs*
+/// itself, inside exp::run_durable).
+void prune_snapshot_dir(const std::filesystem::path& dir, int keep) {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> snaps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0 || entry.path().extension() != ".bin") continue;
+    snaps.emplace_back(std::stoull(name.substr(5)), entry.path());
+  }
+  std::sort(snaps.begin(), snaps.end());
+  while (snaps.size() > static_cast<std::size_t>(keep)) {
+    std::filesystem::remove(snaps.front().second);
+    snaps.erase(snaps.begin());
+  }
 }
 
 std::shared_ptr<const std::vector<JobSpec>> load_trace_workload(const Options& options) {
@@ -443,6 +525,54 @@ int main(int argc, char** argv) {
       requests.back().observer = event_log.get();
     }
 
+    // Durable session: write-ahead journal + periodic snapshots. Resumes
+    // automatically if the directory already holds a snapshot; --stream-jobs
+    // withholds the tail of the workload and injects it live.
+    if (!options.journal_dir.empty()) {
+      exp::RunRequest request = requests.front();
+      std::vector<exp::ScriptedArrivalSource::Entry> script;
+      if (options.stream_jobs > 0) {
+        std::vector<JobSpec> specs = request.workload
+                                         ? *request.workload
+                                         : PhillyTraceGenerator(request.trace).generate();
+        std::stable_sort(specs.begin(), specs.end(), [](const JobSpec& a, const JobSpec& b) {
+          return a.arrival < b.arrival;
+        });
+        if (options.stream_jobs >= specs.size()) {
+          throw ContractViolation("--stream-jobs must leave at least one job in the start set");
+        }
+        std::vector<JobSpec> streamed(
+            specs.end() - static_cast<std::ptrdiff_t>(options.stream_jobs), specs.end());
+        specs.resize(specs.size() - options.stream_jobs);
+        // The cluster requires dense job ids; streamed jobs are re-id'd by
+        // the engine on injection, so only the start set is renumbered.
+        for (std::size_t i = 0; i < specs.size(); ++i) specs[i].id = static_cast<JobId>(i);
+        request.workload = std::make_shared<const std::vector<JobSpec>>(std::move(specs));
+        script = exp::make_script(streamed);
+      }
+      exp::DurableConfig config;
+      config.dir = options.journal_dir;
+      config.snapshot_stride = options.snapshot_every;
+      config.snapshot_keep = options.snapshot_keep;
+      config.fsync = options.fsync;
+      const exp::DurableResult result = exp::run_durable(request, script, config);
+      if (result.recovered) {
+        std::cerr << "recovered from snapshot at event " << result.resume_event
+                  << ", replayed " << result.records_replayed << " journaled arrivals"
+                  << (result.torn_tail_dropped ? " (torn tail dropped)" : "") << "\n";
+      }
+      if (options.csv) {
+        std::cout << "scheduler,jobs,avg_jct_min,median_jct_min,makespan_h,deadline_ratio,"
+                     "avg_wait_s,avg_accuracy,accuracy_ratio,bandwidth_tb,inter_rack_tb,"
+                     "sched_overhead_ms,migrations,preemptions,sched_rounds,"
+                     "candidates_scanned,candidates_linear,comm_cache_hits\n";
+        print_csv_row(result.metrics);
+      } else {
+        std::cout << result.metrics.summary() << "\n";
+      }
+      return 0;
+    }
+
     // Snapshot / restore path: drive the one engine manually so we can
     // checkpoint on an event stride and/or resume from a prior snapshot.
     if (options.snapshot_every > 0 || !options.restore_file.empty()) {
@@ -458,6 +588,9 @@ int main(int argc, char** argv) {
         if (options.snapshot_every > 0 &&
             engine.events_processed() % options.snapshot_every == 0) {
           write_snapshot_atomic(engine, options.snapshot_dir, engine.events_processed());
+          if (options.snapshot_keep > 0) {
+            prune_snapshot_dir(options.snapshot_dir, options.snapshot_keep);
+          }
         }
       }
       const RunMetrics m = engine.finalize();
